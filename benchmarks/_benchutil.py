@@ -1,0 +1,29 @@
+"""Shared helpers for the reproduction benchmarks.
+
+Every ``bench_figN_*``/``bench_*`` module regenerates one table or
+figure from the paper's evaluation.  Each writes its human-readable
+reproduction table to ``benchmarks/results/<name>.txt`` (and prints it,
+visible with ``pytest -s``), while pytest-benchmark times a
+representative kernel of the experiment.
+"""
+
+import os
+from pathlib import Path
+
+import pytest
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def write_result(name: str, text: str) -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(text + "\n")
+    print(f"\n=== {name} ===\n{text}\n[written to {path}]")
+    return path
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR

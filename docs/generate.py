@@ -1,0 +1,16 @@
+#!/usr/bin/env python3
+"""Regenerate the derived documentation (docs/events.md)."""
+
+from pathlib import Path
+
+from repro.core.registry import default_registry
+
+
+def main() -> None:
+    out = Path(__file__).parent / "events.md"
+    out.write_text(default_registry().to_markdown() + "\n")
+    print(f"wrote {out}")
+
+
+if __name__ == "__main__":
+    main()

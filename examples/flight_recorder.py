@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""Flight-recorder mode (§4.2): the last events before a crash.
+
+"Management of the trace array for each processor as a circular buffer
+... if the kernel should crash, the most recent activity recorded by the
+tracing infrastructure is available.  This 'flight recorder'
+functionality can be accessed from the debugger via a function call that
+prints out the last set of trace events."
+
+A multiprogrammed workload runs with circular per-CPU buffers (no
+write-out); the run is stopped abruptly mid-flight — the "crash" — and
+the debugger-style dump prints the most recent events, filtered the way
+the real hook "has features to show only certain type of events".
+
+Run:  python examples/flight_recorder.py
+"""
+
+from repro.core.facility import TraceFacility
+from repro.core.majors import Major
+from repro.ksim import Kernel, KernelConfig
+from repro.tools.listing import format_event
+from repro.workloads.multiprog import mixed_job
+
+
+def dump_flight_recorder(facility, majors=None, last=15):
+    """The debugger hook: print the last `last` events, optionally
+    restricted to certain major classes."""
+    trace = facility.decode(facility.snapshot())
+    events = [e for e in trace.all_events() if not e.is_control]
+    if majors is not None:
+        events = [e for e in events if e.major in majors]
+    print(f"--- flight recorder: last {min(last, len(events))} of "
+          f"{len(events)} retained events ---")
+    for e in events[-last:]:
+        print(format_event(e))
+
+
+def main() -> None:
+    kernel = Kernel(KernelConfig(ncpus=2, seed=3))
+    facility = TraceFacility(
+        ncpus=2, clock=kernel.clock,
+        buffer_words=512, num_buffers=4,
+        mode="flight",                      # circular: old events overwritten
+    )
+    facility.enable_all()
+    kernel.facility = facility
+
+    for j in range(8):
+        kernel.spawn_process(mixed_job(j, 1000 + j), f"job{j}", cpu=j % 2)
+
+    # Run a while, then "crash" mid-execution.
+    kernel.run(until=3_000_000)
+    print(f"simulated kernel crash at cycle {kernel.engine.now:,} "
+          f"with {kernel.live_threads} threads live\n")
+
+    dump_flight_recorder(facility, last=12)
+    print()
+    dump_flight_recorder(facility, majors={Major.SYSCALL}, last=8)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,61 @@
+#!/usr/bin/env python3
+"""The §4 lock-hunting workflow: find the hottest lock, fix it, repeat.
+
+"We went through a series of iterations where we used the lock analysis
+tool to determine the most contended lock in the system, fixed it, and
+then ran the tool again to identify the next most contended lock."
+
+This example replays that loop on the simulator.  Iteration 1 runs an
+allocation-heavy workload on a kernel whose allocations mostly take the
+global GMalloc path; the tool fingers ``AllocRegionManager.global``.
+The "fix" — routing allocations to per-CPU pools, K42's actual design —
+is applied, and iteration 2 shows the contention shifted and shrunk,
+exactly the experience the paper describes.
+
+Run:  python examples/lock_contention_tuning.py
+"""
+
+from repro.tools import format_lockstats, lock_statistics
+from repro.workloads import run_contention
+
+
+def run_iteration(title: str, global_alloc_fraction: float) -> int:
+    kernel, facility, result = run_contention(
+        ncpus=8,
+        workers_per_cpu=2,
+        iterations=40,
+        alloc_size=8_192,   # below the large-alloc threshold, so the
+        global_alloc_fraction=global_alloc_fraction,  # fraction routes
+        pc_sample_period=0,
+    )
+    trace = facility.decode()
+    stats = lock_statistics(trace)
+    sym = kernel.symbols()
+    print(f"=== {title} "
+          f"(elapsed {result.elapsed_cycles / 1e6:.2f}M cycles, "
+          f"{result.lock_contentions} contentions) ===")
+    print(format_lockstats(stats, sym.lock_names, sym.chains, top=3))
+    return result.elapsed_cycles
+
+
+def main() -> None:
+    # Iteration 1: most allocations funnel through the global manager.
+    before = run_iteration(
+        "iteration 1: global allocation path dominates",
+        global_alloc_fraction=0.9,
+    )
+
+    # "Fix" the top lock: per-CPU allocation pools (K42's design) —
+    # only refills touch the global manager now.
+    after = run_iteration(
+        "iteration 2: after the fix (per-CPU pools, 5% global refills)",
+        global_alloc_fraction=0.05,
+    )
+
+    speedup = before / after
+    print(f"fixing the top contended lock sped the workload up "
+          f"{speedup:.2f}x")
+
+
+if __name__ == "__main__":
+    main()

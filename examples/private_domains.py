@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Privilege-separated tracing (§5's protection future work).
+
+"Different users may not desire to have information about their behavior
+available to other users.  To solve this, we intend to map in different
+buffers to user applications that do not have sufficient privileges to
+see all data."
+
+Two unprivileged applications and the kernel log through the same
+unified mask and event vocabulary — but into separate buffers.  Each app
+can read back only its own activity; the privileged view merges all
+domains into the single time-ordered stream the analysis tools expect.
+
+Run:  python examples/private_domains.py
+"""
+
+from repro.core.domains import TraceDomains
+from repro.core.majors import Major
+from repro.core.timestamps import ManualClock
+from repro.tools.listing import format_event
+
+
+def main() -> None:
+    clock = ManualClock()
+    domains = TraceDomains(ncpus=1, clock=clock)
+    domains.enable_all()
+
+    domains.register(0, privileged=True)      # the kernel
+    domains.register(101, privileged=False)   # alice's database
+    domains.register(102, privileged=False)   # bob's web server
+
+    for i in range(4):
+        clock.advance(100)
+        domains.logger(101, 0).log_event(
+            "TRC_USER_APP_MARK", i, f"alice-query-{i}")
+        clock.advance(100)
+        domains.logger(102, 0).log_event(
+            "TRC_USER_APP_MARK", i, f"bob-request-{i}")
+        clock.advance(100)
+        domains.logger(0, 0).log1(Major.EXC, 4, i)   # kernel timer tick
+
+    print("=== what alice (pid 101, unprivileged) can read ===")
+    for e in domains.view(101).all_events():
+        print(" ", format_event(e))
+
+    print("\n=== what bob (pid 102, unprivileged) can read ===")
+    for e in domains.view(102).all_events():
+        print(" ", format_event(e))
+
+    print("\n=== the privileged merged view (kernel, pid 0) ===")
+    for e in domains.view(0).all_events()[:8]:
+        print(" ", format_event(e))
+    print("  ...")
+
+    print("\nbob requesting the global view:")
+    try:
+        domains.view_privileged(102)
+    except PermissionError as exc:
+        print(f"  denied: {exc}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,49 @@
+#!/usr/bin/env python3
+"""The Figure 3 experiment in miniature: SDET throughput scaling.
+
+Runs the SDET-like workload on the simulated multiprocessor in both
+kernel configurations — the K42-style scalable one (with the tracing
+infrastructure compiled in and enabled, as the paper did) and the
+coarse-locked "Linux-like" baseline — and prints throughput versus CPU
+count, plus the tracing-overhead comparison behind the paper's "<1%"
+claim.
+
+Run:  python examples/sdet_scaling.py
+"""
+
+from repro.workloads import run_sdet
+
+CPU_POINTS = [1, 2, 4, 8, 16, 24]
+
+
+def main() -> None:
+    print("SDET throughput (scripts/hour of simulated time)")
+    print(f"{'CPUs':>5} {'K42 (traced)':>14} {'coarse-locked':>14} {'ratio':>7}")
+    for ncpus in CPU_POINTS:
+        _, _, fine = run_sdet(ncpus, scripts_per_cpu=2, tracing="on")
+        _, _, coarse = run_sdet(ncpus, scripts_per_cpu=2, tracing="on",
+                                coarse_locked=True)
+        ratio = fine.throughput / coarse.throughput
+        print(f"{ncpus:>5} {fine.throughput:>14.0f} "
+              f"{coarse.throughput:>14.0f} {ratio:>6.2f}x")
+
+    print()
+    print("Tracing overhead (single CPU — deterministic, noise-free):")
+    rows = []
+    for mode in ("off", "masked", "on"):
+        _, _, res = run_sdet(1, scripts_per_cpu=4, commands_per_script=6,
+                             tracing=mode, seed=7)
+        rows.append((mode, res.elapsed_cycles, res.trace_events))
+    base = rows[0][1]
+    for mode, cycles, events in rows:
+        print(f"  {mode:>7}: {cycles:>14,} cycles "
+              f"({(cycles / base - 1) * 100:+.3f}% vs compiled-out, "
+              f"{events} events)")
+    print()
+    print("The paper's claim: compiled-in-but-disabled costs <1%; fully")
+    print("enabled tracing is low-impact enough to leave on while")
+    print("benchmarking (its Figure 3 K42 curve was traced).")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""The system tunes itself from its own trace (§5 future work).
+
+"We are investigating how to integrate our hot-swapping infrastructure
+with the tracing infrastructure in order to provide feedback for the
+system to tune itself."
+
+An allocation storm hammers the global allocator lock.  A monitor inside
+the system periodically reads the flight recorder, runs the same
+contention analysis a human would (Figure 7), and when the global lock's
+pressure crosses the threshold, hot-swaps the allocator to per-CPU pools
+— while the workload keeps running.  The contention rate collapses, the
+run finishes sooner, and the tuning action itself is an event in the
+very trace that triggered it.
+
+Run:  python examples/self_tuning.py
+"""
+
+from repro.core.facility import TraceFacility
+from repro.ksim import AllocatorAutotuner, Kernel, KernelConfig
+from repro.tools import format_lockstats, lock_statistics
+from repro.workloads.contention import alloc_storm
+
+NCPUS = 4
+
+
+def run(autotune: bool):
+    cfg = KernelConfig(ncpus=NCPUS, global_alloc_fraction=0.9, seed=5)
+    kernel = Kernel(cfg)
+    facility = TraceFacility(ncpus=NCPUS, clock=kernel.clock,
+                             buffer_words=2048, num_buffers=8)
+    facility.enable_all()
+    kernel.facility = facility
+    tuner = AllocatorAutotuner(kernel, check_period=300_000,
+                               contention_threshold=10)
+    if autotune:
+        tuner.arm()
+    for w in range(NCPUS * 2):
+        kernel.spawn_process(alloc_storm(80, 8_192, 3_000),
+                             f"churn{w}", cpu=w % NCPUS)
+    assert kernel.run_until_quiescent()
+    return kernel, facility, tuner
+
+
+def main() -> None:
+    k_static, _, _ = run(autotune=False)
+    k_tuned, facility, tuner = run(autotune=True)
+
+    print(tuner.describe())
+    print()
+    swap = tuner.actions[0].at_cycle
+    trace = facility.decode()
+    starts = trace.filter(name="TRC_LOCK_CONTEND_START")
+    before = sum(1 for e in starts if e.time <= swap)
+    after = sum(1 for e in starts if e.time > swap)
+    print(f"contentions before swap: {before} over {swap:,} cycles")
+    print(f"contentions after swap:  {after} over "
+          f"{k_tuned.engine.now - swap:,} cycles")
+    print()
+    print(f"elapsed without tuning: {k_static.engine.now:,} cycles")
+    print(f"elapsed with tuning:    {k_tuned.engine.now:,} cycles "
+          f"({k_static.engine.now / k_tuned.engine.now:.2f}x faster)")
+    print()
+    print("post-mortem lock table of the tuned run (Figure 7 view):")
+    stats = lock_statistics(trace)
+    sym = k_tuned.symbols()
+    print(format_lockstats(stats, sym.lock_names, sym.chains, top=2))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,24 @@
+"""Atomic-primitive substrate.
+
+The paper's lockless logging algorithm (Figure 2) is built on a hardware
+compare-and-store instruction (``stwcx.`` on PowerPC).  CPython exposes no
+such primitive, so this package provides two stand-ins:
+
+* :class:`~repro.atomic.primitives.AtomicWord` /
+  :class:`~repro.atomic.primitives.AtomicArray` — thread-safe emulated
+  hardware atomics.  Each individual operation (load, store,
+  compare-and-store, fetch-and-add) is made atomic with a micro-lock that
+  is *internal to the primitive*, exactly as a hardware instruction is
+  atomic internally.  No lock is ever held across the reserve/log/commit
+  sequence, which is what "lockless" means in the paper.
+
+* :class:`~repro.atomic.simatomic.SimAtomicWord` — a deterministic variant
+  for the discrete-event simulator and for property tests, with an
+  injectable interference hook so tests can force CAS failures at exact
+  points in the retry loop.
+"""
+
+from repro.atomic.primitives import AtomicArray, AtomicWord
+from repro.atomic.simatomic import InterferenceHook, SimAtomicWord
+
+__all__ = ["AtomicWord", "AtomicArray", "SimAtomicWord", "InterferenceHook"]

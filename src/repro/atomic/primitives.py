@@ -1,0 +1,112 @@
+"""Emulated hardware atomic words.
+
+Semantics follow the 64-bit unsigned machine word: all values are reduced
+modulo 2**64, and ``fetch_and_add`` wraps silently the way hardware does.
+"""
+
+from __future__ import annotations
+
+import threading
+
+_WORD_MASK = (1 << 64) - 1
+
+
+class AtomicWord:
+    """A single 64-bit word with atomic operations.
+
+    The internal lock emulates the atomicity guarantee of a hardware
+    instruction; callers never see or hold it.  This is the documented
+    substitution for PowerPC ``lwarx``/``stwcx.`` (see DESIGN.md §2).
+    """
+
+    __slots__ = ("_value", "_lock")
+
+    def __init__(self, initial: int = 0) -> None:
+        self._value = initial & _WORD_MASK
+        self._lock = threading.Lock()
+
+    def load(self) -> int:
+        """Atomically read the current value."""
+        with self._lock:
+            return self._value
+
+    def store(self, value: int) -> None:
+        """Atomically overwrite the current value."""
+        with self._lock:
+            self._value = value & _WORD_MASK
+
+    def compare_and_store(self, expected: int, new: int) -> bool:
+        """Atomically set the word to ``new`` iff it still equals ``expected``.
+
+        Returns True when the store happened (the caller "won"), False when
+        another writer got there first — the return value the Figure 2
+        pseudo-code branches on.
+        """
+        expected &= _WORD_MASK
+        new &= _WORD_MASK
+        with self._lock:
+            if self._value != expected:
+                return False
+            self._value = new
+            return True
+
+    def fetch_and_add(self, delta: int) -> int:
+        """Atomically add ``delta``; return the *previous* value."""
+        with self._lock:
+            old = self._value
+            self._value = (old + delta) & _WORD_MASK
+            return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"AtomicWord({self.load():#x})"
+
+
+class AtomicArray:
+    """A fixed-size array of 64-bit words with per-element atomic ops.
+
+    Used for the per-buffer committed-word counts (``traceCommit`` keeps
+    one counter per buffer).  Locks are striped so that counters for
+    different buffers do not contend with each other.
+    """
+
+    __slots__ = ("_values", "_locks", "_nstripes")
+
+    def __init__(self, length: int, initial: int = 0, nstripes: int = 16) -> None:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self._values = [initial & _WORD_MASK] * length
+        self._nstripes = max(1, min(nstripes, max(length, 1)))
+        self._locks = [threading.Lock() for _ in range(self._nstripes)]
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def _lock_for(self, index: int) -> threading.Lock:
+        return self._locks[index % self._nstripes]
+
+    def load(self, index: int) -> int:
+        with self._lock_for(index):
+            return self._values[index]
+
+    def store(self, index: int, value: int) -> None:
+        with self._lock_for(index):
+            self._values[index] = value & _WORD_MASK
+
+    def compare_and_store(self, index: int, expected: int, new: int) -> bool:
+        expected &= _WORD_MASK
+        new &= _WORD_MASK
+        with self._lock_for(index):
+            if self._values[index] != expected:
+                return False
+            self._values[index] = new
+            return True
+
+    def fetch_and_add(self, index: int, delta: int) -> int:
+        with self._lock_for(index):
+            old = self._values[index]
+            self._values[index] = (old + delta) & _WORD_MASK
+            return old
+
+    def snapshot(self) -> list[int]:
+        """Non-atomic (per-element atomic) copy of all values."""
+        return [self.load(i) for i in range(len(self._values))]

@@ -1,0 +1,66 @@
+"""Deterministic atomic word for simulation and race-injection tests.
+
+The discrete-event simulator serializes all operations, so a plain word
+would do — but property tests want to *force* the interesting schedules:
+a CAS that fails because a competitor slipped in between the load of
+``oldIndex`` and the compare-and-store.  ``SimAtomicWord`` accepts an
+interference hook that runs just before each compare-and-store and may
+mutate the word, making every branch of the Figure 2 retry loop
+reachable deterministically.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+_WORD_MASK = (1 << 64) - 1
+
+#: Called as hook(word, expected, new) immediately before the CAS compare.
+#: May call word.store(...) to simulate a competing writer.
+InterferenceHook = Callable[["SimAtomicWord", int, int], None]
+
+
+class SimAtomicWord:
+    """Single-threaded atomic word with injectable CAS interference."""
+
+    __slots__ = ("_value", "_hook", "_in_hook", "cas_attempts", "cas_failures")
+
+    def __init__(self, initial: int = 0, hook: Optional[InterferenceHook] = None) -> None:
+        self._value = initial & _WORD_MASK
+        self._hook = hook
+        self._in_hook = False
+        self.cas_attempts = 0
+        self.cas_failures = 0
+
+    def set_hook(self, hook: Optional[InterferenceHook]) -> None:
+        self._hook = hook
+
+    def load(self) -> int:
+        return self._value
+
+    def store(self, value: int) -> None:
+        self._value = value & _WORD_MASK
+
+    def compare_and_store(self, expected: int, new: int) -> bool:
+        self.cas_attempts += 1
+        if self._hook is not None and not self._in_hook:
+            # Reentrancy guard (a hook may CAS internally) that still
+            # lets hooks disarm or replace themselves via set_hook.
+            self._in_hook = True
+            try:
+                self._hook(self, expected & _WORD_MASK, new & _WORD_MASK)
+            finally:
+                self._in_hook = False
+        if self._value != (expected & _WORD_MASK):
+            self.cas_failures += 1
+            return False
+        self._value = new & _WORD_MASK
+        return True
+
+    def fetch_and_add(self, delta: int) -> int:
+        old = self._value
+        self._value = (old + delta) & _WORD_MASK
+        return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SimAtomicWord({self._value:#x})"

@@ -1,0 +1,354 @@
+"""repro-trace — command-line front end to the analysis tools.
+
+A downstream user's workflow: run a simulation (or collect buffers from
+an embedding application), ``save_records`` them to a ``.k42`` trace
+file, optionally save the symbol table as JSON, then analyze offline::
+
+    repro-trace info trace.k42
+    repro-trace verify trace.k42
+    repro-trace list trace.k42 --limit 40 --name TRC_SYSCALL_ENTER
+    repro-trace kmon trace.k42 --mark TRC_USER_RETURNED_MAIN --svg out.svg
+    repro-trace kmon trace.k42 --interactive      # zoom/mark/click REPL
+    repro-trace locks trace.k42 --symbols syms.json --sort time --top 10
+    repro-trace holds trace.k42 --symbols syms.json
+    repro-trace profile trace.k42 --symbols syms.json --pid 1
+    repro-trace breakdown trace.k42 --symbols syms.json --pid 2
+    repro-trace compare before.k42 after.k42 --symbols syms.json
+    repro-trace histogram trace.k42
+    repro-trace memprofile trace.k42 --symbols syms.json
+    repro-trace iostats trace.k42
+    repro-trace crashdump core.img
+    repro-trace export-ltt trace.k42 --cpu 0 -o cpu0.ltt
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core.registry import default_registry
+from repro.core.stream import Trace, TraceReader
+from repro.core.writer import load_records
+
+
+def _load_trace(path: str, include_fillers: bool = False) -> Trace:
+    records = load_records(path)
+    reader = TraceReader(registry=default_registry(),
+                         include_fillers=include_fillers)
+    return reader.decode_records(records)
+
+
+def _load_symbols(path: Optional[str]):
+    from repro.ksim.kernel import SymbolTable
+
+    if path is None:
+        return SymbolTable()
+    return SymbolTable.load(path)
+
+
+def cmd_info(args) -> int:
+    from collections import Counter
+
+    records = load_records(args.trace)
+    trace = TraceReader(registry=default_registry()).decode_records(records)
+    events = trace.all_events()
+    cpus = sorted(trace.events_by_cpu)
+    times = [e.time for e in events if e.time is not None]
+    print(f"trace file: {args.trace}")
+    print(f"frames: {len(records)}  buffer words: {len(records[0].words) if records else 0}")
+    print(f"cpus: {cpus}")
+    print(f"events: {len(events)}  anomalies: {len(trace.anomalies)}")
+    if times:
+        span = (max(times) - min(times)) / 1e9
+        print(f"time span: {span:.6f} s "
+              f"({min(times):,} .. {max(times):,} cycles)")
+    majors = Counter(e.major for e in events)
+    for major, count in majors.most_common():
+        print(f"  major {major:>2}: {count:>8} events")
+    return 0
+
+
+def cmd_verify(args) -> int:
+    from repro.tools.anomaly import verify_trace
+
+    report = verify_trace(_load_trace(args.trace))
+    print(report.describe())
+    return 0 if report.ok else 1
+
+
+def cmd_list(args) -> int:
+    from repro.tools.listing import format_listing
+
+    text = format_listing(
+        _load_trace(args.trace),
+        names=args.name or None,
+        cpu=args.cpu,
+        start=args.start,
+        end=args.end,
+        limit=args.limit,
+        include_control=args.control,
+    )
+    print(text)
+    return 0
+
+
+def cmd_kmon(args) -> int:
+    from repro.tools.kmon import Timeline
+
+    if args.interactive:
+        from repro.tools.kmon_session import KmonSession
+
+        sym = _load_symbols(args.symbols)
+        session = KmonSession(_load_trace(args.trace), sym.process_names)
+        session.run(sys.stdin, sys.stdout)
+        return 0
+    tl = Timeline(_load_trace(args.trace))
+    if args.mark:
+        tl.mark(*args.mark)
+    if args.zoom:
+        tl = tl.zoom(args.zoom[0], args.zoom[1])
+    print(tl.render(width=args.width))
+    if args.svg:
+        with open(args.svg, "w") as fh:
+            fh.write(tl.render_svg())
+        print(f"SVG written to {args.svg}")
+    return 0
+
+
+def cmd_locks(args) -> int:
+    from repro.tools.lockstats import format_lockstats, lock_statistics
+
+    sym = _load_symbols(args.symbols)
+    stats = lock_statistics(_load_trace(args.trace), sort_by=args.sort)
+    print(format_lockstats(stats, sym.lock_names, sym.chains,
+                           top=args.top, sort_label=args.sort))
+    return 0
+
+
+def cmd_profile(args) -> int:
+    from repro.tools.pcprofile import format_profile, pc_profile
+
+    sym = _load_symbols(args.symbols)
+    hist = pc_profile(_load_trace(args.trace), sym.pc_names, pid=args.pid)
+    print(format_profile(hist, pid=args.pid, top=args.top))
+    return 0
+
+
+def cmd_breakdown(args) -> int:
+    from repro.ksim.ipc import FS_FUNCTION_NAMES
+    from repro.tools.breakdown import format_breakdown, process_breakdown
+
+    sym = _load_symbols(args.symbols)
+    bds = process_breakdown(
+        _load_trace(args.trace), sym.syscall_names, sym.process_names,
+        FS_FUNCTION_NAMES,
+    )
+    pids = [args.pid] if args.pid is not None else sorted(bds)
+    for pid in pids:
+        if pid not in bds:
+            print(f"no data for pid {pid}", file=sys.stderr)
+            return 1
+        print(format_breakdown(bds[pid]))
+        print()
+    return 0
+
+
+def cmd_histogram(args) -> int:
+    from repro.tools.pathstats import event_histogram
+
+    for count, name in event_histogram(_load_trace(args.trace))[: args.top]:
+        print(f"{count:>8} {name}")
+    return 0
+
+
+def cmd_memprofile(args) -> int:
+    from repro.tools.memprofile import format_memory_report, memory_profile
+
+    sym = _load_symbols(args.symbols)
+    report = memory_profile(_load_trace(args.trace), sym.process_names)
+    print(format_memory_report(report, top=args.top))
+    return 0
+
+
+def cmd_holds(args) -> int:
+    from repro.tools.holdtimes import format_hold_report, hold_times
+
+    sym = _load_symbols(args.symbols)
+    report = hold_times(_load_trace(args.trace))
+    print(format_hold_report(report, sym.lock_names, top=args.top))
+    return 0
+
+
+def cmd_sched(args) -> int:
+    from repro.tools.schedstats import format_sched_report, sched_statistics
+
+    sym = _load_symbols(args.symbols)
+    report = sched_statistics(_load_trace(args.trace))
+    print(format_sched_report(report, sym.process_names, top=args.top))
+    return 0
+
+
+def cmd_compare(args) -> int:
+    from repro.tools.compare import compare_traces, format_comparison
+
+    sym = _load_symbols(args.symbols)
+    comparison = compare_traces(
+        _load_trace(args.before), _load_trace(args.after), sym.pc_names
+    )
+    print(format_comparison(comparison, sym.lock_names, top=args.top))
+    return 0
+
+
+def cmd_iostats(args) -> int:
+    from repro.tools.iostats import format_io_report, io_statistics
+
+    print(format_io_report(io_statistics(_load_trace(args.trace)),
+                           top=args.top))
+    return 0
+
+
+def cmd_crashdump(args) -> int:
+    from repro.core.crashdump import read_dump
+    from repro.tools.listing import format_event
+
+    with open(args.dump, "rb") as fh:
+        dump = read_dump(fh)
+    if not dump.intact:
+        for issue in dump.issues:
+            print(f"dump issue (cpu section {issue.cpu}): {issue.detail}",
+                  file=sys.stderr)
+    reader = TraceReader(registry=default_registry())
+    trace = reader.decode_records(dump.records)
+    events = [e for e in trace.all_events() if not e.is_control]
+    print(f"flight recorder: {len(events)} events recovered from "
+          f"{len(dump.records)} buffers on {dump.ncpus} cpus")
+    for e in events[-args.last:]:
+        print(format_event(e))
+    return 0 if dump.intact else 1
+
+
+def cmd_export_ltt(args) -> int:
+    from repro.ltt.export import export_ltt
+
+    trace = _load_trace(args.trace)
+    with open(args.output, "wb") as fh:
+        written = export_ltt(trace, cpu=args.cpu, fh=fh)
+    print(f"{written} events exported to {args.output} (cpu {args.cpu})")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    p = argparse.ArgumentParser(
+        prog="repro-trace",
+        description="K42-style trace analysis (see module docstring)",
+    )
+    sub = p.add_subparsers(dest="command", required=True)
+
+    def add(name, fn, **kw):
+        sp = sub.add_parser(name, **kw)
+        sp.set_defaults(fn=fn)
+        return sp
+
+    sp = add("info", cmd_info, help="trace file summary")
+    sp.add_argument("trace")
+
+    sp = add("verify", cmd_verify, help="check trace integrity (§3.1)")
+    sp.add_argument("trace")
+
+    sp = add("list", cmd_list, help="event listing (Figure 5)")
+    sp.add_argument("trace")
+    sp.add_argument("--name", action="append")
+    sp.add_argument("--cpu", type=int)
+    sp.add_argument("--start", type=float)
+    sp.add_argument("--end", type=float)
+    sp.add_argument("--limit", type=int)
+    sp.add_argument("--control", action="store_true",
+                    help="include infrastructure events")
+
+    sp = add("kmon", cmd_kmon, help="timeline view (Figure 4)")
+    sp.add_argument("trace")
+    sp.add_argument("--width", type=int, default=96)
+    sp.add_argument("--mark", action="append")
+    sp.add_argument("--zoom", type=float, nargs=2,
+                    metavar=("START_S", "END_S"))
+    sp.add_argument("--svg")
+    sp.add_argument("--interactive", action="store_true",
+                    help="command-driven session (zoom/mark/click/...)")
+    sp.add_argument("--symbols")
+
+    sp = add("locks", cmd_locks, help="lock contention (Figure 7)")
+    sp.add_argument("trace")
+    sp.add_argument("--symbols")
+    sp.add_argument("--sort", default="time",
+                    choices=["time", "count", "spin", "max"])
+    sp.add_argument("--top", type=int, default=10)
+
+    sp = add("profile", cmd_profile, help="PC-sample histogram (Figure 6)")
+    sp.add_argument("trace")
+    sp.add_argument("--symbols")
+    sp.add_argument("--pid", type=int)
+    sp.add_argument("--top", type=int, default=20)
+
+    sp = add("breakdown", cmd_breakdown,
+             help="per-process syscall/IPC breakdown (Figure 8)")
+    sp.add_argument("trace")
+    sp.add_argument("--symbols")
+    sp.add_argument("--pid", type=int)
+
+    sp = add("histogram", cmd_histogram,
+             help="event-frequency table (§4.2 path statistics)")
+    sp.add_argument("trace")
+    sp.add_argument("--top", type=int, default=30)
+
+    sp = add("memprofile", cmd_memprofile,
+             help="memory hot-spot report from hw counters (§2)")
+    sp.add_argument("trace")
+    sp.add_argument("--symbols")
+    sp.add_argument("--top", type=int, default=8)
+
+    sp = add("holds", cmd_holds,
+             help="lock hold-time analysis with preemption explanation (§2)")
+    sp.add_argument("trace")
+    sp.add_argument("--symbols")
+    sp.add_argument("--top", type=int, default=10)
+
+    sp = add("sched", cmd_sched,
+             help="scheduler stats + CPU time by process (§4.5)")
+    sp.add_argument("trace")
+    sp.add_argument("--symbols")
+    sp.add_argument("--top", type=int, default=10)
+
+    sp = add("compare", cmd_compare,
+             help="diff two traces of the same workload (the §4 tuning loop)")
+    sp.add_argument("before")
+    sp.add_argument("after")
+    sp.add_argument("--symbols")
+    sp.add_argument("--top", type=int, default=5)
+
+    sp = add("iostats", cmd_iostats,
+             help="I/O latency/volume/interrupt analysis (§2)")
+    sp.add_argument("trace")
+    sp.add_argument("--top", type=int, default=8)
+
+    sp = add("crashdump", cmd_crashdump,
+             help="recover the flight recorder from a memory image (§4.2)")
+    sp.add_argument("dump")
+    sp.add_argument("--last", type=int, default=20)
+
+    sp = add("export-ltt", cmd_export_ltt,
+             help="convert to the LTT-style format (§5)")
+    sp.add_argument("trace")
+    sp.add_argument("--cpu", type=int, default=0)
+    sp.add_argument("-o", "--output", required=True)
+
+    return p
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,293 @@
+"""Per-processor trace memory: buffers, control structure, completion.
+
+The trace memory of one CPU is a ring of ``num_buffers`` buffers of
+``buffer_words`` 64-bit words each (§3.1).  All frequently-referenced
+control state — the reservation index, the per-buffer committed counts —
+lives in this per-CPU structure so that logging on different CPUs never
+shares cache lines (§2, "User-mapped per-processor buffers").
+
+The reservation ``index`` is a monotonically increasing word counter;
+``index & index_mask`` (the pseudo-code's ``INDEXMASK``) confines it to
+the trace memory.  Buffer *sequence* ``index // buffer_words`` increases
+forever; sequence ``s`` occupies slot ``s % num_buffers``.
+
+Two modes:
+
+* ``writeout`` — each completed buffer is copied into a
+  :class:`BufferRecord` and queued for the sink ("available to be
+  written out", §3.1).
+* ``flight`` — no copies; the ring overwrites itself and
+  :meth:`TraceControl.snapshot` reconstructs the most recent history
+  (the "flight recorder" of §4.2).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, List, Literal, Optional
+
+import numpy as np
+
+from repro.atomic import AtomicArray, AtomicWord
+from repro.core.constants import DEFAULT_BUFFER_WORDS, DEFAULT_NUM_BUFFERS
+
+Mode = Literal["writeout", "flight"]
+
+
+def _is_pow2(n: int) -> bool:
+    return n > 0 and (n & (n - 1)) == 0
+
+
+@dataclass
+class BufferRecord:
+    """A completed (or flushed-partial) trace buffer, ready for a sink."""
+
+    cpu: int
+    seq: int                 # monotonically increasing buffer sequence number
+    words: np.ndarray        # uint64 copy, length == buffer_words
+    committed: int           # per-buffer committed word count at completion
+    fill_words: int          # words actually reserved (== len(words) unless partial)
+    partial: bool = False    # True for the in-progress buffer emitted by flush()
+
+    def __post_init__(self) -> None:
+        self.words = np.asarray(self.words, dtype=np.uint64)
+
+
+class TraceControl:
+    """Per-CPU trace control structure and trace memory.
+
+    ``atomic_word_factory`` lets the discrete simulator substitute
+    :class:`~repro.atomic.simatomic.SimAtomicWord` (including interference
+    hooks) for the thread-safe default.
+
+    ``zero_ahead`` enables the paper's optional "cheaply zero-filling a
+    buffer before use" mitigation (§3.1): unwritten holes then decode as
+    definitively-invalid zero headers.  It is only safe where the
+    buffer-start bookkeeping cannot be preempted for long — a real
+    kernel's disabled context, or the deterministic simulator.  A
+    user-level thread descheduled between deciding to zero and zeroing
+    could destroy live events, so the default is off.
+    """
+
+    def __init__(
+        self,
+        cpu: int = 0,
+        buffer_words: int = DEFAULT_BUFFER_WORDS,
+        num_buffers: int = DEFAULT_NUM_BUFFERS,
+        mode: Mode = "writeout",
+        zero_ahead: bool = False,
+        max_pending: Optional[int] = None,
+        atomic_word_factory: Callable[[int], AtomicWord] = AtomicWord,
+    ) -> None:
+        if not _is_pow2(buffer_words):
+            raise ValueError("buffer_words must be a power of two")
+        if not _is_pow2(num_buffers) or num_buffers < 2:
+            raise ValueError("num_buffers must be a power of two >= 2")
+        if mode not in ("writeout", "flight"):
+            raise ValueError(f"unknown mode {mode!r}")
+        self.cpu = cpu
+        self.buffer_words = buffer_words
+        self.num_buffers = num_buffers
+        self.total_words = buffer_words * num_buffers
+        self.index_mask = self.total_words - 1
+        self.mode: Mode = mode
+        self.zero_ahead = zero_ahead
+        self.max_pending = max_pending
+
+        #: The trace memory itself (user-mapped in K42).  A plain list of
+        #: ints: single-word stores are ~2x faster than numpy element
+        #: assignment, and the write path is the hot path — records are
+        #: converted to numpy only at (rare) copy-out.
+        self.array: List[int] = [0] * self.total_words
+        self._zero_buffer: List[int] = [0] * buffer_words
+        #: The reservation index the lockless algorithm CASes on.
+        self.index = atomic_word_factory(0)
+        #: Per-buffer committed word counts (traceCommit target).
+        self.committed = AtomicArray(num_buffers)
+        #: Highest buffer sequence whose start bookkeeping has been claimed.
+        self.booked_seq = atomic_word_factory(0)
+        #: Sequence number currently occupying each slot (flight snapshots).
+        self.slot_seq: List[int] = [0] * num_buffers
+
+        #: Completed-buffer descriptors (slot, seq) awaiting write-out
+        #: (writeout mode only).  Payloads are copied out only once the
+        #: queue exceeds ``num_buffers - 2`` — an emulated write-out
+        #: daemon with slack, giving preempted writers almost a full
+        #: ring's time to finish filling in their events ("the process
+        #: will run again soon and finish filling in the event before
+        #: another entity notices", §3.1) while still copying before the
+        #: ring can recycle the slot.
+        self.completed: Deque[tuple] = deque()
+        self._written: List[BufferRecord] = []
+        self._high_water = max(1, num_buffers - 2)
+
+        # Statistics (plain ints: updated under the GIL, read for reporting;
+        # exactness is not required and K42 kept these unsynchronized too).
+        self.stats_fillers = 0
+        self.stats_filler_words = 0
+        self.stats_buffers_completed = 0
+        self.stats_dropped_buffers = 0
+        self.stats_events_logged = 0
+        self.stats_words_logged = 0
+        self.stats_cas_retries = 0
+        self.stats_exact_boundary = 0
+
+    # -- geometry helpers --------------------------------------------------
+    def slot_of(self, seq: int) -> int:
+        return seq % self.num_buffers
+
+    def pos_of(self, index: int) -> int:
+        """Physical word offset of a reservation index (INDEXMASK)."""
+        return index & self.index_mask
+
+    def buffer_of(self, index: int) -> int:
+        """Buffer sequence number containing ``index``."""
+        return index // self.buffer_words
+
+    def used_in_buffer(self, index: int) -> int:
+        """Words already reserved in the buffer containing ``index``."""
+        return index & (self.buffer_words - 1)
+
+    # -- completion --------------------------------------------------------
+    def complete_buffer(self, seq: int) -> None:
+        """Queue buffer ``seq`` for write-out.
+
+        Called by the (single) thread that claimed the start-of-buffer
+        bookkeeping for ``seq + 1``; in flight mode the ring is the
+        recorder and nothing is queued.
+        """
+        self.stats_buffers_completed += 1
+        if self.mode != "writeout":
+            return
+        self.completed.append((self.slot_of(seq), seq))
+        while len(self.completed) > self._high_water:
+            self._writeout_one()
+
+    def _writeout_one(self) -> None:
+        """Copy the oldest completed buffer out of the ring.
+
+        A descriptor whose slot was already recycled by a newer buffer
+        counts as dropped — the write-out side failed to keep up, the
+        same data-loss mode a real system has.
+        """
+        try:
+            slot, seq = self.completed.popleft()
+        except IndexError:
+            return
+        if self.slot_seq[slot] != seq:
+            self.stats_dropped_buffers += 1
+            return
+        start = slot * self.buffer_words
+        self._written.append(
+            BufferRecord(
+                cpu=self.cpu,
+                seq=seq,
+                words=self.array[start : start + self.buffer_words],
+                committed=self.committed.load(slot),
+                fill_words=self.buffer_words,
+            )
+        )
+        if self.max_pending is not None:
+            while len(self._written) > self.max_pending:
+                self._written.pop(0)
+                self.stats_dropped_buffers += 1
+
+    def drain(self) -> List[BufferRecord]:
+        """Write out everything completed so far and return it."""
+        while self.completed:
+            self._writeout_one()
+        out, self._written = self._written, []
+        return out
+
+    def flush(self) -> List[BufferRecord]:
+        """Drain completed buffers plus the current partial buffer.
+
+        Only meaningful once logging has quiesced; the partial record is
+        marked so readers know not to expect a filler at its end.  A
+        buffer whose last event ended exactly on the boundary with no
+        subsequent reservation (so its completion bookkeeping never ran)
+        is emitted here too — otherwise its events would be lost.
+        """
+        records = self.drain()
+        index = self.index.load()
+        fill = self.used_in_buffer(index)
+        seq = self.buffer_of(index)
+        if fill > 0:
+            slot = self.slot_of(seq)
+            start = slot * self.buffer_words
+            records.append(
+                BufferRecord(
+                    cpu=self.cpu,
+                    seq=seq,
+                    words=self.array[start : start + self.buffer_words],
+                    committed=self.committed.load(slot),
+                    fill_words=fill,
+                    partial=True,
+                )
+            )
+        elif index > 0 and self.booked_seq.load() < seq:
+            # Exact fill at quiescence: buffer seq-1 is complete but was
+            # never booked (no reservation followed it).
+            prev = seq - 1
+            slot = self.slot_of(prev)
+            start = slot * self.buffer_words
+            records.append(
+                BufferRecord(
+                    cpu=self.cpu,
+                    seq=prev,
+                    words=self.array[start : start + self.buffer_words],
+                    committed=self.committed.load(slot),
+                    fill_words=self.buffer_words,
+                )
+            )
+        return records
+
+    def snapshot(self) -> List[BufferRecord]:
+        """Flight-recorder snapshot: the most recent buffers, oldest first.
+
+        Reconstructs records straight from the ring; the currently-active
+        buffer is included as partial.  Usable in either mode (in writeout
+        mode it duplicates data already queued).
+        """
+        index = self.index.load()
+        cur_seq = self.buffer_of(index)
+        fill = self.used_in_buffer(index)
+        cur_slot = self.slot_of(cur_seq)
+        ahead_slot = self.slot_of(cur_seq + 1)
+        records: List[BufferRecord] = []
+        for slot in range(self.num_buffers):
+            seq = self.slot_seq[slot]
+            if seq == cur_seq and fill == 0:
+                continue  # fresh, nothing reserved yet
+            if self.zero_ahead and slot == ahead_slot and slot != cur_slot:
+                continue  # zero-ahead destroyed this slot's old contents
+            start = slot * self.buffer_words
+            partial = seq == cur_seq
+            records.append(
+                BufferRecord(
+                    cpu=self.cpu,
+                    seq=seq,
+                    words=self.array[start : start + self.buffer_words],
+                    committed=self.committed.load(slot),
+                    fill_words=fill if partial else self.buffer_words,
+                    partial=partial,
+                )
+            )
+        records.sort(key=lambda r: r.seq)
+        return records
+
+    def zero_slot(self, slot: int) -> None:
+        start = slot * self.buffer_words
+        self.array[start : start + self.buffer_words] = self._zero_buffer
+
+    def reset(self) -> None:
+        """Reset to the pristine state (index 0, empty ring)."""
+        self.array[:] = [0] * self.total_words
+        self.index.store(0)
+        self.booked_seq.store(0)
+        for slot in range(self.num_buffers):
+            self.committed.store(slot, 0)
+        self.slot_seq = [0] * self.num_buffers
+        self.completed.clear()
+        self._written = []

@@ -1,0 +1,61 @@
+"""Word-layout constants for the K42-style trace event encoding.
+
+The paper (§3.2, "Details of the Implementation"): a trace event is a
+series of 64-bit words.  The first word contains 32 bits of timestamp,
+10 bits of length (in 64-bit words, including the header word itself),
+6 bits of major ID, and 16 bits of major-class-defined data (typically a
+minor ID).  Following the header are zero or more 64-bit data words.
+
+Layout used here (bit 63 = most significant)::
+
+    63........32 31....22 21..16 15.....0
+    timestamp    length   major  minordata
+
+"""
+
+from __future__ import annotations
+
+WORD_BITS = 64
+WORD_BYTES = 8
+WORD_MASK = (1 << 64) - 1
+
+# Header field widths (sum to 64).
+TIMESTAMP_BITS = 32
+LENGTH_BITS = 10
+MAJOR_BITS = 6
+MINOR_BITS = 16
+
+TIMESTAMP_SHIFT = 32
+LENGTH_SHIFT = 22
+MAJOR_SHIFT = 16
+MINOR_SHIFT = 0
+
+TIMESTAMP_MASK = (1 << TIMESTAMP_BITS) - 1
+LENGTH_MASK = (1 << LENGTH_BITS) - 1
+MAJOR_MASK = (1 << MAJOR_BITS) - 1
+MINOR_MASK = (1 << MINOR_BITS) - 1
+
+#: Maximum total event length in words (header + data) expressible in the
+#: 10-bit length field.
+MAX_EVENT_WORDS = LENGTH_MASK  # 1023
+#: Maximum number of data words in an ordinary event.
+MAX_DATA_WORDS = MAX_EVENT_WORDS - 1
+
+#: Maximum number of distinct major classes (6-bit field + 64-bit mask).
+NUM_MAJORS = 64
+
+#: Default size of one trace buffer — the medium-scale alignment boundary
+#: of §3.2.  Events never cross a multiple of this many words, so readers
+#: can seek to any multiple and resume parsing.  K42 used boundaries on the
+#: order of 128KB; the default here is 16K words = 128KB.
+DEFAULT_BUFFER_WORDS = 16 * 1024
+
+#: Default number of buffers in each per-CPU ring.
+DEFAULT_NUM_BUFFERS = 8
+
+#: Length-field value marking an *extended* filler event: the true span
+#: (in words, including both filler words) is stored in the single data
+#: word.  Plain fillers (span <= MAX_EVENT_WORDS) put the span directly in
+#: the length field.  A length of zero is otherwise impossible (the header
+#: always counts itself), so it is unambiguous.
+EXTENDED_FILLER_LENGTH = 0

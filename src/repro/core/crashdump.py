@@ -1,0 +1,165 @@
+"""Crash-dump extraction of the trace log (§4.2's named future work).
+
+"If the kernel is not stable enough to call this function, a crash dump
+tool can access the trace log providing similar functionality.  We have
+not implemented the crash dump tool yet."  — implemented here.
+
+The premise: after a crash, all that exists is a memory image.  This
+module defines the layout of the tracing state inside such an image —
+per-CPU control metadata (reservation index, ring geometry, slot
+occupancy, committed counts) followed by the raw trace memory — plus a
+reader that reconstructs flight-recorder records from the image alone,
+with no live objects.  The reader validates everything it touches, since
+a crash may have corrupted any of it, and degrades to whatever buffers
+still make sense.
+
+Layout (little-endian)::
+
+    image  : magic "K42CRASH" | version u32 | ncpus u32 | cpu-section*
+    section: magic u32 | cpu u32 | buffer_words u32 | num_buffers u32
+           | index u64 | booked_seq u64
+           | slot_seq[num_buffers] u64 | committed[num_buffers] u64
+           | trace memory (buffer_words * num_buffers * u64)
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from dataclasses import dataclass, field
+from typing import BinaryIO, List, Union
+
+import numpy as np
+
+from repro.core.buffers import BufferRecord, TraceControl
+
+DUMP_MAGIC = b"K42CRASH"
+DUMP_VERSION = 1
+SECTION_MAGIC = 0xC4A5_4DED
+
+_IMG_HEADER = struct.Struct("<8sII")
+_SEC_HEADER = struct.Struct("<IIIIQQ")
+
+#: Upper bound accepted for ring geometry when parsing an untrusted dump.
+MAX_BUFFER_WORDS = 1 << 26
+MAX_NUM_BUFFERS = 1 << 16
+
+
+@dataclass
+class DumpIssue:
+    """A problem found while parsing a (possibly corrupted) dump."""
+
+    cpu: int
+    detail: str
+
+
+@dataclass
+class CrashDump:
+    """Parsed dump: reconstructed records plus parse diagnostics."""
+
+    records: List[BufferRecord] = field(default_factory=list)
+    issues: List[DumpIssue] = field(default_factory=list)
+    ncpus: int = 0
+
+    @property
+    def intact(self) -> bool:
+        return not self.issues
+
+
+def write_dump(controls: List[TraceControl], fh: BinaryIO) -> None:
+    """Serialize the tracing state as a crash-style memory image.
+
+    In a real system this is the job of the dump mechanism (kdump etc.);
+    here it stands in for "the machine's memory was saved".
+    """
+    fh.write(_IMG_HEADER.pack(DUMP_MAGIC, DUMP_VERSION, len(controls)))
+    for ctl in controls:
+        fh.write(
+            _SEC_HEADER.pack(
+                SECTION_MAGIC, ctl.cpu, ctl.buffer_words, ctl.num_buffers,
+                ctl.index.load(), ctl.booked_seq.load(),
+            )
+        )
+        slot_seq = np.asarray(ctl.slot_seq, dtype="<u8")
+        committed = np.asarray(ctl.committed.snapshot(), dtype="<u8")
+        fh.write(slot_seq.tobytes())
+        fh.write(committed.tobytes())
+        fh.write(np.asarray(ctl.array, dtype="<u8").tobytes())
+
+
+def dump_bytes(controls: List[TraceControl]) -> bytes:
+    buf = io.BytesIO()
+    write_dump(controls, buf)
+    return buf.getvalue()
+
+
+def _read_exact(fh: BinaryIO, n: int, what: str) -> bytes:
+    raw = fh.read(n)
+    if len(raw) != n:
+        raise EOFError(f"truncated dump while reading {what}")
+    return raw
+
+
+def read_dump(source: Union[bytes, BinaryIO]) -> CrashDump:
+    """Reconstruct flight-recorder records from a memory image.
+
+    Mirrors :meth:`TraceControl.snapshot`, but works from raw bytes and
+    survives corruption: a damaged CPU section is reported as an issue
+    and skipped; geometry fields are sanity-checked before use.
+    """
+    fh = io.BytesIO(source) if isinstance(source, (bytes, bytearray)) else source
+    header = fh.read(_IMG_HEADER.size)
+    if len(header) != _IMG_HEADER.size:
+        raise ValueError("not a crash dump: truncated header")
+    magic, version, ncpus = _IMG_HEADER.unpack(header)
+    if magic != DUMP_MAGIC:
+        raise ValueError(f"not a crash dump: bad magic {magic!r}")
+    if version != DUMP_VERSION:
+        raise ValueError(f"unsupported crash dump version {version}")
+
+    dump = CrashDump(ncpus=ncpus)
+    for section in range(ncpus):
+        try:
+            raw = _read_exact(fh, _SEC_HEADER.size, f"cpu section {section}")
+            (sec_magic, cpu, buffer_words, num_buffers,
+             index, booked_seq) = _SEC_HEADER.unpack(raw)
+            if sec_magic != SECTION_MAGIC:
+                raise ValueError(f"bad section magic {sec_magic:#x}")
+            if not (0 < buffer_words <= MAX_BUFFER_WORDS):
+                raise ValueError(f"implausible buffer_words {buffer_words}")
+            if not (0 < num_buffers <= MAX_NUM_BUFFERS):
+                raise ValueError(f"implausible num_buffers {num_buffers}")
+            slot_seq = np.frombuffer(
+                _read_exact(fh, num_buffers * 8, "slot_seq"), dtype="<u8"
+            )
+            committed = np.frombuffer(
+                _read_exact(fh, num_buffers * 8, "committed"), dtype="<u8"
+            )
+            total = buffer_words * num_buffers
+            memory = np.frombuffer(
+                _read_exact(fh, total * 8, "trace memory"), dtype="<u8"
+            ).astype(np.uint64)
+        except (ValueError, EOFError) as exc:
+            dump.issues.append(DumpIssue(section, str(exc)))
+            break  # framing is lost; later sections are unrecoverable
+
+        cur_seq = index // buffer_words
+        fill = index % buffer_words
+        for slot in range(num_buffers):
+            seq = int(slot_seq[slot])
+            if seq == cur_seq and fill == 0:
+                continue
+            partial = seq == cur_seq
+            start = slot * buffer_words
+            dump.records.append(
+                BufferRecord(
+                    cpu=cpu,
+                    seq=seq,
+                    words=memory[start : start + buffer_words].copy(),
+                    committed=int(committed[slot]),
+                    fill_words=fill if partial else buffer_words,
+                    partial=partial,
+                )
+            )
+    dump.records.sort(key=lambda r: (r.cpu, r.seq))
+    return dump

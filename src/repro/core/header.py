@@ -1,0 +1,56 @@
+"""Pack and unpack the 64-bit trace-event header word."""
+
+from __future__ import annotations
+
+from typing import NamedTuple
+
+from repro.core.constants import (
+    LENGTH_MASK,
+    LENGTH_SHIFT,
+    MAJOR_MASK,
+    MAJOR_SHIFT,
+    MINOR_MASK,
+    MINOR_SHIFT,
+    TIMESTAMP_MASK,
+    TIMESTAMP_SHIFT,
+)
+
+
+class Header(NamedTuple):
+    """Decoded trace-event header.
+
+    ``timestamp`` is the truncated 32-bit timestamp stored in the event;
+    ``length`` is the total event length in 64-bit words including the
+    header word; ``minor`` is the 16 bits of major-class-defined data.
+    """
+
+    timestamp: int
+    length: int
+    major: int
+    minor: int
+
+
+def pack_header(timestamp: int, length: int, major: int, minor: int) -> int:
+    """Build the header word.  Values must already fit their fields."""
+    if not 0 <= length <= LENGTH_MASK:
+        raise ValueError(f"length {length} does not fit in 10 bits")
+    if not 0 <= major <= MAJOR_MASK:
+        raise ValueError(f"major ID {major} does not fit in 6 bits")
+    if not 0 <= minor <= MINOR_MASK:
+        raise ValueError(f"minor data {minor:#x} does not fit in 16 bits")
+    return (
+        ((timestamp & TIMESTAMP_MASK) << TIMESTAMP_SHIFT)
+        | (length << LENGTH_SHIFT)
+        | (major << MAJOR_SHIFT)
+        | (minor << MINOR_SHIFT)
+    )
+
+
+def unpack_header(word: int) -> Header:
+    """Decode a header word (no validity judgement — see is_plausible)."""
+    return Header(
+        timestamp=(word >> TIMESTAMP_SHIFT) & TIMESTAMP_MASK,
+        length=(word >> LENGTH_SHIFT) & LENGTH_MASK,
+        major=(word >> MAJOR_SHIFT) & MAJOR_MASK,
+        minor=(word >> MINOR_SHIFT) & MINOR_MASK,
+    )

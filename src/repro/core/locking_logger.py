@@ -1,0 +1,201 @@
+"""The locking logger — the baseline the lockless algorithm replaces.
+
+LTT retained a locking option after adopting K42's technology (§4.1):
+it "disables interrupts and process-state transitions, though slower,
+provides a greater likelihood that events will not be garbled".  This
+implementation holds one lock across the entire reserve/log/commit
+sequence, optionally simulating the interrupt-disable cost, and may be
+shared by all CPUs over a single control structure — the classic shared
+global trace buffer that the per-CPU design eliminated.
+
+It reuses :class:`~repro.core.buffers.TraceControl` so the exact same
+readers and tools consume its output; only the synchronization strategy
+differs, making the lockless-vs-locking benchmarks a pure ablation.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional, Sequence
+
+from repro.core.buffers import TraceControl
+from repro.core.constants import (
+    EXTENDED_FILLER_LENGTH,
+    MAX_EVENT_WORDS,
+    TIMESTAMP_MASK,
+    WORD_MASK,
+)
+from repro.core.header import pack_header
+from repro.core.logger import EventTooLargeError
+from repro.core.majors import ControlMinor, Major
+from repro.core.mask import TraceMask
+from repro.core.registry import EventRegistry
+from repro.core.timestamps import ClockSource
+
+
+class LockingTraceLogger:
+    """Logs events under a single lock held across the whole operation.
+
+    ``irq_disable_iters`` spins briefly inside the critical section to
+    model the interrupt-disable/enable cost of the original LTT scheme
+    in wall-clock benchmarks.
+    """
+
+    def __init__(
+        self,
+        control: TraceControl,
+        mask: TraceMask,
+        clock: ClockSource,
+        registry: Optional[EventRegistry] = None,
+        commit_counts: bool = True,
+        lock: Optional[threading.Lock] = None,
+        irq_disable_iters: int = 0,
+        cpu: Optional[int] = None,
+    ) -> None:
+        self.control = control
+        self.mask = mask
+        self.clock = clock
+        self.registry = registry
+        self.commit_counts = commit_counts
+        self.lock = lock if lock is not None else threading.Lock()
+        self.irq_disable_iters = irq_disable_iters
+        self.cpu = cpu if cpu is not None else control.cpu
+
+    def log0(self, major: int, minor: int) -> bool:
+        return self.log_words(major, minor, ())
+
+    def log1(self, major: int, minor: int, w0: int) -> bool:
+        return self.log_words(major, minor, (w0,))
+
+    def log2(self, major: int, minor: int, w0: int, w1: int) -> bool:
+        return self.log_words(major, minor, (w0, w1))
+
+    def log3(self, major: int, minor: int, w0: int, w1: int, w2: int) -> bool:
+        return self.log_words(major, minor, (w0, w1, w2))
+
+    def log_words(self, major: int, minor: int, data: Sequence[int] = ()) -> bool:
+        if not (self.mask.value >> major) & 1:
+            return False
+        return self._log_unmasked(major, minor, data)
+
+    def start(self) -> None:
+        """Log the anchor for buffer 0 (mirrors TraceLogger.start)."""
+        with self.lock:
+            self._write_anchor_inline()
+            self._write_inline(Major.CONTROL, ControlMinor.BUFFER_START, (0,))
+
+    # ------------------------------------------------------------------
+    def _log_unmasked(self, major: int, minor: int, data: Sequence[int]) -> bool:
+        ctl = self.control
+        length = len(data) + 1
+        if length > MAX_EVENT_WORDS or length > ctl.buffer_words:
+            raise EventTooLargeError(f"event of {length} words too large")
+        with self.lock:
+            acc = 0
+            for i in range(self.irq_disable_iters):  # modelled irq-off cost
+                acc += i
+            index = self._reserve_locked(length)
+            ts = self.clock.now(self.cpu) & TIMESTAMP_MASK
+            arr = ctl.array
+            pos = index & ctl.index_mask
+            arr[pos] = pack_header(ts, length, major, minor)
+            for i, w in enumerate(data):
+                arr[pos + 1 + i] = w & WORD_MASK
+            if self.commit_counts:
+                slot = ctl.slot_of(ctl.buffer_of(index))
+                ctl.committed.fetch_and_add(slot, length)
+            ctl.stats_events_logged += 1
+            ctl.stats_words_logged += length
+        return True
+
+    def _reserve_locked(self, length: int) -> int:
+        """Reserve under the lock; handles boundary fillers inline.
+
+        Loops because starting a new buffer writes anchor events, after
+        which the requested event may again cross a boundary.
+        """
+        ctl = self.control
+        bw = ctl.buffer_words
+        while True:
+            old = ctl.index.load()
+            used = old & (bw - 1)
+            if used == 0 and old > 0 and ctl.booked_seq.load() < old // bw:
+                # Exact fill: previous event ended on the boundary.
+                self._start_buffer_locked(old // bw)
+                ctl.stats_exact_boundary += 1
+                continue
+            if used + length > bw:
+                rem = bw - used
+                ts = self.clock.now(self.cpu) & TIMESTAMP_MASK
+                pos = old & ctl.index_mask
+                if rem <= MAX_EVENT_WORDS:
+                    ctl.array[pos] = pack_header(
+                        ts, rem, Major.CONTROL, ControlMinor.FILLER
+                    )
+                else:
+                    ctl.array[pos] = pack_header(
+                        ts, EXTENDED_FILLER_LENGTH,
+                        Major.CONTROL, ControlMinor.FILLER_EXT,
+                    )
+                    ctl.array[pos + 1] = rem
+                seq = old // bw
+                if self.commit_counts:
+                    ctl.committed.fetch_and_add(ctl.slot_of(seq), rem)
+                ctl.stats_fillers += 1
+                ctl.stats_filler_words += rem
+                ctl.index.store(old + rem)
+                self._start_buffer_locked(seq + 1)
+                continue
+            ctl.index.store(old + length)
+            return old
+
+    def _start_buffer_locked(self, seq: int) -> None:
+        ctl = self.control
+        if ctl.booked_seq.load() >= seq:
+            return
+        ctl.booked_seq.store(seq)
+        slot = ctl.slot_of(seq)
+        ctl.committed.store(slot, 0)
+        ctl.complete_buffer(seq - 1)
+        ctl.slot_seq[slot] = seq
+        if ctl.zero_ahead:
+            nxt = ctl.slot_of(seq + 1)
+            if nxt != slot:
+                ctl.zero_slot(nxt)
+        # Anchor events for the new buffer (re-entrant: we already hold
+        # the lock, so write them inline).
+        self._write_anchor_inline()
+        self._write_inline(Major.CONTROL, ControlMinor.BUFFER_START, (seq,))
+
+    def _write_anchor_inline(self) -> None:
+        """Write the timestamp anchor from a single clock read, so the
+        header's 32-bit stamp and the full data word correspond exactly."""
+        ctl = self.control
+        old = ctl.index.load()
+        ts = self.clock.now(self.cpu)
+        pos = old & ctl.index_mask
+        ctl.array[pos] = pack_header(
+            ts & TIMESTAMP_MASK, 2, Major.CONTROL, ControlMinor.TIMESTAMP_ANCHOR
+        )
+        ctl.array[pos + 1] = ts & WORD_MASK
+        if self.commit_counts:
+            ctl.committed.fetch_and_add(ctl.slot_of(ctl.buffer_of(old)), 2)
+        ctl.index.store(old + 2)
+        ctl.stats_events_logged += 1
+        ctl.stats_words_logged += 2
+
+    def _write_inline(self, major: int, minor: int, data: Sequence[int]) -> None:
+        """Write one event while already holding the lock."""
+        ctl = self.control
+        length = len(data) + 1
+        old = ctl.index.load()
+        ts = self.clock.now(self.cpu) & TIMESTAMP_MASK
+        pos = old & ctl.index_mask
+        ctl.array[pos] = pack_header(ts, length, major, minor)
+        for i, w in enumerate(data):
+            ctl.array[pos + 1 + i] = w & WORD_MASK
+        if self.commit_counts:
+            ctl.committed.fetch_and_add(ctl.slot_of(ctl.buffer_of(old)), length)
+        ctl.index.store(old + length)
+        ctl.stats_events_logged += 1
+        ctl.stats_words_logged += length

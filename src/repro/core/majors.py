@@ -1,0 +1,117 @@
+"""Major trace classes and the minor IDs used by the default event table.
+
+K42 associates major classes with subsystems (§3.2): ``traceMem`` for the
+memory subsystem, ``traceProc``, ``traceIO``, and so on, with at most 64
+major IDs so a single 64-bit mask comparison decides whether to log.
+
+The minor-ID enumerations below cover every event the reproduction's
+kernel simulator and tools use, modelled on the event names visible in
+the paper's Figures 4, 5, 6, 7, and 8.
+"""
+
+from __future__ import annotations
+
+import enum
+
+
+class Major(enum.IntEnum):
+    """The 6-bit major trace classes (subsystems)."""
+
+    CONTROL = 0      # infrastructure-internal: fillers, anchors, buffer marks
+    TEST = 1         # scratch class used by unit tests and examples
+    MEM = 2          # memory subsystem (regions, FCMs, page allocator)
+    PROC = 3         # process/thread lifecycle and scheduling
+    EXC = 4          # exceptions: page faults, PPC (IPC) calls, interrupts
+    IO = 5           # file-system / device activity
+    LOCK = 6         # lock acquire/contend/release paths
+    USER = 7         # user-level events (run loader, returned main, ...)
+    SYSCALL = 8      # Linux-emulation syscall entry/exit
+    HWPERF = 9       # hardware performance counters sampled into the trace
+    PCSAMPLE = 10    # statistical program-counter samples (timer driven)
+    APP = 11         # application-defined events
+
+
+class ControlMinor(enum.IntEnum):
+    """Minor IDs within Major.CONTROL."""
+
+    FILLER = 0           # pads to the alignment boundary; no data
+    FILLER_EXT = 1       # extended filler; 1 data word holds the true span
+    TIMESTAMP_ANCHOR = 2  # full 64-bit timestamp at buffer start
+    BUFFER_START = 3     # logical buffer sequence number
+    MASK_CHANGE = 4      # trace mask was changed (old, new)
+
+
+class MemMinor(enum.IntEnum):
+    FCM_ATTACH_REGION = 0     # TRC_MEM_FCMCOM_ATCH_REG
+    FCM_CREATE = 1            # TRC_MEM_FCMCRW_CREATE
+    REGION_CREATE_FIXED = 2   # TRC_MEM_REG_CREATE_FIX
+    REGION_INIT_FIXED = 3     # TRC_MEM_REG_DEF_INITFIXED
+    ALLOC_REGION_HOLD = 4     # TRC_MEM_ALLOC_REG_HOLD
+    PAGE_ALLOC = 5
+    PAGE_DEALLOC = 6
+
+
+class ProcMinor(enum.IntEnum):
+    CREATE = 0
+    EXIT = 1
+    CONTEXT_SWITCH = 2        # (from_tid, to_tid)
+    THREAD_CREATE = 3
+    THREAD_EXIT = 4
+    MIGRATE = 5               # (tid, from_cpu, to_cpu)
+    IDLE_START = 6
+    IDLE_END = 7
+
+
+class ExcMinor(enum.IntEnum):
+    PGFLT = 0                 # TRC_EXCEPTION_PGFLT
+    PGFLT_DONE = 1            # TRC_EXCEPTION_PGFLT_DONE
+    PPC_CALL = 2              # TRC_EXCEPTION_PPC_CALL (IPC request)
+    PPC_RETURN = 3            # TRC_EXCEPTION_PPC_RETURN (IPC reply)
+    TIMER_INTERRUPT = 4
+    IO_INTERRUPT = 5
+
+
+class IOMinor(enum.IntEnum):
+    OPEN = 0
+    CLOSE = 1
+    READ_START = 2
+    READ_DONE = 3
+    WRITE_START = 4
+    WRITE_DONE = 5
+    LOOKUP = 6
+
+
+class LockMinor(enum.IntEnum):
+    ACQUIRE = 0               # uncontended acquire (only traced when asked)
+    CONTEND_START = 1         # began spinning/waiting (lockid, chain)
+    CONTEND_END = 2           # got the lock after contention (spin count)
+    RELEASE = 3
+    BLOCK = 4                 # gave up spinning and blocked
+
+
+class UserMinor(enum.IntEnum):
+    RUN_ULOADER = 0           # TRACE_USER_RUN_ULoader: process created
+    RETURNED_MAIN = 1         # TRACE_USER_RETURNED_MAIN: process finished
+    APP_MARK = 2              # generic user-space marker
+    EMU_ENTER = 3             # entered the Linux-emulation layer
+    EMU_EXIT = 4
+
+
+class SyscallMinor(enum.IntEnum):
+    ENTER = 0                 # (syscall number) — name via syscall table
+    EXIT = 1                  # (syscall number, elapsed cycles)
+
+
+class HwPerfMinor(enum.IntEnum):
+    COUNTER_SAMPLE = 0        # (counter id, value) — e.g. cache misses
+
+
+class PcSampleMinor(enum.IntEnum):
+    SAMPLE = 0                # (pid, pc)
+
+
+class AppMinor(enum.IntEnum):
+    GENERIC = 0
+    PHASE_BEGIN = 1
+    PHASE_END = 2
+    PROBE = 3                 # dynamically-inserted instrumentation (§5)

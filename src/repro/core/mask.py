@@ -1,0 +1,69 @@
+"""The 64-bit trace mask.
+
+One bit per major class; the logging fast path does a single AND of the
+(constant) major bit against this word to decide whether to log.  The
+paper stresses that the mask stays cache-hot and the check costs four
+machine instructions, which is what lets the tracing statements stay
+compiled into the system permanently (§2, goal 4-6).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.constants import NUM_MAJORS
+
+
+class TraceMask:
+    """Mutable 64-bit enable mask over the major trace classes.
+
+    The mask is read far more often than written; reads are a plain
+    attribute access plus one AND, mirroring the hot-word property the
+    paper relies on.  Writes are not synchronized: like K42, a racing
+    reader sees either the old or the new mask, both of which are safe.
+    """
+
+    __slots__ = ("value",)
+
+    def __init__(self, value: int = 0) -> None:
+        self.value = value & ((1 << NUM_MAJORS) - 1)
+
+    # -- queries ---------------------------------------------------------
+    def enabled(self, major: int) -> bool:
+        """The single-comparison fast-path check."""
+        return bool(self.value & (1 << major))
+
+    def enabled_majors(self) -> list[int]:
+        return [m for m in range(NUM_MAJORS) if self.value & (1 << m)]
+
+    # -- updates ---------------------------------------------------------
+    def enable(self, *majors: int) -> None:
+        for major in majors:
+            self._check(major)
+            self.value |= 1 << major
+
+    def disable(self, *majors: int) -> None:
+        for major in majors:
+            self._check(major)
+            self.value &= ~(1 << major)
+
+    def enable_all(self) -> None:
+        self.value = (1 << NUM_MAJORS) - 1
+
+    def disable_all(self) -> None:
+        self.value = 0
+
+    def set_exactly(self, majors: Iterable[int]) -> None:
+        value = 0
+        for major in majors:
+            self._check(major)
+            value |= 1 << major
+        self.value = value
+
+    @staticmethod
+    def _check(major: int) -> None:
+        if not 0 <= major < NUM_MAJORS:
+            raise ValueError(f"major ID {major} out of range 0..{NUM_MAJORS - 1}")
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"TraceMask({self.value:#018x})"

@@ -1,0 +1,110 @@
+"""Packing sub-64-bit quantities and strings into 64-bit trace words.
+
+K42 logs only 64-bit words (§3.2): smaller loads can be expensive on some
+architectures and most logged values are 64-bit values or addresses.
+Macros pack multiple smaller quantities into one tracing word when
+needed.  This module is the Python equivalent of those macros, driven by
+the same layout strings the self-describing event registry uses
+("8", "16", "32", "64", or "str", space separated).
+
+Packing rules (mirrored by :func:`unpack_values`):
+
+* fixed-width values fill each word from the least-significant bit up;
+  a value never straddles a word boundary — when it would, packing
+  advances to a fresh word;
+* a string starts on a fresh word, is encoded as UTF-8 with a NUL
+  terminator, and is zero-padded to a word boundary.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Union
+
+from repro.core.constants import WORD_BITS, WORD_BYTES, WORD_MASK
+
+Value = Union[int, str]
+
+_FIXED_WIDTHS = {"8": 8, "16": 16, "32": 32, "64": 64}
+
+
+def parse_layout(layout: str) -> list[str]:
+    """Split and validate a layout string; returns the token list."""
+    tokens = layout.split()
+    for tok in tokens:
+        if tok not in _FIXED_WIDTHS and tok != "str":
+            raise ValueError(f"unknown layout token {tok!r} in {layout!r}")
+    return tokens
+
+
+def pack_values(layout: str, values: Sequence[Value]) -> list[int]:
+    """Pack ``values`` per ``layout`` into a list of 64-bit data words."""
+    tokens = parse_layout(layout)
+    if len(tokens) != len(values):
+        raise ValueError(
+            f"layout {layout!r} expects {len(tokens)} values, got {len(values)}"
+        )
+    words: list[int] = []
+    bit = WORD_BITS  # bits already used in the current word; WORD_BITS = none open
+    for tok, value in zip(tokens, values):
+        if tok == "str":
+            if not isinstance(value, str):
+                raise TypeError(f"layout token 'str' needs a str, got {type(value)}")
+            data = value.encode("utf-8") + b"\x00"
+            data += b"\x00" * (-len(data) % WORD_BYTES)
+            for off in range(0, len(data), WORD_BYTES):
+                words.append(int.from_bytes(data[off : off + WORD_BYTES], "little"))
+            bit = WORD_BITS  # next fixed value opens a fresh word
+        else:
+            width = _FIXED_WIDTHS[tok]
+            if not isinstance(value, int):
+                raise TypeError(f"layout token {tok!r} needs an int, got {type(value)}")
+            if not 0 <= value < (1 << width):
+                raise ValueError(f"value {value:#x} does not fit in {width} bits")
+            if bit + width > WORD_BITS:
+                words.append(0)
+                bit = 0
+            words[-1] = (words[-1] | (value << bit)) & WORD_MASK
+            bit += width
+    return words
+
+
+def unpack_values(layout: str, words: Sequence[int]) -> list[Value]:
+    """Inverse of :func:`pack_values` for the same layout."""
+    tokens = parse_layout(layout)
+    values: list[Value] = []
+    widx = 0  # index of the next unopened word
+    bit = WORD_BITS
+    for tok in tokens:
+        if tok == "str":
+            # Strings start on a fresh word and run to their NUL.
+            raw = bytearray()
+            idx = widx
+            while True:
+                if idx >= len(words):
+                    raise ValueError("truncated string in event data")
+                chunk = int(words[idx]).to_bytes(WORD_BYTES, "little")
+                idx += 1
+                nul = chunk.find(b"\x00")
+                if nul >= 0:
+                    raw.extend(chunk[:nul])
+                    break
+                raw.extend(chunk)
+            values.append(raw.decode("utf-8"))
+            widx = idx
+            bit = WORD_BITS
+        else:
+            width = _FIXED_WIDTHS[tok]
+            if bit + width > WORD_BITS:
+                if widx >= len(words):
+                    raise ValueError("truncated fixed-width value in event data")
+                bit = 0
+                widx += 1
+            word = int(words[widx - 1])
+            values.append((word >> bit) & ((1 << width) - 1))
+            bit += width
+    return values
+
+
+def packed_length(layout: str, values: Sequence[Value]) -> int:
+    """Number of data words :func:`pack_values` would produce."""
+    return len(pack_values(layout, values))

@@ -1,0 +1,312 @@
+"""Self-describing trace events: the ``eventParse`` registry (§4.4).
+
+When a developer defines a new event in K42 they fill in an ``eventParse``
+structure with three fields: a ``__TR(arg)`` macro that makes the event
+name available as both a constant and a string, a layout string giving
+the binary format of the event data (space-separated ``8``/``16``/``32``/
+``64``/``str`` tokens), and a printf-like display string in which
+``%N[fmt]`` interpolates token ``N`` with C format ``fmt``.  The paper's
+example::
+
+    {__TR(TRACE_MEM_FCMCOM_ATCH_REG), "64 64",
+     "Region %0[%llx] attach to FCM %1[%llx]"}
+
+This structure lets generic tools display any event without special
+knowledge of it — the property the listing tool (Figure 5) relies on.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
+
+from repro.core import majors as M
+from repro.core.packing import parse_layout, unpack_values
+
+Value = Union[int, str]
+
+_REF_RE = re.compile(r"%(\d+)\[([^\]]*)\]")
+
+# C printf conversions we translate; anything unrecognized falls back to str().
+_C_FORMATS = {
+    "%llx": "{:x}", "%lx": "{:x}", "%x": "{:x}",
+    "%llX": "{:X}", "%X": "{:X}",
+    "%lld": "{:d}", "%ld": "{:d}", "%d": "{:d}",
+    "%llu": "{:d}", "%lu": "{:d}", "%u": "{:d}",
+    "%s": "{}", "%c": "{}",
+    "%016llx": "{:016x}", "%08x": "{:08x}",
+}
+
+
+def _apply_c_format(fmt: str, value: Value) -> str:
+    py = _C_FORMATS.get(fmt)
+    if py is None:
+        return str(value)
+    return py.format(value)
+
+
+@dataclass(frozen=True)
+class EventSpec:
+    """One entry of the self-describing event table."""
+
+    major: int
+    minor: int
+    name: str          # the __TR name, e.g. "TRC_MEM_FCMCOM_ATCH_REG"
+    layout: str        # e.g. "64 64" or "64 str"
+    fmt: str           # e.g. "Region %0[%llx] attach to FCM %1[%llx]"
+
+    def __post_init__(self) -> None:
+        tokens = parse_layout(self.layout)
+        for m in _REF_RE.finditer(self.fmt):
+            idx = int(m.group(1))
+            if idx >= len(tokens):
+                raise ValueError(
+                    f"{self.name}: format references token %{idx} but layout "
+                    f"{self.layout!r} has only {len(tokens)} tokens"
+                )
+
+    @property
+    def fixed_data_words(self) -> Optional[int]:
+        """Data-word count if the layout is constant-length, else None.
+
+        Mirrors K42's per-major-ID macros: constant-length events are
+        logged without variable-argument machinery (§3.2).
+        """
+        if "str" in self.layout.split():
+            return None
+        from repro.core.packing import pack_values
+
+        tokens = parse_layout(self.layout)
+        zeros = [0] * len(tokens)
+        return len(pack_values(self.layout, zeros))
+
+    def decode(self, words: Sequence[int]) -> list[Value]:
+        """Decode raw data words into field values per the layout."""
+        return unpack_values(self.layout, words)
+
+    def render(self, words: Sequence[int]) -> str:
+        """Produce the human-readable description (third column, Fig 5)."""
+        try:
+            values = self.decode(words)
+        except (ValueError, UnicodeDecodeError):
+            return f"<undecodable data: {[hex(int(w)) for w in words]}>"
+
+        def sub(m: re.Match[str]) -> str:
+            return _apply_c_format(m.group(2), values[int(m.group(1))])
+
+        return _REF_RE.sub(sub, self.fmt)
+
+
+class EventRegistry:
+    """Registry of :class:`EventSpec` keyed by (major, minor)."""
+
+    def __init__(self) -> None:
+        self._by_id: Dict[Tuple[int, int], EventSpec] = {}
+        self._by_name: Dict[str, EventSpec] = {}
+
+    def register(self, spec: EventSpec) -> EventSpec:
+        key = (spec.major, spec.minor)
+        if key in self._by_id:
+            raise ValueError(f"event {key} already registered as {self._by_id[key].name}")
+        if spec.name in self._by_name:
+            raise ValueError(f"event name {spec.name!r} already registered")
+        self._by_id[key] = spec
+        self._by_name[spec.name] = spec
+        return spec
+
+    def define(self, major: int, minor: int, name: str, layout: str, fmt: str) -> EventSpec:
+        return self.register(EventSpec(major, minor, name, layout, fmt))
+
+    def lookup(self, major: int, minor: int) -> Optional[EventSpec]:
+        return self._by_id.get((major, minor))
+
+    def by_name(self, name: str) -> Optional[EventSpec]:
+        return self._by_name.get(name)
+
+    def __iter__(self) -> Iterator[EventSpec]:
+        return iter(self._by_id.values())
+
+    def __len__(self) -> int:
+        return len(self._by_id)
+
+    def __contains__(self, key: Tuple[int, int]) -> bool:
+        return key in self._by_id
+
+    def to_markdown(self) -> str:
+        """Render the event table as a reference document.
+
+        The registry is self-describing (§4.4), so the complete event
+        reference is generated from it — docs/events.md is this output.
+        """
+        from repro.core.majors import Major
+
+        lines = [
+            "# Trace event reference",
+            "",
+            "Generated from the default event registry "
+            "(`repro.core.registry.default_registry`).",
+            "Regenerate with `python docs/generate.py`.",
+            "",
+        ]
+        by_major: Dict[int, list] = {}
+        for spec in self:
+            by_major.setdefault(spec.major, []).append(spec)
+        for major in sorted(by_major):
+            try:
+                title = Major(major).name
+            except ValueError:
+                title = str(major)
+            lines.append(f"## Major {major} — {title}")
+            lines.append("")
+            lines.append("| minor | name | layout | rendering |")
+            lines.append("|---|---|---|---|")
+            for spec in sorted(by_major[major], key=lambda s: s.minor):
+                layout = spec.layout if spec.layout else "(no data)"
+                fmt = spec.fmt.replace("|", "\\|")
+                lines.append(
+                    f"| {spec.minor} | `{spec.name}` | `{layout}` | {fmt} |"
+                )
+            lines.append("")
+        return "\n".join(lines)
+
+
+def default_registry() -> EventRegistry:
+    """The built-in event table covering every event the simulator logs.
+
+    Names follow the paper's figures (TRC_EXCEPTION_PGFLT, and so on).
+    """
+    r = EventRegistry()
+    d = r.define
+    C, Mem, P, E, IO, L, U, S, HW, PC, A = (
+        M.Major.CONTROL, M.Major.MEM, M.Major.PROC, M.Major.EXC, M.Major.IO,
+        M.Major.LOCK, M.Major.USER, M.Major.SYSCALL, M.Major.HWPERF,
+        M.Major.PCSAMPLE, M.Major.APP,
+    )
+
+    # -- infrastructure --------------------------------------------------
+    d(C, M.ControlMinor.FILLER, "TRC_CTRL_FILLER", "", "filler to alignment boundary")
+    d(C, M.ControlMinor.FILLER_EXT, "TRC_CTRL_FILLER_EXT", "64",
+      "extended filler spanning %0[%llu] words")
+    d(C, M.ControlMinor.TIMESTAMP_ANCHOR, "TRC_CTRL_TS_ANCHOR", "64",
+      "timestamp anchor %0[%llu]")
+    d(C, M.ControlMinor.BUFFER_START, "TRC_CTRL_BUFFER_START", "64",
+      "buffer sequence %0[%llu]")
+    d(C, M.ControlMinor.MASK_CHANGE, "TRC_CTRL_MASK_CHANGE", "64 64",
+      "trace mask changed from %0[%llx] to %1[%llx]")
+
+    # -- test / app scratch ---------------------------------------------
+    d(M.Major.TEST, 0, "TRC_TEST_EVENT0", "", "test event with no data")
+    d(M.Major.TEST, 1, "TRC_TEST_EVENT1", "64", "test event value %0[%llx]")
+    d(M.Major.TEST, 2, "TRC_TEST_EVENT2", "64 64", "test pair %0[%llx] %1[%llx]")
+    d(M.Major.TEST, 3, "TRC_TEST_STR", "64 str", "test tagged %0[%llu] name %1[%s]")
+    d(M.Major.TEST, 4, "TRC_TEST_PACKED", "8 16 32", "packed %0[%u] %1[%u] %2[%u]")
+
+    # -- memory (Figure 5 names) -----------------------------------------
+    d(Mem, M.MemMinor.FCM_ATTACH_REGION, "TRC_MEM_FCMCOM_ATCH_REG", "64 64",
+      "Region %0[%llx] attached to FCM %1[%llx]")
+    d(Mem, M.MemMinor.FCM_CREATE, "TRC_MEM_FCMCRW_CREATE", "64", "ref %0[%llx]")
+    d(Mem, M.MemMinor.REGION_CREATE_FIXED, "TRC_MEM_REG_CREATE_FIX", "64 64 64",
+      "Region default %0[%llx] created fixlen addr %1[%llx] size %2[%llx]")
+    d(Mem, M.MemMinor.REGION_INIT_FIXED, "TRC_MEM_REG_DEF_INITFIXED", "64 64",
+      "region default init fixed %0[%llx] addr %1[%llx]")
+    d(Mem, M.MemMinor.ALLOC_REGION_HOLD, "TRC_MEM_ALLOC_REG_HOLD", "64 64",
+      "alloc region holder addr %0[%llx] size %1[%llx]")
+    d(Mem, M.MemMinor.PAGE_ALLOC, "TRC_MEM_PAGE_ALLOC", "64 64",
+      "alloc %1[%llu] pages at %0[%llx]")
+    d(Mem, M.MemMinor.PAGE_DEALLOC, "TRC_MEM_PAGE_DEALLOC", "64 64",
+      "dealloc %1[%llu] pages at %0[%llx]")
+
+    # -- process / scheduling --------------------------------------------
+    d(P, M.ProcMinor.CREATE, "TRC_PROC_CREATE", "64 64 str",
+      "process %0[%llu] created by %1[%llu] name %2[%s]")
+    d(P, M.ProcMinor.EXIT, "TRC_PROC_EXIT", "64 64",
+      "process %0[%llu] exited status %1[%lld]")
+    d(P, M.ProcMinor.CONTEXT_SWITCH, "TRC_PROC_CTX_SWITCH", "64 64",
+      "context switch from thread %0[%llx] to thread %1[%llx]")
+    d(P, M.ProcMinor.THREAD_CREATE, "TRC_PROC_THR_CREATE", "64 64",
+      "thread %0[%llx] created in process %1[%llu]")
+    d(P, M.ProcMinor.THREAD_EXIT, "TRC_PROC_THR_EXIT", "64",
+      "thread %0[%llx] exited")
+    d(P, M.ProcMinor.MIGRATE, "TRC_PROC_MIGRATE", "64 16 16",
+      "thread %0[%llx] migrated from cpu %1[%u] to cpu %2[%u]")
+    d(P, M.ProcMinor.IDLE_START, "TRC_PROC_IDLE_START", "", "cpu went idle")
+    d(P, M.ProcMinor.IDLE_END, "TRC_PROC_IDLE_END", "", "cpu left idle")
+
+    # -- exceptions (Figure 5 names) --------------------------------------
+    d(E, M.ExcMinor.PGFLT, "TRC_EXCEPTION_PGFLT", "64 64",
+      "PGFLT, kernel thread %0[%llx], faultAddr %1[%llx]")
+    d(E, M.ExcMinor.PGFLT_DONE, "TRC_EXCEPTION_PGFLT_DONE", "64 64",
+      "PGFLT DONE, kernel thread %0[%llx], faultAddr %1[%llx]")
+    d(E, M.ExcMinor.PPC_CALL, "TRC_EXCEPTION_PPC_CALL", "64",
+      "PPC CALL, commID %0[%llx]")
+    d(E, M.ExcMinor.PPC_RETURN, "TRC_EXCEPTION_PPC_RETURN", "64",
+      "PPC RETURN, commID %0[%llx]")
+    d(E, M.ExcMinor.TIMER_INTERRUPT, "TRC_EXCEPTION_TIMER", "64",
+      "timer interrupt tick %0[%llu]")
+    d(E, M.ExcMinor.IO_INTERRUPT, "TRC_EXCEPTION_IO_INTR", "64",
+      "I/O interrupt device %0[%llu]")
+
+    # -- I/O ---------------------------------------------------------------
+    d(IO, M.IOMinor.OPEN, "TRC_IO_OPEN", "64 str",
+      "process %0[%llu] open %1[%s]")
+    d(IO, M.IOMinor.CLOSE, "TRC_IO_CLOSE", "64 64",
+      "process %0[%llu] close fd %1[%llu]")
+    d(IO, M.IOMinor.READ_START, "TRC_IO_READ_START", "64 64 64",
+      "process %0[%llu] read fd %1[%llu] bytes %2[%llu]")
+    d(IO, M.IOMinor.READ_DONE, "TRC_IO_READ_DONE", "64 64",
+      "process %0[%llu] read done fd %1[%llu]")
+    d(IO, M.IOMinor.WRITE_START, "TRC_IO_WRITE_START", "64 64 64",
+      "process %0[%llu] write fd %1[%llu] bytes %2[%llu]")
+    d(IO, M.IOMinor.WRITE_DONE, "TRC_IO_WRITE_DONE", "64 64",
+      "process %0[%llu] write done fd %1[%llu]")
+    d(IO, M.IOMinor.LOOKUP, "TRC_IO_LOOKUP", "str",
+      "path lookup %0[%s]")
+
+    # -- locks (drives Figure 7) -------------------------------------------
+    d(L, M.LockMinor.ACQUIRE, "TRC_LOCK_ACQUIRE", "64",
+      "lock %0[%llx] acquired uncontended")
+    d(L, M.LockMinor.CONTEND_START, "TRC_LOCK_CONTEND_START", "64 64",
+      "lock %0[%llx] contended, call chain %1[%llx]")
+    d(L, M.LockMinor.CONTEND_END, "TRC_LOCK_CONTEND_END", "64 64",
+      "lock %0[%llx] acquired after %1[%llu] spins")
+    d(L, M.LockMinor.RELEASE, "TRC_LOCK_RELEASE", "64",
+      "lock %0[%llx] released")
+    d(L, M.LockMinor.BLOCK, "TRC_LOCK_BLOCK", "64",
+      "lock %0[%llx] waiter blocked")
+
+    # -- user (Figure 4 marked events) --------------------------------------
+    d(U, M.UserMinor.RUN_ULOADER, "TRC_USER_RUN_UL_LOADER", "64 64 str",
+      "process %0[%llu] created new process with id %1[%llu] name %2[%s]")
+    d(U, M.UserMinor.RETURNED_MAIN, "TRC_USER_RETURNED_MAIN", "64",
+      "process %0[%llu] returned from main")
+    d(U, M.UserMinor.APP_MARK, "TRC_USER_APP_MARK", "64 str",
+      "app mark %0[%llu] %1[%s]")
+    d(U, M.UserMinor.EMU_ENTER, "TRC_USER_EMU_ENTER", "64",
+      "enter Linux emulation, call %0[%llu]")
+    d(U, M.UserMinor.EMU_EXIT, "TRC_USER_EMU_EXIT", "64",
+      "exit Linux emulation, call %0[%llu]")
+
+    # -- syscalls (drives Figure 8) ------------------------------------------
+    d(S, M.SyscallMinor.ENTER, "TRC_SYSCALL_ENTER", "64 64",
+      "process %0[%llu] syscall %1[%llu] enter")
+    d(S, M.SyscallMinor.EXIT, "TRC_SYSCALL_EXIT", "64 64 64",
+      "process %0[%llu] syscall %1[%llu] exit elapsed %2[%llu]")
+
+    # -- hardware counters / pc samples ---------------------------------------
+    d(HW, M.HwPerfMinor.COUNTER_SAMPLE, "TRC_HWPERF_SAMPLE", "64 64",
+      "hw counter %0[%llu] value %1[%llu]")
+    d(PC, M.PcSampleMinor.SAMPLE, "TRC_PCSAMPLE", "64 64",
+      "pid %0[%llu] pc %1[%llx]")
+
+    # -- application ------------------------------------------------------------
+    d(A, M.AppMinor.GENERIC, "TRC_APP_GENERIC", "64 64",
+      "app event %0[%llx] %1[%llx]")
+    d(A, M.AppMinor.PHASE_BEGIN, "TRC_APP_PHASE_BEGIN", "64 str",
+      "phase %1[%s] begin (id %0[%llu])")
+    d(A, M.AppMinor.PHASE_END, "TRC_APP_PHASE_END", "64 str",
+      "phase %1[%s] end (id %0[%llu])")
+    d(A, M.AppMinor.PROBE, "TRC_APP_PROBE", "64 64",
+      "dynamic probe %0[%llu] fired at pc %1[%llx]")
+
+    return r

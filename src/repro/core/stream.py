@@ -1,0 +1,396 @@
+"""Decoding the trace stream: sequential, random-access, and recovery.
+
+Variable-length events normally destroy random access; K42 restores it
+by guaranteeing that no event crosses a buffer (alignment) boundary
+(§3.2).  A reader can therefore seek to any boundary and resume parsing.
+This module implements:
+
+* decoding of one buffer's words into events, with validity heuristics
+  that detect the garbled regions a preempted/killed writer leaves
+  behind (§3.1) and recover at the next boundary;
+* reconstruction of full 64-bit timestamps from the 32-bit header field
+  plus the per-buffer timestamp-anchor events;
+* checking of the per-buffer committed counts against buffer size (the
+  ``traceCommit`` anomaly detection);
+* merging per-CPU streams into one time-ordered stream;
+* flat-array random access (seek to an arbitrary word offset, snap to
+  the preceding boundary, decode from there).
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.buffers import BufferRecord
+from repro.core.constants import EXTENDED_FILLER_LENGTH
+from repro.core.header import unpack_header
+from repro.core.majors import ControlMinor, Major
+from repro.core.registry import EventRegistry, EventSpec
+
+_U32 = 1 << 32
+_HALF32 = 1 << 31
+
+
+def sdelta32(a: int, b: int) -> int:
+    """``a - b`` of 32-bit timestamps as a signed value in [-2^31, 2^31)."""
+    d = (a - b) & (_U32 - 1)
+    return d - _U32 if d >= _HALF32 else d
+
+
+@dataclass
+class TraceEvent:
+    """One decoded trace event."""
+
+    cpu: int
+    seq: int          # buffer sequence number it was found in
+    offset: int       # word offset within that buffer
+    ts32: int         # truncated 32-bit timestamp from the header
+    major: int
+    minor: int
+    data: List[int]
+    time: Optional[int] = None      # reconstructed full 64-bit timestamp
+    spec: Optional[EventSpec] = None
+
+    @property
+    def is_filler(self) -> bool:
+        return self.major == Major.CONTROL and self.minor in (
+            ControlMinor.FILLER,
+            ControlMinor.FILLER_EXT,
+        )
+
+    @property
+    def is_control(self) -> bool:
+        return self.major == Major.CONTROL
+
+    @property
+    def name(self) -> str:
+        if self.spec is not None:
+            return self.spec.name
+        return f"TRC_UNKNOWN_{self.major}_{self.minor}"
+
+    def values(self) -> list:
+        """Field values decoded per the registered layout."""
+        if self.spec is None:
+            return list(self.data)
+        return self.spec.decode(self.data)
+
+    def render(self) -> str:
+        """Human-readable description (Figure 5, third column)."""
+        if self.spec is None:
+            return "data " + " ".join(f"{int(w):#x}" for w in self.data)
+        return self.spec.render(self.data)
+
+
+@dataclass
+class Anomaly:
+    """A detected inconsistency in the stream (garble, count mismatch)."""
+
+    cpu: int
+    seq: int
+    offset: int
+    kind: str      # "garbled" | "committed-mismatch" | "missing-anchor"
+    detail: str
+
+
+@dataclass
+class Trace:
+    """A fully decoded trace: per-CPU event lists plus anomalies."""
+
+    events_by_cpu: Dict[int, List[TraceEvent]] = field(default_factory=dict)
+    anomalies: List[Anomaly] = field(default_factory=list)
+
+    @property
+    def ncpus(self) -> int:
+        return len(self.events_by_cpu)
+
+    def events(self, cpu: int) -> List[TraceEvent]:
+        return self.events_by_cpu.get(cpu, [])
+
+    def all_events(self) -> List[TraceEvent]:
+        """All events from all CPUs merged into timestamp order.
+
+        Events lacking a reconstructed time sort before everything else
+        on their CPU (they can only come from a stream head with no
+        anchor, which the logger never produces in normal operation).
+        """
+        def key(e: TraceEvent):
+            return (e.time if e.time is not None else -1, e.cpu, e.seq, e.offset)
+
+        streams = [sorted(evs, key=key) for evs in self.events_by_cpu.values()]
+        return list(heapq.merge(*streams, key=key))
+
+    def filter(
+        self,
+        major: Optional[int] = None,
+        minor: Optional[int] = None,
+        name: Optional[str] = None,
+        include_control: bool = False,
+    ) -> List[TraceEvent]:
+        out = []
+        for e in self.all_events():
+            if not include_control and e.is_control:
+                continue
+            if major is not None and e.major != major:
+                continue
+            if minor is not None and e.minor != minor:
+                continue
+            if name is not None and e.name != name:
+                continue
+            out.append(e)
+        return out
+
+
+class TraceReader:
+    """Decodes :class:`BufferRecord` streams into :class:`Trace` objects."""
+
+    def __init__(
+        self,
+        registry: Optional[EventRegistry] = None,
+        include_fillers: bool = False,
+        check_committed: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.include_fillers = include_fillers
+        self.check_committed = check_committed
+
+    # ------------------------------------------------------------------
+    def decode_records(self, records: Iterable[BufferRecord]) -> Trace:
+        """Decode a collection of buffer records (any CPUs, any order)."""
+        by_cpu: Dict[int, List[BufferRecord]] = {}
+        for rec in records:
+            by_cpu.setdefault(rec.cpu, []).append(rec)
+        trace = Trace()
+        for cpu, recs in sorted(by_cpu.items()):
+            recs.sort(key=lambda r: r.seq)
+            events: List[TraceEvent] = []
+            last_full: Optional[int] = None
+            last_ts32: Optional[int] = None
+            for rec in recs:
+                evs = self.decode_buffer(rec, trace.anomalies)
+                last_full, last_ts32 = self._reconstruct_times(
+                    evs, rec, trace.anomalies, last_full, last_ts32
+                )
+                if not self.include_fillers:
+                    evs = [e for e in evs if not e.is_filler]
+                events.extend(evs)
+            trace.events_by_cpu[cpu] = events
+        return trace
+
+    def decode_one(self, record: BufferRecord) -> Trace:
+        """Random access: decode a single buffer independently.
+
+        Works from any alignment boundary because each buffer carries its
+        own timestamp anchor — the §3.2 property.
+        """
+        return self.decode_records([record])
+
+    # ------------------------------------------------------------------
+    def decode_buffer(
+        self, rec: BufferRecord, anomalies: List[Anomaly]
+    ) -> List[TraceEvent]:
+        """Walk one buffer, validating headers; stop at the first garble.
+
+        Recovery is exactly what the paper prescribes: skip to the next
+        alignment boundary, i.e. abandon the rest of this buffer.
+        """
+        words = rec.words
+        limit = min(rec.fill_words, len(words))
+        events: List[TraceEvent] = []
+        off = 0
+        prev_ts32: Optional[int] = None
+        while off < limit:
+            word = int(words[off])
+            hdr = unpack_header(word)
+            length = hdr.length
+            span = length
+            if (
+                length == EXTENDED_FILLER_LENGTH
+                and hdr.major == Major.CONTROL
+                and hdr.minor == ControlMinor.FILLER_EXT
+            ):
+                if off + 1 >= limit:
+                    self._garbled(anomalies, rec, off, "truncated extended filler")
+                    break
+                span = int(words[off + 1])
+                length = 2  # header + span word are the real payload
+                if span < 2 or off + span > limit:
+                    self._garbled(anomalies, rec, off, f"bad extended filler span {span}")
+                    break
+            elif length == 0 or off + length > limit:
+                self._garbled(
+                    anomalies, rec, off,
+                    f"invalid header {word:#018x} (length {length})",
+                )
+                break
+            if prev_ts32 is not None and sdelta32(hdr.timestamp, prev_ts32) < 0:
+                # A large backwards jump cannot come from a healthy stream:
+                # per-CPU timestamps are monotonic by construction (§3.1).
+                self._garbled(
+                    anomalies, rec, off,
+                    f"timestamp regression {prev_ts32}->{hdr.timestamp}",
+                )
+                break
+            if hdr.major == Major.CONTROL and hdr.minor == ControlMinor.FILLER:
+                # A plain filler is just a header spanning the remainder;
+                # the words underneath it are not event data.
+                data = []
+            else:
+                data = [int(w) for w in words[off + 1 : off + length]]
+            spec = (
+                self.registry.lookup(hdr.major, hdr.minor)
+                if self.registry is not None
+                else None
+            )
+            events.append(
+                TraceEvent(
+                    cpu=rec.cpu,
+                    seq=rec.seq,
+                    offset=off,
+                    ts32=hdr.timestamp,
+                    major=hdr.major,
+                    minor=hdr.minor,
+                    data=data,
+                    spec=spec,
+                )
+            )
+            prev_ts32 = hdr.timestamp
+            off += span
+        if (
+            self.check_committed
+            and not rec.partial
+            and rec.committed != rec.fill_words
+        ):
+            anomalies.append(
+                Anomaly(
+                    rec.cpu,
+                    rec.seq,
+                    0,
+                    "committed-mismatch",
+                    f"committed {rec.committed} words, buffer holds {rec.fill_words}",
+                )
+            )
+        return events
+
+    def _garbled(
+        self, anomalies: List[Anomaly], rec: BufferRecord, off: int, detail: str
+    ) -> None:
+        anomalies.append(Anomaly(rec.cpu, rec.seq, off, "garbled", detail))
+
+    # ------------------------------------------------------------------
+    def _reconstruct_times(
+        self,
+        events: List[TraceEvent],
+        rec: BufferRecord,
+        anomalies: List[Anomaly],
+        last_full: Optional[int],
+        last_ts32: Optional[int],
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Assign full 64-bit times using the buffer's anchor event.
+
+        Falls back to unwrapping from the previous buffer's last event
+        when a buffer has no anchor (possible after garbling).
+        """
+        if not events:
+            return (last_full, last_ts32)
+        anchor_i = next(
+            (
+                i
+                for i, e in enumerate(events)
+                if e.major == Major.CONTROL
+                and e.minor == ControlMinor.TIMESTAMP_ANCHOR
+                and e.data
+            ),
+            None,
+        )
+        # Unwrapping is sequential: each consecutive 32-bit delta is small
+        # (decode_buffer rejects regressions, and a healthy stream never
+        # goes 2**31 ticks between adjacent events), so full times follow
+        # by accumulation in both directions from the anchor.
+        if anchor_i is not None:
+            anchor = events[anchor_i]
+            anchor.time = anchor.data[0]
+            for i in range(anchor_i + 1, len(events)):
+                events[i].time = events[i - 1].time + sdelta32(
+                    events[i].ts32, events[i - 1].ts32
+                )
+            for i in range(anchor_i - 1, -1, -1):
+                events[i].time = events[i + 1].time - sdelta32(
+                    events[i + 1].ts32, events[i].ts32
+                )
+        elif last_full is not None and last_ts32 is not None:
+            anomalies.append(
+                Anomaly(rec.cpu, rec.seq, 0, "missing-anchor",
+                        "no timestamp anchor; times unwrapped from previous buffer")
+            )
+            prev_full, prev32 = last_full, last_ts32
+            for e in events:
+                e.time = prev_full + sdelta32(e.ts32, prev32)
+                prev_full, prev32 = e.time, e.ts32
+        else:
+            return (last_full, last_ts32)
+        return (events[-1].time, events[-1].ts32)
+
+
+# ----------------------------------------------------------------------
+# Flat-array random access (§3.2 demonstration)
+# ----------------------------------------------------------------------
+def flat_records(
+    words: Union[np.ndarray, Sequence[int]],
+    buffer_words: int,
+    cpu: int = 0,
+    start_seq: int = 0,
+) -> List[BufferRecord]:
+    """View a flat word array (concatenated buffers) as buffer records.
+
+    The array is what a raw on-disk trace looks like: back-to-back
+    aligned buffers with no framing.  ``committed`` is unknown for raw
+    data, so records are produced with committed checking disabled
+    (callers should use a reader with ``check_committed=False``).
+    """
+    arr = np.asarray(words, dtype=np.uint64)
+    records = []
+    nbufs = (len(arr) + buffer_words - 1) // buffer_words
+    for k in range(nbufs):
+        chunk = arr[k * buffer_words : (k + 1) * buffer_words]
+        fill = len(chunk)
+        partial = fill < buffer_words
+        records.append(
+            BufferRecord(
+                cpu=cpu,
+                seq=start_seq + k,
+                words=chunk,
+                committed=fill,
+                fill_words=fill,
+                partial=partial,
+            )
+        )
+    return records
+
+
+def seek_boundary(word_offset: int, buffer_words: int) -> int:
+    """Snap an arbitrary word offset back to its alignment boundary."""
+    return (word_offset // buffer_words) * buffer_words
+
+
+def decode_from_offset(
+    words: Union[np.ndarray, Sequence[int]],
+    buffer_words: int,
+    word_offset: int,
+    registry: Optional[EventRegistry] = None,
+    cpu: int = 0,
+) -> Trace:
+    """Seek into the middle of a flat trace and decode from there.
+
+    This is the end-to-end demonstration of the paper's random-access
+    property: pick any offset, snap to the preceding alignment boundary,
+    and parsing proceeds as if from the beginning.
+    """
+    start = seek_boundary(word_offset, buffer_words)
+    arr = np.asarray(words, dtype=np.uint64)[start:]
+    records = flat_records(arr, buffer_words, cpu=cpu, start_seq=start // buffer_words)
+    reader = TraceReader(registry=registry, check_committed=False)
+    return reader.decode_records(records)

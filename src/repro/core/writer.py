@@ -1,0 +1,140 @@
+"""Serializing trace buffers: "written out to disk, or streamed over the
+network" (§1).
+
+The on-disk format keeps the alignment property at file scale: every
+frame has the same size (frame header + ``buffer_words`` 64-bit words),
+so frame *k* lives at a computable offset and a reader can fetch any
+buffer of a multi-gigabyte trace without scanning — the file-level
+counterpart of §3.2's random access.
+
+Layout (all little-endian)::
+
+    file header : magic "K42TRACE" | version u32 | buffer_words u32
+    frame       : magic u32 | cpu u32 | seq u64 | committed u64
+                | fill_words u32 | partial u8 | pad[3]
+                | buffer_words * u64 payload
+"""
+
+from __future__ import annotations
+
+import io
+import struct
+from typing import BinaryIO, Iterable, List, Union
+
+import numpy as np
+
+from repro.core.buffers import BufferRecord
+
+FILE_MAGIC = b"K42TRACE"
+FILE_VERSION = 1
+FRAME_MAGIC = 0x4B42BEEF
+
+_FILE_HEADER = struct.Struct("<8sII")
+_FRAME_HEADER = struct.Struct("<IIQQIB3x")
+
+PathOrFile = Union[str, BinaryIO]
+
+
+class TraceFileWriter:
+    """Streams :class:`BufferRecord` frames into a binary trace file."""
+
+    def __init__(self, fh: BinaryIO, buffer_words: int) -> None:
+        self.fh = fh
+        self.buffer_words = buffer_words
+        self.frames_written = 0
+        fh.write(_FILE_HEADER.pack(FILE_MAGIC, FILE_VERSION, buffer_words))
+
+    def write_record(self, rec: BufferRecord) -> None:
+        if len(rec.words) != self.buffer_words:
+            raise ValueError(
+                f"record has {len(rec.words)} words, file expects {self.buffer_words}"
+            )
+        self.fh.write(
+            _FRAME_HEADER.pack(
+                FRAME_MAGIC, rec.cpu, rec.seq, rec.committed,
+                rec.fill_words, 1 if rec.partial else 0,
+            )
+        )
+        self.fh.write(np.asarray(rec.words, dtype="<u8").tobytes())
+        self.frames_written += 1
+
+    def write_all(self, records: Iterable[BufferRecord]) -> None:
+        for rec in records:
+            self.write_record(rec)
+
+
+class TraceFileReader:
+    """Reads trace files; supports sequential and per-frame random access."""
+
+    def __init__(self, fh: BinaryIO) -> None:
+        self.fh = fh
+        header = fh.read(_FILE_HEADER.size)
+        if len(header) != _FILE_HEADER.size:
+            raise ValueError("truncated trace file header")
+        magic, version, buffer_words = _FILE_HEADER.unpack(header)
+        if magic != FILE_MAGIC:
+            raise ValueError(f"bad trace file magic {magic!r}")
+        if version != FILE_VERSION:
+            raise ValueError(f"unsupported trace file version {version}")
+        self.buffer_words = buffer_words
+        self.frame_size = _FRAME_HEADER.size + buffer_words * 8
+        self._data_start = _FILE_HEADER.size
+
+    def frame_count(self) -> int:
+        self.fh.seek(0, io.SEEK_END)
+        end = self.fh.tell()
+        return (end - self._data_start) // self.frame_size
+
+    def read_frame(self, k: int) -> BufferRecord:
+        """Random access to frame ``k`` — a seek, not a scan."""
+        self.fh.seek(self._data_start + k * self.frame_size)
+        return self._read_one()
+
+    def _read_one(self) -> BufferRecord:
+        raw = self.fh.read(_FRAME_HEADER.size)
+        if len(raw) != _FRAME_HEADER.size:
+            raise EOFError("truncated frame header")
+        magic, cpu, seq, committed, fill_words, partial = _FRAME_HEADER.unpack(raw)
+        if magic != FRAME_MAGIC:
+            raise ValueError(f"bad frame magic {magic:#x}")
+        payload = self.fh.read(self.buffer_words * 8)
+        if len(payload) != self.buffer_words * 8:
+            raise EOFError("truncated frame payload")
+        words = np.frombuffer(payload, dtype="<u8").astype(np.uint64)
+        return BufferRecord(
+            cpu=cpu, seq=seq, words=words, committed=committed,
+            fill_words=fill_words, partial=bool(partial),
+        )
+
+    def read_all(self) -> List[BufferRecord]:
+        n = self.frame_count()
+        self.fh.seek(self._data_start)
+        records = []
+        for _ in range(n):
+            records.append(self._read_one())
+        return records
+
+
+def save_records(path: PathOrFile, records: List[BufferRecord]) -> int:
+    """Write records to ``path``; returns the number of frames written."""
+    if not records:
+        raise ValueError("no records to save")
+    buffer_words = len(records[0].words)
+
+    def _write(fh: BinaryIO) -> int:
+        w = TraceFileWriter(fh, buffer_words)
+        w.write_all(records)
+        return w.frames_written
+
+    if isinstance(path, str):
+        with open(path, "wb") as fh:
+            return _write(fh)
+    return _write(path)
+
+
+def load_records(path: PathOrFile) -> List[BufferRecord]:
+    """Read every frame of a trace file."""
+    if isinstance(path, str):
+        with open(path, "rb") as fh:
+            return TraceFileReader(fh).read_all()
+    return TraceFileReader(path).read_all()

@@ -1,0 +1,52 @@
+"""K42-like multiprocessor OS simulator substrate.
+
+A discrete-event simulation of the machine the paper ran on: CPUs with a
+preemptive, migrating scheduler; processes and threads written as Python
+generators; spin-then-block kernel locks; an allocator/page-fault memory
+subsystem; PPC-style IPC to server processes; and a Linux-emulation
+syscall layer — every path instrumented with the same trace events K42
+logs, at the paper's measured trace costs.
+"""
+
+from repro.ksim.costs import DEFAULT_COSTS, CostModel
+from repro.ksim.cpu import Cpu
+from repro.ksim.engine import CancelToken, Engine, EngineClock
+from repro.ksim.autotune import AllocatorAutotuner, TuningAction
+from repro.ksim.devices import BlockDevice, IoRequest
+from repro.ksim.hwcounters import CacheModel, HwCounter, HwCounters
+from repro.ksim.probes import Probe, ProbeManager
+from repro.ksim.ipc import FS_FUNCTION_NAMES, FS_FUNCTIONS, FileServer, split_comm_id
+from repro.ksim.kernel import Kernel, KernelConfig, SymbolTable
+from repro.ksim.locks import SimLock
+from repro.ksim.memory import MemorySubsystem
+from repro.ksim.ops import (
+    Acquire,
+    BlockOn,
+    Compute,
+    Nop,
+    Op,
+    Release,
+    ServerContext,
+    Sleep,
+    SpawnProcess,
+    SpawnThread,
+    Wake,
+)
+from repro.ksim.syscalls import SYSCALL_NUMBERS, UserApi
+from repro.ksim.thread import Process, SimThread, ThreadState
+
+__all__ = [
+    "CostModel", "DEFAULT_COSTS",
+    "Cpu", "Engine", "EngineClock", "CancelToken",
+    "FileServer", "FS_FUNCTIONS", "FS_FUNCTION_NAMES", "split_comm_id",
+    "Kernel", "KernelConfig", "SymbolTable",
+    "SimLock", "MemorySubsystem",
+    "Op", "Compute", "Acquire", "Release", "BlockOn", "Wake", "Sleep",
+    "SpawnProcess", "SpawnThread", "ServerContext", "Nop",
+    "SYSCALL_NUMBERS", "UserApi",
+    "Process", "SimThread", "ThreadState",
+    "HwCounter", "HwCounters", "CacheModel",
+    "Probe", "ProbeManager",
+    "AllocatorAutotuner", "TuningAction",
+    "BlockDevice", "IoRequest",
+]

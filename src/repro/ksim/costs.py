@@ -1,0 +1,75 @@
+"""Abstract cycle-cost model for the simulated machine.
+
+Trace-related costs default to the paper's measured numbers (§3.2,
+"Efficiency of the Implementation"): checking the trace mask costs 4
+instructions; logging a 1-word event costs 91 cycles with 11 cycles for
+each additional 64-bit word.  Kernel-operation costs are order-of-
+magnitude figures for a ~1GHz PowerPC of the paper's era; the
+reproduction's claims are about *shapes* (scaling curves, ratios), which
+are insensitive to their exact values — the ablation benches vary them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+
+@dataclass(frozen=True)
+class CostModel:
+    """All costs in CPU cycles on the simulated machine."""
+
+    # -- tracing (paper §3.2) -------------------------------------------
+    trace_mask_check: int = 4        # compiled-in but disabled
+    trace_event_base: int = 91       # 1-word (header-only + 1 data) event
+    trace_event_per_word: int = 11   # each additional data word
+    trace_event_asm: int = 30        # hand-optimized assembler paths
+
+    # -- scheduling -------------------------------------------------------
+    context_switch: int = 1_500
+    timer_interrupt: int = 300
+    migration: int = 3_000
+    quantum: int = 1_000_000         # 1ms at 1GHz
+
+    # -- locks (FairBLock) -------------------------------------------------
+    lock_uncontended: int = 40
+    lock_handoff: int = 120
+    spin_iteration: int = 25         # one trip around the spin loop
+    spin_threshold: int = 8_000      # spin this long, then block
+    lock_block_wakeup: int = 2_500
+
+    # -- memory -------------------------------------------------------------
+    page_fault_minor: int = 2_000
+    page_fault_major: int = 150_000  # includes device wait
+    alloc_small: int = 250
+    alloc_large: int = 900
+    region_create: int = 1_200
+
+    # -- IPC / syscalls -------------------------------------------------------
+    ppc_call: int = 1_800            # protected procedure call round trip
+    syscall_entry: int = 250
+    syscall_exit: int = 150
+    emu_layer: int = 120             # Linux-emulation layer crossing
+
+    # -- process lifecycle -------------------------------------------------
+    fork_base: int = 60_000
+    fork_lazy: int = 18_000          # K42's lazy state replication (§4)
+    exec_base: int = 90_000
+    exit_base: int = 25_000
+
+    # -- I/O ----------------------------------------------------------------
+    io_submit: int = 1_200
+    io_device_latency: int = 400_000
+    io_per_byte_denom: int = 64      # extra cycles = nbytes // denom
+
+    def trace_event_cost(self, data_words: int, asm_path: bool = False) -> int:
+        """Cycles to log an event with ``data_words`` data words."""
+        if asm_path:
+            return self.trace_event_asm + self.trace_event_per_word * data_words
+        return self.trace_event_base + self.trace_event_per_word * data_words
+
+    def with_overrides(self, **kw) -> "CostModel":
+        return replace(self, **kw)
+
+
+#: The default machine.
+DEFAULT_COSTS = CostModel()

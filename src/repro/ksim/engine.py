@@ -1,0 +1,95 @@
+"""Discrete-event simulation core.
+
+Time is measured in CPU cycles of the simulated machine.  Events are
+callbacks ordered by (time, sequence); the sequence number makes
+execution deterministic for equal times, which the property tests rely
+on.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Callable, List, Optional, Tuple
+
+
+class CancelToken:
+    """Handle for a scheduled event; cancellation is O(1) lazy."""
+
+    __slots__ = ("cancelled",)
+
+    def __init__(self) -> None:
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        self.cancelled = True
+
+
+class Engine:
+    """Minimal deterministic event loop over simulated cycles."""
+
+    def __init__(self) -> None:
+        self.now: int = 0
+        self._heap: List[Tuple[int, int, CancelToken, Callable[[], None]]] = []
+        self._seq = 0
+        self.events_processed = 0
+
+    def at(self, time: int, fn: Callable[[], None]) -> CancelToken:
+        """Schedule ``fn`` at absolute simulated ``time``."""
+        if time < self.now:
+            raise ValueError(f"cannot schedule in the past ({time} < {self.now})")
+        token = CancelToken()
+        heapq.heappush(self._heap, (time, self._seq, token, fn))
+        self._seq += 1
+        return token
+
+    def after(self, delay: int, fn: Callable[[], None]) -> CancelToken:
+        """Schedule ``fn`` ``delay`` cycles from now."""
+        if delay < 0:
+            raise ValueError("delay must be non-negative")
+        return self.at(self.now + delay, fn)
+
+    def step(self) -> bool:
+        """Run the next event; returns False when the queue is empty."""
+        while self._heap:
+            time, _seq, token, fn = heapq.heappop(self._heap)
+            if token.cancelled:
+                continue
+            self.now = time
+            self.events_processed += 1
+            fn()
+            return True
+        return False
+
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Run until the queue drains, ``until`` cycles pass, or
+        ``max_events`` fire.  Returns the number of events processed."""
+        processed = 0
+        while self._heap:
+            time = self._heap[0][0]
+            if until is not None and time > until:
+                self.now = until
+                break
+            if max_events is not None and processed >= max_events:
+                break
+            if self.step():
+                processed += 1
+        else:
+            if until is not None and self.now < until:
+                self.now = until
+        return processed
+
+    @property
+    def pending(self) -> int:
+        return sum(1 for e in self._heap if not e[2].cancelled)
+
+
+class EngineClock:
+    """Adapter exposing engine time as a trace-facility clock source."""
+
+    cost_cycles = 10
+
+    def __init__(self, engine: Engine) -> None:
+        self.engine = engine
+
+    def now(self, cpu: int = 0) -> int:
+        return self.engine.now

@@ -1,0 +1,208 @@
+"""Hardware performance counters, sampled into the trace (§2).
+
+"The trace infrastructure may be used to study memory bottlenecks,
+memory hot-spots, and other I/O interactions by logging hardware counter
+events, e.g., cache-line misses.  Integrating the hardware counter
+mechanism and the tracing infrastructure allows the counters to be
+sampled and understood at various stages throughout the programs or
+operating systems execution."
+
+The simulated machine has per-CPU counters (cycles, instructions, L2
+misses, TLB misses) driven by a deliberately simple cache model:
+
+* each process declares a working set (pages); miss rate grows once the
+  working set exceeds the L2 capacity;
+* a context/migration switch to a different process leaves the cache
+  cold — the first slice of the new process pays a cold burst
+  proportional to its resident set (the locality cost K42's design
+  cares about);
+* the TLB miss rate scales with working-set size.
+
+Counters accrue as compute slices retire; a periodic sampler logs the
+per-period deltas as ``TRC_HWPERF_SAMPLE`` events, so post-processing
+can attribute memory behaviour to processes and phases purely from the
+unified trace.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from functools import partial
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+from repro.core.majors import HwPerfMinor, Major
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ksim.cpu import Cpu
+    from repro.ksim.kernel import Kernel
+    from repro.ksim.thread import SimThread
+
+
+class HwCounter(enum.IntEnum):
+    CYCLES = 0
+    INSTRUCTIONS = 1
+    L2_MISSES = 2
+    TLB_MISSES = 3
+
+
+@dataclass(frozen=True)
+class CacheModel:
+    """Parameters of the per-CPU cache/TLB model."""
+
+    l2_capacity_pages: int = 256
+    lines_per_page: int = 64
+    #: Misses per kilocycle while the working set fits in L2.
+    warm_fit_mpk: float = 0.5
+    #: Additional misses per kilocycle per working-set/capacity overshoot.
+    thrash_mpk: float = 40.0
+    #: TLB misses per kilocycle per 64 working-set pages.
+    tlb_mpk_per_64_pages: float = 0.8
+
+    def miss_rate_mpk(self, working_set_pages: int) -> float:
+        """L2 misses per kilocycle for a warm cache."""
+        if working_set_pages <= self.l2_capacity_pages:
+            return self.warm_fit_mpk
+        overshoot = (working_set_pages - self.l2_capacity_pages) \
+            / working_set_pages
+        return self.warm_fit_mpk + self.thrash_mpk * overshoot
+
+    def cold_burst(self, working_set_pages: int) -> int:
+        """Misses to re-load the resident set after losing the cache."""
+        resident = min(working_set_pages, self.l2_capacity_pages)
+        return resident * self.lines_per_page // 8
+
+    def tlb_rate_mpk(self, working_set_pages: int) -> float:
+        return self.tlb_mpk_per_64_pages * working_set_pages / 64
+
+
+class HwCounters:
+    """Per-CPU counter banks plus the trace-integrated sampler."""
+
+    def __init__(
+        self,
+        kernel: "Kernel",
+        model: Optional[CacheModel] = None,
+        sample_period: int = 0,
+        overflow_threshold: int = 0,
+    ) -> None:
+        """``sample_period`` arms timer-based sampling (cycles between
+        samples); ``overflow_threshold`` arms overflow-driven sampling (a
+        sample event every N misses, logged in the *causing* thread's
+        context — the attribution-correct mode real PMUs provide)."""
+        self.kernel = kernel
+        self.model = model or CacheModel()
+        self.sample_period = sample_period
+        self.overflow_threshold = overflow_threshold
+        ncpus = kernel.config.ncpus
+        self.counts: List[Dict[HwCounter, int]] = [
+            {c: 0 for c in HwCounter} for _ in range(ncpus)
+        ]
+        self._last_sampled: List[Dict[HwCounter, int]] = [
+            {c: 0 for c in HwCounter} for _ in range(ncpus)
+        ]
+        #: pid whose data currently occupies each CPU's cache.
+        self.cache_owner: List[Optional[int]] = [None] * ncpus
+        #: accumulated fractional misses (so small slices still count).
+        self._frac: List[Dict[HwCounter, float]] = [
+            {HwCounter.L2_MISSES: 0.0, HwCounter.TLB_MISSES: 0.0}
+            for _ in range(ncpus)
+        ]
+        self._armed = False
+        self.cold_bursts = 0
+
+    # ------------------------------------------------------------------
+    def on_compute(self, cpu_idx: int, thread: "SimThread", cycles: int) -> None:
+        """Retire a compute slice: advance the CPU's counters."""
+        if cycles <= 0:
+            return
+        bank = self.counts[cpu_idx]
+        bank[HwCounter.CYCLES] += cycles
+        bank[HwCounter.INSTRUCTIONS] += cycles  # IPC 1 machine
+        ws = getattr(thread.process, "working_set_pages", 16)
+        pid = thread.process.pid
+        if self.cache_owner[cpu_idx] != pid:
+            bank[HwCounter.L2_MISSES] += self.model.cold_burst(ws)
+            self.cache_owner[cpu_idx] = pid
+            self.cold_bursts += 1
+        frac = self._frac[cpu_idx]
+        frac[HwCounter.L2_MISSES] += self.model.miss_rate_mpk(ws) \
+            * cycles / 1_000
+        frac[HwCounter.TLB_MISSES] += self.model.tlb_rate_mpk(ws) \
+            * cycles / 1_000
+        for counter in (HwCounter.L2_MISSES, HwCounter.TLB_MISSES):
+            whole = int(frac[counter])
+            if whole:
+                bank[counter] += whole
+                frac[counter] -= whole
+        if self.overflow_threshold > 0:
+            last = self._last_sampled[cpu_idx]
+            for counter in (HwCounter.L2_MISSES, HwCounter.TLB_MISSES):
+                pending = bank[counter] - last[counter]
+                if pending >= self.overflow_threshold:
+                    last[counter] = bank[counter]
+                    # Logged while the causing thread is current, so the
+                    # context tracker attributes it correctly.
+                    self.kernel.trace(
+                        cpu_idx, Major.HWPERF, HwPerfMinor.COUNTER_SAMPLE,
+                        (int(counter), pending),
+                    )
+
+    # ------------------------------------------------------------------
+    def arm(self) -> None:
+        """Start the periodic counter sampler (idempotent)."""
+        if self.sample_period <= 0 or self._armed:
+            return
+        self._armed = True
+        for cpu in self.kernel.cpus:
+            self.kernel.engine.after(
+                self.sample_period, partial(self._sample, cpu)
+            )
+
+    def _sample(self, cpu: "Cpu") -> None:
+        # Flush pending deltas even on the final tick, so counts charged
+        # just before quiescence still reach the trace.
+        bank = self.counts[cpu.idx]
+        last = self._last_sampled[cpu.idx]
+        for counter in (HwCounter.L2_MISSES, HwCounter.TLB_MISSES):
+            delta = bank[counter] - last[counter]
+            last[counter] = bank[counter]
+            if delta:
+                self.kernel.trace(
+                    cpu.idx, Major.HWPERF, HwPerfMinor.COUNTER_SAMPLE,
+                    (int(counter), delta),
+                )
+        if self.kernel.live_threads <= 0:
+            self._armed = False
+            return
+        self.kernel.engine.after(
+            self.sample_period, partial(self._sample, cpu)
+        )
+
+    def flush_samples(self) -> None:
+        """Log all pending per-CPU deltas now (end-of-run flush).
+
+        Without this, misses charged after the last timer tick would
+        never reach the trace; the kernel calls it at quiescence.
+        """
+        if self.sample_period <= 0 and self.overflow_threshold <= 0:
+            return
+        for cpu_idx in range(len(self.counts)):
+            bank = self.counts[cpu_idx]
+            last = self._last_sampled[cpu_idx]
+            for counter in (HwCounter.L2_MISSES, HwCounter.TLB_MISSES):
+                delta = bank[counter] - last[counter]
+                last[counter] = bank[counter]
+                if delta:
+                    self.kernel.trace(
+                        cpu_idx, Major.HWPERF, HwPerfMinor.COUNTER_SAMPLE,
+                        (int(counter), delta),
+                    )
+
+    # ------------------------------------------------------------------
+    def totals(self) -> Dict[HwCounter, int]:
+        out = {c: 0 for c in HwCounter}
+        for bank in self.counts:
+            for c, v in bank.items():
+                out[c] += v
+        return out

@@ -1,0 +1,112 @@
+"""IPC: protected procedure calls (PPC) to server processes.
+
+K42 structures OS services as user-level servers reached by PPC —
+Figure 5 shows ``TRC_EXCEPTION_PPC_CALL/RETURN`` events, and Figure 8
+attributes per-syscall IPC counts and time.  A PPC moves the calling
+thread into the server's address space; while there, execution (and PC
+samples) attribute to the server PID, which is how Figure 6 can show a
+profile *for* baseServers (pid 0x1) full of hash-table and dentry
+functions.
+
+The file server also owns internal locks (dentry hash, name cache) so
+that file-system-heavy workloads contend realistically inside pid 1.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.core.majors import ExcMinor, Major
+from repro.ksim.ops import Acquire, Compute, Op, Release, ServerContext
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ksim.kernel import Kernel
+
+#: Function ids inside the file server (encoded into the PPC commID).
+FS_FUNCTIONS = {
+    "open": 1,
+    "read": 2,
+    "write": 3,
+    "close": 4,
+    "lookup": 5,
+    "load_image": 6,
+}
+
+FS_FUNCTION_NAMES = {v: k for k, v in FS_FUNCTIONS.items()}
+
+#: Server-side function labels (the Figure 6 histogram's vocabulary).
+_SERVER_PC = {
+    "open": "DirLinuxFS::externalLookupDirectory(char*,",
+    "read": "HashSimpleBase<AllocGlobal, 01>::find(unsigned",
+    "write": "HashSNBBase<AllocGlobal, 01, 8l>::add(unsigned",
+    "close": "XHandleTrans::alloc(Obj**,",
+    "lookup": "DentryListHash::lookupPtr(char*,",
+    "load_image": "_wordcopy_fwd_aligned",
+}
+
+_SERVER_CHAIN = (
+    "DentryListHash::lookupPtr(char*,",
+    "DirLinuxFS::externalLookupDirectory(char*,",
+    "ServerFileBlockK42::locked_getFile()",
+)
+
+
+def make_comm_id(server_pid: int, fn_id: int) -> int:
+    return (server_pid << 32) | fn_id
+
+
+def split_comm_id(comm_id: int) -> tuple[int, int]:
+    return comm_id >> 32, comm_id & 0xFFFF_FFFF
+
+
+class FileServer:
+    """baseServers' file service, reached by PPC."""
+
+    def __init__(self, kernel: "Kernel") -> None:
+        self.k = kernel
+        self.process = kernel.base_servers
+        # K42's file server partitions its dentry hash so CPUs rarely
+        # collide; the coarse baseline funnels through one lock.
+        nparts = 1 if kernel.config.coarse_locked else max(
+            2, kernel.config.ncpus
+        )
+        self.dentry_locks = [
+            kernel.create_lock(f"DentryListHash.{i}") for i in range(nparts)
+        ]
+        self.namecache_lock = kernel.create_lock("NameCache")
+        self.calls = 0
+
+    def call(
+        self,
+        fn: str,
+        service_cycles: Optional[int] = None,
+        contend: bool = True,
+    ) -> Generator[Op, None, None]:
+        """One PPC round trip into the file server.
+
+        ``contend=True`` routes through the server's dentry lock, making
+        pid 1 a contention hot spot under file-system-heavy load.
+        """
+        k = self.k
+        fn_id = FS_FUNCTIONS[fn]
+        comm_id = make_comm_id(self.process.pid, fn_id)
+        self.calls += 1
+        if service_cycles is None:
+            service_cycles = 2_500
+
+        cost = k.trace(None, Major.EXC, ExcMinor.PPC_CALL, (comm_id,))
+        yield Compute(
+            cost + k.costs.ppc_call // 2, pc="DispatcherDefault_IPCalleeEntry"
+        )
+        # Inside the server's address space now.
+        yield ServerContext(self.process.pid)
+        if contend:
+            lock = self.dentry_locks[self.calls % len(self.dentry_locks)]
+            yield Acquire(lock, _SERVER_CHAIN)
+            yield Compute(service_cycles, pc=_SERVER_PC[fn])
+            yield Release(lock)
+        else:
+            yield Compute(service_cycles, pc=_SERVER_PC[fn])
+        yield ServerContext(None)
+        cost = k.trace(None, Major.EXC, ExcMinor.PPC_RETURN, (comm_id,))
+        yield Compute(cost + k.costs.ppc_call // 2, pc="DispatcherDefault_IPCReturn")

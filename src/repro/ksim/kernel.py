@@ -1,0 +1,736 @@
+"""The simulated multiprocessor OS kernel.
+
+Assembles CPUs, the preemptive scheduler with migration, kernel locks,
+the memory subsystem, the IPC server, and — crucially — the tracing
+hooks: every kernel path logs the same events K42's kernel logs, through
+a :class:`~repro.core.TraceFacility`, with costs charged per the paper's
+measured numbers (mask check when disabled, 91 + 11/word when enabled,
+nothing when compiled out).
+
+Two configurations matter for the evaluation:
+
+* the K42-like default — per-CPU allocation paths, lazy fork, fine
+  locks — which scales;
+* ``coarse_locked=True`` — global locks on the hot paths — the
+  "Linux-like" baseline whose SDET curve flattens (Figure 3's contrast).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from functools import partial
+from typing import Any, Callable, Dict, List, Optional, Tuple
+
+from repro.core.facility import TraceFacility
+from repro.core.majors import (
+    ExcMinor,
+    LockMinor,
+    Major,
+    MemMinor,
+    PcSampleMinor,
+    ProcMinor,
+    UserMinor,
+)
+from repro.ksim.costs import DEFAULT_COSTS, CostModel
+from repro.ksim.cpu import Cpu
+from repro.ksim.engine import Engine, EngineClock
+from repro.ksim.locks import SimLock, Waiter
+from repro.ksim.ops import (
+    Acquire,
+    BlockOn,
+    Compute,
+    Nop,
+    Release,
+    ServerContext,
+    Sleep,
+    SpawnProcess,
+    SpawnThread,
+    Wake,
+)
+from repro.ksim.thread import Process, SimThread, ThreadState
+
+
+@dataclass
+class KernelConfig:
+    ncpus: int = 4
+    costs: CostModel = field(default_factory=lambda: DEFAULT_COSTS)
+    #: Global locks on hot paths ("Linux-like" baseline) vs per-CPU (K42).
+    coarse_locked: bool = False
+    #: K42's lazy state replication after fork (§4).
+    lazy_fork: bool = True
+    #: Idle CPUs steal runnable threads from loaded ones.
+    migration: bool = True
+    #: Statistical PC-sampling period in cycles (0 = off) — §4.5.
+    pc_sample_period: int = 0
+    #: Also trace uncontended lock acquire/release (correctness debugging).
+    trace_all_lock_events: bool = False
+    #: Probability an allocation takes the global GMalloc path (fine mode).
+    global_alloc_fraction: float = 0.08
+    #: Hardware-counter timer-sampling period in cycles (0 = off) — §2's
+    #: counter/tracing integration.
+    hw_sample_period: int = 0
+    #: Overflow-driven counter sampling: a sample every N misses, logged
+    #: in the causing thread's context (0 = off).
+    hw_overflow_threshold: int = 0
+    #: RNG seed for deterministic runs.
+    seed: int = 1
+
+
+@dataclass
+class SymbolTable:
+    """Post-processing "debug symbols": id → human-readable mappings.
+
+    Serializable to JSON so offline tools (the CLI, remote analysis) can
+    resolve ids without the live kernel — the moral equivalent of the
+    ``.dbg`` files Figure 6 mentions.
+    """
+
+    pc_names: Dict[int, str] = field(default_factory=dict)
+    chains: Dict[int, Tuple[str, ...]] = field(default_factory=dict)
+    lock_names: Dict[int, str] = field(default_factory=dict)
+    syscall_names: Dict[int, str] = field(default_factory=dict)
+    process_names: Dict[int, str] = field(default_factory=dict)
+
+    def to_json(self) -> str:
+        import json
+
+        return json.dumps({
+            "pc_names": self.pc_names,
+            "chains": {k: list(v) for k, v in self.chains.items()},
+            "lock_names": self.lock_names,
+            "syscall_names": self.syscall_names,
+            "process_names": self.process_names,
+        }, indent=1)
+
+    @classmethod
+    def from_json(cls, text: str) -> "SymbolTable":
+        import json
+
+        raw = json.loads(text)
+        return cls(
+            pc_names={int(k): v for k, v in raw.get("pc_names", {}).items()},
+            chains={int(k): tuple(v)
+                    for k, v in raw.get("chains", {}).items()},
+            lock_names={int(k): v
+                        for k, v in raw.get("lock_names", {}).items()},
+            syscall_names={int(k): v
+                           for k, v in raw.get("syscall_names", {}).items()},
+            process_names={int(k): v
+                           for k, v in raw.get("process_names", {}).items()},
+        )
+
+    def save(self, path: str) -> None:
+        with open(path, "w") as fh:
+            fh.write(self.to_json())
+
+    @classmethod
+    def load(cls, path: str) -> "SymbolTable":
+        with open(path) as fh:
+            return cls.from_json(fh.read())
+
+
+class Kernel:
+    """The executor + kernel services of the simulated machine."""
+
+    def __init__(
+        self,
+        config: Optional[KernelConfig] = None,
+        facility: Optional[TraceFacility] = None,
+    ) -> None:
+        self.config = config or KernelConfig()
+        self.costs = self.config.costs
+        self.engine = Engine()
+        self.clock = EngineClock(self.engine)
+        self.facility = facility
+        self.rng = random.Random(self.config.seed)
+
+        self.cpus = [Cpu(i) for i in range(self.config.ncpus)]
+        self.processes: Dict[int, Process] = {}
+        self._next_pid = 0
+        self._next_tid = 1  # per-kernel, so runs are reproducible
+        self.live_threads = 0
+        self.waitq: Dict[Any, List[SimThread]] = {}
+
+        # Symbol interning for pc labels and lock call chains.
+        self._pc_ids: Dict[str, int] = {}
+        self._chain_ids: Dict[Tuple[str, ...], int] = {}
+        self.symtab = SymbolTable()
+
+        self.locks: List[SimLock] = []
+        self._samplers_armed = False
+        self._current_cpu = 0  # CPU whose thread is mid-execution
+
+        # Well-known processes, K42-style: PID 0 kernel, PID 1 baseServers.
+        self.kernel_process = self._new_process("kernel")
+        self.base_servers = self._new_process("baseServers")
+
+        from repro.ksim.hwcounters import HwCounters
+        from repro.ksim.ipc import FileServer
+        from repro.ksim.memory import MemorySubsystem
+        from repro.ksim.syscalls import SYSCALL_NUMBERS
+
+        self.memory = MemorySubsystem(self)
+        self.fileserver = FileServer(self)
+        self.hw = HwCounters(
+            self,
+            sample_period=self.config.hw_sample_period,
+            overflow_threshold=self.config.hw_overflow_threshold,
+        )
+        from repro.ksim.probes import ProbeManager
+
+        self.probes = ProbeManager(self)
+        from repro.ksim.devices import BlockDevice
+
+        self.disk = BlockDevice(self)
+        for name, num in SYSCALL_NUMBERS.items():
+            self.symtab.syscall_names[num] = name
+
+    # ------------------------------------------------------------------
+    # Identity / symbol management
+    # ------------------------------------------------------------------
+    def _new_process(self, name: str, parent: Optional[Process] = None) -> Process:
+        proc = Process(self._next_pid, name, parent)
+        proc.created_at = self.engine.now
+        self.processes[proc.pid] = proc
+        self.symtab.process_names[proc.pid] = name
+        self._next_pid += 1
+        return proc
+
+    def intern_pc(self, name: str) -> int:
+        pc = self._pc_ids.get(name)
+        if pc is None:
+            pc = 0x0040_0000 + 0x40 * len(self._pc_ids)
+            self._pc_ids[name] = pc
+            self.symtab.pc_names[pc] = name
+        return pc
+
+    def intern_chain(self, chain: Tuple[str, ...]) -> int:
+        cid = self._chain_ids.get(chain)
+        if cid is None:
+            cid = 0xC0DE_0000 + len(self._chain_ids)
+            self._chain_ids[chain] = cid
+            self.symtab.chains[cid] = chain
+        return cid
+
+    def create_lock(self, name: str) -> SimLock:
+        lock = SimLock(
+            name, lock_id=0x9000_0000_0000 + 0x100 * len(self.locks)
+        )
+        self.locks.append(lock)
+        self.symtab.lock_names[lock.lock_id] = name
+        return lock
+
+    def symbols(self) -> SymbolTable:
+        return self.symtab
+
+    # ------------------------------------------------------------------
+    # Tracing hook — where the paper's cost model is charged
+    # ------------------------------------------------------------------
+    def trace(
+        self,
+        cpu: Optional[int],
+        major: int,
+        minor: int,
+        words: Tuple[int, ...] = (),
+        asm_path: bool = False,
+    ) -> int:
+        """Log an event; returns the cycles the trace point cost.
+
+        Compiled out (no facility): zero cost, zero work (goal 6).
+        Compiled in, masked off: the 4-instruction mask check.
+        Enabled: the full 91 + 11/word logging cost (§3.2).
+        """
+        if self.facility is None:
+            return 0
+        if cpu is None:
+            cpu = self._current_cpu
+        if not (self.facility.mask.value >> major) & 1:
+            return self.costs.trace_mask_check
+        self.facility.loggers[cpu].log_words(major, minor, words)
+        return self.costs.trace_event_cost(len(words), asm_path=asm_path)
+
+    def trace_str_event(
+        self, cpu: Optional[int], name: str, *values
+    ) -> int:
+        """Log a registered (possibly string-carrying) event by name."""
+        if self.facility is None:
+            return 0
+        if cpu is None:
+            cpu = self._current_cpu
+        spec = self.facility.registry.by_name(name)
+        if spec is None:
+            raise KeyError(name)
+        if not (self.facility.mask.value >> spec.major) & 1:
+            return self.costs.trace_mask_check
+        self.facility.loggers[cpu].log_event(spec, *values)
+        return self.costs.trace_event_cost(4)  # typical packed size
+
+    @property
+    def now(self) -> int:
+        return self.engine.now
+
+    # ------------------------------------------------------------------
+    # Process / thread creation
+    # ------------------------------------------------------------------
+    def spawn_process(
+        self,
+        program_factory: Callable,
+        name: str,
+        parent: Optional[Process] = None,
+        cpu: Optional[int] = None,
+    ) -> Process:
+        """Create a process with one main thread running the program.
+
+        ``program_factory(api)`` must return a generator; ``api`` is a
+        :class:`~repro.ksim.syscalls.UserApi` bound to the new process.
+        """
+        parent = parent or self.kernel_process
+        proc = self._new_process(name, parent)
+        self.trace_str_event(cpu, "TRC_PROC_CREATE", proc.pid, parent.pid, name)
+        self.trace_str_event(
+            cpu, "TRC_USER_RUN_UL_LOADER", parent.pid, proc.pid, name
+        )
+        # Address-space setup events (the Figure 5 texture).
+        region = 0x8000_0000_1000_0000 | (proc.pid << 12)
+        fcm = 0xE100_0000_0000_0000 | (proc.pid << 8)
+        proc.regions.append(region)
+        self.trace(cpu, Major.MEM, MemMinor.FCM_CREATE, (fcm,))
+        self.trace(cpu, Major.MEM, MemMinor.FCM_ATTACH_REGION, (region, fcm))
+        self.trace(
+            cpu, Major.MEM, MemMinor.REGION_CREATE_FIXED,
+            (region, 0x1000_0000, 0x11_3000),
+        )
+        self.spawn_thread(proc, program_factory, cpu=cpu)
+        return proc
+
+    def spawn_thread(
+        self,
+        process: Process,
+        program_factory: Callable,
+        cpu: Optional[int] = None,
+    ) -> SimThread:
+        from repro.ksim.syscalls import UserApi
+
+        api = UserApi(self, process)
+        thread = SimThread(process, program_factory(api), tid=self._next_tid)
+        self._next_tid += 1
+        thread.started_at = self.engine.now
+        self.trace(cpu, Major.PROC, ProcMinor.THREAD_CREATE,
+                   (thread.addr, process.pid))
+        self.live_threads += 1
+        self._enqueue(thread, cpu=cpu)
+        self._ensure_samplers()
+        return thread
+
+    # ------------------------------------------------------------------
+    # Scheduler
+    # ------------------------------------------------------------------
+    def _pick_cpu(self, thread: SimThread, cpu: Optional[int]) -> Cpu:
+        if cpu is not None:
+            return self.cpus[cpu]
+        if thread.last_cpu is not None:
+            return self.cpus[thread.last_cpu]  # locality (K42's emphasis)
+        return min(
+            self.cpus,
+            key=lambda c: len(c.run_queue) + (0 if c.current is None else 1),
+        )
+
+    def _enqueue(self, thread: SimThread, cpu: Optional[int] = None) -> None:
+        target = self._pick_cpu(thread, cpu)
+        thread.state = ThreadState.READY
+        target.run_queue.append(thread)
+        if target.current is None:
+            self._schedule_dispatch(target)
+        elif self.config.migration:
+            self._nudge_idle()
+
+    def _nudge_idle(self) -> None:
+        """Wake an idle CPU so it can steal queued work (the IPI a real
+        kernel would send)."""
+        for other in self.cpus:
+            if other.current is None and not other.run_queue:
+                self._schedule_dispatch(other)
+                break
+
+    def _schedule_dispatch(self, cpu: Cpu, delay: int = 0) -> None:
+        if cpu.dispatch_scheduled:
+            return
+        cpu.dispatch_scheduled = True
+        self.engine.after(delay, partial(self._dispatch, cpu))
+
+    def _dispatch(self, cpu: Cpu) -> None:
+        cpu.dispatch_scheduled = False
+        if cpu.current is not None:
+            return
+        extra = 0
+        thread: Optional[SimThread] = None
+        if cpu.run_queue:
+            thread = cpu.run_queue.popleft()
+        elif self.config.migration:
+            donor = max(self.cpus, key=lambda c: len(c.run_queue))
+            if donor.run_queue:
+                thread = donor.run_queue.pop()
+                cpu.migrations_in += 1
+                extra += self.costs.migration
+                extra += self.trace(
+                    cpu.idx, Major.PROC, ProcMinor.MIGRATE,
+                    (thread.addr, donor.idx, cpu.idx),
+                )
+        if thread is None:
+            if not cpu.idle:
+                self.trace(cpu.idx, Major.PROC, ProcMinor.IDLE_START, ())
+                cpu.note_idle(self.engine.now)
+            return
+        if cpu.idle:
+            extra += self.trace(cpu.idx, Major.PROC, ProcMinor.IDLE_END, ())
+            cpu.note_busy(self.engine.now)
+        extra += self.trace(
+            cpu.idx, Major.PROC, ProcMinor.CONTEXT_SWITCH,
+            (getattr(cpu, "last_addr", 0), thread.addr),
+            asm_path=True,  # the hand-optimized critical path of §3.2
+        )
+        cpu.context_switches += 1
+        cpu.current = thread
+        thread.state = ThreadState.RUNNING
+        thread.cpu = cpu.idx
+        thread.last_cpu = cpu.idx
+        delay = self.costs.context_switch + extra
+        cpu.quantum_end = self.engine.now + delay + self.costs.quantum
+        self.engine.after(delay, partial(self._continue, cpu, thread))
+        if self.config.migration and cpu.run_queue:
+            self._nudge_idle()  # leftover work another CPU could steal
+
+    # ------------------------------------------------------------------
+    # The execution loop
+    # ------------------------------------------------------------------
+    def _continue(self, cpu: Cpu, thread: SimThread) -> None:
+        if cpu.current is not thread or thread.state is not ThreadState.RUNNING:
+            return  # stale event (thread moved on)
+        self._current_cpu = cpu.idx
+        while True:
+            if thread.remaining_cycles > 0:
+                quantum_left = cpu.quantum_end - self.engine.now
+                if quantum_left <= 0:
+                    self._preempt(cpu, thread)
+                    return
+                slice_ = min(thread.remaining_cycles, quantum_left)
+                self.engine.after(
+                    slice_, partial(self._compute_done, cpu, thread, slice_)
+                )
+                return
+            try:
+                val, thread.send_value = thread.send_value, None
+                op = thread.gen.send(val)
+            except StopIteration:
+                self._thread_exit(cpu, thread)
+                return
+            kind = type(op)
+            if kind is Compute:
+                thread.remaining_cycles = op.cycles
+                if op.pc is not None:
+                    thread.pc = op.pc
+                    # Dynamic probes fire when an instrumented function
+                    # begins executing (springboard entry, §5).
+                    if self.probes._by_label:
+                        thread.remaining_cycles += self.probes.fire(
+                            cpu.idx, thread, op.pc
+                        )
+            elif kind is Acquire:
+                if not self._acquire(cpu, thread, op):
+                    return  # spinning: resumes on grant or spin timeout
+            elif kind is Release:
+                self._release(cpu, thread, op.lock)
+            elif kind is BlockOn:
+                self._block(cpu, thread, op.key)
+                return
+            elif kind is Wake:
+                self._wake(op.key)
+            elif kind is Sleep:
+                self._sleep(cpu, thread, op.cycles)
+                return
+            elif kind is SpawnProcess:
+                thread.send_value = self.spawn_process(
+                    op.program_factory, op.name,
+                    parent=thread.process, cpu=op.cpu,
+                )
+            elif kind is SpawnThread:
+                thread.send_value = self.spawn_thread(
+                    thread.process, op.program_factory, cpu=op.cpu
+                )
+            elif kind is ServerContext:
+                thread.acting_pid = op.pid
+            elif kind is Nop:
+                pass
+            else:
+                raise TypeError(f"program yielded unknown op {op!r}")
+
+    def _compute_done(self, cpu: Cpu, thread: SimThread, slice_: int) -> None:
+        if cpu.current is not thread or thread.state is not ThreadState.RUNNING:
+            return  # stale
+        thread.remaining_cycles -= slice_
+        self.hw.on_compute(cpu.idx, thread, slice_)
+        self._continue(cpu, thread)
+
+    def _preempt(self, cpu: Cpu, thread: SimThread) -> None:
+        cost = self.costs.timer_interrupt
+        cost += self.trace(
+            cpu.idx, Major.EXC, ExcMinor.TIMER_INTERRUPT,
+            (self.engine.now // self.costs.quantum,),
+        )
+        if not cpu.run_queue:
+            # Nothing else to run: take the tick and keep going.
+            cpu.quantum_end = self.engine.now + cost + self.costs.quantum
+            self.engine.after(cost, partial(self._continue, cpu, thread))
+            return
+        thread.state = ThreadState.READY
+        thread.cpu = None
+        cpu.run_queue.append(thread)
+        cpu.current = None
+        cpu.last_addr = thread.addr
+        self._schedule_dispatch(cpu, delay=cost)
+
+    # -- locks -------------------------------------------------------------
+    def _acquire(self, cpu: Cpu, thread: SimThread, op: Acquire) -> bool:
+        lock: SimLock = op.lock
+        if lock.owner is None:
+            lock.owner = thread
+            lock.acquisitions += 1
+            cost = self.costs.lock_uncontended
+            if self.config.trace_all_lock_events:
+                cost += self.trace(
+                    cpu.idx, Major.LOCK, LockMinor.ACQUIRE, (lock.lock_id,)
+                )
+            thread.remaining_cycles += cost
+            return True
+        lock.contentions += 1
+        chain_id = self.intern_chain(op.chain)
+        self.trace(
+            cpu.idx, Major.LOCK, LockMinor.CONTEND_START,
+            (lock.lock_id, chain_id),
+        )
+        waiter = Waiter(thread, self.engine.now, chain_id)
+        lock.waiters.append(waiter)
+        thread.state = ThreadState.SPINNING
+        thread.pc = f"{lock.name}::_acquire"
+        self.intern_pc(thread.pc)
+        waiter.timeout = self.engine.after(
+            self.costs.spin_threshold,
+            partial(self._spin_timeout, cpu, lock, waiter),
+        )
+        return False
+
+    def _spin_timeout(self, cpu: Cpu, lock: SimLock, waiter: Waiter) -> None:
+        if waiter not in lock.waiters:
+            return  # already granted
+        waiter.spinning = False
+        thread = waiter.thread
+        self.trace(cpu.idx, Major.LOCK, LockMinor.BLOCK, (lock.lock_id,))
+        thread.state = ThreadState.BLOCKED
+        thread.cpu = None
+        cpu.current = None
+        cpu.last_addr = thread.addr
+        self._schedule_dispatch(cpu)
+
+    def _release(self, cpu: Cpu, thread: SimThread, lock: SimLock) -> None:
+        if lock.owner is not thread:
+            raise RuntimeError(
+                f"thread {thread.tid} released {lock.name} owned by "
+                f"{lock.owner.tid if lock.owner else None}"
+            )
+        lock.owner = None
+        cost = self.costs.lock_uncontended // 2
+        if self.config.trace_all_lock_events or lock.waiters:
+            cost += self.trace(
+                cpu.idx, Major.LOCK, LockMinor.RELEASE, (lock.lock_id,)
+            )
+        if lock.waiters:
+            waiter = lock.waiters.popleft()
+            wait = self.engine.now - waiter.start_time
+            lock.record_wait(wait)
+            lock.acquisitions += 1
+            lock.owner = waiter.thread
+            if waiter.spinning:
+                spins = max(1, wait // self.costs.spin_iteration)
+            else:
+                spins = self.costs.spin_threshold // self.costs.spin_iteration
+            end_cpu = waiter.thread.cpu if waiter.spinning else cpu.idx
+            self.trace(
+                end_cpu, Major.LOCK, LockMinor.CONTEND_END,
+                (lock.lock_id, spins),
+            )
+            if waiter.spinning:
+                if waiter.timeout is not None:
+                    waiter.timeout.cancel()
+                waiter.thread.state = ThreadState.RUNNING
+                self.engine.after(
+                    self.costs.lock_handoff,
+                    partial(
+                        self._continue,
+                        self.cpus[waiter.thread.cpu],
+                        waiter.thread,
+                    ),
+                )
+            else:
+                waiter.thread.state = ThreadState.READY
+                waiter.thread.remaining_cycles += self.costs.lock_block_wakeup
+                self._enqueue(waiter.thread)
+        thread.remaining_cycles += cost
+
+    # -- blocking / waking ----------------------------------------------
+    def _block(self, cpu: Cpu, thread: SimThread, key: Any) -> None:
+        self.waitq.setdefault(key, []).append(thread)
+        thread.state = ThreadState.BLOCKED
+        thread.cpu = None
+        cpu.current = None
+        cpu.last_addr = thread.addr
+        self._schedule_dispatch(cpu)
+
+    def _wake(self, key: Any) -> None:
+        for t in self.waitq.pop(key, []):
+            if t.state is ThreadState.BLOCKED:
+                self._enqueue(t)
+
+    def _sleep(self, cpu: Cpu, thread: SimThread, cycles: int) -> None:
+        thread.state = ThreadState.BLOCKED
+        thread.cpu = None
+        cpu.current = None
+        cpu.last_addr = thread.addr
+
+        def wake() -> None:
+            if thread.state is ThreadState.BLOCKED:
+                self._enqueue(thread)
+
+        self.engine.after(cycles, wake)
+        self._schedule_dispatch(cpu)
+
+    # -- exit ----------------------------------------------------------------
+    def _thread_exit(self, cpu: Cpu, thread: SimThread) -> None:
+        thread.state = ThreadState.DONE
+        thread.cpu = None
+        self.live_threads -= 1
+        self.trace(cpu.idx, Major.PROC, ProcMinor.THREAD_EXIT, (thread.addr,))
+        proc = thread.process
+        if proc.live_threads == 0 and not proc.exited:
+            proc.exited = True
+            proc.exited_at = self.engine.now
+            proc.exit_status = 0
+            self.trace(cpu.idx, Major.PROC, ProcMinor.EXIT, (proc.pid, 0))
+            self.trace(cpu.idx, Major.USER, UserMinor.RETURNED_MAIN, (proc.pid,))
+            self._wake(("pexit", proc.pid))
+        cpu.current = None
+        cpu.last_addr = thread.addr
+        self._schedule_dispatch(cpu, delay=self.costs.exit_base)
+
+    # ------------------------------------------------------------------
+    # Killing (SIGKILL semantics)
+    # ------------------------------------------------------------------
+    def kill_process(self, proc: Process, status: int = 137) -> None:
+        """Terminate every thread of ``proc`` immediately.
+
+        Threads vanish wherever they are: running (their CPU redispatches),
+        queued, blocked, or spinning on a lock (their waiter entry is
+        removed).  Locks the victim *owns* stay owned — exactly the wedge
+        a real SIGKILL of a lock holder causes; the deadlock/hold tools
+        see it in the trace.
+        """
+        if proc.exited:
+            return
+        for thread in proc.threads:
+            if thread.state is ThreadState.DONE:
+                continue
+            # Remove from any run queue.
+            for cpu in self.cpus:
+                try:
+                    cpu.run_queue.remove(thread)
+                except ValueError:
+                    pass
+                if cpu.current is thread:
+                    cpu.current = None
+                    cpu.last_addr = thread.addr
+                    self._schedule_dispatch(cpu)
+            # Remove from lock wait queues.
+            for lock in self.locks:
+                for waiter in list(lock.waiters):
+                    if waiter.thread is thread:
+                        if waiter.timeout is not None:
+                            waiter.timeout.cancel()
+                        lock.waiters.remove(waiter)
+            # Remove from blocking wait queues.
+            for waiters in self.waitq.values():
+                if thread in waiters:
+                    waiters.remove(thread)
+            thread.state = ThreadState.DONE
+            thread.cpu = None
+            self.live_threads -= 1
+            self.trace(None, Major.PROC, ProcMinor.THREAD_EXIT,
+                       (thread.addr,))
+        proc.exited = True
+        proc.exited_at = self.engine.now
+        proc.exit_status = status
+        self.trace(None, Major.PROC, ProcMinor.EXIT, (proc.pid, status))
+        self._wake(("pexit", proc.pid))
+
+    # ------------------------------------------------------------------
+    # PC sampling (statistical execution profiling, §4.5)
+    # ------------------------------------------------------------------
+    def _ensure_samplers(self) -> None:
+        self.hw.arm()
+        if self.config.pc_sample_period <= 0 or self._samplers_armed:
+            return
+        self._samplers_armed = True
+        for cpu in self.cpus:
+            self.engine.after(
+                self.config.pc_sample_period, partial(self._sample, cpu)
+            )
+
+    def _sample(self, cpu: Cpu) -> None:
+        if self.live_threads <= 0:
+            self._samplers_armed = False
+            return
+        thread = cpu.current
+        if thread is not None and thread.state in (
+            ThreadState.RUNNING, ThreadState.SPINNING
+        ):
+            pid = (
+                thread.acting_pid
+                if thread.acting_pid is not None
+                else thread.process.pid
+            )
+            self.trace(
+                cpu.idx, Major.PCSAMPLE, PcSampleMinor.SAMPLE,
+                (pid, self.intern_pc(thread.pc)),
+            )
+        self.engine.after(self.config.pc_sample_period, partial(self._sample, cpu))
+
+    # ------------------------------------------------------------------
+    # Run control & reporting
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        return self.engine.run(until=until, max_events=max_events)
+
+    def run_until_quiescent(self, max_cycles: int = 10**12) -> bool:
+        """Run until all threads finish; returns False on the cycle cap
+        (e.g. a deadlock left threads blocked forever)."""
+        horizon = self.engine.now + max_cycles
+        while self.live_threads > 0:
+            if not self.engine._heap:
+                return False  # blocked threads with no pending events
+            if self.engine._heap[0][0] > horizon:
+                return False
+            self.engine.step()
+        self.hw.flush_samples()
+        return True
+
+    def utilization(self) -> List[float]:
+        """Per-CPU busy fraction over the elapsed simulated time."""
+        total = self.engine.now
+        if total == 0:
+            return [0.0] * len(self.cpus)
+        out = []
+        for cpu in self.cpus:
+            idle = cpu.total_idle + (
+                (self.engine.now - cpu.idle_since) if cpu.idle else 0
+            )
+            out.append(max(0.0, 1.0 - idle / total))
+        return out

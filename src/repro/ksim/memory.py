@@ -1,0 +1,193 @@
+"""Memory subsystem: allocators with their (contended) locks, page faults.
+
+The allocation call chains reproduce the ones the paper's Figure 7
+reports as the top contended locks — ``AllocRegionManager::alloc`` via
+``GMalloc::gMalloc`` and ``PageAllocatorDefault::deallocPages`` via
+``AllocPool::largeFree``/``largeAlloc``.
+
+Lock structure:
+
+* K42 mode (``coarse_locked=False``): a per-CPU ``AllocRegionManager``
+  lock handles most traffic; a configurable fraction of requests (large
+  allocations, pool refills) takes the *global* region-manager lock, and
+  page returns take the global ``PageAllocatorDefault`` lock.  This is
+  exactly the partially-fixed state the paper's lock-hunting iterations
+  worked through.
+* Linux-like mode (``coarse_locked=True``): one global allocator lock
+  covers everything — the non-scalable baseline of Figure 3.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Generator, Optional
+
+from repro.core.majors import ExcMinor, Major, MemMinor
+from repro.ksim.ops import Acquire, Compute, Op, Release, Sleep
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ksim.kernel import Kernel
+
+# Call chains exactly as Figure 7 prints them.
+CHAIN_GMALLOC = (
+    "AllocRegionManager::alloc(unsigned",
+    "PMallocDefault::pMalloc(unsigned",
+    "GMalloc::gMalloc()",
+)
+CHAIN_LARGE_FREE = (
+    "PageAllocatorDefault::deallocPages(unsigned",
+    "PageAllocatorUser::deallocPages(unsigned",
+    "AllocPool::largeFree(void*,",
+)
+CHAIN_LARGE_ALLOC = (
+    "PageAllocatorDefault::deallocPages(unsigned",
+    "PageAllocatorUser::deallocPages(unsigned",
+    "AllocPool::largeAlloc(unsigned",
+)
+CHAIN_PERCPU_ALLOC = (
+    "AllocRegionManager::alloc(unsigned",
+    "PMallocDefault::pMalloc(unsigned",
+    "AllocPool::localAlloc()",
+)
+
+#: Allocations at or above this take the large/global path.
+LARGE_ALLOC_BYTES = 64 * 1024
+
+
+class MemorySubsystem:
+    def __init__(self, kernel: "Kernel") -> None:
+        self.k = kernel
+        cfg = kernel.config
+        if cfg.coarse_locked:
+            big = kernel.create_lock("kernel_alloc_global")
+            self.percpu_locks = [big] * cfg.ncpus
+            self.global_lock = big
+            self.page_lock = big
+        else:
+            self.percpu_locks = [
+                kernel.create_lock(f"AllocRegionManager.cpu{i}")
+                for i in range(cfg.ncpus)
+            ]
+            self.global_lock = kernel.create_lock("AllocRegionManager.global")
+            self.page_lock = kernel.create_lock("PageAllocatorDefault")
+        self.allocations = 0
+        self.deallocations = 0
+        self.page_faults = 0
+
+    def _alloc_seq(self) -> int:
+        """Per-process allocation sequence number.
+
+        The global-path decision keys off this (not a shared RNG) so it
+        is independent of scheduling order — tracing-overhead comparisons
+        between runs would otherwise diverge through RNG consumption.
+        """
+        thread = self.k.cpus[self.k._current_cpu].current
+        proc = thread.process if thread is not None else self.k.kernel_process
+        seq = getattr(proc, "_alloc_seq", 0)
+        proc._alloc_seq = seq + 1
+        return seq
+
+    # ------------------------------------------------------------------
+    def alloc(self, size: int) -> Generator[Op, None, int]:
+        """Allocate ``size`` bytes; returns an address-like token.
+
+        Routed to the per-CPU pool or the global manager per the rules
+        above; the lock acquire carries the matching call chain so the
+        lock-analysis tool attributes contention the way Figure 7 does.
+        """
+        k = self.k
+        self.allocations += 1
+        frac = k.config.global_alloc_fraction
+        period = max(1, round(1.0 / frac)) if frac > 0 else 0
+        take_global = (
+            k.config.coarse_locked
+            or size >= LARGE_ALLOC_BYTES
+            or (period > 0 and self._alloc_seq() % period == 0)
+        )
+        if take_global:
+            lock = self.global_lock
+            chain = CHAIN_GMALLOC
+            work = k.costs.alloc_large
+            pc = "GMalloc::gMalloc()"
+        else:
+            lock = self.percpu_locks[k._current_cpu]
+            chain = CHAIN_PERCPU_ALLOC
+            work = k.costs.alloc_small
+            pc = "MemDesc::alloc(DataChunk*,"
+        yield Acquire(lock, chain)
+        addr = 0x1000_0000 + self.allocations * 0x40
+        cost = work
+        cost += k.trace(None, Major.MEM, MemMinor.ALLOC_REGION_HOLD, (addr, size))
+        yield Compute(cost, pc=pc)
+        yield Release(lock)
+        return addr
+
+    def dealloc(self, addr: int, size: int) -> Generator[Op, None, None]:
+        """Free memory; large frees go through the page allocator lock."""
+        k = self.k
+        self.deallocations += 1
+        if k.config.coarse_locked or size >= LARGE_ALLOC_BYTES:
+            lock = self.page_lock
+            chain = CHAIN_LARGE_FREE if self.deallocations % 2 else CHAIN_LARGE_ALLOC
+            pc = "PageAllocatorDefault::deallocPages"
+            work = k.costs.alloc_large // 2
+        else:
+            lock = self.percpu_locks[k._current_cpu]
+            chain = CHAIN_PERCPU_ALLOC
+            pc = "AllocPool::localFree()"
+            work = k.costs.alloc_small // 2
+        yield Acquire(lock, chain)
+        cost = work
+        cost += k.trace(
+            None, Major.MEM, MemMinor.PAGE_DEALLOC,
+            (addr, max(1, size // 4096)),
+        )
+        yield Compute(cost, pc=pc)
+        yield Release(lock)
+
+    # ------------------------------------------------------------------
+    def page_fault(
+        self, fault_addr: int, major: bool = False
+    ) -> Generator[Op, None, None]:
+        """Service a page fault, traced as TRC_EXCEPTION_PGFLT[_DONE].
+
+        A major fault sleeps for the device latency (the thread blocks,
+        its CPU runs something else) — the behaviour the fine-grained
+        breakdown of §4.7 attributes separately.
+        """
+        k = self.k
+        self.page_faults += 1
+        thread = k.cpus[k._current_cpu].current
+        taddr = thread.addr if thread is not None else 0
+        cost = k.trace(
+            None, Major.EXC, ExcMinor.PGFLT, (taddr, fault_addr)
+        )
+        if k.config.coarse_locked:
+            # Linux-like baseline: fault service under the big lock.
+            yield Acquire(self.page_lock, ("do_page_fault", "handle_mm_fault"))
+        yield Compute(
+            cost + k.costs.page_fault_minor, pc="ExceptionLocal::pgflt"
+        )
+        if k.config.coarse_locked:
+            yield Release(self.page_lock)
+        if major:
+            yield Sleep(k.costs.page_fault_major)
+        cost = k.trace(
+            None, Major.EXC, ExcMinor.PGFLT_DONE, (taddr, fault_addr)
+        )
+        yield Compute(cost + 50, pc="ExceptionLocal::pgflt_done")
+
+    def create_region(self, proc_pid: int, size: int) -> Generator[Op, None, int]:
+        """Create an address-space region (brk/mmap growth)."""
+        k = self.k
+        region = 0x8000_0000_1022_0000 | (proc_pid << 16) | (self.allocations & 0xFFFF)
+        cost = k.costs.region_create
+        cost += k.trace(
+            None, Major.MEM, MemMinor.REGION_CREATE_FIXED,
+            (region, 0x1000_0000, size),
+        )
+        cost += k.trace(
+            None, Major.MEM, MemMinor.REGION_INIT_FIXED,
+            (region, 0x1000_0000),
+        )
+        yield Compute(cost, pc="RegionDefault::create")
+        return region

@@ -1,0 +1,107 @@
+"""Primitive operations simulated threads yield to the kernel executor.
+
+A simulated program is a generator; each ``yield`` hands the executor
+one of these operations.  Kernel services are themselves generators
+(``yield from``-composed into the thread), so a single generator drives
+each thread through user code, the Linux-emulation layer, and kernel
+paths alike — mirroring how K42 traces all of those through one
+facility.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable, Generator, Optional, Tuple
+
+Program = Generator["Op", Any, Any]
+
+
+class Op:
+    """Base class for executor operations."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Compute(Op):
+    """Consume CPU cycles; preemptible at quantum boundaries.
+
+    ``pc`` labels the executing function for statistical profiling
+    (§4.5) — the simulator's stand-in for the program counter.
+    """
+
+    cycles: int
+    pc: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class Acquire(Op):
+    """Acquire a kernel lock; ``chain`` is the call chain for Figure 7."""
+
+    lock: Any  # SimLock
+    chain: Tuple[str, ...] = ()
+
+
+@dataclass(frozen=True)
+class Release(Op):
+    lock: Any  # SimLock
+
+
+@dataclass(frozen=True)
+class BlockOn(Op):
+    """Block until some entity calls ``Wake`` with the same key."""
+
+    key: Any
+
+
+@dataclass(frozen=True)
+class Wake(Op):
+    """Wake every thread blocked on ``key`` (no-op if none)."""
+
+    key: Any
+
+
+@dataclass(frozen=True)
+class Sleep(Op):
+    """Release the CPU for a fixed number of cycles (I/O latency etc.)."""
+
+    cycles: int
+
+
+@dataclass(frozen=True)
+class SpawnProcess(Op):
+    """Create a new process running ``program_factory(api)``.
+
+    The executor sends the new :class:`~repro.ksim.thread.Process` back
+    into the generator.
+    """
+
+    program_factory: Callable
+    name: str
+    cpu: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SpawnThread(Op):
+    """Create an additional thread in the current process."""
+
+    program_factory: Callable
+    cpu: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class ServerContext(Op):
+    """Enter/leave a server's address space during a PPC call.
+
+    K42's protected procedure calls move the executing thread into the
+    server process; while there, PC samples and time attribute to the
+    server PID (how Figure 6 gets a histogram *for* baseServers).
+    ``pid=None`` restores the home process.
+    """
+
+    pid: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class Nop(Op):
+    """Yield point with no cost (lets tests single-step programs)."""

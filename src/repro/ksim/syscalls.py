@@ -1,0 +1,263 @@
+"""The Linux-emulation syscall layer and the user-program API.
+
+K42 runs Linux applications through an emulation layer in user space
+(§1, §4.7); every syscall here is bracketed by emulation-layer and
+syscall enter/exit trace events so the fine-grained breakdown tool can
+attribute time among user code, the emulation layer, servers, and the
+kernel — reproducing Figure 8's table.
+
+Workload programs receive a :class:`UserApi` and are written as
+generators::
+
+    def my_program(api):
+        yield from api.compute(50_000, pc="my_inner_loop")
+        buf = yield from api.malloc(4096)
+        fd = yield from api.open("/etc/passwd")
+        yield from api.read(fd, 1024)
+        yield from api.close(fd)
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+
+from repro.core.majors import IOMinor, Major, SyscallMinor, UserMinor
+from repro.ksim.ops import (
+    BlockOn,
+    Compute,
+    Op,
+    Sleep,
+    SpawnProcess,
+    SpawnThread,
+)
+from repro.ksim.thread import Process, SimThread
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.ksim.kernel import Kernel
+
+#: Syscall numbers (Linux-flavoured), named as Figure 8 names them.
+SYSCALL_NUMBERS = {
+    "SCexit": 1,
+    "SCfork": 2,
+    "SCread": 3,
+    "SCwrite": 4,
+    "SCopen": 5,
+    "SCclose": 6,
+    "SCwaitpid": 7,
+    "SCexecve": 11,
+    "SCgetpid": 20,
+    "SCbrk": 45,
+    "SCnanosleep": 162,
+}
+
+
+class UserApi:
+    """Everything a simulated user program can do."""
+
+    def __init__(self, kernel: "Kernel", process: Process) -> None:
+        self.k = kernel
+        self.process = process
+        self._next_fd = 3
+        self.rng = kernel.rng
+
+    # ------------------------------------------------------------------
+    # Syscall bracketing (emulation layer + enter/exit events)
+    # ------------------------------------------------------------------
+    def _sc_enter(self, name: str) -> Generator[Op, None, int]:
+        k = self.k
+        num = SYSCALL_NUMBERS[name]
+        t0 = k.now
+        cost = k.costs.emu_layer + k.costs.syscall_entry
+        cost += k.trace(None, Major.USER, UserMinor.EMU_ENTER, (num,))
+        cost += k.trace(
+            None, Major.SYSCALL, SyscallMinor.ENTER, (self.process.pid, num)
+        )
+        yield Compute(cost, pc=f"emu::{name}")
+        return t0
+
+    def _sc_exit(self, name: str, t0: int) -> Generator[Op, None, None]:
+        k = self.k
+        num = SYSCALL_NUMBERS[name]
+        elapsed = k.now - t0
+        cost = k.costs.syscall_exit
+        cost += k.trace(
+            None, Major.SYSCALL, SyscallMinor.EXIT,
+            (self.process.pid, num, elapsed),
+        )
+        cost += k.trace(None, Major.USER, UserMinor.EMU_EXIT, (num,))
+        yield Compute(cost, pc=f"emu::{name}_ret")
+
+    # ------------------------------------------------------------------
+    # Pure computation
+    # ------------------------------------------------------------------
+    def compute(self, cycles: int, pc: str = "user_compute") -> Generator[Op, None, None]:
+        """Burn user-mode CPU cycles under the given function label."""
+        yield Compute(cycles, pc=pc)
+
+    def set_working_set(self, pages: int) -> None:
+        """Declare how many pages this process actively touches.
+
+        Drives the simulated cache/TLB model: working sets beyond the L2
+        capacity thrash, and migrations/context switches pay a cold-miss
+        burst proportional to the resident set.
+        """
+        if pages < 1:
+            raise ValueError("working set must be at least one page")
+        self.process.working_set_pages = pages
+
+    def sleep(self, cycles: int) -> Generator[Op, None, None]:
+        """Release the CPU for ``cycles`` (think time, timers)."""
+        t0 = yield from self._sc_enter("SCnanosleep")
+        yield Sleep(cycles)
+        yield from self._sc_exit("SCnanosleep", t0)
+
+    # ------------------------------------------------------------------
+    # Memory
+    # ------------------------------------------------------------------
+    def malloc(self, size: int) -> Generator[Op, None, int]:
+        """User-level allocation through the kernel allocator locks."""
+        addr = yield from self.k.memory.alloc(size)
+        return addr
+
+    def free(self, addr: int, size: int) -> Generator[Op, None, None]:
+        yield from self.k.memory.dealloc(addr, size)
+
+    def brk(self, grow: int) -> Generator[Op, None, int]:
+        t0 = yield from self._sc_enter("SCbrk")
+        self.process.brk += grow
+        region = yield from self.k.memory.create_region(self.process.pid, grow)
+        yield from self._sc_exit("SCbrk", t0)
+        return region
+
+    def touch(
+        self, pages: int = 1, major_fraction: float = 0.0
+    ) -> Generator[Op, None, None]:
+        """Touch fresh memory, taking one page fault per page."""
+        for i in range(pages):
+            addr = self.process.brk + i * 4096
+            major = self.rng.random() < major_fraction
+            yield from self.k.memory.page_fault(addr, major=major)
+
+    # ------------------------------------------------------------------
+    # File I/O through the file server (PPC)
+    # ------------------------------------------------------------------
+    def open(self, path: str) -> Generator[Op, None, int]:
+        k = self.k
+        t0 = yield from self._sc_enter("SCopen")
+        cost = k.trace_str_event(None, "TRC_IO_OPEN", self.process.pid, path)
+        cost += k.trace_str_event(None, "TRC_IO_LOOKUP", path)
+        yield Compute(cost + 80, pc="emu::open_path")
+        yield from k.fileserver.call("open")
+        fd = self._next_fd
+        self._next_fd += 1
+        yield from self._sc_exit("SCopen", t0)
+        return fd
+
+    def read(
+        self, fd: int, nbytes: int, cached: bool = True
+    ) -> Generator[Op, None, int]:
+        k = self.k
+        t0 = yield from self._sc_enter("SCread")
+        cost = k.trace(
+            None, Major.IO, IOMinor.READ_START, (self.process.pid, fd, nbytes)
+        )
+        yield Compute(cost + 40, pc="emu::read")
+        yield from k.fileserver.call(
+            "read", service_cycles=1_500 + nbytes // k.costs.io_per_byte_denom
+        )
+        if not cached:
+            # A real device round trip: queue, service, completion IRQ.
+            yield from k.disk.submit("read", nbytes)
+        cost = k.trace(None, Major.IO, IOMinor.READ_DONE, (self.process.pid, fd))
+        yield Compute(cost + 20, pc="emu::read_done")
+        yield from self._sc_exit("SCread", t0)
+        return nbytes
+
+    def write(
+        self, fd: int, nbytes: int, sync: bool = False
+    ) -> Generator[Op, None, int]:
+        k = self.k
+        t0 = yield from self._sc_enter("SCwrite")
+        cost = k.trace(
+            None, Major.IO, IOMinor.WRITE_START, (self.process.pid, fd, nbytes)
+        )
+        yield Compute(cost + 40, pc="emu::write")
+        yield from k.fileserver.call(
+            "write", service_cycles=1_800 + nbytes // k.costs.io_per_byte_denom
+        )
+        if sync:
+            # O_SYNC-style write: wait for the device round trip.
+            yield from k.disk.submit("write", nbytes)
+        cost = k.trace(None, Major.IO, IOMinor.WRITE_DONE, (self.process.pid, fd))
+        yield Compute(cost + 20, pc="emu::write_done")
+        yield from self._sc_exit("SCwrite", t0)
+        return nbytes
+
+    def close(self, fd: int) -> Generator[Op, None, None]:
+        k = self.k
+        t0 = yield from self._sc_enter("SCclose")
+        cost = k.trace(None, Major.IO, IOMinor.CLOSE, (self.process.pid, fd))
+        yield Compute(cost + 30, pc="emu::close")
+        yield from k.fileserver.call("close", service_cycles=600, contend=False)
+        yield from self._sc_exit("SCclose", t0)
+
+    # ------------------------------------------------------------------
+    # Process lifecycle
+    # ------------------------------------------------------------------
+    def spawn(
+        self,
+        program_factory: Callable,
+        name: str,
+        cpu: Optional[int] = None,
+    ) -> Generator[Op, None, Process]:
+        """fork + execve, traced as both syscalls (Figure 8's SCexecve
+        row with its IPC activity comes from the image loading here)."""
+        k = self.k
+        t0 = yield from self._sc_enter("SCfork")
+        fork_cost = k.costs.fork_lazy if k.config.lazy_fork else k.costs.fork_base
+        yield Compute(fork_cost, pc="ProcessDefault::fork")
+        addr = yield from k.memory.alloc(4 * 4096)  # child bookkeeping
+        yield from self._sc_exit("SCfork", t0)
+
+        t0 = yield from self._sc_enter("SCexecve")
+        yield from k.fileserver.call("open", service_cycles=1_200)
+        yield from k.fileserver.call("load_image", service_cycles=6_000,
+                                     contend=False)
+        yield Compute(k.costs.exec_base, pc="ProcessDefault::exec")
+        child = yield SpawnProcess(program_factory, name, cpu)
+        yield from k.memory.dealloc(addr, 4 * 4096)
+        yield from self._sc_exit("SCexecve", t0)
+        return child
+
+    def spawn_thread(
+        self, program_factory: Callable, cpu: Optional[int] = None
+    ) -> Generator[Op, None, SimThread]:
+        thread = yield SpawnThread(program_factory, cpu)
+        return thread
+
+    def wait(self, child: Process) -> Generator[Op, None, None]:
+        """waitpid: block until the child exits."""
+        t0 = yield from self._sc_enter("SCwaitpid")
+        if not child.exited:
+            yield BlockOn(("pexit", child.pid))
+        yield from self._sc_exit("SCwaitpid", t0)
+
+    def getpid(self) -> Generator[Op, None, int]:
+        t0 = yield from self._sc_enter("SCgetpid")
+        yield from self._sc_exit("SCgetpid", t0)
+        return self.process.pid
+
+    # ------------------------------------------------------------------
+    # Application-level tracing (the unified facility at work)
+    # ------------------------------------------------------------------
+    def mark(self, label: str, tag: int = 0) -> Generator[Op, None, None]:
+        cost = self.k.trace_str_event(None, "TRC_USER_APP_MARK", tag, label)
+        yield Compute(max(cost, 1), pc="user_mark")
+
+    def phase_begin(self, name: str, phase_id: int = 0) -> Generator[Op, None, None]:
+        cost = self.k.trace_str_event(None, "TRC_APP_PHASE_BEGIN", phase_id, name)
+        yield Compute(max(cost, 1), pc="user_phase")
+
+    def phase_end(self, name: str, phase_id: int = 0) -> Generator[Op, None, None]:
+        cost = self.k.trace_str_event(None, "TRC_APP_PHASE_END", phase_id, name)
+        yield Compute(max(cost, 1), pc="user_phase")

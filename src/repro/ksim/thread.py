@@ -1,0 +1,76 @@
+"""Processes and threads of the simulated OS."""
+
+from __future__ import annotations
+
+import enum
+from typing import Any, List, Optional
+
+from repro.ksim.ops import Program
+
+
+class ThreadState(enum.Enum):
+    READY = "ready"
+    RUNNING = "running"
+    SPINNING = "spinning"    # busy-waiting on a contended lock
+    BLOCKED = "blocked"      # lock block, I/O, sleep, waitpid
+    DONE = "done"
+
+
+class Process:
+    """A simulated process (PID 0 is the kernel, 1 baseServers, like K42)."""
+
+    def __init__(self, pid: int, name: str, parent: Optional["Process"] = None) -> None:
+        self.pid = pid
+        self.name = name
+        self.parent = parent
+        self.threads: List["SimThread"] = []
+        self.exited = False
+        self.exit_status: Optional[int] = None
+        self.created_at: int = 0
+        self.exited_at: Optional[int] = None
+        # Address-space bookkeeping (region events for Figure 5 realism).
+        self.regions: List[int] = []
+        self.brk: int = 0x1000_0000
+        #: Pages the process actively touches (drives the cache model).
+        self.working_set_pages: int = 16
+
+    @property
+    def live_threads(self) -> int:
+        return sum(1 for t in self.threads if t.state is not ThreadState.DONE)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Process(pid={self.pid}, name={self.name!r})"
+
+
+class SimThread:
+    """One schedulable thread: a generator plus executor state."""
+
+    _next_tid = [1]
+
+    def __init__(self, process: Process, gen: Program, tid: Optional[int] = None) -> None:
+        if tid is None:
+            tid = SimThread._next_tid[0]
+            SimThread._next_tid[0] += 1
+        self.tid = tid
+        self.process = process
+        self.gen = gen
+        self.state = ThreadState.READY
+        self.cpu: Optional[int] = None        # CPU currently running/spinning on
+        self.last_cpu: Optional[int] = None   # affinity hint
+        self.pc: str = "user_start"           # current function label
+        self.acting_pid: Optional[int] = None  # server pid during a PPC call
+        self.send_value: Any = None           # sent into gen on next resume
+        self.remaining_cycles: int = 0        # unfinished Compute op
+        self.started_at: Optional[int] = None
+        process.threads.append(self)
+
+    @property
+    def addr(self) -> int:
+        """A stable address-like identifier for trace events."""
+        return 0x8000_0000_0000_0000 | (self.tid << 8)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"SimThread(tid={self.tid}, pid={self.process.pid}, "
+            f"state={self.state.value}, pc={self.pc!r})"
+        )

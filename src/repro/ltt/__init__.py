@@ -1,0 +1,30 @@
+"""Linux Trace Toolkit baseline configurations (§4.1).
+
+The paper reports an order-of-magnitude improvement when K42's
+technology was applied to LTT, from three changes: lockless logging,
+per-processor buffers, and cheaper timestamp acquisition.  This package
+provides each configuration so the ablation benchmark can isolate each
+factor, plus the x86 TSC-interpolation scheme LTT adopted for machines
+without a synchronized cheap clock.
+"""
+
+from repro.ltt.configs import (
+    LTT_CONFIGS,
+    LttConfig,
+    build_logger_set,
+    original_ltt,
+    k42_ltt,
+)
+from repro.ltt.tscsync import (
+    TscAnchors,
+    TscInterpolator,
+    max_pairwise_skew,
+    synchronize_tsc_traces,
+    take_anchors,
+)
+
+__all__ = [
+    "LttConfig", "LTT_CONFIGS", "build_logger_set", "original_ltt", "k42_ltt",
+    "TscAnchors", "TscInterpolator", "synchronize_tsc_traces",
+    "take_anchors", "max_pairwise_skew",
+]

@@ -1,0 +1,145 @@
+"""The four logger configurations of the §4.1 ablation.
+
+The three technology transfers the paper describes — lockless logging,
+per-CPU buffers, cheap timestamps — turn the original LTT configuration
+into the K42-style one.  Each intermediate point is constructible so the
+benchmark can attribute the improvement factor to each change:
+
+========================  =========  ==========  ===========
+configuration             locking    buffers     timestamps
+========================  =========  ==========  ===========
+``original``              lock+irq   one shared  expensive
+``+percpu``               lock+irq   per-CPU     expensive
+``+cheap-ts``             lock+irq   per-CPU     cheap
+``k42`` (all three)       lockless   per-CPU     cheap
+========================  =========  ==========  ===========
+"""
+
+from __future__ import annotations
+
+import threading
+from dataclasses import dataclass
+from typing import List, Union
+
+from repro.core.buffers import TraceControl
+from repro.core.locking_logger import LockingTraceLogger
+from repro.core.logger import TraceLogger
+from repro.core.mask import TraceMask
+from repro.core.timestamps import ClockSource, ExpensiveWallClock, WallClock
+
+Logger = Union[TraceLogger, LockingTraceLogger]
+
+
+@dataclass(frozen=True)
+class LttConfig:
+    name: str
+    lockless: bool
+    per_cpu_buffers: bool
+    cheap_timestamps: bool
+
+    def make_clock(self) -> ClockSource:
+        return WallClock() if self.cheap_timestamps else ExpensiveWallClock()
+
+
+ORIGINAL = LttConfig("original", lockless=False, per_cpu_buffers=False,
+                     cheap_timestamps=False)
+PLUS_PERCPU = LttConfig("+percpu", lockless=False, per_cpu_buffers=True,
+                        cheap_timestamps=False)
+PLUS_CHEAP_TS = LttConfig("+cheap-ts", lockless=False, per_cpu_buffers=True,
+                          cheap_timestamps=True)
+K42_STYLE = LttConfig("k42", lockless=True, per_cpu_buffers=True,
+                      cheap_timestamps=True)
+
+LTT_CONFIGS: List[LttConfig] = [ORIGINAL, PLUS_PERCPU, PLUS_CHEAP_TS, K42_STYLE]
+
+
+def original_ltt() -> LttConfig:
+    return ORIGINAL
+
+
+def k42_ltt() -> LttConfig:
+    return K42_STYLE
+
+
+@dataclass
+class LoggerSet:
+    """Per-CPU loggers plus their backing controls for one configuration."""
+
+    config: LttConfig
+    loggers: List[Logger]
+    controls: List[TraceControl]
+    mask: TraceMask
+    clock: ClockSource
+
+    def flush(self):
+        out = []
+        for control in self.controls:
+            out.extend(control.flush())
+        return out
+
+
+def build_logger_set(
+    config: LttConfig,
+    ncpus: int,
+    buffer_words: int = 4096,
+    num_buffers: int = 16,
+    irq_disable_iters: int = 60,
+    expensive_ts_iters: int = 120,
+) -> LoggerSet:
+    """Instantiate one configuration for ``ncpus`` logging threads.
+
+    ``irq_disable_iters`` models the interrupt-disable/enable cost the
+    original LTT locking scheme pays inside its critical section;
+    ``expensive_ts_iters`` scales the gettimeofday-style timestamp cost.
+    Both should be calibrated as multiples of the implementation's base
+    event cost when reproducing era-relative ratios (see
+    benchmarks/bench_ltt_ablation.py).
+    """
+    mask = TraceMask()
+    mask.enable_all()
+    clock: ClockSource = (
+        WallClock() if config.cheap_timestamps
+        else ExpensiveWallClock(penalty_iters=expensive_ts_iters)
+    )
+    controls: List[TraceControl] = []
+    loggers: List[Logger] = []
+
+    if config.per_cpu_buffers:
+        for cpu in range(ncpus):
+            controls.append(
+                TraceControl(cpu=cpu, buffer_words=buffer_words,
+                             num_buffers=num_buffers)
+            )
+    else:
+        controls.append(
+            TraceControl(cpu=0, buffer_words=buffer_words,
+                         num_buffers=num_buffers)
+        )
+
+    if config.lockless:
+        if not config.per_cpu_buffers:
+            raise ValueError(
+                "the lockless configuration requires per-CPU buffers"
+            )
+        for cpu in range(ncpus):
+            logger = TraceLogger(controls[cpu], mask, clock)
+            logger.start()
+            loggers.append(logger)
+    else:
+        shared_lock = threading.Lock() if not config.per_cpu_buffers else None
+        for cpu in range(ncpus):
+            control = controls[cpu if config.per_cpu_buffers else 0]
+            logger = LockingTraceLogger(
+                control, mask, clock,
+                lock=shared_lock if shared_lock is not None else None,
+                irq_disable_iters=irq_disable_iters,
+                cpu=cpu,
+            )
+            loggers.append(logger)
+        loggers[0].start()
+        if config.per_cpu_buffers:
+            for lg in loggers[1:]:
+                lg.start()
+
+    return LoggerSet(config=config, loggers=loggers, controls=controls,
+                     mask=mask, clock=clock)

@@ -1,0 +1,197 @@
+"""Fine-grained system behaviour breakdown — the Figure 8 tool (§4.7).
+
+"K42 tracing data is detailed and fine-grained enough to allow us to
+attribute time accurately among processes, thread switches, IPC
+activity, page-faults, and transitions to and from the Linux emulation
+layer ... Within server processes and the kernel we identify how much
+time is spent servicing IPC calls made by other applications, which is
+then categorized by function."
+
+Reconstruction is trace-only: syscall enter/exit events bracket each
+call; PPC call/return pairs inside the bracket attribute IPC time; page
+fault pairs attribute fault time; everything else inside the bracket is
+the call's own computation.  Times print in microseconds like Figure 8.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.majors import ExcMinor, Major, SyscallMinor
+from repro.core.stream import Trace
+from repro.tools.context import ContextTracker
+
+CYCLES_PER_US = 1_000  # 1 GHz reference machine
+
+
+@dataclass
+class SyscallRow:
+    """One Figure 8 row: a syscall's aggregate behaviour in a process."""
+
+    name: str
+    total_cycles: int = 0
+    calls: int = 0
+    events: int = 0
+    ipc_cycles: int = 0
+    ipc_calls: int = 0
+    fault_cycles: int = 0
+    faults: int = 0
+
+    @property
+    def total_us(self) -> float:
+        return self.total_cycles / CYCLES_PER_US
+
+    @property
+    def compute_us(self) -> float:
+        """Time in the call minus attributed IPC and fault service."""
+        return max(0, self.total_cycles - self.ipc_cycles - self.fault_cycles) / CYCLES_PER_US
+
+    @property
+    def ipc_us(self) -> float:
+        return self.ipc_cycles / CYCLES_PER_US
+
+
+@dataclass
+class ProcessBreakdown:
+    pid: int
+    name: str = ""
+    syscalls: Dict[str, SyscallRow] = field(default_factory=dict)
+    total_events: int = 0
+    total_syscall_cycles: int = 0
+    total_ipc_cycles: int = 0
+    total_ipc_calls: int = 0
+    total_fault_cycles: int = 0
+    total_faults: int = 0
+    #: IPC service seen inside servers, per function: (calls, cycles)
+    server_functions: Dict[str, Tuple[int, int]] = field(default_factory=dict)
+
+    @property
+    def ex_process_us(self) -> float:
+        """Time spent outside the process on its behalf (kernel+server)."""
+        return (self.total_ipc_cycles + self.total_fault_cycles) / CYCLES_PER_US
+
+
+def process_breakdown(
+    trace: Trace,
+    syscall_names: Optional[Dict[int, str]] = None,
+    process_names: Optional[Dict[int, str]] = None,
+    fs_function_names: Optional[Dict[int, str]] = None,
+) -> Dict[int, ProcessBreakdown]:
+    """Build per-process breakdowns from the unified trace."""
+    ctx = ContextTracker(trace)
+    out: Dict[int, ProcessBreakdown] = {}
+
+    def bd(pid: int) -> ProcessBreakdown:
+        b = out.get(pid)
+        if b is None:
+            b = ProcessBreakdown(pid, (process_names or {}).get(pid, ""))
+            out[pid] = b
+        return b
+
+    # Per-pid open syscall: (name, enter_time, row-accumulators)
+    open_call: Dict[int, Tuple[str, int, SyscallRow]] = {}
+    # Per-pid open PPC: (comm_id, call_time)
+    open_ppc: Dict[int, Tuple[int, int]] = {}
+    # Per-thread open page fault: fault start time
+    open_fault: Dict[int, int] = {}
+
+    for e in trace.all_events():
+        if e.is_control:
+            continue
+        pid = ctx.pid_of(e)
+        if pid is not None:
+            bd(pid).total_events += 1
+            oc = open_call.get(pid)
+            if oc is not None:
+                oc[2].events += 1
+
+        if e.major == Major.SYSCALL and len(e.data) >= 2:
+            sc_pid, num = e.data[0], e.data[1]
+            name = (syscall_names or {}).get(num, f"SC{num}")
+            if e.minor == SyscallMinor.ENTER:
+                b = bd(sc_pid)
+                row = b.syscalls.get(name)
+                if row is None:
+                    row = SyscallRow(name)
+                    b.syscalls[name] = row
+                open_call[sc_pid] = (name, e.time or 0, row)
+            elif e.minor == SyscallMinor.EXIT:
+                oc = open_call.pop(sc_pid, None)
+                if oc is not None:
+                    name_, t0, row = oc
+                    elapsed = e.data[2] if len(e.data) >= 3 else max(
+                        0, (e.time or 0) - t0
+                    )
+                    row.total_cycles += elapsed
+                    row.calls += 1
+                    bd(sc_pid).total_syscall_cycles += elapsed
+
+        elif e.major == Major.EXC and len(e.data) >= 1:
+            if e.minor == ExcMinor.PPC_CALL and pid is not None:
+                open_ppc[pid] = (e.data[0], e.time or 0)
+            elif e.minor == ExcMinor.PPC_RETURN and pid is not None:
+                op = open_ppc.pop(pid, None)
+                if op is not None:
+                    comm_id, t0 = op
+                    cycles = max(0, (e.time or 0) - t0)
+                    b = bd(pid)
+                    b.total_ipc_cycles += cycles
+                    b.total_ipc_calls += 1
+                    oc = open_call.get(pid)
+                    if oc is not None:
+                        oc[2].ipc_cycles += cycles
+                        oc[2].ipc_calls += 1
+                    # Attribute the service to the server process too.
+                    server_pid = comm_id >> 32
+                    fn_id = comm_id & 0xFFFF_FFFF
+                    fn = (fs_function_names or {}).get(fn_id, f"fn{fn_id}")
+                    sb = bd(server_pid)
+                    calls, cyc = sb.server_functions.get(fn, (0, 0))
+                    sb.server_functions[fn] = (calls + 1, cyc + cycles)
+            elif e.minor == ExcMinor.PGFLT and len(e.data) >= 2:
+                open_fault[e.data[0]] = e.time or 0
+            elif e.minor == ExcMinor.PGFLT_DONE and len(e.data) >= 2:
+                t0 = open_fault.pop(e.data[0], None)
+                if t0 is not None and pid is not None:
+                    cycles = max(0, (e.time or 0) - t0)
+                    b = bd(pid)
+                    b.total_fault_cycles += cycles
+                    b.total_faults += 1
+                    oc = open_call.get(pid)
+                    if oc is not None:
+                        oc[2].fault_cycles += cycles
+                        oc[2].faults += 1
+
+    return out
+
+
+def format_breakdown(breakdown: ProcessBreakdown, top: Optional[int] = None) -> str:
+    """Render one process's Figure 8-style table (times in usecs)."""
+    lines = [
+        f"process {breakdown.pid} {breakdown.name}".rstrip(),
+        f"{'':24} {'time':>12} {'calls':>7} {'events':>7}   "
+        f"{'ipc time':>12} {'ipcs':>6}",
+    ]
+    rows = sorted(
+        breakdown.syscalls.values(), key=lambda r: -r.total_cycles
+    )
+    for row in rows[:top]:
+        lines.append(
+            f"{row.name:<24} {row.compute_us:>12.2f} {row.calls:>7} "
+            f"{row.events:>7}   {row.ipc_us:>12.2f} {row.ipc_calls:>6}"
+        )
+    lines.append(
+        f"{'Ex-process':<24} {breakdown.ex_process_us:>12.2f} "
+        f"{breakdown.total_ipc_calls + breakdown.total_faults:>7}"
+    )
+    if breakdown.server_functions:
+        lines.append("thread entry points:")
+        for fn, (calls, cycles) in sorted(
+            breakdown.server_functions.items(), key=lambda kv: -kv[1][1]
+        ):
+            lines.append(
+                f"  {fn:<22} {cycles / CYCLES_PER_US:>12.2f} {calls:>7}"
+            )
+    return "\n".join(lines)

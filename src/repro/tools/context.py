@@ -1,0 +1,53 @@
+"""Reconstructing execution context from scheduling events.
+
+The paper's §2 anecdote is the argument for a *unified* facility: because
+scheduling events share the stream with lock events, the tools could see
+context switches between a lock's acquire and release.  This module is
+that capability: it replays each CPU's ``TRC_PROC_CTX_SWITCH`` events to
+know which thread (and therefore process) any event belongs to — the
+trace-only equivalent of "current" in the kernel.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Tuple
+
+from repro.core.majors import Major, ProcMinor
+from repro.core.stream import Trace, TraceEvent
+
+
+class ContextTracker:
+    """Maps every event to the thread/process executing when it was logged.
+
+    Built once per trace; lookups are O(1) by event identity.
+    """
+
+    def __init__(self, trace: Trace) -> None:
+        #: thread addr -> pid, from TRC_PROC_THR_CREATE events.
+        self.thread_pid: Dict[int, int] = {}
+        #: event id() -> (thread addr or 0, pid or None)
+        self._ctx: Dict[int, Tuple[int, Optional[int]]] = {}
+
+        # Pass 1: thread->process mapping (global, time-independent).
+        for events in trace.events_by_cpu.values():
+            for e in events:
+                if e.major == Major.PROC and e.minor == ProcMinor.THREAD_CREATE:
+                    if len(e.data) >= 2:
+                        self.thread_pid[e.data[0]] = e.data[1]
+
+        # Pass 2: per-CPU replay of context switches.
+        for cpu, events in trace.events_by_cpu.items():
+            current = 0
+            for e in events:
+                if e.major == Major.PROC and e.minor == ProcMinor.CONTEXT_SWITCH:
+                    if len(e.data) >= 2:
+                        current = e.data[1]
+                self._ctx[id(e)] = (current, self.thread_pid.get(current))
+
+    def thread_of(self, event: TraceEvent) -> int:
+        """Thread address executing when ``event`` was logged (0 unknown)."""
+        return self._ctx.get(id(event), (0, None))[0]
+
+    def pid_of(self, event: TraceEvent) -> Optional[int]:
+        """Process id executing when ``event`` was logged."""
+        return self._ctx.get(id(event), (0, None))[1]

@@ -1,0 +1,325 @@
+"""kmon — the graphical trace visualizer (Figure 4), rendered offline.
+
+"The timeline in the top middle provides a bird's eye view of the events
+occurring in the system ... The user can zoom in or out ... specific
+events to be marked and counted ... when the mouse is clicked in the
+timeline area, [it] will produce a listing of every event that occurred
+around the time period the mouse was clicked in."
+
+This implementation renders to text (per-CPU lanes of busy/idle derived
+from the scheduler's idle events, an event-density band, and markers for
+selected event names) and to standalone SVG.  ``zoom`` narrows the
+window; ``events_near`` is the mouse-click listing, delegating to the
+Figure 5 tool.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.majors import Major, ProcMinor
+from repro.core.stream import Trace, TraceEvent
+from repro.tools.listing import CYCLES_PER_SECOND, event_listing, format_event
+
+_DENSITY = " .:-=+*#%@"
+
+
+@dataclass
+class _Lane:
+    cpu: int
+    busy: List[Tuple[int, int]]  # busy intervals in cycles
+    event_times: List[int]
+
+
+class Timeline:
+    """The Figure 4 timeline over a decoded trace."""
+
+    def __init__(self, trace: Trace,
+                 window: Optional[Tuple[int, int]] = None) -> None:
+        self.trace = trace
+        self.marks: List[str] = []
+        self.process_pids: List[int] = []
+        self.process_names: Dict[int, str] = {}
+        self._lanes: List[_Lane] = []
+        all_times: List[int] = []
+        for cpu in sorted(trace.events_by_cpu):
+            events = [e for e in trace.events(cpu) if e.time is not None]
+            times = [e.time for e in events]
+            all_times.extend(times)
+            self._lanes.append(
+                _Lane(cpu, self._busy_intervals(events), times)
+            )
+        if not all_times:
+            raise ValueError("trace has no timestamped events")
+        self.t0, self.t1 = min(all_times), max(all_times)
+        if window is not None:
+            self.t0, self.t1 = window
+        if self.t1 <= self.t0:
+            self.t1 = self.t0 + 1
+        self._pid_intervals = self._per_process_intervals(trace)
+
+    @staticmethod
+    def _per_process_intervals(trace: Trace) -> Dict[int, List[Tuple[int, int]]]:
+        """Per-process run intervals, replayed from context switches."""
+        thread_pid: Dict[int, int] = {}
+        for events in trace.events_by_cpu.values():
+            for e in events:
+                if (e.major == Major.PROC
+                        and e.minor == ProcMinor.THREAD_CREATE
+                        and len(e.data) >= 2):
+                    thread_pid[e.data[0]] = e.data[1]
+        intervals: Dict[int, List[Tuple[int, int]]] = {}
+        for cpu, events in trace.events_by_cpu.items():
+            current_pid: Optional[int] = None
+            since: Optional[int] = None
+            for e in events:
+                if (e.major != Major.PROC
+                        or e.minor != ProcMinor.CONTEXT_SWITCH
+                        or len(e.data) < 2 or e.time is None):
+                    continue
+                if current_pid is not None and since is not None:
+                    intervals.setdefault(current_pid, []).append(
+                        (since, e.time)
+                    )
+                current_pid = thread_pid.get(e.data[1])
+                since = e.time
+            if current_pid is not None and since is not None and events:
+                last = events[-1].time
+                if last is not None and last > since:
+                    intervals.setdefault(current_pid, []).append(
+                        (since, last)
+                    )
+        return intervals
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _busy_intervals(events: Sequence[TraceEvent]) -> List[Tuple[int, int]]:
+        """Reconstruct busy periods from IDLE_START/IDLE_END events.
+
+        A CPU starts idle; the first IDLE_END begins its first busy
+        interval.  A CPU with activity but no idle events is busy from
+        its first to its last event.
+        """
+        intervals: List[Tuple[int, int]] = []
+        busy_from: Optional[int] = None
+        saw_idle_event = False
+        for e in events:
+            if e.major != Major.PROC:
+                continue
+            if e.minor == ProcMinor.IDLE_END:
+                saw_idle_event = True
+                if busy_from is None:
+                    busy_from = e.time
+            elif e.minor == ProcMinor.IDLE_START:
+                saw_idle_event = True
+                if busy_from is not None:
+                    intervals.append((busy_from, e.time))
+                    busy_from = None
+        if busy_from is not None and events:
+            intervals.append((busy_from, events[-1].time))
+        if not saw_idle_event and events:
+            intervals.append((events[0].time, events[-1].time))
+        return intervals
+
+    # ------------------------------------------------------------------
+    # Interaction
+    # ------------------------------------------------------------------
+    def zoom(self, start_seconds: float, end_seconds: float) -> "Timeline":
+        """A new Timeline restricted to [start, end] (in seconds)."""
+        if end_seconds <= start_seconds:
+            raise ValueError("zoom window must have positive width")
+        tl = Timeline(
+            self.trace,
+            window=(
+                int(start_seconds * CYCLES_PER_SECOND),
+                int(end_seconds * CYCLES_PER_SECOND),
+            ),
+        )
+        tl.marks = list(self.marks)
+        tl.process_pids = list(self.process_pids)
+        tl.process_names = dict(self.process_names)
+        return tl
+
+    def mark(self, *event_names: str) -> "Timeline":
+        """Select events to display and count (Figure 4's marked events)."""
+        self.marks.extend(event_names)
+        return self
+
+    def show_processes(self, *pids: int,
+                       names: Optional[Dict[int, str]] = None) -> "Timeline":
+        """Add per-process activity lanes (Figure 4's process rows).
+
+        With no pids given, the busiest processes (by run time inside
+        the window) are selected automatically.
+        """
+        if names:
+            self.process_names.update(names)
+        if pids:
+            self.process_pids.extend(pids)
+            return self
+        busy = []
+        for pid, ivals in self._pid_intervals.items():
+            run = sum(
+                min(e, self.t1) - max(b, self.t0)
+                for b, e in ivals if b < self.t1 and e > self.t0
+            )
+            if run > 0:
+                busy.append((run, pid))
+        busy.sort(reverse=True)
+        self.process_pids.extend(pid for _, pid in busy[:6])
+        return self
+
+    def marked_counts(self) -> Dict[str, int]:
+        counts = {name: 0 for name in self.marks}
+        for e in self.trace.all_events():
+            if e.name in counts and e.time is not None \
+                    and self.t0 <= e.time <= self.t1:
+                counts[e.name] += 1
+        return counts
+
+    def events_near(self, at_seconds: float, window_seconds: float = 1e-4,
+                    limit: int = 30) -> List[TraceEvent]:
+        """The mouse-click listing: every event around a time point."""
+        return event_listing(
+            self.trace,
+            start=at_seconds - window_seconds,
+            end=at_seconds + window_seconds,
+            limit=limit,
+        )
+
+    # ------------------------------------------------------------------
+    # Rendering
+    # ------------------------------------------------------------------
+    def _columns(self, width: int) -> List[Tuple[int, int]]:
+        span = self.t1 - self.t0
+        edges = [self.t0 + span * i // width for i in range(width + 1)]
+        return list(zip(edges[:-1], edges[1:]))
+
+    def render(self, width: int = 96) -> str:
+        """Bird's-eye text view: density band + one lane per CPU."""
+        cols = self._columns(width)
+        lines: List[str] = []
+        header = (
+            f"kmon timeline  {self.t0 / CYCLES_PER_SECOND:.6f}s .. "
+            f"{self.t1 / CYCLES_PER_SECOND:.6f}s "
+            f"({(self.t1 - self.t0) / CYCLES_PER_SECOND * 1e3:.3f} ms)"
+        )
+        lines.append(header)
+
+        # Event-density band over all CPUs.
+        merged = sorted(
+            t for lane in self._lanes for t in lane.event_times
+        )
+        dens = []
+        peak = 1
+        counts = []
+        for lo, hi in cols:
+            n = bisect_right(merged, hi) - bisect_left(merged, lo)
+            counts.append(n)
+            peak = max(peak, n)
+        for n in counts:
+            dens.append(_DENSITY[min(len(_DENSITY) - 1, n * (len(_DENSITY) - 1) // peak)])
+        lines.append("events " + "".join(dens))
+
+        # Per-CPU busy/idle lanes ('#' busy, '.' idle).
+        for lane in self._lanes:
+            row = []
+            for lo, hi in cols:
+                busy = any(b < hi and e > lo for b, e in lane.busy)
+                row.append("#" if busy else ".")
+            lines.append(f"cpu{lane.cpu:<3} " + "".join(row))
+
+        # Per-process activity lanes ('=' running somewhere).
+        for pid in self.process_pids:
+            ivals = self._pid_intervals.get(pid, [])
+            row = []
+            for lo, hi in cols:
+                running = any(b < hi and e > lo for b, e in ivals)
+                row.append("=" if running else " ")
+            label = self.process_names.get(pid, f"pid{pid}")
+            lines.append(f"{label[:6]:<6} " + "".join(row))
+
+        # Marker rows for each marked event name.
+        for name in self.marks:
+            times = sorted(
+                e.time for e in self.trace.all_events()
+                if e.name == name and e.time is not None
+            )
+            row = []
+            for lo, hi in cols:
+                n = bisect_right(times, hi) - bisect_left(times, lo)
+                row.append("|" if n else " ")
+            lines.append(f"{name[:18]:<18} " + "".join(row[: width - 11]))
+        if self.marks:
+            for name, count in self.marked_counts().items():
+                lines.append(f"  marked {name}: {count} occurrences")
+        return "\n".join(lines)
+
+    def render_svg(self, width: int = 900, lane_height: int = 22) -> str:
+        """Standalone SVG: busy intervals as bars, marks as ticks."""
+        pad = 60
+        span = self.t1 - self.t0
+        n_rows = len(self._lanes) + len(self.marks) + len(self.process_pids)
+        height = pad + n_rows * lane_height + 20
+
+        def x(t: int) -> float:
+            return pad + (t - self.t0) / span * (width - pad - 10)
+
+        parts = [
+            f'<svg xmlns="http://www.w3.org/2000/svg" width="{width}" '
+            f'height="{height}" font-family="monospace" font-size="11">',
+            f'<text x="8" y="16">kmon {self.t0 / CYCLES_PER_SECOND:.6f}s .. '
+            f'{self.t1 / CYCLES_PER_SECOND:.6f}s</text>',
+        ]
+        y = 30
+        for lane in self._lanes:
+            parts.append(f'<text x="8" y="{y + lane_height - 8}">cpu{lane.cpu}</text>')
+            parts.append(
+                f'<rect x="{pad}" y="{y}" width="{width - pad - 10}" '
+                f'height="{lane_height - 6}" fill="#eee"/>'
+            )
+            for b, e in lane.busy:
+                b2, e2 = max(b, self.t0), min(e, self.t1)
+                if e2 <= b2:
+                    continue
+                parts.append(
+                    f'<rect x="{x(b2):.1f}" y="{y}" '
+                    f'width="{max(0.5, x(e2) - x(b2)):.1f}" '
+                    f'height="{lane_height - 6}" fill="#4a78c8"/>'
+                )
+            y += lane_height
+        for pid in self.process_pids:
+            label = self.process_names.get(pid, f"pid{pid}")[:12]
+            parts.append(
+                f'<text x="8" y="{y + lane_height - 8}">{label}</text>'
+            )
+            for b, e in self._pid_intervals.get(pid, ()):
+                b2, e2 = max(b, self.t0), min(e, self.t1)
+                if e2 <= b2:
+                    continue
+                parts.append(
+                    f'<rect x="{x(b2):.1f}" y="{y}" '
+                    f'width="{max(0.5, x(e2) - x(b2)):.1f}" '
+                    f'height="{lane_height - 6}" fill="#58a55c"/>'
+                )
+            y += lane_height
+        for name in self.marks:
+            parts.append(f'<text x="8" y="{y + lane_height - 8}">{name[:16]}</text>')
+            for e in self.trace.all_events():
+                if e.name == name and e.time is not None \
+                        and self.t0 <= e.time <= self.t1:
+                    parts.append(
+                        f'<line x1="{x(e.time):.1f}" y1="{y}" '
+                        f'x2="{x(e.time):.1f}" y2="{y + lane_height - 6}" '
+                        f'stroke="#c0392b" stroke-width="1.5"/>'
+                    )
+            y += lane_height
+        parts.append("</svg>")
+        return "\n".join(parts)
+
+    def click_listing(self, at_seconds: float, window_seconds: float = 1e-4) -> str:
+        """Figure 5-style text for a click at ``at_seconds``."""
+        events = self.events_near(at_seconds, window_seconds)
+        return "\n".join(format_event(e) for e in events)

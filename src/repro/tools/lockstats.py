@@ -1,0 +1,159 @@
+"""Lock-contention analysis — the Figure 7 tool (§4.6).
+
+Reconstructs, purely from trace events, the table that "played a crucial
+role in helping us detect when a particular lock is generating
+contention": per contended lock instance, the total wait time, the
+contention count, the spin count, the maximum wait, the PID, and the
+call chain that led to the acquisition.
+
+Pairing: ``CONTEND_START``/``CONTEND_END`` are matched FIFO per lock —
+the kernel's FairBLock grants in FIFO order, so the *n*-th start pairs
+with the *n*-th end.  PIDs come from the scheduling events via
+:class:`~repro.tools.context.ContextTracker` (the unified-facility
+advantage of §2).
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.majors import LockMinor, Major
+from repro.core.stream import Trace
+from repro.tools.context import ContextTracker
+
+CYCLES_PER_SECOND = 1_000_000_000
+
+
+@dataclass
+class LockStats:
+    """Aggregated contention data for one (lock, call chain, pid) group."""
+
+    lock_id: int
+    chain_id: int
+    pid: Optional[int]
+    total_wait_cycles: int = 0
+    count: int = 0
+    spins: int = 0
+    max_wait_cycles: int = 0
+    unmatched_starts: int = 0
+    #: individual wait times, kept when collect_waits=True
+    waits: list = field(default_factory=list)
+
+    @property
+    def total_wait_seconds(self) -> float:
+        return self.total_wait_cycles / CYCLES_PER_SECOND
+
+    @property
+    def max_wait_seconds(self) -> float:
+        return self.max_wait_cycles / CYCLES_PER_SECOND
+
+    @property
+    def mean_wait_cycles(self) -> float:
+        return self.total_wait_cycles / self.count if self.count else 0.0
+
+    def percentile_cycles(self, q: float) -> float:
+        """Wait-time percentile (requires collect_waits=True).
+
+        Contended waits are usually bimodal — short spin-grants vs
+        block-and-wake — so the median/p99 spread matters when deciding
+        whether to raise the spin threshold or restructure the lock.
+        """
+        if not self.waits:
+            raise ValueError("waits were not collected; pass collect_waits=True")
+        import numpy as np
+
+        return float(np.percentile(self.waits, q))
+
+
+SORT_KEYS = {
+    "time": lambda s: s.total_wait_cycles,
+    "count": lambda s: s.count,
+    "spin": lambda s: s.spins,
+    "max": lambda s: s.max_wait_cycles,
+}
+
+
+def lock_statistics(
+    trace: Trace,
+    sort_by: str = "time",
+    group_by_pid: bool = True,
+    collect_waits: bool = False,
+) -> List[LockStats]:
+    """Aggregate contention events into the Figure 7 table rows.
+
+    ``sort_by`` is any of 'time', 'count', 'spin', 'max' — "the tool
+    will sort on any of these columns".
+    """
+    if sort_by not in SORT_KEYS:
+        raise ValueError(f"sort_by must be one of {sorted(SORT_KEYS)}")
+    ctx = ContextTracker(trace)
+    # FIFO pending starts per lock: (start_event, chain_id, pid)
+    pending: Dict[int, deque] = defaultdict(deque)
+    groups: Dict[Tuple[int, int, Optional[int]], LockStats] = {}
+
+    def group(lock_id: int, chain_id: int, pid: Optional[int]) -> LockStats:
+        key = (lock_id, chain_id, pid if group_by_pid else None)
+        st = groups.get(key)
+        if st is None:
+            st = LockStats(lock_id, chain_id, key[2])
+            groups[key] = st
+        return st
+
+    for e in trace.all_events():
+        if e.major != Major.LOCK:
+            continue
+        if e.minor == LockMinor.CONTEND_START and len(e.data) >= 2:
+            lock_id, chain_id = e.data[0], e.data[1]
+            pending[lock_id].append((e, chain_id, ctx.pid_of(e)))
+        elif e.minor == LockMinor.CONTEND_END and len(e.data) >= 2:
+            lock_id, spins = e.data[0], e.data[1]
+            if pending[lock_id]:
+                start, chain_id, pid = pending[lock_id].popleft()
+                wait = max(0, (e.time or 0) - (start.time or 0))
+                st = group(lock_id, chain_id, pid)
+                st.count += 1
+                st.spins += spins
+                st.total_wait_cycles += wait
+                st.max_wait_cycles = max(st.max_wait_cycles, wait)
+                if collect_waits:
+                    st.waits.append(wait)
+
+    # Starts never matched (still waiting at trace end — deadlock food).
+    for lock_id, dq in pending.items():
+        for start, chain_id, pid in dq:
+            st = group(lock_id, chain_id, pid)
+            st.unmatched_starts += 1
+
+    return sorted(groups.values(), key=SORT_KEYS[sort_by], reverse=True)
+
+
+def format_lockstats(
+    stats: List[LockStats],
+    lock_names: Optional[Dict[int, str]] = None,
+    chains: Optional[Dict[int, Tuple[str, ...]]] = None,
+    top: int = 10,
+    sort_label: str = "time",
+) -> str:
+    """Render the Figure 7 layout."""
+    lines = [
+        f"top {top} contended locks by {sort_label} - "
+        "for full list see traceLockStatsTime",
+        f"{'time':>12} {'count':>7} {'spin':>11} {'max time':>12}  pid",
+        "call chain",
+        "",
+    ]
+    for st in stats[:top]:
+        pid = f"{st.pid:#x}" if st.pid is not None else "?"
+        lines.append(
+            f"{st.total_wait_seconds:12.9f} {st.count:>7} {st.spins:>11} "
+            f"{st.max_wait_seconds:12.9f}  {pid}"
+        )
+        name = (lock_names or {}).get(st.lock_id)
+        if name:
+            lines.append(f"  lock: {name}")
+        for frame in (chains or {}).get(st.chain_id, ()):
+            lines.append(f"{frame}")
+        lines.append("")
+    return "\n".join(lines)

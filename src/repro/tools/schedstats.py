@@ -1,0 +1,139 @@
+"""Scheduler statistics from the trace (§4.5's time-by-process view).
+
+Statistical PC sampling answers "which *functions* are hot"; this tool
+answers "where did the *CPU time* go" by replaying the scheduling events:
+per-process run time (the elapsed-time breakdown the paper used to chase
+its uniprocessor fork regression), per-CPU utilization, context-switch
+and migration rates, and timer-preemption counts — all derived from the
+same unified stream.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.majors import ExcMinor, Major, ProcMinor
+from repro.core.stream import Trace
+
+CYCLES_PER_US = 1_000
+
+
+@dataclass
+class CpuSched:
+    cpu: int
+    busy_cycles: int = 0
+    context_switches: int = 0
+    timer_interrupts: int = 0
+    migrations_in: int = 0
+
+
+@dataclass
+class SchedReport:
+    span_cycles: int = 0
+    per_cpu: Dict[int, CpuSched] = field(default_factory=dict)
+    #: pid -> cycles actually on a CPU
+    process_time: Dict[int, int] = field(default_factory=dict)
+    #: thread addr -> pid (from thread-create events)
+    thread_pid: Dict[int, int] = field(default_factory=dict)
+
+    def utilization(self, cpu: int) -> float:
+        if self.span_cycles == 0:
+            return 0.0
+        return self.per_cpu[cpu].busy_cycles / self.span_cycles
+
+    def busiest_processes(self, n: int = 10) -> List[Tuple[int, int]]:
+        return sorted(self.process_time.items(),
+                      key=lambda kv: -kv[1])[:n]
+
+
+def sched_statistics(trace: Trace) -> SchedReport:
+    """Replay scheduling events into the report."""
+    report = SchedReport()
+    t_min: Optional[int] = None
+    t_max: Optional[int] = None
+
+    for events in trace.events_by_cpu.values():
+        for e in events:
+            if (e.major == Major.PROC
+                    and e.minor == ProcMinor.THREAD_CREATE
+                    and len(e.data) >= 2):
+                report.thread_pid[e.data[0]] = e.data[1]
+
+    for cpu, events in trace.events_by_cpu.items():
+        stats = report.per_cpu.setdefault(cpu, CpuSched(cpu))
+        running: Optional[int] = None   # thread addr
+        busy_from: Optional[int] = None
+        for e in events:
+            if e.time is None:
+                continue
+            t_min = e.time if t_min is None else min(t_min, e.time)
+            t_max = e.time if t_max is None else max(t_max, e.time)
+            if e.major == Major.PROC:
+                if e.minor == ProcMinor.CONTEXT_SWITCH and len(e.data) >= 2:
+                    stats.context_switches += 1
+                    if running is not None and busy_from is not None:
+                        self_time = e.time - busy_from
+                        pid = report.thread_pid.get(running)
+                        if pid is not None:
+                            report.process_time[pid] = (
+                                report.process_time.get(pid, 0) + self_time
+                            )
+                        stats.busy_cycles += self_time
+                    running = e.data[1]
+                    busy_from = e.time
+                elif e.minor == ProcMinor.IDLE_START:
+                    if running is not None and busy_from is not None:
+                        self_time = e.time - busy_from
+                        pid = report.thread_pid.get(running)
+                        if pid is not None:
+                            report.process_time[pid] = (
+                                report.process_time.get(pid, 0) + self_time
+                            )
+                        stats.busy_cycles += self_time
+                    running = None
+                    busy_from = None
+                elif e.minor == ProcMinor.MIGRATE:
+                    stats.migrations_in += 1
+            elif e.major == Major.EXC \
+                    and e.minor == ExcMinor.TIMER_INTERRUPT:
+                stats.timer_interrupts += 1
+        # Close the final interval at the CPU's last event.
+        if running is not None and busy_from is not None and events:
+            last = events[-1].time
+            if last is not None and last > busy_from:
+                pid = report.thread_pid.get(running)
+                if pid is not None:
+                    report.process_time[pid] = (
+                        report.process_time.get(pid, 0) + (last - busy_from)
+                    )
+                stats.busy_cycles += last - busy_from
+    report.span_cycles = (t_max - t_min) if t_min is not None else 0
+    return report
+
+
+def format_sched_report(
+    report: SchedReport,
+    process_names: Optional[Dict[int, str]] = None,
+    top: int = 10,
+) -> str:
+    """Render per-CPU rates and the CPU-time-by-process table."""
+    lines = [
+        f"scheduling over {report.span_cycles / CYCLES_PER_US:,.0f} us",
+        f"{'cpu':>4} {'util':>7} {'ctxsw':>7} {'timer irq':>10} "
+        f"{'migrations':>11}",
+    ]
+    for cpu in sorted(report.per_cpu):
+        s = report.per_cpu[cpu]
+        lines.append(
+            f"{cpu:>4} {report.utilization(cpu) * 100:>6.1f}% "
+            f"{s.context_switches:>7} {s.timer_interrupts:>10} "
+            f"{s.migrations_in:>11}"
+        )
+    lines.append("CPU time by process:")
+    for pid, cycles in report.busiest_processes(top):
+        name = (process_names or {}).get(pid, "")
+        lines.append(
+            f"  pid {pid:>4} {name:<16} {cycles / CYCLES_PER_US:>12,.0f} us"
+        )
+    return "\n".join(lines)

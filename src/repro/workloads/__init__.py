@@ -1,0 +1,23 @@
+"""Workload generators driving the simulated OS.
+
+* :mod:`repro.workloads.sdet` — the SPEC-SDET-like multiprogrammed
+  software-development workload behind Figure 3;
+* :mod:`repro.workloads.scientific` — one thread per CPU (the class of
+  application §3.1 says never garbles trace buffers);
+* :mod:`repro.workloads.contention` — allocator/lock storms for the
+  lock-analysis experiments (Figures 6 and 7);
+* :mod:`repro.workloads.multiprog` — heavy multiprogramming mixes.
+"""
+
+from repro.workloads.sdet import SdetResult, run_sdet, sdet_script
+from repro.workloads.scientific import run_scientific
+from repro.workloads.contention import run_contention
+from repro.workloads.multiprog import run_multiprog
+from repro.workloads.memstress import run_memstress
+from repro.workloads.server import run_server
+
+__all__ = [
+    "SdetResult", "run_sdet", "sdet_script",
+    "run_scientific", "run_contention", "run_multiprog", "run_memstress",
+    "run_server",
+]

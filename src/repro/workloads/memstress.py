@@ -1,0 +1,86 @@
+"""Memory-stress workload: mixed working sets for the hw-counter study.
+
+One "thrasher" process streams through a working set far beyond the L2
+capacity while well-behaved processes stay cache-resident — the classic
+memory-hot-spot situation §2 says the counter/tracing integration lets
+you find.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.facility import TraceFacility
+from repro.ksim.kernel import Kernel, KernelConfig
+
+
+def streaming_job(working_set_pages: int, bursts: int, burst_cycles: int):
+    def program(api):
+        api.set_working_set(working_set_pages)
+        yield from api.touch(min(working_set_pages, 64), major_fraction=0.0)
+        for b in range(bursts):
+            yield from api.compute(burst_cycles, pc="user:stream_sweep")
+            yield from api.sleep(20_000)  # lets others run (cold caches!)
+    return program
+
+
+def resident_job(bursts: int, burst_cycles: int):
+    def program(api):
+        api.set_working_set(32)  # comfortably fits in L2
+        for b in range(bursts):
+            yield from api.compute(burst_cycles, pc="user:resident_loop")
+            yield from api.sleep(20_000)
+    return program
+
+
+@dataclass
+class MemStressResult:
+    ncpus: int
+    elapsed_cycles: int
+    thrasher_pid: int
+    l2_misses_total: int
+    cold_bursts: int
+    utilization: List[float] = field(default_factory=list)
+
+
+def run_memstress(
+    ncpus: int = 2,
+    bursts: int = 12,
+    burst_cycles: int = 400_000,
+    thrasher_pages: int = 4_096,
+    hw_overflow_threshold: int = 2_000,
+    seed: int = 23,
+    buffer_words: int = 4096,
+    num_buffers: int = 16,
+) -> Tuple[Kernel, TraceFacility, MemStressResult]:
+    cfg = KernelConfig(ncpus=ncpus, seed=seed,
+                       hw_overflow_threshold=hw_overflow_threshold)
+    kernel = Kernel(cfg)
+    facility = TraceFacility(ncpus=ncpus, clock=kernel.clock,
+                             buffer_words=buffer_words,
+                             num_buffers=num_buffers)
+    facility.enable_all()
+    kernel.facility = facility
+
+    thrasher = kernel.spawn_process(
+        streaming_job(thrasher_pages, bursts, burst_cycles),
+        "memhog", cpu=0,
+    )
+    for w in range(2 * ncpus - 1):
+        kernel.spawn_process(
+            resident_job(bursts, burst_cycles),
+            f"resident{w}", cpu=(w + 1) % ncpus,
+        )
+    if not kernel.run_until_quiescent(max_cycles=10**13):
+        raise RuntimeError("memstress run did not quiesce")
+    from repro.ksim.hwcounters import HwCounter
+
+    return kernel, facility, MemStressResult(
+        ncpus=ncpus,
+        elapsed_cycles=kernel.engine.now,
+        thrasher_pid=thrasher.pid,
+        l2_misses_total=kernel.hw.totals()[HwCounter.L2_MISSES],
+        cold_bursts=kernel.hw.cold_bursts,
+        utilization=kernel.utilization(),
+    )

@@ -1,0 +1,87 @@
+"""Heavy multiprogramming mix.
+
+"The probability [of garbled buffers] increases on systems with a high
+degree of multiprogramming, i.e., those context switching between many
+applications" (§3.1).  This workload oversubscribes every CPU with
+short-lived mixed-behaviour processes, maximizing context switches and
+preemptions — the adversarial input for the garble experiments and for
+scheduler/timeline tooling.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.facility import TraceFacility
+from repro.ksim.kernel import Kernel, KernelConfig
+
+
+def mixed_job(job_id: int, rng_seed: int):
+    def program(api):
+        rng = random.Random(rng_seed)
+        for burst in range(rng.randint(3, 8)):
+            kind = rng.random()
+            if kind < 0.4:
+                yield from api.compute(rng.randint(20_000, 200_000),
+                                       pc="user:busy_loop")
+            elif kind < 0.6:
+                addr = yield from api.malloc(rng.choice([4_096, 16_384, 96_000]))
+                yield from api.free(addr, 4_096)
+            elif kind < 0.8:
+                fd = yield from api.open(f"/var/job{job_id % 5}")
+                yield from api.read(fd, rng.randint(512, 8_192))
+                yield from api.close(fd)
+            else:
+                yield from api.touch(rng.randint(1, 4), major_fraction=0.1)
+    return program
+
+
+@dataclass
+class MultiprogResult:
+    ncpus: int
+    jobs: int
+    elapsed_cycles: int
+    context_switches: int
+    utilization: List[float] = field(default_factory=list)
+
+
+def run_multiprog(
+    ncpus: int = 2,
+    jobs_per_cpu: int = 8,
+    tracing: bool = True,
+    seed: int = 17,
+    quantum: Optional[int] = 200_000,   # short quantum: lots of preemption
+    buffer_words: int = 4096,
+    num_buffers: int = 16,
+) -> Tuple[Kernel, Optional[TraceFacility], MultiprogResult]:
+    from repro.ksim.costs import DEFAULT_COSTS
+
+    costs = DEFAULT_COSTS
+    if quantum is not None:
+        costs = costs.with_overrides(quantum=quantum)
+    cfg = KernelConfig(ncpus=ncpus, seed=seed, costs=costs)
+    kernel = Kernel(cfg)
+    facility: Optional[TraceFacility] = None
+    if tracing:
+        facility = TraceFacility(
+            ncpus=ncpus, clock=kernel.clock,
+            buffer_words=buffer_words, num_buffers=num_buffers,
+        )
+        facility.enable_all()
+        kernel.facility = facility
+    rng = random.Random(seed)
+    jobs = ncpus * jobs_per_cpu
+    for j in range(jobs):
+        kernel.spawn_process(
+            mixed_job(j, rng.randint(0, 2**31)), f"job{j}", cpu=j % ncpus
+        )
+    if not kernel.run_until_quiescent(max_cycles=10**13):
+        raise RuntimeError("multiprog run did not quiesce")
+    return kernel, facility, MultiprogResult(
+        ncpus=ncpus, jobs=jobs,
+        elapsed_cycles=kernel.engine.now,
+        context_switches=sum(c.context_switches for c in kernel.cpus),
+        utilization=kernel.utilization(),
+    )

@@ -1,0 +1,93 @@
+"""Scientific workload: one thread per CPU, barrier-synchronized phases.
+
+"For large scientific applications running one thread per processor,
+such errors [garbled buffers] will not occur" (§3.1) — this workload is
+the no-multiprogramming end of that spectrum, and also drives the kmon
+timeline example (synchronized phases make clean visual bands).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Tuple
+
+from repro.core.facility import TraceFacility
+from repro.ksim.kernel import Kernel, KernelConfig
+from repro.ksim.ops import BlockOn, Wake
+
+
+class Barrier:
+    """A sense-reversing barrier over the kernel's wait queues."""
+
+    def __init__(self, parties: int) -> None:
+        self.parties = parties
+        self.waiting = 0
+        self.generation = 0
+
+    def wait(self, api):
+        gen = self.generation
+        self.waiting += 1
+        if self.waiting == self.parties:
+            self.waiting = 0
+            self.generation += 1
+            yield Wake(("barrier", id(self), gen))
+        else:
+            yield BlockOn(("barrier", id(self), gen))
+
+
+def worker(rank: int, barrier: Barrier, phases: int, phase_cycles: int,
+           alloc_size: int = 32_768):
+    def program(api):
+        yield from api.touch(8, major_fraction=0.0)
+        for phase in range(phases):
+            yield from api.phase_begin(f"phase{phase}", phase)
+            addr = yield from api.malloc(alloc_size)
+            # Slightly imbalanced compute so the barrier matters.
+            cycles = phase_cycles + (rank * phase_cycles) // 50
+            yield from api.compute(cycles, pc="user:stencil_sweep")
+            yield from api.free(addr, alloc_size)
+            yield from api.phase_end(f"phase{phase}", phase)
+            yield from barrier.wait(api)
+    return program
+
+
+@dataclass
+class ScientificResult:
+    ncpus: int
+    phases: int
+    elapsed_cycles: int
+    utilization: List[float] = field(default_factory=list)
+
+
+def run_scientific(
+    ncpus: int = 4,
+    phases: int = 5,
+    phase_cycles: int = 2_000_000,
+    tracing: bool = True,
+    seed: int = 11,
+    buffer_words: int = 4096,
+    num_buffers: int = 16,
+) -> Tuple[Kernel, Optional[TraceFacility], ScientificResult]:
+    cfg = KernelConfig(ncpus=ncpus, seed=seed)
+    kernel = Kernel(cfg)
+    facility: Optional[TraceFacility] = None
+    if tracing:
+        facility = TraceFacility(
+            ncpus=ncpus, clock=kernel.clock,
+            buffer_words=buffer_words, num_buffers=num_buffers,
+        )
+        facility.enable_all()
+        kernel.facility = facility
+    barrier = Barrier(ncpus)
+    for rank in range(ncpus):
+        kernel.spawn_process(
+            worker(rank, barrier, phases, phase_cycles),
+            f"hpcapp.rank{rank}", cpu=rank,
+        )
+    if not kernel.run_until_quiescent(max_cycles=10**13):
+        raise RuntimeError("scientific run did not quiesce")
+    return kernel, facility, ScientificResult(
+        ncpus=ncpus, phases=phases,
+        elapsed_cycles=kernel.engine.now,
+        utilization=kernel.utilization(),
+    )

@@ -1,0 +1,175 @@
+"""SPEC SDET-like workload (the Figure 3 experiment).
+
+SDET "runs a series of independent scripts that simulate a typical Unix
+time-shared environment by running commands such as awk, grep, and
+nroff" (§4).  Each simulated script forks a sequence of commands; each
+command is a fork/exec with a characteristic mix of computation, file
+I/O through the file server, memory allocation, and page faults.  The
+benchmark metric is throughput — scripts per simulated hour — as a
+function of the number of CPUs.
+
+The scaling *shape* is the reproduction target: the K42 configuration
+(per-CPU allocation paths, lazy fork) scales near-linearly with the
+tracing infrastructure compiled in and enabled; the coarse-locked
+configuration flattens the way the paper's Linux curve does.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Literal, Optional, Tuple
+
+from repro.core.facility import TraceFacility
+from repro.core.majors import Major
+from repro.ksim.costs import DEFAULT_COSTS, CostModel
+from repro.ksim.kernel import Kernel, KernelConfig
+
+TracingMode = Literal["on", "masked", "off"]
+
+# Command mixes: (compute_cycles, reads, writes, allocs, alloc_size,
+#                 touch_pages, opens).  Rough caricatures of the SDET
+# command set — what matters is that they stress fork/exec, the
+# allocator locks, the file server, and the scheduler simultaneously.
+COMMANDS: Dict[str, Tuple[int, int, int, int, int, int, int]] = {
+    "awk":   (500_000, 3, 1, 4, 8_192, 4, 1),
+    "grep":  (200_000, 5, 0, 2, 4_096, 2, 2),
+    "nroff": (800_000, 2, 1, 6, 16_384, 6, 1),
+    "ls":    (60_000, 1, 0, 1, 2_048, 1, 3),
+    "cc":    (1_200_000, 4, 2, 10, 96_000, 10, 2),
+    "ed":    (90_000, 2, 2, 2, 4_096, 2, 1),
+    "spell": (400_000, 4, 0, 3, 8_192, 3, 1),
+    "mkdir": (40_000, 0, 1, 1, 2_048, 1, 1),
+}
+
+#: The per-script command sequence length used by the paper-style runs.
+DEFAULT_COMMANDS_PER_SCRIPT = 6
+
+
+def command_program(name: str):
+    """Build the program generator factory for one simulated command."""
+    (compute, reads, writes, allocs, alloc_size, pages, opens) = COMMANDS[name]
+
+    def program(api):
+        yield from api.touch(pages, major_fraction=0.05)
+        held = []
+        for i in range(allocs):
+            addr = yield from api.malloc(alloc_size)
+            held.append(addr)
+        for i in range(opens):
+            fd = yield from api.open(f"/src/{name}/file{i}")
+            for _ in range(reads):
+                yield from api.read(fd, 4_096)
+            for _ in range(writes):
+                yield from api.write(fd, 2_048)
+            yield from api.close(fd)
+        # Computation interleaved so preemption points exist.
+        chunk = max(10_000, compute // 4)
+        done = 0
+        while done < compute:
+            step = min(chunk, compute - done)
+            yield from api.compute(step, pc=f"user:{name}_main")
+            done += step
+        for addr in held:
+            yield from api.free(addr, alloc_size)
+
+    return program
+
+
+def sdet_script(script_id: int, commands: List[str]):
+    """One SDET script: run the command list sequentially via fork/exec."""
+
+    def program(api):
+        yield from api.mark(f"script{script_id}_start", script_id)
+        for i, cmd in enumerate(commands):
+            child = yield from api.spawn(
+                command_program(cmd), f"{cmd}.{script_id}.{i}"
+            )
+            yield from api.wait(child)
+        yield from api.mark(f"script{script_id}_end", script_id)
+
+    return program
+
+
+@dataclass
+class SdetResult:
+    ncpus: int
+    scripts: int
+    elapsed_cycles: int
+    tracing: TracingMode
+    coarse_locked: bool
+    utilization: List[float] = field(default_factory=list)
+    trace_events: int = 0
+
+    @property
+    def throughput(self) -> float:
+        """Scripts per simulated hour (1 GHz machine)."""
+        if self.elapsed_cycles == 0:
+            return 0.0
+        seconds = self.elapsed_cycles / 1e9
+        return self.scripts / seconds * 3600.0
+
+
+def run_sdet(
+    ncpus: int,
+    scripts_per_cpu: int = 2,
+    commands_per_script: int = DEFAULT_COMMANDS_PER_SCRIPT,
+    tracing: TracingMode = "on",
+    coarse_locked: bool = False,
+    seed: int = 7,
+    costs: Optional[CostModel] = None,
+    pc_sample_period: int = 0,
+    buffer_words: int = 4096,
+    num_buffers: int = 16,
+) -> Tuple[Kernel, Optional[TraceFacility], SdetResult]:
+    """Run one SDET point; returns (kernel, facility, result).
+
+    ``tracing``:
+
+    * ``"on"``     — infrastructure compiled in, all majors enabled;
+    * ``"masked"`` — compiled in, mask disabled (4-cycle checks only);
+    * ``"off"``    — compiled out entirely (no facility).
+    """
+    cfg = KernelConfig(
+        ncpus=ncpus,
+        coarse_locked=coarse_locked,
+        seed=seed,
+        pc_sample_period=pc_sample_period,
+        costs=costs or DEFAULT_COSTS,
+    )
+    kernel = Kernel(cfg)
+    facility: Optional[TraceFacility] = None
+    if tracing != "off":
+        facility = TraceFacility(
+            ncpus=ncpus,
+            clock=kernel.clock,
+            buffer_words=buffer_words,
+            num_buffers=num_buffers,
+        )
+        if tracing == "on":
+            facility.enable_all()
+        kernel.facility = facility
+
+    rng = random.Random(seed)
+    n_scripts = ncpus * scripts_per_cpu
+    names = list(COMMANDS)
+    for s in range(n_scripts):
+        cmds = [rng.choice(names) for _ in range(commands_per_script)]
+        kernel.spawn_process(
+            sdet_script(s, cmds), f"sdet_script{s}", cpu=s % ncpus
+        )
+    finished = kernel.run_until_quiescent(max_cycles=10**13)
+    if not finished:
+        raise RuntimeError("SDET run did not quiesce (deadlock?)")
+    result = SdetResult(
+        ncpus=ncpus,
+        scripts=n_scripts,
+        elapsed_cycles=kernel.engine.now,
+        tracing=tracing,
+        coarse_locked=coarse_locked,
+        utilization=kernel.utilization(),
+        trace_events=(
+            facility.stats()["events_logged"] if facility is not None else 0
+        ),
+    )
+    return kernel, facility, result

@@ -1,0 +1,177 @@
+"""A multi-threaded server process: workers over a shared request queue.
+
+The missing shape among the workloads: one *process* with many kernel
+threads (K42's servers are built this way — Figure 8's bottom section
+lists baseServers' "thread entry points").  Client processes submit
+requests; worker threads inside the server pop them from a shared queue
+(BlockOn/Wake as the condition variable, a kernel lock guarding the
+queue), do the work, and reply.  Exercises multi-threaded process
+semantics, cross-process wakeups, and produces a server whose profile
+and breakdown look like a real daemon's.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Deque, List, Optional, Tuple
+
+from repro.core.facility import TraceFacility
+from repro.ksim.kernel import Kernel, KernelConfig
+from repro.ksim.ops import Acquire, BlockOn, Compute, Release, Wake
+
+
+@dataclass
+class Request:
+    req_id: int
+    client_pid: int
+    work_cycles: int
+    submitted_at: int
+    completed_at: int = 0
+
+
+class ServerState:
+    """Shared state of the server: the request queue + counters."""
+
+    def __init__(self, kernel: Kernel) -> None:
+        self.kernel = kernel
+        self.queue: Deque[Request] = deque()
+        self.queue_lock = kernel.create_lock("Server::requestQueue")
+        self.completed: List[Request] = []
+        self.shutdown = False
+        self._next_id = 1
+
+    def submit(self, client_pid: int, work_cycles: int) -> Request:
+        req = Request(self._next_id, client_pid, work_cycles,
+                      self.kernel.engine.now)
+        self._next_id += 1
+        return req
+
+
+def worker_thread(state: ServerState, worker_id: int):
+    """One server worker: pop, work, reply, repeat."""
+
+    def program(api):
+        while True:
+            yield Acquire(state.queue_lock,
+                          ("ServerWorker::run", "RequestQueue::pop"))
+            req = state.queue.popleft() if state.queue else None
+            should_stop = state.shutdown and req is None
+            yield Release(state.queue_lock)
+            if should_stop:
+                return
+            if req is None:
+                yield BlockOn(("server-work",))
+                continue
+            yield from api.compute(req.work_cycles,
+                                   pc="ServerWorker::handle_request")
+            req.completed_at = api.k.engine.now
+            state.completed.append(req)
+            yield Wake(("reply", req.req_id))
+
+    return program
+
+
+def server_process(state: ServerState, nworkers: int):
+    """The server's main thread spawns the worker pool and waits."""
+
+    def program(api):
+        workers = []
+        for w in range(nworkers):
+            t = yield from api.spawn_thread(worker_thread(state, w))
+            workers.append(t)
+        # Main thread idles until shutdown is signalled.
+        yield BlockOn(("server-shutdown",))
+        state.shutdown = True
+        yield Wake(("server-work",))  # flush idle workers
+
+    return program
+
+
+def client_process(state: ServerState, requests: int, work_cycles: int,
+                   think_cycles: int):
+    def program(api):
+        for i in range(requests):
+            req = state.submit(api.process.pid, work_cycles)
+            yield Acquire(state.queue_lock,
+                          ("Client::submit", "RequestQueue::push"))
+            state.queue.append(req)
+            yield Release(state.queue_lock)
+            yield Wake(("server-work",))
+            yield BlockOn(("reply", req.req_id))
+            yield from api.compute(think_cycles, pc="user:client_think")
+
+    return program
+
+
+@dataclass
+class ServerResult:
+    ncpus: int
+    nworkers: int
+    requests_completed: int
+    elapsed_cycles: int
+    mean_latency: float
+    max_latency: int
+    server_pid: int
+    utilization: List[float] = field(default_factory=list)
+
+
+def run_server(
+    ncpus: int = 4,
+    nworkers: int = 3,
+    nclients: int = 4,
+    requests_per_client: int = 10,
+    work_cycles: int = 60_000,
+    think_cycles: int = 10_000,
+    seed: int = 19,
+    pc_sample_period: int = 0,
+    buffer_words: int = 4096,
+    num_buffers: int = 16,
+) -> Tuple[Kernel, TraceFacility, ServerResult]:
+    """Run the client/server workload to completion."""
+    kernel = Kernel(KernelConfig(ncpus=ncpus, seed=seed,
+                                 pc_sample_period=pc_sample_period))
+    facility = TraceFacility(ncpus=ncpus, clock=kernel.clock,
+                             buffer_words=buffer_words,
+                             num_buffers=num_buffers)
+    facility.enable_all()
+    kernel.facility = facility
+    state = ServerState(kernel)
+    server = kernel.spawn_process(
+        server_process(state, nworkers), "appServer", cpu=0
+    )
+    clients = [
+        kernel.spawn_process(
+            client_process(state, requests_per_client, work_cycles,
+                           think_cycles),
+            f"client{c}", cpu=c % ncpus,
+        )
+        for c in range(nclients)
+    ]
+
+    total = nclients * requests_per_client
+
+    def check_done() -> None:
+        if state.queue:
+            # Heal lost wakeups (a client can enqueue in the window
+            # between a worker's empty-check and its block).
+            kernel._wake(("server-work",))
+        if len(state.completed) >= total and not state.shutdown:
+            kernel._wake(("server-shutdown",))
+        elif kernel.live_threads > 0:
+            kernel.engine.after(100_000, check_done)
+
+    kernel.engine.after(100_000, check_done)
+    if not kernel.run_until_quiescent(max_cycles=10**12):
+        raise RuntimeError("server workload did not quiesce")
+    latencies = [r.completed_at - r.submitted_at for r in state.completed]
+    return kernel, facility, ServerResult(
+        ncpus=ncpus,
+        nworkers=nworkers,
+        requests_completed=len(state.completed),
+        elapsed_cycles=kernel.engine.now,
+        mean_latency=sum(latencies) / len(latencies) if latencies else 0.0,
+        max_latency=max(latencies) if latencies else 0,
+        server_pid=server.pid,
+        utilization=kernel.utilization(),
+    )

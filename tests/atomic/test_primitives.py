@@ -1,0 +1,138 @@
+"""Unit and concurrency tests for the emulated hardware atomics."""
+
+import threading
+
+import pytest
+
+from repro.atomic import AtomicArray, AtomicWord
+
+
+class TestAtomicWord:
+    def test_initial_value(self):
+        assert AtomicWord().load() == 0
+        assert AtomicWord(41).load() == 41
+
+    def test_store_load(self):
+        w = AtomicWord()
+        w.store(123)
+        assert w.load() == 123
+
+    def test_wraps_to_64_bits(self):
+        w = AtomicWord(1 << 64)
+        assert w.load() == 0
+        w.store((1 << 64) + 5)
+        assert w.load() == 5
+
+    def test_cas_success(self):
+        w = AtomicWord(10)
+        assert w.compare_and_store(10, 20) is True
+        assert w.load() == 20
+
+    def test_cas_failure_leaves_value(self):
+        w = AtomicWord(10)
+        assert w.compare_and_store(11, 20) is False
+        assert w.load() == 10
+
+    def test_cas_with_wrapping_operands(self):
+        w = AtomicWord(3)
+        assert w.compare_and_store((1 << 64) + 3, 7) is True
+        assert w.load() == 7
+
+    def test_fetch_and_add_returns_previous(self):
+        w = AtomicWord(5)
+        assert w.fetch_and_add(3) == 5
+        assert w.load() == 8
+
+    def test_fetch_and_add_wraps(self):
+        w = AtomicWord((1 << 64) - 1)
+        assert w.fetch_and_add(2) == (1 << 64) - 1
+        assert w.load() == 1
+
+    def test_concurrent_fetch_and_add_loses_nothing(self):
+        w = AtomicWord()
+        n_threads, n_iters = 8, 2000
+
+        def work():
+            for _ in range(n_iters):
+                w.fetch_and_add(1)
+
+        threads = [threading.Thread(target=work) for _ in range(n_threads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert w.load() == n_threads * n_iters
+
+    def test_concurrent_cas_exactly_one_winner_per_value(self):
+        """Each CAS generation has exactly one winner — the property the
+        lockless reservation algorithm depends on."""
+        w = AtomicWord(0)
+        wins = []
+        lock = threading.Lock()
+
+        def work(tid):
+            my_wins = 0
+            while True:
+                cur = w.load()
+                if cur >= 5000:
+                    break
+                if w.compare_and_store(cur, cur + 1):
+                    my_wins += 1
+            with lock:
+                wins.append(my_wins)
+
+        threads = [threading.Thread(target=work, args=(i,)) for i in range(6)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert w.load() >= 5000
+        assert sum(wins) == w.load()
+
+
+class TestAtomicArray:
+    def test_length_and_defaults(self):
+        a = AtomicArray(4)
+        assert len(a) == 4
+        assert a.snapshot() == [0, 0, 0, 0]
+
+    def test_negative_length_rejected(self):
+        with pytest.raises(ValueError):
+            AtomicArray(-1)
+
+    def test_store_load_independent_elements(self):
+        a = AtomicArray(3)
+        a.store(0, 10)
+        a.store(2, 30)
+        assert a.snapshot() == [10, 0, 30]
+
+    def test_cas_per_element(self):
+        a = AtomicArray(2)
+        assert a.compare_and_store(0, 0, 9)
+        assert not a.compare_and_store(1, 9, 1)
+        assert a.snapshot() == [9, 0]
+
+    def test_fetch_and_add(self):
+        a = AtomicArray(2, initial=100)
+        assert a.fetch_and_add(1, 5) == 100
+        assert a.load(1) == 105
+        assert a.load(0) == 100
+
+    def test_zero_length_array(self):
+        a = AtomicArray(0)
+        assert len(a) == 0
+        assert a.snapshot() == []
+
+    def test_concurrent_adds_per_slot(self):
+        a = AtomicArray(4)
+
+        def work(slot):
+            for _ in range(3000):
+                a.fetch_and_add(slot, 1)
+
+        threads = [threading.Thread(target=work, args=(i % 4,)) for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert sum(a.snapshot()) == 8 * 3000

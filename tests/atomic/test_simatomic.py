@@ -1,0 +1,53 @@
+"""Tests for the deterministic simulated atomic word."""
+
+from repro.atomic import SimAtomicWord
+
+
+def test_basic_ops():
+    w = SimAtomicWord(7)
+    assert w.load() == 7
+    w.store(9)
+    assert w.load() == 9
+    assert w.fetch_and_add(1) == 9
+    assert w.load() == 10
+
+
+def test_cas_counts_attempts_and_failures():
+    w = SimAtomicWord(0)
+    assert w.compare_and_store(0, 1)
+    assert not w.compare_and_store(0, 2)
+    assert w.cas_attempts == 2
+    assert w.cas_failures == 1
+
+
+def test_interference_hook_forces_failure():
+    """The hook simulates a competing writer sneaking in between the
+    index load and the compare-and-store — the race of Figure 1."""
+    w = SimAtomicWord(0)
+
+    def interfere(word, expected, new):
+        word.store(expected + 5)  # competitor reserved first
+
+    w.set_hook(interfere)
+    assert not w.compare_and_store(0, 3)
+    assert w.load() == 5
+    # Retry with fresh expected value succeeds (hook mutates again).
+    assert not w.compare_and_store(5, 8)
+    w.set_hook(None)
+    assert w.compare_and_store(10, 13)
+    assert w.load() == 13
+
+
+def test_hook_not_reentrant():
+    """A hook that itself CASes must not recurse into the hook."""
+    w = SimAtomicWord(0)
+    calls = []
+
+    def interfere(word, expected, new):
+        calls.append(1)
+        assert word.compare_and_store(expected, expected + 100)
+
+    w.set_hook(interfere)
+    assert not w.compare_and_store(0, 1)
+    assert len(calls) == 1
+    assert w.load() == 100

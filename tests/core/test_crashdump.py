@@ -1,0 +1,133 @@
+"""Crash-dump tool tests (§4.2's future-work item, implemented)."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.crashdump import (
+    CrashDump,
+    dump_bytes,
+    read_dump,
+    write_dump,
+)
+from repro.core.facility import TraceFacility
+from repro.core.majors import Major
+from repro.core.registry import default_registry
+from repro.core.stream import TraceReader
+from repro.core.timestamps import ManualClock
+
+
+def crashed_facility(n_events=700):
+    """A facility mid-run, as a crash would find it."""
+    fac = TraceFacility(ncpus=2, buffer_words=64, num_buffers=4,
+                        mode="flight", clock=ManualClock())
+    fac.enable_all()
+    for i in range(n_events):
+        fac.clock.advance(3)
+        fac.log(i % 2, Major.TEST, 1, (i,))
+    return fac
+
+
+def test_dump_and_recover_recent_events():
+    fac = crashed_facility()
+    image = dump_bytes(fac.controls)
+    dump = read_dump(image)
+    assert dump.intact
+    assert dump.ncpus == 2
+    trace = TraceReader(registry=default_registry()).decode_records(
+        dump.records
+    )
+    for cpu in (0, 1):
+        values = [e.data[0] for e in trace.events(cpu)
+                  if e.major == Major.TEST]
+        assert values, f"cpu {cpu} lost its history"
+        # The newest event logged to this CPU must be present.
+        newest = max(i for i in range(700) if i % 2 == cpu)
+        assert values[-1] == newest
+        # And the recovered history is a contiguous suffix.
+        assert values == list(range(values[0], 700, 2))
+
+
+def test_dump_matches_live_snapshot():
+    """The dump tool reconstructs exactly what the live debugger hook
+    (snapshot) would have printed."""
+    fac = crashed_facility()
+    live = fac.snapshot()
+    dumped = read_dump(dump_bytes(fac.controls)).records
+    assert len(live) == len(dumped)
+    live.sort(key=lambda r: (r.cpu, r.seq))
+    for a, b in zip(live, dumped):
+        assert (a.cpu, a.seq, a.committed, a.fill_words, a.partial) == \
+            (b.cpu, b.seq, b.committed, b.fill_words, b.partial)
+        assert np.array_equal(a.words, b.words)
+
+
+def test_not_a_dump_rejected():
+    with pytest.raises(ValueError):
+        read_dump(b"definitely not a dump image, far too short? no.")
+    with pytest.raises(ValueError):
+        read_dump(b"X" * 100)
+
+
+def test_truncated_header_rejected():
+    with pytest.raises(ValueError):
+        read_dump(b"K42CRASH")
+
+
+def test_corrupted_section_reported_not_fatal():
+    fac = crashed_facility(200)
+    image = bytearray(dump_bytes(fac.controls))
+    # Stomp the second CPU's section magic (find it after cpu0's data).
+    ctl = fac.controls[0]
+    sec0_size = 32 + ctl.num_buffers * 16 + ctl.total_words * 8
+    offset = 16 + sec0_size
+    image[offset:offset + 4] = b"\x00\x00\x00\x00"
+    dump = read_dump(bytes(image))
+    assert not dump.intact
+    assert any("magic" in i.detail for i in dump.issues)
+    # CPU 0 still recovered.
+    assert any(r.cpu == 0 for r in dump.records)
+
+
+def test_truncated_memory_reported():
+    fac = crashed_facility(200)
+    image = dump_bytes(fac.controls)
+    dump = read_dump(image[: len(image) // 2])
+    assert not dump.intact
+
+
+def test_implausible_geometry_rejected_per_section():
+    fac = crashed_facility(100)
+    image = bytearray(dump_bytes(fac.controls))
+    # buffer_words field of cpu0 section at offset 16+8.
+    image[24:28] = (2**31).to_bytes(4, "little")
+    dump = read_dump(bytes(image))
+    assert not dump.intact
+    assert any("implausible" in i.detail for i in dump.issues)
+
+
+def test_writeout_mode_controls_also_dumpable():
+    fac = TraceFacility(ncpus=1, buffer_words=64, num_buffers=4,
+                        clock=ManualClock())
+    fac.enable_all()
+    for i in range(50):
+        fac.clock.advance(2)
+        fac.log(0, Major.TEST, 1, (i,))
+    dump = read_dump(dump_bytes(fac.controls))
+    assert dump.intact
+    trace = TraceReader(registry=default_registry()).decode_records(
+        dump.records
+    )
+    assert [e.data[0] for e in trace.events(0) if e.major == Major.TEST] \
+        == list(range(50))
+
+
+def test_file_roundtrip(tmp_path):
+    fac = crashed_facility(300)
+    path = tmp_path / "core.k42crash"
+    with open(path, "wb") as fh:
+        write_dump(fac.controls, fh)
+    with open(path, "rb") as fh:
+        dump = read_dump(fh)
+    assert dump.intact and dump.records

@@ -1,0 +1,101 @@
+"""Privilege-separated tracing domain tests (§5 future work)."""
+
+import pytest
+
+from repro.core.domains import PermissionError_, TraceDomains, merge_traces
+from repro.core.majors import Major
+from repro.core.timestamps import ManualClock
+
+
+def make_domains():
+    clock = ManualClock()
+    domains = TraceDomains(ncpus=2, clock=clock)
+    domains.enable_all()
+    domains.register(0, privileged=True)    # kernel
+    domains.register(100, privileged=False)  # alice's app
+    domains.register(200, privileged=False)  # bob's app
+    return domains, clock
+
+
+def log_some(domains, clock):
+    clock.advance(10)
+    domains.logger(0, 0).log1(Major.EXC, 4, 1)          # kernel event
+    clock.advance(10)
+    domains.logger(100, 0).log_event("TRC_USER_APP_MARK", 1, "alice-secret")
+    clock.advance(10)
+    domains.logger(200, 1).log_event("TRC_USER_APP_MARK", 2, "bob-secret")
+
+
+def test_unprivileged_sees_only_its_own_data():
+    domains, clock = make_domains()
+    log_some(domains, clock)
+    alice = domains.view(100)
+    rendered = " ".join(e.render() for e in alice.all_events())
+    assert "alice-secret" in rendered
+    assert "bob-secret" not in rendered
+    assert not alice.filter(major=Major.EXC)  # no kernel data either
+
+
+def test_peer_isolation_is_symmetric():
+    domains, clock = make_domains()
+    log_some(domains, clock)
+    bob = domains.view(200)
+    rendered = " ".join(e.render() for e in bob.all_events())
+    assert "bob-secret" in rendered
+    assert "alice-secret" not in rendered
+
+
+def test_privileged_view_merges_everything_in_time_order():
+    domains, clock = make_domains()
+    log_some(domains, clock)
+    full = domains.view(0)
+    rendered = " ".join(e.render() for e in full.all_events())
+    assert "alice-secret" in rendered and "bob-secret" in rendered
+    assert full.filter(major=Major.EXC)
+    times = [e.time for e in full.all_events()]
+    assert times == sorted(times)
+
+
+def test_unprivileged_cannot_request_global_view():
+    domains, clock = make_domains()
+    with pytest.raises(PermissionError):
+        domains.view_privileged(100)
+
+
+def test_unregistered_pid_rejected():
+    domains, clock = make_domains()
+    with pytest.raises(KeyError):
+        domains.view(999)
+    with pytest.raises(KeyError):
+        domains.logger(999, 0)
+
+
+def test_double_registration_rejected():
+    domains, clock = make_domains()
+    with pytest.raises(ValueError):
+        domains.register(100)
+
+
+def test_shared_mask_gates_all_domains():
+    domains, clock = make_domains()
+    domains.mask.disable_all()
+    domains.mask.enable(Major.CONTROL)
+    assert domains.logger(100, 0).log1(Major.TEST, 1, 1) is False
+    assert domains.logger(0, 0).log1(Major.TEST, 1, 1) is False
+
+
+def test_domain_count():
+    domains, clock = make_domains()
+    assert domains.domain_count == 3  # global + alice + bob
+
+
+def test_merge_traces_interleaves_by_time():
+    domains, clock = make_domains()
+    for i in range(20):
+        clock.advance(5)
+        pid = 100 if i % 2 == 0 else 200
+        domains.logger(pid, 0).log1(Major.TEST, 1, i)
+    merged = merge_traces(domains.view(100), domains.view(200))
+    values = [e.data[0] for e in merged.all_events()
+              if e.major == Major.TEST]
+    assert values == list(range(20))

@@ -1,0 +1,133 @@
+"""Unified facility tests: one infrastructure, many uses (§2 goals)."""
+
+import pytest
+
+from repro.core.facility import TraceFacility
+from repro.core.majors import ControlMinor, Major
+from repro.core.timestamps import ManualClock
+
+
+def make(ncpus=2, **kw):
+    kw.setdefault("buffer_words", 128)
+    kw.setdefault("num_buffers", 4)
+    kw.setdefault("clock", ManualClock())
+    return TraceFacility(ncpus=ncpus, **kw)
+
+
+def test_goal1_unified_events_from_all_sources():
+    """Kernel, server, library, application events land in one stream."""
+    fac = make()
+    fac.enable_all()
+    fac.log(0, Major.EXC, 0, (0xC0FFEE, 0x1000))          # kernel
+    fac.log(0, Major.SYSCALL, 0, (1, 42))                  # emulation layer
+    fac.log(1, Major.USER, 2, ())                          # application
+    fac.log(1, Major.LOCK, 1, (0xAB, 1))                   # server lock path
+    trace = fac.decode()
+    majors = {e.major for e in trace.filter()}
+    assert {Major.EXC, Major.SYSCALL, Major.USER, Major.LOCK} <= majors
+
+
+def test_goal4_dynamic_enable_disable():
+    fac = make()
+    fac.log(0, Major.TEST, 1, (1,))  # mask off: dropped
+    fac.enable(Major.TEST)
+    fac.log(0, Major.TEST, 1, (2,))
+    fac.disable(Major.TEST)
+    fac.log(0, Major.TEST, 1, (3,))
+    trace = fac.decode()
+    data = [e.data[0] for e in trace.filter(major=Major.TEST)]
+    assert data == [2]
+
+
+def test_mask_changes_are_logged():
+    fac = make()
+    fac.enable(Major.TEST)
+    trace = fac.decode()
+    changes = trace.filter(
+        major=Major.CONTROL, minor=ControlMinor.MASK_CHANGE, include_control=True
+    )
+    assert changes
+
+
+def test_control_events_always_flow():
+    fac = make()
+    fac.disable_all()
+    assert fac.mask.enabled(Major.CONTROL)
+
+
+def test_per_cpu_streams_separate():
+    fac = make(ncpus=3)
+    fac.enable_all()
+    clock = fac.clock
+    for cpu in range(3):
+        clock.advance(1)
+        fac.log(cpu, Major.TEST, 1, (cpu,))
+    trace = fac.decode()
+    for cpu in range(3):
+        evs = [e for e in trace.events(cpu) if e.major == Major.TEST]
+        assert [e.data[0] for e in evs] == [cpu]
+
+
+def test_log_event_by_name():
+    fac = make()
+    fac.enable_all()
+    fac.log_event(0, "TRC_USER_RETURNED_MAIN", 17)
+    trace = fac.decode()
+    assert trace.filter(name="TRC_USER_RETURNED_MAIN")[0].values() == [17]
+
+
+def test_null_kind_logs_nothing():
+    fac = make(kind="null")
+    fac.enable_all()
+    assert fac.log(0, Major.TEST, 1, (1,)) is False
+    assert fac.flush() == []
+    assert fac.decode().all_events() == []
+
+
+def test_locking_kind_produces_same_stream_shape():
+    fac = make(kind="locking")
+    fac.enable_all()
+    for i in range(50):
+        fac.clock.advance(1)
+        fac.log(0, Major.TEST, 1, (i,))
+    trace = fac.decode()
+    assert len(trace.filter(major=Major.TEST)) == 50
+
+
+def test_locking_shared_kind_single_control():
+    fac = make(kind="locking-shared", ncpus=4)
+    fac.enable_all()
+    assert len(fac.controls) == 1
+    for cpu in range(4):
+        fac.log(cpu, Major.TEST, 1, (cpu,))
+    trace = fac.decode()
+    assert len(trace.filter(major=Major.TEST)) == 4
+
+
+def test_stats_aggregate_across_cpus():
+    fac = make(ncpus=2)
+    fac.enable_all()
+    fac.log(0, Major.TEST, 1, (1,))
+    fac.log(1, Major.TEST, 1, (1,))
+    stats = fac.stats()
+    assert stats["events_logged"] >= 2
+    assert "cas_retries" in stats
+
+
+def test_flight_mode_snapshot():
+    fac = make(mode="flight")
+    fac.enable_all()
+    for i in range(500):
+        fac.clock.advance(1)
+        fac.log(0, Major.TEST, 1, (i,))
+    records = fac.snapshot()
+    trace = fac.decode(records)
+    evs = [e for e in trace.events(0) if e.major == Major.TEST]
+    assert evs and evs[-1].data[0] == 499
+
+
+def test_invalid_config_rejected():
+    with pytest.raises(ValueError):
+        TraceFacility(ncpus=0)
+    with pytest.raises(ValueError):
+        TraceFacility(kind="bogus")  # type: ignore[arg-type]

@@ -1,0 +1,66 @@
+"""Header word pack/unpack: unit + property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constants import (
+    LENGTH_MASK,
+    MAJOR_MASK,
+    MINOR_MASK,
+    TIMESTAMP_MASK,
+)
+from repro.core.header import pack_header, unpack_header
+
+
+def test_known_encoding():
+    word = pack_header(timestamp=1, length=2, major=3, minor=4)
+    assert word == (1 << 32) | (2 << 22) | (3 << 16) | 4
+
+
+def test_roundtrip_simple():
+    word = pack_header(0xDEADBEEF, 17, 5, 0x1234)
+    hdr = unpack_header(word)
+    assert hdr.timestamp == 0xDEADBEEF
+    assert hdr.length == 17
+    assert hdr.major == 5
+    assert hdr.minor == 0x1234
+
+
+def test_timestamp_truncated_not_rejected():
+    """The logger passes pre-truncated stamps; pack truncates defensively."""
+    word = pack_header((1 << 40) | 7, 1, 0, 0)
+    assert unpack_header(word).timestamp == 7
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        dict(timestamp=0, length=LENGTH_MASK + 1, major=0, minor=0),
+        dict(timestamp=0, length=-1, major=0, minor=0),
+        dict(timestamp=0, length=1, major=MAJOR_MASK + 1, minor=0),
+        dict(timestamp=0, length=1, major=-1, minor=0),
+        dict(timestamp=0, length=1, major=0, minor=MINOR_MASK + 1),
+        dict(timestamp=0, length=1, major=0, minor=-1),
+    ],
+)
+def test_out_of_range_fields_rejected(kwargs):
+    with pytest.raises(ValueError):
+        pack_header(**kwargs)
+
+
+@given(
+    ts=st.integers(0, TIMESTAMP_MASK),
+    length=st.integers(0, LENGTH_MASK),
+    major=st.integers(0, MAJOR_MASK),
+    minor=st.integers(0, MINOR_MASK),
+)
+def test_roundtrip_property(ts, length, major, minor):
+    hdr = unpack_header(pack_header(ts, length, major, minor))
+    assert hdr == (ts, length, major, minor)
+
+
+@given(word=st.integers(0, (1 << 64) - 1))
+def test_unpack_pack_is_identity_on_words(word):
+    hdr = unpack_header(word)
+    assert pack_header(*hdr) == word

@@ -1,0 +1,127 @@
+"""Locking-logger baseline: same observable stream, different sync."""
+
+import threading
+
+from repro.core.buffers import TraceControl
+from repro.core.locking_logger import LockingTraceLogger
+from repro.core.majors import Major
+from repro.core.mask import TraceMask
+from repro.core.registry import default_registry
+from repro.core.stream import TraceReader
+from repro.core.timestamps import ManualClock, WallClock
+
+
+def make(buffer_words=32, num_buffers=4, clock=None):
+    control = TraceControl(buffer_words=buffer_words, num_buffers=num_buffers)
+    mask = TraceMask(); mask.enable_all()
+    logger = LockingTraceLogger(
+        control, mask, clock or ManualClock(), registry=default_registry()
+    )
+    logger.start()
+    return logger, control
+
+
+def decode(control):
+    return TraceReader(registry=default_registry()).decode_records(control.flush())
+
+
+def test_basic_event():
+    logger, control = make()
+    logger.log2(Major.TEST, 2, 5, 6)
+    trace = decode(control)
+    evs = [e for e in trace.events(0) if e.major == Major.TEST]
+    assert evs[0].data == [5, 6]
+
+
+def test_mask_respected():
+    logger, control = make()
+    logger.mask.disable_all()
+    assert logger.log1(Major.TEST, 1, 1) is False
+
+
+def test_buffer_rollover_with_filler():
+    logger, control = make(buffer_words=32)
+    for i in range(100):
+        logger.log2(Major.TEST, 2, i, i)
+    trace = decode(control)
+    evs = [e for e in trace.events(0) if e.major == Major.TEST]
+    assert len(evs) == 100
+    assert not trace.anomalies
+    assert control.stats_fillers >= 1
+
+
+def test_stream_identical_semantics_to_lockless():
+    """Same events in, same decoded stream out — the two loggers differ
+    only in synchronization, which is what makes the ablation pure."""
+    from repro.core.logger import TraceLogger
+
+    def run(logger_cls):
+        control = TraceControl(buffer_words=32, num_buffers=8)
+        mask = TraceMask(); mask.enable_all()
+        clock = ManualClock()
+        logger = logger_cls(control, mask, clock, registry=default_registry())
+        logger.start()
+        for i in range(200):
+            clock.advance(3)
+            logger.log_words(Major.TEST, 1, [i] * ((i % 4) + 1))
+        trace = decode(control)
+        # Anchor placement at buffer starts legitimately differs between
+        # the two reserve strategies; the logged *events* must match.
+        return [
+            (e.name, e.data, e.time)
+            for e in trace.events(0)
+            if not e.is_control
+        ]
+
+    assert run(TraceLogger) == run(LockingTraceLogger)
+
+
+def test_concurrent_threads_no_loss():
+    logger, control = make(buffer_words=256, num_buffers=8, clock=WallClock())
+    n_threads, per_thread = 6, 300
+    barrier = threading.Barrier(n_threads)
+
+    def work(tid):
+        barrier.wait()
+        for i in range(per_thread):
+            logger.log2(Major.TEST, 2, tid, i)
+
+    threads = [threading.Thread(target=work, args=(t,)) for t in range(n_threads)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    trace = decode(control)
+    evs = [e for e in trace.events(0) if e.major == Major.TEST]
+    assert len(evs) == n_threads * per_thread
+    assert not [a for a in trace.anomalies if a.kind == "garbled"]
+
+
+def test_shared_control_multiple_cpu_ids():
+    """The original-LTT configuration: every CPU logs through one global
+    buffer under one lock."""
+    control = TraceControl(buffer_words=256, num_buffers=8)
+    mask = TraceMask(); mask.enable_all()
+    clock = WallClock()
+    lock = threading.Lock()
+    loggers = [
+        LockingTraceLogger(control, mask, clock, registry=default_registry(),
+                           lock=lock, cpu=c)
+        for c in range(4)
+    ]
+    loggers[0].start()
+    barrier = threading.Barrier(4)
+
+    def work(cpu):
+        barrier.wait()
+        for i in range(200):
+            loggers[cpu].log2(Major.TEST, 2, cpu, i)
+
+    threads = [threading.Thread(target=work, args=(c,)) for c in range(4)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    trace = decode(control)
+    evs = [e for e in trace.events(0) if e.major == Major.TEST]
+    assert len(evs) == 800

@@ -1,0 +1,73 @@
+"""Trace mask tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.constants import NUM_MAJORS
+from repro.core.majors import Major
+from repro.core.mask import TraceMask
+
+
+def test_default_disabled():
+    m = TraceMask()
+    assert not any(m.enabled(i) for i in range(NUM_MAJORS))
+
+
+def test_enable_single():
+    m = TraceMask()
+    m.enable(Major.MEM)
+    assert m.enabled(Major.MEM)
+    assert not m.enabled(Major.PROC)
+
+
+def test_enable_multiple_and_disable():
+    m = TraceMask()
+    m.enable(1, 2, 3)
+    m.disable(2)
+    assert m.enabled_majors() == [1, 3]
+
+
+def test_enable_all_disable_all():
+    m = TraceMask()
+    m.enable_all()
+    assert m.enabled_majors() == list(range(NUM_MAJORS))
+    m.disable_all()
+    assert m.enabled_majors() == []
+
+
+def test_set_exactly():
+    m = TraceMask()
+    m.enable_all()
+    m.set_exactly([5, 9])
+    assert m.enabled_majors() == [5, 9]
+
+
+def test_out_of_range_rejected():
+    m = TraceMask()
+    with pytest.raises(ValueError):
+        m.enable(64)
+    with pytest.raises(ValueError):
+        m.disable(-1)
+
+
+def test_constructor_truncates_to_64_bits():
+    m = TraceMask(1 << 70 | 0b101)
+    assert m.enabled_majors() == [0, 2]
+
+
+def test_single_comparison_semantics():
+    """The fast path is literally `mask & (1 << major)`."""
+    m = TraceMask()
+    m.enable(6)
+    assert m.value & (1 << 6)
+    assert not m.value & (1 << 7)
+
+
+@given(majors=st.sets(st.integers(0, NUM_MAJORS - 1)))
+def test_enable_disable_roundtrip(majors):
+    m = TraceMask()
+    m.enable(*majors)
+    assert set(m.enabled_majors()) == majors
+    m.disable(*majors)
+    assert m.enabled_majors() == []

@@ -1,0 +1,121 @@
+"""Layout-driven value packing: unit + property tests."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.core.packing import pack_values, packed_length, parse_layout, unpack_values
+
+
+class TestParseLayout:
+    def test_valid_tokens(self):
+        assert parse_layout("8 16 32 64 str") == ["8", "16", "32", "64", "str"]
+
+    def test_empty_layout(self):
+        assert parse_layout("") == []
+
+    def test_unknown_token_rejected(self):
+        with pytest.raises(ValueError):
+            parse_layout("64 24")
+
+
+class TestPackUnpack:
+    def test_single_64(self):
+        assert pack_values("64", [0xDEAD]) == [0xDEAD]
+        assert unpack_values("64", [0xDEAD]) == [0xDEAD]
+
+    def test_two_64s_take_two_words(self):
+        words = pack_values("64 64", [1, 2])
+        assert words == [1, 2]
+
+    def test_small_values_share_a_word(self):
+        words = pack_values("8 16 32", [0xAB, 0xCDEF, 0x12345678])
+        assert len(words) == 1
+        assert unpack_values("8 16 32", words) == [0xAB, 0xCDEF, 0x12345678]
+
+    def test_value_never_straddles_word(self):
+        # 56 bits used, then a 16-bit value must open a new word.
+        words = pack_values("32 16 8 16", [1, 2, 3, 4])
+        assert len(words) == 2
+        assert unpack_values("32 16 8 16", words) == [1, 2, 3, 4]
+
+    def test_value_too_wide_rejected(self):
+        with pytest.raises(ValueError):
+            pack_values("8", [256])
+
+    def test_negative_rejected(self):
+        with pytest.raises(ValueError):
+            pack_values("16", [-1])
+
+    def test_wrong_count_rejected(self):
+        with pytest.raises(ValueError):
+            pack_values("64 64", [1])
+
+    def test_type_mismatch_rejected(self):
+        with pytest.raises(TypeError):
+            pack_values("64", ["not an int"])
+        with pytest.raises(TypeError):
+            pack_values("str", [42])
+
+    def test_string_roundtrip(self):
+        words = pack_values("str", ["/shellServer"])
+        assert unpack_values("str", words) == ["/shellServer"]
+
+    def test_empty_string(self):
+        words = pack_values("str", [""])
+        assert len(words) == 1  # NUL terminator padded to one word
+        assert unpack_values("str", words) == [""]
+
+    def test_string_exactly_word_multiple(self):
+        s = "a" * 8  # 8 bytes + NUL -> 2 words
+        words = pack_values("str", [s])
+        assert len(words) == 2
+        assert unpack_values("str", words) == [s]
+
+    def test_mixed_int_string_int(self):
+        layout = "64 str 32"
+        vals = [7, "baseServers", 99]
+        words = pack_values(layout, vals)
+        assert unpack_values(layout, words) == vals
+
+    def test_unicode_string(self):
+        words = pack_values("str", ["naïve—λ"])
+        assert unpack_values("str", words) == ["naïve—λ"]
+
+    def test_truncated_data_detected(self):
+        words = pack_values("64 64", [1, 2])
+        with pytest.raises(ValueError):
+            unpack_values("64 64", words[:1])
+
+    def test_unterminated_string_detected(self):
+        words = [int.from_bytes(b"abcdefgh", "little")]  # no NUL anywhere
+        with pytest.raises(ValueError):
+            unpack_values("str", words)
+
+    def test_packed_length(self):
+        assert packed_length("8 8 8", [1, 2, 3]) == 1
+        assert packed_length("64 64", [1, 2]) == 2
+
+
+_fixed_token = st.sampled_from(["8", "16", "32", "64"])
+
+
+@st.composite
+def layout_and_values(draw):
+    tokens = draw(st.lists(st.one_of(_fixed_token, st.just("str")), min_size=0, max_size=8))
+    values = []
+    for tok in tokens:
+        if tok == "str":
+            alphabet = st.characters(
+                min_codepoint=1, max_codepoint=0x2FFF
+            )
+            values.append(draw(st.text(alphabet, max_size=24)))
+        else:
+            values.append(draw(st.integers(0, (1 << int(tok)) - 1)))
+    return " ".join(tokens), values
+
+
+@given(layout_and_values())
+def test_roundtrip_property(lv):
+    layout, values = lv
+    assert unpack_values(layout, pack_values(layout, values)) == values

@@ -1,0 +1,101 @@
+"""Fuzzing the binary readers: they must be total on hostile input.
+
+Every parser that consumes external bytes (trace files, crash dumps,
+LTT exports) must either succeed or raise ValueError/EOFError — never
+any other exception, never a hang — regardless of input.
+"""
+
+import io
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.crashdump import read_dump
+from repro.core.writer import TraceFileReader
+from repro.ltt.export import read_ltt
+
+SETTINGS = dict(
+    max_examples=120,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+junk = st.binary(min_size=0, max_size=4096)
+
+
+@given(junk)
+@settings(**SETTINGS)
+def test_trace_file_reader_total(data):
+    try:
+        reader = TraceFileReader(io.BytesIO(data))
+        reader.read_all()
+    except (ValueError, EOFError):
+        pass
+
+
+@given(junk)
+@settings(**SETTINGS)
+def test_crash_dump_reader_total(data):
+    try:
+        dump = read_dump(data)
+        assert isinstance(dump.records, list)
+    except (ValueError, EOFError):
+        pass
+
+
+@given(junk)
+@settings(**SETTINGS)
+def test_ltt_reader_total(data):
+    try:
+        cpu, events = read_ltt(data)
+        assert isinstance(events, list)
+    except (ValueError, EOFError):
+        pass
+
+
+@st.composite
+def mutated_trace_file(draw):
+    """A valid trace file with random byte mutations applied."""
+    from repro.core.buffers import TraceControl
+    from repro.core.logger import TraceLogger
+    from repro.core.majors import Major
+    from repro.core.mask import TraceMask
+    from repro.core.timestamps import ManualClock
+    from repro.core.writer import save_records
+
+    control = TraceControl(buffer_words=32, num_buffers=4)
+    mask = TraceMask(); mask.enable_all()
+    clock = ManualClock()
+    logger = TraceLogger(control, mask, clock)
+    logger.start()
+    for i in range(draw(st.integers(1, 60))):
+        clock.advance(2)
+        logger.log1(Major.TEST, 1, i)
+    buf = io.BytesIO()
+    save_records(buf, control.flush())
+    data = bytearray(buf.getvalue())
+    for _ in range(draw(st.integers(1, 12))):
+        pos = draw(st.integers(0, len(data) - 1))
+        data[pos] = draw(st.integers(0, 255))
+    return bytes(data)
+
+
+@given(mutated_trace_file())
+@settings(max_examples=50, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_mutated_trace_files_never_crash_decode(data):
+    """File-level corruption flows through load + decode without any
+    unexpected exception; damage surfaces as anomalies."""
+    from repro.core.registry import default_registry
+    from repro.core.stream import TraceReader
+    from repro.core.writer import load_records
+
+    try:
+        records = load_records(io.BytesIO(data))
+    except (ValueError, EOFError):
+        return
+    reader = TraceReader(registry=default_registry())
+    trace = reader.decode_records(records)  # must terminate cleanly
+    for e in trace.all_events():
+        assert 0 <= e.major < 64

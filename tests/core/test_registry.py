@@ -1,0 +1,113 @@
+"""Self-describing event registry tests."""
+
+import pytest
+
+from repro.core.majors import Major, MemMinor
+from repro.core.packing import pack_values
+from repro.core.registry import EventRegistry, EventSpec, default_registry
+
+
+def test_paper_example_renders():
+    """The exact eventParse example from §4.4."""
+    spec = EventSpec(
+        Major.MEM, MemMinor.FCM_ATTACH_REGION,
+        "TRACE_MEM_FCMCOM_ATCH_REG_EXAMPLE", "64 64",
+        "Region %0[%llx] attach to FCM %1[%llx]",
+    )
+    words = pack_values("64 64", [0x800000001022CC98, 0xE100000000003F30])
+    assert spec.render(words) == (
+        "Region 800000001022cc98 attach to FCM e100000000003f30"
+    )
+
+
+def test_string_event_renders():
+    spec = EventSpec(Major.USER, 9, "TRC_X", "64 str",
+                     "process %0[%llu] name %1[%s]")
+    words = pack_values("64 str", [6, "/shellServer"])
+    assert spec.render(words) == "process 6 name /shellServer"
+
+
+def test_out_of_order_token_references():
+    """The paper: numbers do not need to be in order in the third field."""
+    spec = EventSpec(Major.TEST, 20, "TRC_OOO", "64 64",
+                     "second %1[%llu] first %0[%llu]")
+    assert spec.render([10, 20]) == "second 20 first 10"
+
+
+def test_format_referencing_missing_token_rejected():
+    with pytest.raises(ValueError):
+        EventSpec(Major.TEST, 21, "TRC_BAD", "64", "oops %1[%llx]")
+
+
+def test_bad_layout_rejected():
+    with pytest.raises(ValueError):
+        EventSpec(Major.TEST, 22, "TRC_BAD2", "64 banana", "x")
+
+
+def test_fixed_data_words():
+    assert EventSpec(Major.TEST, 23, "TRC_F0", "", "no data").fixed_data_words == 0
+    assert EventSpec(Major.TEST, 24, "TRC_F1", "64 64", "x").fixed_data_words == 2
+    assert EventSpec(Major.TEST, 25, "TRC_F2", "8 16 32", "x").fixed_data_words == 1
+    assert EventSpec(Major.TEST, 26, "TRC_FS", "str", "x").fixed_data_words is None
+
+
+def test_render_survives_undecodable_data():
+    spec = EventSpec(Major.TEST, 27, "TRC_TRUNC", "64 64", "a %0[%llx] b %1[%llx]")
+    out = spec.render([1])  # one word short
+    assert "undecodable" in out
+
+
+def test_registry_register_and_lookup():
+    r = EventRegistry()
+    spec = r.define(Major.TEST, 30, "TRC_NEW", "64", "v %0[%llu]")
+    assert r.lookup(Major.TEST, 30) is spec
+    assert r.by_name("TRC_NEW") is spec
+    assert (Major.TEST, 30) in r
+    assert r.lookup(Major.TEST, 31) is None
+
+
+def test_duplicate_id_rejected():
+    r = EventRegistry()
+    r.define(Major.TEST, 30, "TRC_A", "", "a")
+    with pytest.raises(ValueError):
+        r.define(Major.TEST, 30, "TRC_B", "", "b")
+
+
+def test_duplicate_name_rejected():
+    r = EventRegistry()
+    r.define(Major.TEST, 30, "TRC_A", "", "a")
+    with pytest.raises(ValueError):
+        r.define(Major.TEST, 31, "TRC_A", "", "a again")
+
+
+def test_default_registry_is_consistent():
+    r = default_registry()
+    assert len(r) > 40
+    names = [spec.name for spec in r]
+    assert len(names) == len(set(names))
+    # Spot-check the Figure 5 names exist.
+    for name in (
+        "TRC_USER_RUN_UL_LOADER", "TRC_EXCEPTION_PGFLT",
+        "TRC_MEM_FCMCOM_ATCH_REG", "TRC_EXCEPTION_PPC_CALL",
+    ):
+        assert r.by_name(name) is not None, name
+
+
+def test_to_markdown_covers_all_events():
+    r = default_registry()
+    md = r.to_markdown()
+    for spec in r:
+        assert f"`{spec.name}`" in md, spec.name
+    assert "## Major 0 — CONTROL" in md
+    # Pipes in format strings must be escaped for the table.
+    assert md.count("\n| ") >= len(r)
+
+
+def test_default_registry_renders_every_fixed_event():
+    """Every constant-length spec renders zeroed data without crashing."""
+    r = default_registry()
+    for spec in r:
+        n = spec.fixed_data_words
+        if n is not None:
+            out = spec.render([0] * n)
+            assert isinstance(out, str) and "undecodable" not in out

@@ -1,0 +1,199 @@
+"""Stream decoding: garble detection/recovery, random access, merging."""
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import BufferRecord, TraceControl
+from repro.core.header import pack_header
+from repro.core.logger import TraceLogger
+from repro.core.majors import ControlMinor, Major
+from repro.core.mask import TraceMask
+from repro.core.registry import default_registry
+from repro.core.stream import (
+    TraceReader,
+    decode_from_offset,
+    flat_records,
+    sdelta32,
+    seek_boundary,
+)
+from repro.core.timestamps import ManualClock
+
+
+def build_trace(n_events=300, buffer_words=32, data_words=1, tick=5):
+    control = TraceControl(buffer_words=buffer_words, num_buffers=8)
+    mask = TraceMask(); mask.enable_all()
+    clock = ManualClock()
+    logger = TraceLogger(control, mask, clock, registry=default_registry())
+    logger.start()
+    for i in range(n_events):
+        clock.advance(tick)
+        logger.log_words(Major.TEST, 1, [i] * data_words)
+    return control
+
+
+class TestSdelta32:
+    def test_zero(self):
+        assert sdelta32(5, 5) == 0
+
+    def test_forward(self):
+        assert sdelta32(10, 3) == 7
+
+    def test_backward(self):
+        assert sdelta32(3, 10) == -7
+
+    def test_wrap_forward(self):
+        assert sdelta32(5, (1 << 32) - 5) == 10
+
+    def test_wrap_backward(self):
+        assert sdelta32((1 << 32) - 5, 5) == -10
+
+    def test_extremes(self):
+        assert sdelta32((1 << 31) - 1, 0) == (1 << 31) - 1
+        assert sdelta32(1 << 31, 0) == -(1 << 31)
+
+
+class TestGarbleDetection:
+    def _records(self):
+        control = build_trace()
+        return control.flush()
+
+    def test_clean_trace_no_anomalies(self):
+        reader = TraceReader(registry=default_registry())
+        trace = reader.decode_records(self._records())
+        assert trace.anomalies == []
+
+    def test_zeroed_header_detected_and_recovered(self):
+        """A writer killed between reserve and log leaves a zero header
+        (the buffer was zeroed ahead); the reader flags it and skips to
+        the next alignment boundary — §3.1's recovery story."""
+        records = self._records()
+        victim = records[1]
+        reader = TraceReader(registry=default_registry())
+        # Zero a genuine event *header* (not a data word) mid-buffer.
+        probe = reader.decode_buffer(victim, [])
+        target = next(e.offset for e in probe if e.offset > 0)
+        victim.words[target] = 0  # simulate the unwritten hole
+        trace = reader.decode_records(records)
+        garbled = [a for a in trace.anomalies if a.kind == "garbled"]
+        assert len(garbled) == 1
+        assert garbled[0].seq == victim.seq
+        # Later buffers decode fine: recovery happened at the boundary.
+        later = [e for e in trace.events(0) if e.seq > victim.seq]
+        assert later
+
+    def test_length_overrunning_buffer_detected(self):
+        records = self._records()
+        victim = records[0]
+        # Header claiming 900 words in a 32-word buffer.
+        victim.words[4] = pack_header(100, 900, Major.TEST, 1)
+        trace = TraceReader(registry=default_registry()).decode_records(records)
+        assert any(a.kind == "garbled" for a in trace.anomalies)
+
+    def test_timestamp_regression_detected(self):
+        records = self._records()
+        victim = records[2]
+        # Rewrite an event header with a far-backwards timestamp.
+        victim.words[10] = pack_header(3, 2, Major.TEST, 1)
+        trace = TraceReader(registry=default_registry()).decode_records(records)
+        garbled = [a for a in trace.anomalies if a.kind == "garbled"]
+        assert any("regression" in a.detail for a in garbled)
+
+    def test_committed_mismatch_detected(self):
+        records = self._records()
+        records[1].committed -= 3  # a killed writer never committed
+        trace = TraceReader(registry=default_registry()).decode_records(records)
+        assert any(a.kind == "committed-mismatch" for a in trace.anomalies)
+
+    def test_truncated_extended_filler_detected(self):
+        bw = 4096
+        words = np.zeros(bw, dtype=np.uint64)
+        words[0] = pack_header(1, 0, Major.CONTROL, ControlMinor.FILLER_EXT)
+        words[1] = 10**9  # absurd span
+        rec = BufferRecord(cpu=0, seq=0, words=words, committed=bw, fill_words=bw)
+        trace = TraceReader().decode_records([rec])
+        assert any("filler span" in a.detail for a in trace.anomalies)
+
+
+class TestRandomAccess:
+    def test_decode_single_buffer_independently(self):
+        """Random access: any buffer decodes alone, with absolute times,
+        thanks to its embedded anchor."""
+        control = build_trace(n_events=500)
+        records = control.flush()
+        mid = records[len(records) // 2]
+        reader = TraceReader(registry=default_registry())
+        solo = reader.decode_one(mid)
+        evs = [e for e in solo.events(0) if e.major == Major.TEST]
+        assert evs
+        assert all(e.time is not None for e in evs)
+        # Times agree with a full sequential decode.
+        full = reader.decode_records(records)
+        full_times = {
+            (e.seq, e.offset): e.time for e in full.events(0)
+        }
+        for e in evs:
+            assert full_times[(e.seq, e.offset)] == e.time
+
+    def test_flat_array_seek_matches_sequential(self):
+        """§3.2 end-to-end: concatenate raw buffers, seek to an arbitrary
+        offset, snap to the boundary, and get identical events."""
+        control = build_trace(n_events=400, buffer_words=32)
+        records = [r for r in control.flush() if not r.partial]
+        flat = np.concatenate([r.words for r in records])
+        bw = 32
+        reader = TraceReader(registry=default_registry(), check_committed=False)
+        seq_trace = reader.decode_records(flat_records(flat, bw))
+        arbitrary_offset = 3 * bw + 17
+        sub = decode_from_offset(flat, bw, arbitrary_offset,
+                                 registry=default_registry())
+        start_buf = arbitrary_offset // bw
+        expect = [e for e in seq_trace.events(0) if e.seq >= start_buf]
+        got = sub.events(0)
+        assert [(e.major, e.minor, e.data) for e in got] == [
+            (e.major, e.minor, e.data) for e in expect
+        ]
+
+    def test_seek_boundary(self):
+        assert seek_boundary(0, 32) == 0
+        assert seek_boundary(31, 32) == 0
+        assert seek_boundary(32, 32) == 32
+        assert seek_boundary(100, 32) == 96
+
+
+class TestTraceContainer:
+    def test_filter_by_name_and_major(self):
+        control = build_trace(n_events=50)
+        trace = TraceReader(registry=default_registry()).decode_records(
+            control.flush()
+        )
+        assert len(trace.filter(name="TRC_TEST_EVENT1")) == 50
+        assert len(trace.filter(major=Major.TEST)) == 50
+        assert trace.filter(major=Major.MEM) == []
+
+    def test_control_events_excluded_by_default(self):
+        control = build_trace(n_events=50)
+        trace = TraceReader(registry=default_registry()).decode_records(
+            control.flush()
+        )
+        assert all(not e.is_control for e in trace.filter())
+        with_control = trace.filter(include_control=True)
+        assert any(e.is_control for e in with_control)
+
+    def test_fillers_included_when_requested(self):
+        control = build_trace(n_events=300, data_words=2)
+        reader = TraceReader(registry=default_registry(), include_fillers=True)
+        trace = reader.decode_records(control.flush())
+        assert any(e.is_filler for e in trace.events(0))
+
+    def test_unknown_event_renders_hex(self):
+        control = TraceControl(buffer_words=32, num_buffers=4)
+        mask = TraceMask(); mask.enable_all()
+        logger = TraceLogger(control, mask, ManualClock())
+        logger.start()
+        logger.log1(40, 9, 0xFEED)  # unregistered major
+        trace = TraceReader(registry=default_registry()).decode_records(
+            control.flush()
+        )
+        ev = [e for e in trace.events(0) if e.major == 40][0]
+        assert ev.name == "TRC_UNKNOWN_40_9"
+        assert "0xfeed" in ev.render()

@@ -1,0 +1,101 @@
+"""Clock source tests."""
+
+import pytest
+
+from repro.core.timestamps import (
+    DriftingTscClock,
+    ExpensiveWallClock,
+    ManualClock,
+    WallClock,
+)
+
+
+class TestManualClock:
+    def test_starts_at_origin(self):
+        assert ManualClock().now() == 0
+        assert ManualClock(100).now() == 100
+
+    def test_advance(self):
+        c = ManualClock()
+        c.advance(5)
+        c.advance(3)
+        assert c.now() == 8
+
+    def test_cannot_go_backwards(self):
+        c = ManualClock(10)
+        with pytest.raises(ValueError):
+            c.advance(-1)
+        with pytest.raises(ValueError):
+            c.set(5)
+
+    def test_same_on_all_cpus(self):
+        c = ManualClock(7)
+        assert c.now(0) == c.now(3) == 7
+
+
+class TestWallClock:
+    def test_monotonic(self):
+        c = WallClock()
+        a = c.now()
+        b = c.now()
+        assert b >= a >= 0
+
+    def test_tick_scaling(self):
+        coarse = WallClock(tick_ns=1_000_000)
+        fine = WallClock(tick_ns=1)
+        assert coarse.now() <= fine.now()
+
+    def test_bad_tick_rejected(self):
+        with pytest.raises(ValueError):
+            WallClock(tick_ns=0)
+
+
+class TestExpensiveWallClock:
+    def test_still_correct_despite_penalty(self):
+        c = ExpensiveWallClock(penalty_iters=10)
+        a = c.now()
+        assert c.now() >= a
+
+    def test_is_slower_than_cheap_clock(self):
+        import time
+        cheap, dear = WallClock(), ExpensiveWallClock(penalty_iters=500)
+        n = 2000
+        t0 = time.perf_counter()
+        for _ in range(n):
+            cheap.now()
+        t1 = time.perf_counter()
+        for _ in range(n):
+            dear.now()
+        t2 = time.perf_counter()
+        assert (t2 - t1) > (t1 - t0)
+
+
+class TestDriftingTscClock:
+    def test_per_cpu_offsets_and_rates(self):
+        base = [0]
+        clock = DriftingTscClock(
+            offsets=[0, 1000], rates=[1.0, 1.001], base=lambda: base[0]
+        )
+        base[0] = 10_000
+        assert clock.now(0) == 10_000
+        assert clock.now(1) == 1000 + int(1.001 * 10_000)
+
+    def test_drift_grows_over_time(self):
+        base = [0]
+        clock = DriftingTscClock(offsets=[0, 0], rates=[1.0, 1.0001],
+                                 base=lambda: base[0])
+        base[0] = 10**6
+        early = clock.now(1) - clock.now(0)
+        base[0] = 10**8
+        late = clock.now(1) - clock.now(0)
+        assert late > early > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            DriftingTscClock(offsets=[0], rates=[1.0, 1.0])
+        with pytest.raises(ValueError):
+            DriftingTscClock(offsets=[0], rates=[0.0])
+
+    def test_ncpus(self):
+        clock = DriftingTscClock(offsets=[0, 0, 0], rates=[1, 1, 1])
+        assert clock.ncpus == 3

@@ -1,0 +1,123 @@
+"""Trace file serialization tests."""
+
+import io
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import BufferRecord, TraceControl
+from repro.core.logger import TraceLogger
+from repro.core.majors import Major
+from repro.core.mask import TraceMask
+from repro.core.registry import default_registry
+from repro.core.stream import TraceReader
+from repro.core.timestamps import ManualClock
+from repro.core.writer import (
+    TraceFileReader,
+    TraceFileWriter,
+    load_records,
+    save_records,
+)
+
+
+def make_records(n_events=300, buffer_words=32):
+    control = TraceControl(buffer_words=buffer_words, num_buffers=8)
+    mask = TraceMask(); mask.enable_all()
+    clock = ManualClock()
+    logger = TraceLogger(control, mask, clock, registry=default_registry())
+    logger.start()
+    for i in range(n_events):
+        clock.advance(2)
+        logger.log1(Major.TEST, 1, i)
+    return control.flush()
+
+
+def test_roundtrip_memory():
+    records = make_records()
+    buf = io.BytesIO()
+    save_records(buf, records)
+    buf.seek(0)
+    loaded = load_records(buf)
+    assert len(loaded) == len(records)
+    for a, b in zip(records, loaded):
+        assert a.cpu == b.cpu and a.seq == b.seq
+        assert a.committed == b.committed
+        assert a.fill_words == b.fill_words
+        assert a.partial == b.partial
+        assert np.array_equal(a.words, b.words)
+
+
+def test_roundtrip_file(tmp_path):
+    records = make_records()
+    path = str(tmp_path / "trace.k42")
+    save_records(path, records)
+    loaded = load_records(path)
+    trace_a = TraceReader(registry=default_registry()).decode_records(records)
+    trace_b = TraceReader(registry=default_registry()).decode_records(loaded)
+    assert [(e.name, e.data, e.time) for e in trace_a.events(0)] == [
+        (e.name, e.data, e.time) for e in trace_b.events(0)
+    ]
+
+
+def test_random_frame_access():
+    """Fixed-size frames make frame k a seek, not a scan — the file-level
+    analogue of the alignment-boundary property."""
+    records = make_records(n_events=600)
+    buf = io.BytesIO()
+    save_records(buf, records)
+    buf.seek(0)
+    reader = TraceFileReader(buf)
+    assert reader.frame_count() == len(records)
+    k = len(records) // 2
+    rec = reader.read_frame(k)
+    assert rec.seq == records[k].seq
+    assert np.array_equal(rec.words, records[k].words)
+
+
+def test_bad_magic_rejected():
+    buf = io.BytesIO(b"NOTATRACEFILE HEADER PADDING")
+    with pytest.raises(ValueError):
+        TraceFileReader(buf)
+
+
+def test_truncated_header_rejected():
+    buf = io.BytesIO(b"K42")
+    with pytest.raises(ValueError):
+        TraceFileReader(buf)
+
+
+def test_truncated_frame_detected():
+    records = make_records(n_events=100)
+    buf = io.BytesIO()
+    save_records(buf, records)
+    data = buf.getvalue()[:-10]  # chop the last frame
+    reader = TraceFileReader(io.BytesIO(data))
+    with pytest.raises(EOFError):
+        reader.read_frame(reader.frame_count())  # the chopped one
+
+
+def test_mismatched_record_size_rejected():
+    buf = io.BytesIO()
+    w = TraceFileWriter(buf, buffer_words=32)
+    bad = BufferRecord(cpu=0, seq=0, words=np.zeros(16, dtype=np.uint64),
+                       committed=0, fill_words=16)
+    with pytest.raises(ValueError):
+        w.write_record(bad)
+
+
+def test_save_empty_rejected():
+    with pytest.raises(ValueError):
+        save_records(io.BytesIO(), [])
+
+
+def test_multi_cpu_frames_interleave(tmp_path):
+    recs0 = make_records(n_events=100)
+    recs1 = make_records(n_events=100)
+    for r in recs1:
+        r.cpu = 1
+    mixed = [r for pair in zip(recs0, recs1) for r in pair]
+    path = str(tmp_path / "multi.k42")
+    save_records(path, mixed)
+    loaded = load_records(path)
+    trace = TraceReader(registry=default_registry()).decode_records(loaded)
+    assert trace.ncpus == 2

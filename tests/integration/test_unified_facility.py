@@ -1,0 +1,194 @@
+"""The paper's central claim, end to end: ONE trace feeds EVERY tool.
+
+"With the unified K42 tracing infrastructure, the programmer logs all
+important events to a single trace buffer, and separately, analysis
+tools using the data can decide which events to display for a given
+purpose."  (§2)
+
+One SDET-flavoured run with everything enabled produces one trace; this
+module runs the complete tool suite over that single decode — listing,
+timeline, profile, locks, holds, breakdown, scheduler stats, memory
+profile, I/O stats, path stats, anomaly check, comparison, export,
+serialization round trip, crash dump — asserting each gets what it
+needs from the same stream.
+"""
+
+import io
+
+import pytest
+
+from repro.core.crashdump import dump_bytes, read_dump
+from repro.core.majors import Major
+from repro.core.stream import TraceReader
+from repro.core.writer import load_records, save_records
+from repro.ksim.ipc import FS_FUNCTION_NAMES
+from repro.tools import (
+    Timeline,
+    compare_traces,
+    event_histogram,
+    find_deadlocks,
+    format_listing,
+    hold_times,
+    io_statistics,
+    lock_statistics,
+    memory_profile,
+    pc_profile,
+    process_breakdown,
+    sched_statistics,
+    verify_trace,
+)
+from repro.workloads.sdet import run_sdet
+
+
+@pytest.fixture(scope="module")
+def everything_run():
+    """One run with every data source enabled."""
+    from repro.core.facility import TraceFacility
+    from repro.ksim.kernel import Kernel, KernelConfig
+    from repro.workloads.sdet import COMMANDS, sdet_script
+    import random
+
+    cfg = KernelConfig(
+        ncpus=4, seed=11, pc_sample_period=5_000,
+        hw_overflow_threshold=3_000, trace_all_lock_events=True,
+    )
+    kernel = Kernel(cfg)
+    facility = TraceFacility(ncpus=4, clock=kernel.clock,
+                             buffer_words=4096, num_buffers=16)
+    facility.enable_all()
+    kernel.facility = facility
+    rng = random.Random(11)
+    names = list(COMMANDS)
+    for s in range(8):
+        cmds = [rng.choice(names) for _ in range(4)]
+        kernel.spawn_process(sdet_script(s, cmds), f"sdet_script{s}",
+                             cpu=s % 4)
+    assert kernel.run_until_quiescent(10**13)
+    records = facility.flush()
+    trace = TraceReader(registry=facility.registry).decode_records(records)
+    return kernel, facility, records, trace
+
+
+def test_trace_is_clean(everything_run):
+    kernel, facility, records, trace = everything_run
+    report = verify_trace(trace)
+    assert report.ok, report.describe()
+    assert report.total_events > 3_000
+
+
+def test_every_major_subsystem_present(everything_run):
+    kernel, facility, records, trace = everything_run
+    majors = {e.major for e in trace.all_events()}
+    for major in (Major.MEM, Major.PROC, Major.EXC, Major.IO, Major.LOCK,
+                  Major.USER, Major.SYSCALL, Major.HWPERF, Major.PCSAMPLE):
+        assert major in majors, Major(major).name
+
+
+def test_listing(everything_run):
+    kernel, facility, records, trace = everything_run
+    text = format_listing(trace, limit=100)
+    assert len(text.splitlines()) == 100
+
+
+def test_timeline(everything_run):
+    kernel, facility, records, trace = everything_run
+    tl = Timeline(trace).mark("TRC_USER_RETURNED_MAIN").show_processes()
+    out = tl.render(width=80)
+    assert "cpu3" in out
+
+
+def test_pc_profile(everything_run):
+    kernel, facility, records, trace = everything_run
+    hist = pc_profile(trace, kernel.symbols().pc_names)
+    assert hist and sum(c for c, _ in hist) > 50
+
+
+def test_lock_analysis(everything_run):
+    kernel, facility, records, trace = everything_run
+    stats = lock_statistics(trace, group_by_pid=False)
+    derived = {}
+    for s in stats:
+        derived[s.lock_id] = derived.get(s.lock_id, 0) + s.count
+    for lock in kernel.locks:
+        assert derived.get(lock.lock_id, 0) == lock.contentions
+
+
+def test_hold_times(everything_run):
+    kernel, facility, records, trace = everything_run
+    report = hold_times(trace)
+    assert report.holds
+
+
+def test_breakdown(everything_run):
+    kernel, facility, records, trace = everything_run
+    sym = kernel.symbols()
+    bds = process_breakdown(trace, sym.syscall_names, sym.process_names,
+                            FS_FUNCTION_NAMES)
+    scripts = [b for pid, b in bds.items()
+               if kernel.processes[pid].name.startswith("sdet_script")]
+    assert scripts
+    assert all("SCfork" in b.syscalls for b in scripts)
+
+
+def test_sched_stats(everything_run):
+    kernel, facility, records, trace = everything_run
+    report = sched_statistics(trace)
+    derived = sum(s.context_switches for s in report.per_cpu.values())
+    truth = sum(c.context_switches for c in kernel.cpus)
+    assert derived == truth
+
+
+def test_memory_profile(everything_run):
+    kernel, facility, records, trace = everything_run
+    report = memory_profile(trace, kernel.symbols().process_names)
+    assert report.total_l2 > 0
+
+
+def test_io_stats(everything_run):
+    kernel, facility, records, trace = everything_run
+    report = io_statistics(trace)
+    assert report.ops
+    assert report.unmatched == 0
+
+
+def test_path_stats(everything_run):
+    kernel, facility, records, trace = everything_run
+    hist = event_histogram(trace)
+    names = [n for _, n in hist]
+    assert "TRC_SYSCALL_ENTER" in names
+
+
+def test_no_deadlock_reported(everything_run):
+    kernel, facility, records, trace = everything_run
+    assert not find_deadlocks(trace).deadlocked
+
+
+def test_self_comparison_neutral(everything_run):
+    kernel, facility, records, trace = everything_run
+    comparison = compare_traces(trace, trace)
+    assert comparison.speedup == pytest.approx(1.0)
+
+
+def test_serialization_roundtrip(everything_run):
+    kernel, facility, records, trace = everything_run
+    buf = io.BytesIO()
+    save_records(buf, records)
+    buf.seek(0)
+    again = TraceReader(registry=facility.registry).decode_records(
+        load_records(buf)
+    )
+    assert len(again.all_events()) == len(trace.all_events())
+
+
+def test_crash_dump_of_the_same_controls(everything_run):
+    kernel, facility, records, trace = everything_run
+    dump = read_dump(dump_bytes(facility.controls))
+    assert dump.intact
+
+
+def test_ltt_export_of_the_same_trace(everything_run):
+    kernel, facility, records, trace = everything_run
+    from repro.ltt.export import export_ltt_bytes, read_ltt
+
+    cpu, events = read_ltt(export_ltt_bytes(trace, cpu=0))
+    assert events

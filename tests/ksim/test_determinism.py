@@ -1,0 +1,109 @@
+"""Simulator determinism and conservation properties.
+
+The simulator must be a function of its inputs: same seed, same
+programs → bit-identical trace and timing (this is what makes the
+Figure 3 overhead measurements exact).  And its accounting must
+conserve: threads all terminate, busy time never exceeds capacity,
+per-CPU idle + busy covers elapsed.
+"""
+
+import random
+
+import pytest
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core.facility import TraceFacility
+from repro.ksim import Compute, Kernel, KernelConfig, ThreadState
+
+SETTINGS = dict(
+    max_examples=25,
+    deadline=None,
+    suppress_health_check=[HealthCheck.too_slow],
+)
+
+# A compact op-program genome: list of (kind, magnitude) pairs.
+genome = st.lists(
+    st.tuples(st.sampled_from(["compute", "malloc", "io", "touch", "sleep"]),
+              st.integers(1, 5)),
+    min_size=1, max_size=8,
+)
+
+
+def make_program(ops):
+    def program(api):
+        held = []
+        for kind, mag in ops:
+            if kind == "compute":
+                yield from api.compute(10_000 * mag, pc="user:genome")
+            elif kind == "malloc":
+                addr = yield from api.malloc(1024 * mag)
+                held.append((addr, 1024 * mag))
+            elif kind == "io":
+                fd = yield from api.open("/g")
+                yield from api.read(fd, 512 * mag)
+                yield from api.close(fd)
+            elif kind == "touch":
+                yield from api.touch(mag)
+            elif kind == "sleep":
+                yield from api.sleep(5_000 * mag)
+        for addr, size in held:
+            yield from api.free(addr, size)
+    return program
+
+
+def run_genomes(genomes, ncpus=2, seed=3):
+    kernel = Kernel(KernelConfig(ncpus=ncpus, seed=seed))
+    fac = TraceFacility(ncpus=ncpus, clock=kernel.clock, buffer_words=2048,
+                        num_buffers=16)
+    fac.enable_all()
+    kernel.facility = fac
+    for i, ops in enumerate(genomes):
+        kernel.spawn_process(make_program(ops), f"g{i}", cpu=i % ncpus)
+    assert kernel.run_until_quiescent(max_cycles=10**12)
+    return kernel, fac
+
+
+@given(st.lists(genome, min_size=1, max_size=4))
+@settings(**SETTINGS)
+def test_bit_identical_reruns(genomes):
+    k1, f1 = run_genomes(genomes)
+    k2, f2 = run_genomes(genomes)
+    assert k1.engine.now == k2.engine.now
+    t1 = [(e.time, e.cpu, e.major, e.minor, tuple(e.data))
+          for e in f1.decode().all_events()]
+    t2 = [(e.time, e.cpu, e.major, e.minor, tuple(e.data))
+          for e in f2.decode().all_events()]
+    assert t1 == t2
+
+
+@given(st.lists(genome, min_size=1, max_size=4))
+@settings(**SETTINGS)
+def test_conservation_invariants(genomes):
+    kernel, fac = run_genomes(genomes)
+    # Every thread terminated.
+    for proc in kernel.processes.values():
+        for thread in proc.threads:
+            assert thread.state is ThreadState.DONE
+    # Utilization bounded.
+    for u in kernel.utilization():
+        assert 0.0 <= u <= 1.0
+    # The trace decodes clean.
+    trace = fac.decode()
+    assert not trace.anomalies
+    # Per-CPU timestamps monotone.
+    for cpu in trace.events_by_cpu:
+        times = [e.time for e in trace.events(cpu)]
+        assert all(a <= b for a, b in zip(times, times[1:]))
+
+
+@given(st.lists(genome, min_size=2, max_size=4), st.integers(0, 2**16))
+@settings(**SETTINGS)
+def test_seed_only_changes_timing_not_correctness(genomes, seed):
+    kernel, fac = run_genomes(genomes, seed=seed)
+    trace = fac.decode()
+    assert not trace.anomalies
+    # Syscall enter/exit pairing survives any schedule.
+    opens = len(trace.filter(name="TRC_SYSCALL_ENTER"))
+    exits = len(trace.filter(name="TRC_SYSCALL_EXIT"))
+    assert opens == exits

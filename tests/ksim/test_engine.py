@@ -1,0 +1,104 @@
+"""Discrete-event engine tests."""
+
+import pytest
+
+from repro.ksim.engine import Engine, EngineClock
+
+
+def test_events_fire_in_time_order():
+    e = Engine()
+    order = []
+    e.at(30, lambda: order.append("c"))
+    e.at(10, lambda: order.append("a"))
+    e.at(20, lambda: order.append("b"))
+    e.run()
+    assert order == ["a", "b", "c"]
+    assert e.now == 30
+
+
+def test_equal_times_fire_in_schedule_order():
+    e = Engine()
+    order = []
+    e.at(10, lambda: order.append(1))
+    e.at(10, lambda: order.append(2))
+    e.at(10, lambda: order.append(3))
+    e.run()
+    assert order == [1, 2, 3]
+
+
+def test_after_is_relative():
+    e = Engine()
+    seen = []
+    e.at(100, lambda: e.after(5, lambda: seen.append(e.now)))
+    e.run()
+    assert seen == [105]
+
+
+def test_cannot_schedule_in_past():
+    e = Engine()
+    e.at(10, lambda: None)
+    e.run()
+    with pytest.raises(ValueError):
+        e.at(5, lambda: None)
+    with pytest.raises(ValueError):
+        e.after(-1, lambda: None)
+
+
+def test_cancel_token():
+    e = Engine()
+    seen = []
+    tok = e.at(10, lambda: seen.append("cancelled"))
+    e.at(20, lambda: seen.append("kept"))
+    tok.cancel()
+    e.run()
+    assert seen == ["kept"]
+
+
+def test_run_until_stops_clock_at_horizon():
+    e = Engine()
+    e.at(100, lambda: None)
+    processed = e.run(until=50)
+    assert processed == 0
+    assert e.now == 50
+    e.run()
+    assert e.now == 100
+
+
+def test_run_max_events():
+    e = Engine()
+    for t in range(10):
+        e.at(t + 1, lambda: None)
+    assert e.run(max_events=3) == 3
+    assert e.now == 3
+
+
+def test_events_scheduled_during_run_execute():
+    e = Engine()
+    seen = []
+
+    def chain(n):
+        seen.append(n)
+        if n < 5:
+            e.after(1, lambda: chain(n + 1))
+
+    e.at(0, lambda: chain(0))
+    e.run()
+    assert seen == [0, 1, 2, 3, 4, 5]
+
+
+def test_pending_counts_uncancelled():
+    e = Engine()
+    tok = e.at(5, lambda: None)
+    e.at(6, lambda: None)
+    assert e.pending == 2
+    tok.cancel()
+    assert e.pending == 1
+
+
+def test_engine_clock_tracks_now():
+    e = Engine()
+    clock = EngineClock(e)
+    assert clock.now() == 0
+    e.at(42, lambda: None)
+    e.run()
+    assert clock.now(3) == 42

@@ -1,0 +1,172 @@
+"""Hardware-counter substrate tests (§2's counter/tracing integration)."""
+
+import pytest
+
+from repro.core.facility import TraceFacility
+from repro.core.majors import Major
+from repro.ksim import (
+    CacheModel,
+    Compute,
+    HwCounter,
+    Kernel,
+    KernelConfig,
+)
+
+
+def make_kernel(**cfg_kw):
+    kernel = Kernel(KernelConfig(ncpus=2, **cfg_kw))
+    fac = TraceFacility(ncpus=2, clock=kernel.clock, buffer_words=1024,
+                        num_buffers=8)
+    fac.enable_all()
+    kernel.facility = fac
+    return kernel, fac
+
+
+class TestCacheModel:
+    def test_fitting_working_set_is_warm(self):
+        m = CacheModel()
+        assert m.miss_rate_mpk(10) == m.warm_fit_mpk
+        assert m.miss_rate_mpk(m.l2_capacity_pages) == m.warm_fit_mpk
+
+    def test_thrashing_grows_with_overshoot(self):
+        m = CacheModel()
+        small = m.miss_rate_mpk(m.l2_capacity_pages + 10)
+        big = m.miss_rate_mpk(m.l2_capacity_pages * 10)
+        assert m.warm_fit_mpk < small < big
+
+    def test_cold_burst_bounded_by_capacity(self):
+        m = CacheModel()
+        assert m.cold_burst(10**6) == m.cold_burst(m.l2_capacity_pages)
+        assert m.cold_burst(1) < m.cold_burst(m.l2_capacity_pages)
+
+
+class TestCounting:
+    def test_cycles_and_instructions_accrue(self):
+        kernel, _ = make_kernel()
+
+        def prog(api):
+            yield Compute(250_000)
+
+        kernel.spawn_process(prog, "p", cpu=0)
+        assert kernel.run_until_quiescent()
+        totals = kernel.hw.totals()
+        assert totals[HwCounter.CYCLES] >= 250_000
+        assert totals[HwCounter.INSTRUCTIONS] >= 250_000
+
+    def test_thrasher_misses_far_more(self):
+        kernel, _ = make_kernel(migration=False)
+
+        def job(ws):
+            def prog(api):
+                api.set_working_set(ws)
+                yield Compute(500_000)
+            return prog
+
+        kernel.spawn_process(job(16), "small", cpu=0)
+        kernel.spawn_process(job(8192), "huge", cpu=1)
+        assert kernel.run_until_quiescent()
+        small = kernel.hw.counts[0][HwCounter.L2_MISSES]
+        huge = kernel.hw.counts[1][HwCounter.L2_MISSES]
+        assert huge > 10 * small
+
+    def test_context_switches_cause_cold_bursts(self):
+        kernel, _ = make_kernel(migration=False)
+
+        def prog(api):
+            for _ in range(5):
+                yield Compute(50_000)
+                yield from api.sleep(10_000)
+
+        kernel.spawn_process(prog, "a", cpu=0)
+        kernel.spawn_process(prog, "b", cpu=0)
+        assert kernel.run_until_quiescent()
+        assert kernel.hw.cold_bursts >= 5
+
+    def test_pinned_lone_thread_single_cold_burst(self):
+        kernel, _ = make_kernel(migration=False)
+
+        def prog(api):
+            for _ in range(10):
+                yield Compute(50_000)
+
+        kernel.spawn_process(prog, "solo", cpu=0)
+        assert kernel.run_until_quiescent()
+        assert kernel.hw.cold_bursts == 1
+
+    def test_invalid_working_set_rejected(self):
+        kernel, _ = make_kernel()
+        failures = []
+
+        def prog(api):
+            try:
+                api.set_working_set(0)
+            except ValueError:
+                failures.append(True)
+            yield Compute(10)
+
+        kernel.spawn_process(prog, "p")
+        assert kernel.run_until_quiescent()
+        assert failures == [True]
+
+
+class TestSampling:
+    def test_timer_sampling_logs_hwperf_events(self):
+        kernel, fac = make_kernel(hw_sample_period=20_000)
+
+        def prog(api):
+            api.set_working_set(4096)
+            yield Compute(500_000)
+
+        kernel.spawn_process(prog, "p", cpu=0)
+        assert kernel.run_until_quiescent()
+        samples = fac.decode().filter(major=Major.HWPERF)
+        assert samples
+        counters = {e.data[0] for e in samples}
+        assert int(HwCounter.L2_MISSES) in counters
+
+    def test_overflow_sampling_attributes_to_causer(self):
+        kernel, fac = make_kernel(hw_overflow_threshold=1_000,
+                                  migration=False)
+
+        def job(ws, name):
+            def prog(api):
+                api.set_working_set(ws)
+                yield Compute(400_000)
+            return prog
+
+        hog = kernel.spawn_process(job(8192, "hog"), "hog", cpu=0)
+        kernel.spawn_process(job(8, "tiny"), "tiny", cpu=1)
+        assert kernel.run_until_quiescent()
+        from repro.ksim.hwcounters import HwCounter as HC
+        from repro.tools.memprofile import memory_profile
+
+        report = memory_profile(fac.decode(), kernel.symbols().process_names)
+        assert report.per_process
+        top = report.hottest(1)[0]
+        assert top.pid == hog.pid
+
+    def test_no_sampling_when_disabled(self):
+        kernel, fac = make_kernel()
+
+        def prog(api):
+            yield Compute(500_000)
+
+        kernel.spawn_process(prog, "p")
+        assert kernel.run_until_quiescent()
+        assert not fac.decode().filter(major=Major.HWPERF)
+
+    def test_sample_deltas_sum_close_to_totals(self):
+        kernel, fac = make_kernel(hw_overflow_threshold=500, migration=False)
+
+        def prog(api):
+            api.set_working_set(4096)
+            yield Compute(600_000)
+
+        kernel.spawn_process(prog, "p", cpu=0)
+        assert kernel.run_until_quiescent()
+        samples = fac.decode().filter(major=Major.HWPERF)
+        sampled = sum(e.data[1] for e in samples
+                      if e.data[0] == int(HwCounter.L2_MISSES))
+        total = kernel.hw.totals()[HwCounter.L2_MISSES]
+        # The tail below one threshold is never flushed.
+        assert total - 500 <= sampled <= total

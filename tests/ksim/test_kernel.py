@@ -1,0 +1,417 @@
+"""Kernel executor tests: scheduling, preemption, locks, lifecycle."""
+
+import pytest
+
+from repro.core.facility import TraceFacility
+from repro.core.majors import ExcMinor, LockMinor, Major, ProcMinor
+from repro.ksim.costs import DEFAULT_COSTS
+from repro.ksim.kernel import Kernel, KernelConfig
+from repro.ksim.ops import Acquire, BlockOn, Compute, Release, Wake
+from repro.ksim.thread import ThreadState
+
+
+def make_kernel(ncpus=2, tracing=True, **cfg_kw):
+    cfg = KernelConfig(ncpus=ncpus, **cfg_kw)
+    kernel = Kernel(cfg)
+    facility = None
+    if tracing:
+        facility = TraceFacility(
+            ncpus=ncpus, clock=kernel.clock, buffer_words=1024, num_buffers=8
+        )
+        facility.enable_all()
+        kernel.facility = facility
+    return kernel, facility
+
+
+class TestBasicExecution:
+    def test_compute_advances_time(self):
+        kernel, _ = make_kernel(tracing=False)
+
+        def prog(api):
+            yield Compute(12_345)
+
+        kernel.spawn_process(prog, "p")
+        assert kernel.run_until_quiescent()
+        # context switch + compute + exit costs
+        assert kernel.engine.now >= 12_345
+
+    def test_program_return_value_ends_thread(self):
+        kernel, _ = make_kernel(tracing=False)
+        ran = []
+
+        def prog(api):
+            yield Compute(10)
+            ran.append(True)
+
+        kernel.spawn_process(prog, "p")
+        assert kernel.run_until_quiescent()
+        assert ran == [True]
+        assert kernel.live_threads == 0
+
+    def test_two_cpus_run_in_parallel(self):
+        kernel, _ = make_kernel(ncpus=2, tracing=False)
+
+        def prog(api):
+            yield Compute(1_000_000)
+
+        kernel.spawn_process(prog, "a", cpu=0)
+        kernel.spawn_process(prog, "b", cpu=1)
+        assert kernel.run_until_quiescent()
+        # Parallel: total elapsed ~1M + overheads, not ~2M.
+        assert kernel.engine.now < 1_500_000
+
+    def test_oversubscribed_cpu_serializes(self):
+        kernel, _ = make_kernel(ncpus=1, tracing=False)
+
+        def prog(api):
+            yield Compute(1_000_000)
+
+        kernel.spawn_process(prog, "a", cpu=0)
+        kernel.spawn_process(prog, "b", cpu=0)
+        assert kernel.run_until_quiescent()
+        assert kernel.engine.now >= 2_000_000
+
+    def test_unknown_op_raises(self):
+        kernel, _ = make_kernel(tracing=False)
+
+        def prog(api):
+            yield "not an op"
+
+        kernel.spawn_process(prog, "p")
+        with pytest.raises(TypeError):
+            kernel.run_until_quiescent()
+
+
+class TestPreemption:
+    def test_quantum_preemption_alternates_threads(self):
+        kernel, fac = make_kernel(ncpus=1)
+
+        def prog(api):
+            yield Compute(5 * DEFAULT_COSTS.quantum)
+
+        kernel.spawn_process(prog, "a", cpu=0)
+        kernel.spawn_process(prog, "b", cpu=0)
+        assert kernel.run_until_quiescent()
+        trace = fac.decode()
+        switches = trace.filter(major=Major.PROC, minor=ProcMinor.CONTEXT_SWITCH)
+        assert len(switches) >= 8  # repeated alternation, not 2 dispatches
+        timers = trace.filter(major=Major.EXC, minor=ExcMinor.TIMER_INTERRUPT)
+        assert timers
+
+    def test_lone_thread_not_requeued_on_tick(self):
+        kernel, fac = make_kernel(ncpus=1)
+
+        def prog(api):
+            yield Compute(3 * DEFAULT_COSTS.quantum)
+
+        kernel.spawn_process(prog, "solo", cpu=0)
+        assert kernel.run_until_quiescent()
+        trace = fac.decode()
+        switches = trace.filter(major=Major.PROC, minor=ProcMinor.CONTEXT_SWITCH)
+        assert len(switches) == 1  # initial dispatch only
+        timers = trace.filter(major=Major.EXC, minor=ExcMinor.TIMER_INTERRUPT)
+        assert len(timers) >= 2  # but ticks still fire and are traced
+
+
+class TestMigration:
+    def test_idle_cpu_steals_work(self):
+        kernel, fac = make_kernel(ncpus=2, migration=True)
+
+        def prog(api):
+            yield Compute(500_000)
+
+        # Three threads all pinned initially to CPU 0's queue.
+        for i in range(3):
+            kernel.spawn_process(prog, f"p{i}", cpu=0)
+        assert kernel.run_until_quiescent()
+        trace = fac.decode()
+        migrations = trace.filter(major=Major.PROC, minor=ProcMinor.MIGRATE)
+        assert migrations, "idle CPU 1 should have stolen work"
+        assert kernel.cpus[1].migrations_in > 0
+
+    def test_migration_disabled(self):
+        kernel, fac = make_kernel(ncpus=2, migration=False)
+
+        def prog(api):
+            yield Compute(500_000)
+
+        for i in range(3):
+            kernel.spawn_process(prog, f"p{i}", cpu=0)
+        assert kernel.run_until_quiescent()
+        trace = fac.decode()
+        assert not trace.filter(major=Major.PROC, minor=ProcMinor.MIGRATE)
+
+
+class TestLocks:
+    def test_uncontended_lock_no_contention_events(self):
+        kernel, fac = make_kernel(ncpus=1)
+        lock = kernel.create_lock("L")
+
+        def prog(api):
+            yield Acquire(lock, ("f", "g"))
+            yield Compute(100)
+            yield Release(lock)
+
+        kernel.spawn_process(prog, "p")
+        assert kernel.run_until_quiescent()
+        assert lock.acquisitions == 1
+        assert lock.contentions == 0
+        trace = fac.decode()
+        assert not trace.filter(major=Major.LOCK, minor=LockMinor.CONTEND_START)
+
+    def test_contended_lock_traces_start_and_end(self):
+        kernel, fac = make_kernel(ncpus=2)
+        lock = kernel.create_lock("hot")
+
+        def prog(api):
+            for _ in range(5):
+                yield Acquire(lock, ("worker", "inner"))
+                yield Compute(3_000)
+                yield Release(lock)
+
+        kernel.spawn_process(prog, "a", cpu=0)
+        kernel.spawn_process(prog, "b", cpu=1)
+        assert kernel.run_until_quiescent()
+        assert lock.contentions > 0
+        trace = fac.decode()
+        starts = trace.filter(major=Major.LOCK, minor=LockMinor.CONTEND_START)
+        ends = trace.filter(major=Major.LOCK, minor=LockMinor.CONTEND_END)
+        assert len(starts) == len(ends) == lock.contentions
+
+    def test_spin_then_block_on_long_hold(self):
+        kernel, fac = make_kernel(ncpus=2)
+        lock = kernel.create_lock("slow")
+
+        def holder(api):
+            yield Acquire(lock, ("holder",))
+            yield Compute(20 * DEFAULT_COSTS.spin_threshold)
+            yield Release(lock)
+
+        def waiter(api):
+            yield Compute(1_000)  # let holder win
+            yield Acquire(lock, ("waiter",))
+            yield Release(lock)
+
+        kernel.spawn_process(holder, "h", cpu=0)
+        kernel.spawn_process(waiter, "w", cpu=1)
+        assert kernel.run_until_quiescent()
+        trace = fac.decode()
+        blocks = trace.filter(major=Major.LOCK, minor=LockMinor.BLOCK)
+        assert blocks, "waiter should give up spinning and block"
+
+    def test_fifo_grant_order(self):
+        kernel, _ = make_kernel(ncpus=4, tracing=False)
+        lock = kernel.create_lock("fifo")
+        order = []
+
+        def holder(api):
+            yield Acquire(lock, ())
+            yield Compute(50_000)
+            yield Release(lock)
+            order.append("holder")
+
+        def waiter(name, delay):
+            def prog(api):
+                yield Compute(delay)
+                yield Acquire(lock, ())
+                order.append(name)
+                yield Release(lock)
+            return prog
+
+        kernel.spawn_process(holder, "h", cpu=0)
+        kernel.spawn_process(waiter("w1", 1_000), "w1", cpu=1)
+        kernel.spawn_process(waiter("w2", 2_000), "w2", cpu=2)
+        kernel.spawn_process(waiter("w3", 3_000), "w3", cpu=3)
+        assert kernel.run_until_quiescent()
+        assert order.index("w1") < order.index("w2") < order.index("w3")
+
+    def test_release_by_non_owner_raises(self):
+        kernel, _ = make_kernel(tracing=False)
+        lock = kernel.create_lock("L")
+
+        def prog(api):
+            yield Release(lock)
+
+        kernel.spawn_process(prog, "p")
+        with pytest.raises(RuntimeError):
+            kernel.run_until_quiescent()
+
+    def test_lock_wait_statistics_recorded(self):
+        kernel, _ = make_kernel(ncpus=2, tracing=False)
+        lock = kernel.create_lock("stats")
+
+        def prog(api):
+            for _ in range(3):
+                yield Acquire(lock, ())
+                yield Compute(5_000)
+                yield Release(lock)
+
+        kernel.spawn_process(prog, "a", cpu=0)
+        kernel.spawn_process(prog, "b", cpu=1)
+        assert kernel.run_until_quiescent()
+        if lock.contentions:
+            assert lock.total_wait_cycles > 0
+            assert lock.max_wait_cycles > 0
+
+
+class TestBlockingAndWaking:
+    def test_block_then_wake(self):
+        kernel, _ = make_kernel(ncpus=2, tracing=False)
+        seen = []
+
+        def sleeper(api):
+            yield BlockOn("evt")
+            seen.append("woken")
+
+        def waker(api):
+            yield Compute(10_000)
+            yield Wake("evt")
+
+        kernel.spawn_process(sleeper, "s", cpu=0)
+        kernel.spawn_process(waker, "w", cpu=1)
+        assert kernel.run_until_quiescent()
+        assert seen == ["woken"]
+
+    def test_block_without_wake_never_quiesces(self):
+        kernel, _ = make_kernel(tracing=False)
+
+        def stuck(api):
+            yield BlockOn("never")
+
+        kernel.spawn_process(stuck, "p")
+        assert kernel.run_until_quiescent(max_cycles=10**7) is False
+        assert kernel.live_threads == 1
+
+
+class TestProcessLifecycle:
+    def test_spawn_and_wait(self):
+        kernel, fac = make_kernel(ncpus=2)
+        order = []
+
+        def child_prog(api):
+            yield from api.compute(50_000, pc="child")
+            order.append("child_done")
+
+        def parent(api):
+            child = yield from api.spawn(child_prog, "child")
+            yield from api.wait(child)
+            order.append("parent_done")
+
+        kernel.spawn_process(parent, "parent")
+        assert kernel.run_until_quiescent()
+        assert order == ["child_done", "parent_done"]
+        trace = fac.decode()
+        assert trace.filter(name="TRC_PROC_CREATE")
+        assert trace.filter(name="TRC_USER_RUN_UL_LOADER")
+        assert trace.filter(name="TRC_USER_RETURNED_MAIN")
+
+    def test_wait_on_already_exited_child(self):
+        kernel, _ = make_kernel(ncpus=2, tracing=False)
+        done = []
+
+        def child_prog(api):
+            yield from api.compute(100, pc="quick")
+
+        def parent(api):
+            child = yield from api.spawn(child_prog, "c")
+            yield from api.compute(10**7, pc="slowpoke")
+            yield from api.wait(child)
+            done.append(True)
+
+        kernel.spawn_process(parent, "parent")
+        assert kernel.run_until_quiescent()
+        assert done == [True]
+
+    def test_pids_are_sequential_from_2(self):
+        kernel, _ = make_kernel(tracing=False)
+        assert kernel.kernel_process.pid == 0
+        assert kernel.base_servers.pid == 1
+
+        def prog(api):
+            yield from api.compute(1)
+
+        p = kernel.spawn_process(prog, "first")
+        assert p.pid == 2
+
+
+class TestTracingModes:
+    def test_compiled_out_zero_cost(self):
+        kernel, _ = make_kernel(tracing=False)
+        assert kernel.trace(0, Major.TEST, 0, (1, 2)) == 0
+
+    def test_masked_costs_mask_check(self):
+        kernel, fac = make_kernel()
+        fac.disable_all()
+        cost = kernel.trace(0, Major.TEST, 0, (1, 2))
+        assert cost == DEFAULT_COSTS.trace_mask_check
+
+    def test_enabled_costs_per_paper(self):
+        kernel, fac = make_kernel()
+        assert kernel.trace(0, Major.TEST, 0, ()) == 91
+        assert kernel.trace(0, Major.TEST, 0, (1,)) == 91 + 11
+        assert kernel.trace(0, Major.TEST, 0, (1, 2, 3)) == 91 + 33
+        assert kernel.trace(0, Major.TEST, 0, (1,), asm_path=True) == 30 + 11
+
+    def test_events_timestamped_with_engine_time(self):
+        kernel, fac = make_kernel(ncpus=1)
+
+        def prog(api):
+            yield Compute(100_000)
+            yield from api.mark("late")
+
+        kernel.spawn_process(prog, "p")
+        assert kernel.run_until_quiescent()
+        trace = fac.decode()
+        ev = trace.filter(name="TRC_USER_APP_MARK")[0]
+        assert ev.time >= 100_000
+
+
+class TestPcSampling:
+    def test_samples_attribute_running_function(self):
+        kernel, fac = make_kernel(ncpus=1, pc_sample_period=10_000)
+
+        def prog(api):
+            yield from api.compute(500_000, pc="user:hot_loop")
+
+        kernel.spawn_process(prog, "p")
+        assert kernel.run_until_quiescent()
+        trace = fac.decode()
+        samples = trace.filter(major=Major.PCSAMPLE)
+        assert samples
+        pc_names = kernel.symbols().pc_names
+        names = {pc_names[e.data[1]] for e in samples}
+        assert "user:hot_loop" in names
+
+    def test_no_samples_when_disabled(self):
+        kernel, fac = make_kernel(ncpus=1, pc_sample_period=0)
+
+        def prog(api):
+            yield from api.compute(500_000, pc="x")
+
+        kernel.spawn_process(prog, "p")
+        assert kernel.run_until_quiescent()
+        assert not fac.decode().filter(major=Major.PCSAMPLE)
+
+
+class TestUtilization:
+    def test_busy_single_cpu_near_full_utilization(self):
+        kernel, _ = make_kernel(ncpus=1, tracing=False)
+
+        def prog(api):
+            yield Compute(10**6)
+
+        kernel.spawn_process(prog, "p")
+        assert kernel.run_until_quiescent()
+        assert kernel.utilization()[0] > 0.9
+
+    def test_empty_second_cpu_mostly_idle(self):
+        kernel, _ = make_kernel(ncpus=2, migration=False, tracing=False)
+
+        def prog(api):
+            yield Compute(10**6)
+
+        kernel.spawn_process(prog, "p", cpu=0)
+        assert kernel.run_until_quiescent()
+        util = kernel.utilization()
+        assert util[0] > 0.9
+        assert util[1] < 0.1

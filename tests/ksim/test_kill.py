@@ -1,0 +1,154 @@
+"""Process-kill (SIGKILL semantics) tests."""
+
+import pytest
+
+from repro.core.facility import TraceFacility
+from repro.ksim import (
+    Acquire,
+    BlockOn,
+    Compute,
+    Kernel,
+    KernelConfig,
+    Release,
+    ThreadState,
+)
+
+
+def make_kernel(ncpus=2, **kw):
+    kernel = Kernel(KernelConfig(ncpus=ncpus, **kw))
+    fac = TraceFacility(ncpus=ncpus, clock=kernel.clock, buffer_words=1024,
+                        num_buffers=8)
+    fac.enable_all()
+    kernel.facility = fac
+    return kernel, fac
+
+
+def test_kill_running_process():
+    kernel, fac = make_kernel()
+
+    def forever(api):
+        while True:
+            yield Compute(100_000)
+
+    victim = kernel.spawn_process(forever, "victim", cpu=0)
+    kernel.engine.after(500_000, lambda: kernel.kill_process(victim))
+    assert kernel.run_until_quiescent(max_cycles=10**8)
+    assert victim.exited
+    assert victim.exit_status == 137
+    assert all(t.state is ThreadState.DONE for t in victim.threads)
+
+
+def test_kill_wakes_waiting_parent():
+    kernel, fac = make_kernel()
+    done = []
+
+    def child_prog(api):
+        while True:
+            yield Compute(100_000)
+
+    def parent(api):
+        child = yield from api.spawn(child_prog, "child")
+        yield from api.wait(child)
+        done.append(child.exit_status)
+
+    kernel.spawn_process(parent, "parent", cpu=0)
+
+    def reap():
+        child = next(p for p in kernel.processes.values()
+                     if p.name == "child")
+        kernel.kill_process(child)
+
+    kernel.engine.after(800_000, reap)
+    assert kernel.run_until_quiescent(max_cycles=10**9)
+    assert done == [137]
+
+
+def test_kill_blocked_process():
+    kernel, fac = make_kernel()
+
+    def stuck(api):
+        yield BlockOn("never-signaled")
+
+    victim = kernel.spawn_process(stuck, "stuck", cpu=0)
+    kernel.engine.after(100_000, lambda: kernel.kill_process(victim))
+    assert kernel.run_until_quiescent(max_cycles=10**8)
+    assert victim.exited
+    assert kernel.waitq.get("never-signaled") in (None, [])
+
+
+def test_kill_lock_holder_wedges_waiters():
+    """Killing a lock holder leaves the lock orphaned — the waiter hangs
+    and the trace shows an acquisition with no release (what the
+    hold-time tool reports as unreleased)."""
+    kernel, fac = make_kernel(trace_all_lock_events=True)
+    lock = kernel.create_lock("doomed")
+
+    def holder(api):
+        yield Acquire(lock, ("holder",))
+        yield Compute(10**9)  # would hold for ages
+        yield Release(lock)
+
+    def waiter(api):
+        yield Compute(50_000)
+        yield Acquire(lock, ("waiter",))
+        yield Release(lock)
+
+    h = kernel.spawn_process(holder, "holder", cpu=0)
+    kernel.spawn_process(waiter, "waiter", cpu=1)
+    kernel.engine.after(200_000, lambda: kernel.kill_process(h))
+    finished = kernel.run_until_quiescent(max_cycles=5 * 10**7)
+    assert not finished, "the orphaned lock must wedge the waiter"
+    assert lock.owner is not None  # still owned by the corpse
+    from repro.tools.holdtimes import hold_times
+
+    report = hold_times(fac.decode())
+    assert report.unreleased >= 1
+
+
+def test_kill_spinning_waiter_releases_nothing():
+    kernel, fac = make_kernel()
+    lock = kernel.create_lock("L")
+
+    def holder(api):
+        yield Acquire(lock, ())
+        yield Compute(3_000_000)
+        yield Release(lock)
+
+    def spinner(api):
+        yield Compute(10_000)
+        yield Acquire(lock, ())
+        yield Release(lock)
+
+    kernel.spawn_process(holder, "h", cpu=0)
+    s = kernel.spawn_process(spinner, "s", cpu=1)
+    kernel.engine.after(100_000, lambda: kernel.kill_process(s))
+    assert kernel.run_until_quiescent(max_cycles=10**8)
+    assert not lock.waiters
+    assert lock.owner is None  # holder released normally
+
+
+def test_kill_is_idempotent():
+    kernel, fac = make_kernel()
+
+    def prog(api):
+        yield Compute(10**7)
+
+    victim = kernel.spawn_process(prog, "v", cpu=0)
+    kernel.engine.after(1_000, lambda: kernel.kill_process(victim))
+    kernel.engine.after(2_000, lambda: kernel.kill_process(victim))
+    assert kernel.run_until_quiescent(max_cycles=10**8)
+    assert victim.exited
+
+
+def test_exit_event_carries_kill_status():
+    kernel, fac = make_kernel()
+
+    def prog(api):
+        yield Compute(10**7)
+
+    victim = kernel.spawn_process(prog, "v", cpu=0)
+    kernel.engine.after(1_000, lambda: kernel.kill_process(victim))
+    assert kernel.run_until_quiescent(max_cycles=10**8)
+    exits = fac.decode().filter(name="TRC_PROC_EXIT")
+    mine = [e for e in exits if e.data[0] == victim.pid]
+    assert mine and mine[0].data[1] == 137

@@ -1,0 +1,111 @@
+"""Dynamic-probe tests (§5's KernInst/DProbes complement)."""
+
+import pytest
+
+from repro.core.facility import TraceFacility
+from repro.core.majors import AppMinor, Major
+from repro.ksim import Compute, Kernel, KernelConfig
+
+
+def make_kernel(ncpus=1):
+    kernel = Kernel(KernelConfig(ncpus=ncpus))
+    fac = TraceFacility(ncpus=ncpus, clock=kernel.clock, buffer_words=1024,
+                        num_buffers=8)
+    fac.enable_all()
+    kernel.facility = fac
+    return kernel, fac
+
+
+def looped_program(loops=10, pc="kernel::hot_path"):
+    def prog(api):
+        for _ in range(loops):
+            yield Compute(10_000, pc=pc)
+            yield Compute(5_000, pc="kernel::other_path")
+    return prog
+
+
+def test_probe_fires_per_entry_and_logs():
+    kernel, fac = make_kernel()
+    probe = kernel.probes.attach("kernel::hot_path")
+    kernel.spawn_process(looped_program(10), "p")
+    assert kernel.run_until_quiescent()
+    assert probe.hits == 10
+    events = fac.decode().filter(major=Major.APP, minor=AppMinor.PROBE)
+    assert len(events) == 10
+    assert all(e.data[0] == probe.probe_id for e in events)
+
+
+def test_probe_only_matches_its_label():
+    kernel, fac = make_kernel()
+    probe = kernel.probes.attach("kernel::other_path")
+    kernel.spawn_process(looped_program(7), "p")
+    assert kernel.run_until_quiescent()
+    assert probe.hits == 7  # not 14
+
+
+def test_attach_at_runtime_mid_execution():
+    """The point of dynamic instrumentation: start monitoring an
+    already-running system in an unanticipated way."""
+    kernel, fac = make_kernel()
+    kernel.spawn_process(looped_program(20), "p")
+    attached = {}
+
+    def attach_later():
+        attached["probe"] = kernel.probes.attach("kernel::hot_path")
+
+    kernel.engine.after(80_000, attach_later)
+    assert kernel.run_until_quiescent()
+    probe = attached["probe"]
+    assert 0 < probe.hits < 20, "must miss the entries before attach"
+
+
+def test_detach_stops_firing():
+    kernel, fac = make_kernel()
+    probe = kernel.probes.attach("kernel::hot_path")
+
+    def detach_later():
+        kernel.probes.detach(probe)
+
+    kernel.engine.after(80_000, detach_later)
+    kernel.spawn_process(looped_program(20), "p")
+    assert kernel.run_until_quiescent()
+    assert 0 < probe.hits < 20
+    assert "kernel::hot_path" not in kernel.probes.active_labels
+
+
+def test_probe_overhead_charged():
+    """Instrumented runs take longer by ~hits * (springboard + event)."""
+    def run(with_probe):
+        kernel, _ = make_kernel()
+        if with_probe:
+            kernel.probes.attach("kernel::hot_path")
+        kernel.spawn_process(looped_program(50), "p")
+        assert kernel.run_until_quiescent()
+        return kernel.engine.now, kernel.probes.total_hits
+
+    base, _ = run(False)
+    probed, hits = run(True)
+    assert hits == 50
+    extra = probed - base
+    per_hit = kernel_overhead = extra / hits
+    assert per_hit > 500  # springboard dominates the static event cost
+
+
+def test_multiple_probes_on_same_label():
+    kernel, fac = make_kernel()
+    p1 = kernel.probes.attach("kernel::hot_path")
+    p2 = kernel.probes.attach("kernel::hot_path")
+    kernel.spawn_process(looped_program(5), "p")
+    assert kernel.run_until_quiescent()
+    assert p1.hits == p2.hits == 5
+    events = fac.decode().filter(major=Major.APP, minor=AppMinor.PROBE)
+    assert len(events) == 10
+
+
+def test_disabled_probe_does_not_fire():
+    kernel, fac = make_kernel()
+    probe = kernel.probes.attach("kernel::hot_path")
+    probe.enabled = False
+    kernel.spawn_process(looped_program(5), "p")
+    assert kernel.run_until_quiescent()
+    assert probe.hits == 0

@@ -1,0 +1,63 @@
+"""LTT ablation configuration tests."""
+
+import threading
+
+import pytest
+
+from repro.core.majors import Major
+from repro.core.registry import default_registry
+from repro.core.stream import TraceReader
+from repro.ltt import LTT_CONFIGS, build_logger_set, k42_ltt, original_ltt
+from repro.ltt.configs import K42_STYLE, ORIGINAL, LttConfig
+
+
+def test_config_table_shape():
+    assert len(LTT_CONFIGS) == 4
+    assert LTT_CONFIGS[0] == ORIGINAL
+    assert LTT_CONFIGS[-1] == K42_STYLE
+    assert original_ltt().name == "original"
+    assert k42_ltt().lockless
+
+
+def test_lockless_requires_percpu():
+    bad = LttConfig("bad", lockless=True, per_cpu_buffers=False,
+                    cheap_timestamps=True)
+    with pytest.raises(ValueError):
+        build_logger_set(bad, ncpus=2)
+
+
+@pytest.mark.parametrize("config", LTT_CONFIGS, ids=lambda c: c.name)
+def test_every_config_logs_correctly(config):
+    ncpus = 3
+    ls = build_logger_set(config, ncpus=ncpus, buffer_words=256,
+                          num_buffers=8, irq_disable_iters=5)
+    n_controls = ncpus if config.per_cpu_buffers else 1
+    assert len(ls.controls) == n_controls
+    per_thread = 200
+    barrier = threading.Barrier(ncpus)
+
+    def work(cpu):
+        barrier.wait()
+        for i in range(per_thread):
+            ls.loggers[cpu].log2(Major.TEST, 2, cpu, i)
+
+    threads = [threading.Thread(target=work, args=(c,)) for c in range(ncpus)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    trace = TraceReader(registry=default_registry()).decode_records(ls.flush())
+    evs = trace.filter(major=Major.TEST)
+    assert len(evs) == ncpus * per_thread
+    garbled = [a for a in trace.anomalies if a.kind == "garbled"]
+    assert garbled == []
+
+
+def test_shared_buffer_merges_cpu_streams_into_one_control():
+    ls = build_logger_set(ORIGINAL, ncpus=4, buffer_words=256, num_buffers=8)
+    for cpu in range(4):
+        ls.loggers[cpu].log1(Major.TEST, 1, cpu)
+    trace = TraceReader(registry=default_registry()).decode_records(ls.flush())
+    # All events appear in control 0's stream (one shared global buffer).
+    assert trace.ncpus == 1
+    assert len(trace.filter(major=Major.TEST)) == 4

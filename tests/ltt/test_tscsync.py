@@ -1,0 +1,68 @@
+"""TSC interpolation tests (§4.1's x86 timestamp synchronization)."""
+
+import pytest
+
+from repro.core.timestamps import DriftingTscClock
+from repro.ltt import (
+    TscAnchors,
+    TscInterpolator,
+    max_pairwise_skew,
+    take_anchors,
+)
+
+
+def make_clock():
+    base = [0]
+    clock = DriftingTscClock(
+        offsets=[0, 123_456, 999_999],
+        rates=[1.0, 1.0003, 0.9995],
+        base=lambda: base[0],
+    )
+    return clock, base
+
+
+def test_anchor_validation():
+    with pytest.raises(ValueError):
+        TscAnchors(tsc_start=100, wall_start=0, tsc_end=100, wall_end=10)
+    with pytest.raises(ValueError):
+        TscInterpolator({})
+
+
+def test_interpolation_recovers_wall_time_exactly_at_anchors():
+    clock, base = make_clock()
+    anchors = take_anchors(clock, 0, 10**9)
+    interp = TscInterpolator(anchors)
+    for cpu in range(clock.ncpus):
+        a = anchors[cpu]
+        assert interp.to_wall(cpu, a.tsc_start) == a.wall_start
+        assert interp.to_wall(cpu, a.tsc_end) == a.wall_end
+
+
+def test_interpolation_midpoint_accuracy():
+    clock, base = make_clock()
+    anchors = take_anchors(clock, 0, 10**9)
+    interp = TscInterpolator(anchors)
+    t = 5 * 10**8
+    for cpu in range(clock.ncpus):
+        tsc = int(clock.offsets[cpu] + clock.rates[cpu] * t)
+        # Within rounding of the true time despite offset+drift.
+        assert abs(interp.to_wall(cpu, tsc) - t) <= 2
+
+
+def test_cross_cpu_skew_small_after_interpolation():
+    clock, base = make_clock()
+    anchors = take_anchors(clock, 0, 10**9)
+    interp = TscInterpolator(anchors)
+    skew = max_pairwise_skew(
+        interp, clock, sample_points=[10**6 * k for k in range(0, 1000, 37)]
+    )
+    assert skew <= 4  # rounding only
+
+
+def test_uncorrected_skew_is_large():
+    """Without interpolation, raw tsc values disagree wildly — the
+    problem §4.1's scheme exists to solve."""
+    clock, base = make_clock()
+    t = 10**9
+    raw = [int(clock.offsets[c] + clock.rates[c] * t) for c in range(3)]
+    assert max(raw) - min(raw) > 100_000

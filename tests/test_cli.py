@@ -1,0 +1,151 @@
+"""CLI front-end tests (repro-trace)."""
+
+import pytest
+
+from repro.cli import main
+from repro.core.crashdump import write_dump
+from repro.core.writer import save_records
+from repro.workloads import run_contention, run_multiprog
+
+
+@pytest.fixture(scope="module")
+def artifacts(tmp_path_factory):
+    """A trace file + symbols file + crash dump, like a user would have."""
+    d = tmp_path_factory.mktemp("cli")
+    kernel, facility, _ = run_contention(ncpus=2, workers_per_cpu=2,
+                                         iterations=20)
+    trace_path = str(d / "trace.k42")
+    save_records(trace_path, facility.flush())
+    syms_path = str(d / "syms.json")
+    kernel.symbols().save(syms_path)
+
+    # A flight-recorder crash dump from a different run.
+    k2, fac2, _ = run_multiprog(ncpus=2, jobs_per_cpu=3, seed=31)
+    dump_path = str(d / "core.img")
+    with open(dump_path, "wb") as fh:
+        write_dump(fac2.controls, fh)
+    return dict(trace=trace_path, syms=syms_path, dump=dump_path, dir=d)
+
+
+def test_info(artifacts, capsys):
+    assert main(["info", artifacts["trace"]]) == 0
+    out = capsys.readouterr().out
+    assert "events:" in out and "time span:" in out and "cpus: [0, 1]" in out
+
+
+def test_verify(artifacts, capsys):
+    assert main(["verify", artifacts["trace"]]) == 0
+    assert "trace clean" in capsys.readouterr().out
+
+
+def test_list_with_filters(artifacts, capsys):
+    assert main(["list", artifacts["trace"], "--limit", "15",
+                 "--name", "TRC_SYSCALL_ENTER"]) == 0
+    out = capsys.readouterr().out
+    lines = out.strip().splitlines()
+    assert 0 < len(lines) <= 15
+    assert all("TRC_SYSCALL_ENTER" in l for l in lines)
+
+
+def test_kmon_text_and_svg(artifacts, capsys):
+    svg_path = str(artifacts["dir"] / "timeline.svg")
+    assert main(["kmon", artifacts["trace"], "--width", "50",
+                 "--mark", "TRC_USER_RETURNED_MAIN", "--svg", svg_path]) == 0
+    out = capsys.readouterr().out
+    assert "cpu0" in out and "cpu1" in out
+    with open(svg_path) as fh:
+        assert fh.read().startswith("<svg")
+
+
+def test_locks_with_symbols(artifacts, capsys):
+    assert main(["locks", artifacts["trace"], "--symbols",
+                 artifacts["syms"], "--top", "3"]) == 0
+    out = capsys.readouterr().out
+    assert "top 3 contended locks" in out
+    assert "GMalloc" in out or "Dentry" in out
+
+
+def test_profile_with_symbols(artifacts, capsys):
+    assert main(["profile", artifacts["trace"], "--symbols",
+                 artifacts["syms"]]) == 0
+    out = capsys.readouterr().out
+    assert "count method" in out
+
+
+def test_breakdown_for_pid(artifacts, capsys):
+    assert main(["breakdown", artifacts["trace"], "--symbols",
+                 artifacts["syms"], "--pid", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "thread entry points" in out
+
+
+def test_breakdown_unknown_pid_fails(artifacts, capsys):
+    assert main(["breakdown", artifacts["trace"], "--pid", "4242"]) == 1
+
+
+def test_histogram(artifacts, capsys):
+    assert main(["histogram", artifacts["trace"], "--top", "5"]) == 0
+    lines = capsys.readouterr().out.strip().splitlines()
+    assert len(lines) == 5
+
+
+def test_holds(artifacts, capsys):
+    assert main(["holds", artifacts["trace"], "--symbols",
+                 artifacts["syms"], "--top", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "lock holds analyzed" in out
+
+
+def test_sched(artifacts, capsys):
+    assert main(["sched", artifacts["trace"], "--symbols",
+                 artifacts["syms"]]) == 0
+    out = capsys.readouterr().out
+    assert "CPU time by process" in out
+
+
+def test_compare(artifacts, capsys):
+    # Comparing a trace with itself: neutral report, still renders.
+    assert main(["compare", artifacts["trace"], artifacts["trace"],
+                 "--symbols", artifacts["syms"]]) == 0
+    out = capsys.readouterr().out
+    assert "elapsed:" in out and "1.00x" in out
+
+
+def test_iostats(artifacts, capsys):
+    assert main(["iostats", artifacts["trace"]]) == 0
+    assert "I/O operations" in capsys.readouterr().out
+
+
+def test_crashdump(artifacts, capsys):
+    assert main(["crashdump", artifacts["dump"], "--last", "6"]) == 0
+    out = capsys.readouterr().out
+    assert "flight recorder" in out
+
+
+def test_export_ltt(artifacts, capsys):
+    out_path = str(artifacts["dir"] / "cpu0.ltt")
+    assert main(["export-ltt", artifacts["trace"], "--cpu", "0",
+                 "-o", out_path]) == 0
+    from repro.ltt.export import read_ltt
+
+    with open(out_path, "rb") as fh:
+        cpu, events = read_ltt(fh.read())
+    assert cpu == 0 and events
+
+
+def test_symbols_roundtrip(artifacts):
+    from repro.ksim.kernel import SymbolTable
+
+    sym = SymbolTable.load(artifacts["syms"])
+    assert sym.pc_names and sym.lock_names and sym.syscall_names
+    again = SymbolTable.from_json(sym.to_json())
+    assert again == sym
+
+
+def test_verify_fails_on_corrupt_trace(artifacts, capsys, tmp_path):
+    raw = bytearray(open(artifacts["trace"], "rb").read())
+    raw[5000:5100] = b"\x00" * 100  # stomp mid-file
+    bad = tmp_path / "bad.k42"
+    bad.write_bytes(bytes(raw))
+    rc = main(["verify", str(bad)])
+    assert rc == 1

@@ -1,0 +1,56 @@
+"""Documentation freshness and consistency checks."""
+
+from pathlib import Path
+
+import pytest
+
+REPO = Path(__file__).parent.parent
+
+
+def test_generated_event_reference_is_fresh():
+    """docs/events.md must match the current registry."""
+    from repro.core.registry import default_registry
+
+    path = REPO / "docs" / "events.md"
+    assert path.exists(), "run python docs/generate.py"
+    assert path.read_text().strip() == \
+        default_registry().to_markdown().strip(), (
+            "docs/events.md is stale; regenerate with python docs/generate.py"
+        )
+
+
+def test_markdown_docs_exist_and_nonempty():
+    for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
+                 "docs/trace-format.md", "docs/architecture.md"):
+        path = REPO / name
+        assert path.exists(), name
+        assert len(path.read_text()) > 500, name
+
+
+def test_examples_referenced_in_readme_exist():
+    readme = (REPO / "README.md").read_text()
+    for line in readme.splitlines():
+        if "examples/" in line and ".py" in line:
+            start = line.index("examples/")
+            end = line.index(".py", start) + 3
+            rel = line[start:end]
+            assert (REPO / rel).exists(), rel
+
+
+def test_all_public_tool_functions_have_docstrings():
+    import repro.tools as tools
+
+    for name in tools.__all__:
+        obj = getattr(tools, name)
+        assert obj.__doc__, f"{name} lacks a docstring"
+
+
+def test_every_module_has_a_docstring():
+    import importlib
+    import pkgutil
+
+    import repro
+
+    for modinfo in pkgutil.walk_packages(repro.__path__, prefix="repro."):
+        mod = importlib.import_module(modinfo.name)
+        assert mod.__doc__, f"{modinfo.name} lacks a module docstring"

@@ -1,0 +1,21 @@
+"""Shared fixtures: canned simulator runs for the tool tests."""
+
+import pytest
+
+from repro.workloads import run_contention, run_multiprog
+
+
+@pytest.fixture(scope="module")
+def contention_run():
+    kernel, facility, result = run_contention(
+        ncpus=4, workers_per_cpu=2, iterations=30, seed=5
+    )
+    trace = facility.decode()
+    return kernel, trace, result
+
+
+@pytest.fixture(scope="module")
+def multiprog_run():
+    kernel, facility, result = run_multiprog(ncpus=2, jobs_per_cpu=4, seed=9)
+    trace = facility.decode()
+    return kernel, trace, result

@@ -1,0 +1,92 @@
+"""Figure 8 fine-grained breakdown tool tests."""
+
+from repro.ksim.ipc import FS_FUNCTION_NAMES
+from repro.tools.breakdown import format_breakdown, process_breakdown
+
+
+def get_breakdowns(run):
+    kernel, trace, _ = run
+    sym = kernel.symbols()
+    return kernel, process_breakdown(
+        trace, sym.syscall_names, sym.process_names, FS_FUNCTION_NAMES
+    )
+
+
+def test_every_user_process_has_a_breakdown(contention_run):
+    kernel, bds = get_breakdowns(contention_run)
+    user_pids = [p for p in kernel.processes if p >= 2]
+    for pid in user_pids:
+        assert pid in bds, f"pid {pid} missing"
+
+
+def test_syscall_rows_named_like_figure8(contention_run):
+    kernel, bds = get_breakdowns(contention_run)
+    fs_pid = next(
+        p for p, b in bds.items() if "SCopen" in b.syscalls
+    )
+    rows = bds[fs_pid].syscalls
+    assert {"SCopen", "SCread", "SCclose"} <= set(rows)
+    for row in rows.values():
+        assert row.calls > 0
+        assert row.total_cycles > 0
+
+
+def test_syscall_call_counts_match_workload(contention_run):
+    """fs_storm runs exactly iterations//2 open/read/close triples."""
+    kernel, bds = get_breakdowns(contention_run)
+    fs_pids = [p for p, b in bds.items()
+               if kernel.processes[p].name.startswith("fsload")]
+    assert fs_pids
+    for pid in fs_pids:
+        rows = bds[pid].syscalls
+        assert rows["SCopen"].calls == rows["SCread"].calls == rows["SCclose"].calls
+
+
+def test_ipc_attributed_to_fs_syscalls(contention_run):
+    kernel, bds = get_breakdowns(contention_run)
+    fs_pid = next(p for p, b in bds.items() if "SCopen" in b.syscalls)
+    row = bds[fs_pid].syscalls["SCopen"]
+    assert row.ipc_calls == row.calls  # one PPC per open
+    assert row.ipc_cycles > 0
+    assert bds[fs_pid].total_ipc_calls >= row.ipc_calls
+
+
+def test_server_process_accumulates_service_functions(contention_run):
+    kernel, bds = get_breakdowns(contention_run)
+    server = bds.get(1)
+    assert server is not None
+    assert server.server_functions
+    names = set(server.server_functions)
+    assert names & {"open", "read", "close", "write", "lookup", "load_image"}
+
+
+def test_compute_plus_ipc_bounded_by_total(contention_run):
+    _, bds = get_breakdowns(contention_run)
+    for b in bds.values():
+        for row in b.syscalls.values():
+            assert row.ipc_cycles + row.fault_cycles <= row.total_cycles * 1.05
+
+
+def test_ex_process_time_positive_for_fs_heavy(contention_run):
+    kernel, bds = get_breakdowns(contention_run)
+    fs_pid = next(p for p, b in bds.items() if "SCopen" in b.syscalls)
+    assert bds[fs_pid].ex_process_us > 0
+
+
+def test_format_contains_figure8_elements(contention_run):
+    kernel, bds = get_breakdowns(contention_run)
+    fs_pid = next(p for p, b in bds.items() if "SCopen" in b.syscalls)
+    text = format_breakdown(bds[fs_pid])
+    assert "Ex-process" in text
+    assert "SCopen" in text
+    server_text = format_breakdown(bds[1])
+    assert "thread entry points:" in server_text
+
+
+def test_page_faults_attributed(multiprog_run):
+    kernel, trace, _ = multiprog_run
+    sym = kernel.symbols()
+    bds = process_breakdown(trace, sym.syscall_names, sym.process_names)
+    total_faults = sum(b.total_faults for b in bds.values())
+    assert total_faults > 0
+    assert any(b.total_fault_cycles > 0 for b in bds.values())

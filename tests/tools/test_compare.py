@@ -1,0 +1,76 @@
+"""Trace-comparison tool tests — the §4 tuning-iteration diff."""
+
+import pytest
+
+from repro.tools.compare import compare_traces, format_comparison
+from repro.workloads import run_contention
+
+
+@pytest.fixture(scope="module")
+def before_after():
+    """The lock-tuning iteration: global allocator path, then the fix."""
+    # alloc_size must stay below the large-allocation threshold so the
+    # global-path fraction (the thing being "fixed") is what routes.
+    k_before, fac_before, _ = run_contention(
+        ncpus=4, workers_per_cpu=2, iterations=40, alloc_size=8_192,
+        global_alloc_fraction=0.9, pc_sample_period=3_000, seed=5,
+    )
+    k_after, fac_after, _ = run_contention(
+        ncpus=4, workers_per_cpu=2, iterations=40, alloc_size=8_192,
+        global_alloc_fraction=0.05, pc_sample_period=3_000, seed=5,
+    )
+    return (k_before, fac_before.decode(), k_after, fac_after.decode())
+
+
+def test_speedup_detected(before_after):
+    k_b, t_b, k_a, t_a = before_after
+    comparison = compare_traces(t_b, t_a)
+    assert comparison.speedup > 1.0
+    assert comparison.total_wait_after < comparison.total_wait_before
+
+
+def test_fixed_lock_shows_as_improvement(before_after):
+    k_b, t_b, k_a, t_a = before_after
+    comparison = compare_traces(t_b, t_a)
+    improved = comparison.improvements()
+    assert improved
+    # The "fixed" allocator lock must appear among the improvements
+    # (other locks may improve more once the system speeds up overall).
+    names = [k_b.symbols().lock_names.get(d.lock_id, "") for d in improved]
+    assert any("AllocRegionManager.global" in n for n in names), names
+
+
+def test_profile_shift_visible(before_after):
+    k_b, t_b, k_a, t_a = before_after
+    comparison = compare_traces(t_b, t_a, k_b.symbols().pc_names)
+    spin_funcs = [n for n in comparison.profile_deltas
+                  if "_acquire" in n]
+    assert spin_funcs
+    total_b = sum(comparison.profile_deltas[n][0] for n in spin_funcs)
+    total_a = sum(comparison.profile_deltas[n][1] for n in spin_funcs)
+    assert total_a < total_b, "less spinning after the fix"
+
+
+def test_format_report(before_after):
+    k_b, t_b, k_a, t_a = before_after
+    comparison = compare_traces(t_b, t_a, k_b.symbols().pc_names)
+    text = format_comparison(comparison, k_b.symbols().lock_names)
+    assert "elapsed:" in text
+    assert "improved locks:" in text
+    assert "x)" in text
+
+
+def test_identical_traces_compare_neutral(before_after):
+    k_b, t_b, *_ = before_after
+    comparison = compare_traces(t_b, t_b)
+    assert comparison.speedup == pytest.approx(1.0)
+    assert not comparison.improvements()
+    assert not comparison.regressions()
+
+
+def test_event_deltas_cover_both_sides(before_after):
+    k_b, t_b, k_a, t_a = before_after
+    comparison = compare_traces(t_b, t_a)
+    assert "TRC_LOCK_CONTEND_START" in comparison.event_deltas
+    b, a = comparison.event_deltas["TRC_LOCK_CONTEND_START"]
+    assert a < b

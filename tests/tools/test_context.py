@@ -1,0 +1,44 @@
+"""Context-tracker tests: the unified-facility attribution machinery."""
+
+from repro.core.majors import Major
+from repro.tools.context import ContextTracker
+
+
+def test_thread_pid_mapping_built(contention_run):
+    kernel, trace, _ = contention_run
+    ctx = ContextTracker(trace)
+    assert ctx.thread_pid  # THREAD_CREATE events seen
+    # Every mapped pid is a real process.
+    for pid in set(ctx.thread_pid.values()):
+        assert pid in kernel.processes
+
+
+def test_syscall_events_attributed_to_their_process(contention_run):
+    """SYSCALL events carry their pid in data[0]; the context tracker
+    must agree — cross-validating attribution against ground truth."""
+    kernel, trace, _ = contention_run
+    ctx = ContextTracker(trace)
+    checked = mismatched = 0
+    for e in trace.all_events():
+        if e.major == Major.SYSCALL and len(e.data) >= 2:
+            inferred = ctx.pid_of(e)
+            if inferred is None:
+                continue
+            checked += 1
+            if inferred != e.data[0]:
+                mismatched += 1
+    assert checked > 50
+    # Context switches and event logging are not atomic, so allow a
+    # tiny attribution slop at switch boundaries.
+    assert mismatched / checked < 0.02
+
+
+def test_unknown_event_gets_default_context():
+    from repro.core.stream import Trace, TraceEvent
+
+    trace = Trace(events_by_cpu={0: []})
+    ctx = ContextTracker(trace)
+    orphan = TraceEvent(cpu=0, seq=0, offset=0, ts32=0, major=1, minor=0,
+                        data=[])
+    assert ctx.thread_of(orphan) == 0
+    assert ctx.pid_of(orphan) is None

@@ -1,0 +1,104 @@
+"""Hold-time tool tests — the §2 anecdote reproduced end to end."""
+
+import pytest
+
+from repro.core.facility import TraceFacility
+from repro.ksim import Acquire, Compute, Kernel, KernelConfig, Release
+from repro.ksim.costs import DEFAULT_COSTS
+from repro.tools.holdtimes import format_hold_report, hold_times
+
+
+def run_scenario(hold_cycles, competitors=0, ncpus=1, quantum=None):
+    costs = DEFAULT_COSTS
+    if quantum is not None:
+        costs = costs.with_overrides(quantum=quantum)
+    kernel = Kernel(KernelConfig(ncpus=ncpus, trace_all_lock_events=True,
+                                 costs=costs))
+    fac = TraceFacility(ncpus=ncpus, clock=kernel.clock, buffer_words=2048,
+                        num_buffers=8)
+    fac.enable_all()
+    kernel.facility = fac
+    lock = kernel.create_lock("TheLock")
+
+    def holder(api):
+        for _ in range(3):
+            yield Acquire(lock, ("holder",))
+            yield Compute(hold_cycles, pc="holder_critical")
+            yield Release(lock)
+            yield Compute(5_000, pc="holder_gap")
+
+    def cpu_hog(api):
+        yield Compute(30 * (quantum or DEFAULT_COSTS.quantum), pc="hog")
+
+    kernel.spawn_process(holder, "holder", cpu=0)
+    for c in range(competitors):
+        kernel.spawn_process(cpu_hog, f"hog{c}", cpu=0)
+    assert kernel.run_until_quiescent()
+    return kernel, fac.decode(), lock
+
+
+def test_holds_paired_and_measured():
+    kernel, trace, lock = run_scenario(hold_cycles=10_000)
+    report = hold_times(trace)
+    assert len(report.holds) == 3
+    assert report.unreleased == 0
+    for h in report.holds:
+        assert h.duration >= 10_000
+        assert h.lock_id == lock.lock_id
+
+
+def test_uninterrupted_holds_not_flagged():
+    kernel, trace, lock = run_scenario(hold_cycles=10_000)
+    report = hold_times(trace)
+    assert all(not h.preempted for h in report.holds)
+
+
+def test_the_paragraph2_anecdote():
+    """A short critical section turns into a huge hold because the
+    holder is preempted mid-hold; the scheduling events in the same
+    stream explain it — the exact §2 story."""
+    quantum = 50_000
+    kernel, trace, lock = run_scenario(
+        hold_cycles=3 * quantum,   # guaranteed to straddle quanta
+        competitors=2, quantum=quantum,
+    )
+    report = hold_times(trace)
+    long_holds = [h for h in report.holds if h.preempted]
+    assert long_holds, "preempted holds must be detected"
+    flagged = max(report.holds, key=lambda h: h.duration)
+    assert flagged.preempted
+    # The preempted hold is far longer than the critical section itself.
+    assert flagged.duration > 2 * 3 * quantum
+    text = format_hold_report(report, kernel.symbols().lock_names)
+    assert "context-switched out" in text
+    assert "TheLock" in text
+
+
+def test_unreleased_hold_counted():
+    kernel = Kernel(KernelConfig(ncpus=1, trace_all_lock_events=True))
+    fac = TraceFacility(ncpus=1, clock=kernel.clock, buffer_words=1024,
+                        num_buffers=8)
+    fac.enable_all()
+    kernel.facility = fac
+    lock = kernel.create_lock("leaky")
+
+    def leaker(api):
+        yield Acquire(lock, ())
+        yield Compute(1_000)
+        # exits without releasing
+
+    kernel.spawn_process(leaker, "leaker")
+    kernel.run_until_quiescent()
+    report = hold_times(fac.decode())
+    assert report.unreleased == 1
+    assert report.holds == []
+
+
+def test_per_lock_aggregation():
+    kernel, trace, lock = run_scenario(hold_cycles=10_000)
+    report = hold_times(trace)
+    agg = report.per_lock()
+    count, total, mx, preempted = agg[lock.lock_id]
+    assert count == 3
+    assert total >= 30_000
+    assert mx >= 10_000

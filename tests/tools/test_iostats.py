@@ -1,0 +1,82 @@
+"""I/O statistics tool tests."""
+
+import pytest
+
+from repro.core.facility import TraceFacility
+from repro.ksim import Kernel, KernelConfig
+from repro.tools.iostats import format_io_report, io_statistics
+
+
+@pytest.fixture(scope="module")
+def io_run():
+    kernel = Kernel(KernelConfig(ncpus=2))
+    fac = TraceFacility(ncpus=2, clock=kernel.clock, buffer_words=2048,
+                        num_buffers=8)
+    fac.enable_all()
+    kernel.facility = fac
+
+    def heavy(api):
+        fd = yield from api.open("/data/big")
+        for _ in range(3):
+            yield from api.read(fd, 16_384, cached=False)
+        yield from api.close(fd)
+
+    def light(api):
+        fd = yield from api.open("/data/small")
+        yield from api.read(fd, 512, cached=True)
+        yield from api.write(fd, 256)
+        yield from api.close(fd)
+
+    p_heavy = kernel.spawn_process(heavy, "heavy", cpu=0)
+    p_light = kernel.spawn_process(light, "light", cpu=1)
+    assert kernel.run_until_quiescent()
+    return kernel, fac.decode(), p_heavy.pid, p_light.pid
+
+
+def test_all_ops_paired(io_run):
+    kernel, trace, heavy_pid, light_pid = io_run
+    report = io_statistics(trace)
+    assert report.unmatched == 0
+    kinds = [(o.pid, o.kind) for o in report.ops]
+    assert kinds.count((heavy_pid, "read")) == 3
+    assert kinds.count((light_pid, "read")) == 1
+    assert kinds.count((light_pid, "write")) == 1
+
+
+def test_uncached_latency_dominates(io_run):
+    kernel, trace, heavy_pid, light_pid = io_run
+    report = io_statistics(trace)
+    per = report.per_process()
+    assert per[heavy_pid][2] > 10 * per[light_pid][2]  # mean latency
+    slowest = report.slowest(1)[0]
+    assert slowest.pid == heavy_pid
+    assert slowest.latency >= kernel.disk.seek_cycles
+
+
+def test_interrupts_counted(io_run):
+    kernel, trace, *_ = io_run
+    report = io_statistics(trace)
+    assert report.interrupts.get(kernel.disk.device_id) == 3
+
+
+def test_bytes_accounted(io_run):
+    kernel, trace, heavy_pid, light_pid = io_run
+    per = io_statistics(trace).per_process()
+    assert per[heavy_pid][1] == 3 * 16_384
+    assert per[light_pid][1] == 512 + 256
+
+
+def test_report_renders(io_run):
+    kernel, trace, *_ = io_run
+    text = format_io_report(io_statistics(trace))
+    assert "I/O operations" in text
+    assert "slowest operations" in text
+    assert "device interrupts" in text
+
+
+def test_empty_trace():
+    from repro.core.stream import Trace
+
+    report = io_statistics(Trace(events_by_cpu={}))
+    assert report.ops == [] and report.unmatched == 0
+    assert "0 I/O operations" in format_io_report(report)

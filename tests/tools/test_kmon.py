@@ -1,0 +1,140 @@
+"""kmon timeline (Figure 4) tests."""
+
+import pytest
+
+from repro.tools.kmon import Timeline
+from repro.tools.listing import CYCLES_PER_SECOND
+
+
+def test_render_has_lane_per_cpu(contention_run):
+    _, trace, _ = contention_run
+    text = Timeline(trace).render(width=60)
+    for cpu in range(4):
+        assert f"cpu{cpu}" in text
+
+
+def test_density_band_present(contention_run):
+    _, trace, _ = contention_run
+    lines = Timeline(trace).render(width=60).splitlines()
+    assert lines[1].startswith("events ")
+
+
+def test_busy_cpus_show_busy(contention_run):
+    _, trace, _ = contention_run
+    text = Timeline(trace).render(width=60)
+    cpu0_line = next(l for l in text.splitlines() if l.startswith("cpu0"))
+    assert "#" in cpu0_line
+
+
+def test_mark_and_count(contention_run):
+    _, trace, _ = contention_run
+    tl = Timeline(trace).mark("TRC_USER_RETURNED_MAIN")
+    counts = tl.marked_counts()
+    assert counts["TRC_USER_RETURNED_MAIN"] > 0
+    assert "marked TRC_USER_RETURNED_MAIN" in tl.render(width=60)
+
+
+def test_zoom_narrows_window(contention_run):
+    _, trace, _ = contention_run
+    tl = Timeline(trace)
+    t0s = tl.t0 / CYCLES_PER_SECOND
+    t1s = tl.t1 / CYCLES_PER_SECOND
+    mid = (t0s + t1s) / 2
+    zoomed = tl.zoom(t0s, mid)
+    assert zoomed.t1 <= tl.t1
+    assert (zoomed.t1 - zoomed.t0) < (tl.t1 - tl.t0)
+
+
+def test_zoom_validation(contention_run):
+    _, trace, _ = contention_run
+    tl = Timeline(trace)
+    with pytest.raises(ValueError):
+        tl.zoom(0.5, 0.5)
+
+
+def test_click_listing_lists_events_near_point(contention_run):
+    _, trace, _ = contention_run
+    tl = Timeline(trace)
+    mid_s = (tl.t0 + tl.t1) / 2 / CYCLES_PER_SECOND
+    text = tl.click_listing(mid_s, window_seconds=1e-4)
+    assert text  # something happened near the middle of a busy run
+    assert "TRC_" in text
+
+
+def test_svg_renders(contention_run):
+    _, trace, _ = contention_run
+    svg = Timeline(trace).mark("TRC_USER_RETURNED_MAIN").render_svg()
+    assert svg.startswith("<svg")
+    assert svg.endswith("</svg>")
+    assert "cpu0" in svg
+    assert "<rect" in svg and "<line" in svg
+
+
+def test_svg_includes_process_lanes(contention_run):
+    kernel, trace, _ = contention_run
+    names = kernel.symbols().process_names
+    svg = Timeline(trace).show_processes(2, names=names).render_svg()
+    assert names[2][:12] in svg
+    assert 'fill="#58a55c"' in svg
+
+
+def test_process_lanes_explicit(contention_run):
+    kernel, trace, _ = contention_run
+    names = kernel.symbols().process_names
+    tl = Timeline(trace).show_processes(2, 3, names=names)
+    text = tl.render(width=60)
+    assert names[2][:6] in text
+    lane = next(l for l in text.splitlines()
+                if l.startswith(names[2][:6]))
+    assert "=" in lane
+
+
+def test_process_lanes_auto_selects_busiest(contention_run):
+    _, trace, _ = contention_run
+    tl = Timeline(trace).show_processes()
+    assert tl.process_pids
+    text = tl.render(width=60)
+    assert f"pid{tl.process_pids[0]}" in text
+
+
+def test_process_lanes_survive_zoom(contention_run):
+    _, trace, _ = contention_run
+    tl = Timeline(trace).show_processes(2)
+    from repro.tools.listing import CYCLES_PER_SECOND
+    t0s, t1s = tl.t0 / CYCLES_PER_SECOND, tl.t1 / CYCLES_PER_SECOND
+    zoomed = tl.zoom(t0s, (t0s + t1s) / 2)
+    assert zoomed.process_pids == [2]
+
+
+def test_empty_trace_rejected():
+    from repro.core.stream import Trace
+
+    with pytest.raises(ValueError):
+        Timeline(Trace(events_by_cpu={}))
+
+
+def test_idle_periods_visible_with_imbalanced_load():
+    """One busy CPU + one idle CPU: the idle lane shows dots (the
+    'large idle periods clearly visible' experience of §4)."""
+    from repro.core.facility import TraceFacility
+    from repro.ksim.kernel import Kernel, KernelConfig
+    from repro.ksim.ops import Compute
+
+    kernel = Kernel(KernelConfig(ncpus=2, migration=False))
+    fac = TraceFacility(ncpus=2, clock=kernel.clock, buffer_words=1024,
+                        num_buffers=8)
+    fac.enable_all()
+    kernel.facility = fac
+
+    def busy(api):
+        yield Compute(10**6)
+
+    def late(api):
+        yield Compute(10)
+
+    kernel.spawn_process(busy, "busy", cpu=0)
+    kernel.spawn_process(late, "late", cpu=1)
+    assert kernel.run_until_quiescent()
+    text = Timeline(fac.decode()).render(width=60)
+    cpu1_line = next(l for l in text.splitlines() if l.startswith("cpu1"))
+    assert "." in cpu1_line  # mostly idle

@@ -1,0 +1,87 @@
+"""Interactive kmon session tests (scripted command sequences)."""
+
+import io
+
+import pytest
+
+from repro.tools.kmon_session import KmonSession
+from repro.tools.listing import CYCLES_PER_SECOND
+
+
+@pytest.fixture()
+def session(contention_run):
+    kernel, trace, _ = contention_run
+    return KmonSession(trace, kernel.symbols().process_names)
+
+
+def test_help_lists_commands(session):
+    out = session.execute("help")
+    for cmd in ("zoom", "mark", "click", "svg", "lanes"):
+        assert cmd in out
+
+
+def test_render_and_width(session):
+    out = session.execute("render 50")
+    assert "cpu0" in out
+    line = next(l for l in out.splitlines() if l.startswith("cpu0"))
+    assert len(line) <= 60
+
+
+def test_zoom_and_out_stack(session):
+    t0 = session.timeline.t0 / CYCLES_PER_SECOND
+    t1 = session.timeline.t1 / CYCLES_PER_SECOND
+    mid = (t0 + t1) / 2
+    session.execute(f"zoom {t0} {mid}")
+    assert session.timeline.t1 <= mid * CYCLES_PER_SECOND + 1
+    info = session.execute("info")
+    assert "1 zoom levels deep" in info
+    session.execute("out")
+    assert "0 zoom levels deep" in session.execute("info")
+    assert session.execute("out") == "already at the outermost view"
+
+
+def test_mark_and_counts(session):
+    out = session.execute("mark TRC_USER_RETURNED_MAIN")
+    assert "TRC_USER_RETURNED_MAIN:" in out
+    counts = session.execute("counts")
+    assert "TRC_USER_RETURNED_MAIN" in counts
+
+
+def test_click_lists_events(session):
+    mid = (session.timeline.t0 + session.timeline.t1) / 2 / CYCLES_PER_SECOND
+    out = session.execute(f"click {mid} 1e-4")
+    assert "TRC_" in out or out == "no events in that window"
+
+
+def test_lanes(session):
+    out = session.execute("lanes 2 3")
+    assert "[2, 3]" in out
+    rendered = session.execute("render")
+    assert "=" in rendered
+
+
+def test_svg_written(session, tmp_path):
+    path = str(tmp_path / "view.svg")
+    out = session.execute(f"svg {path}")
+    assert "wrote" in out
+    assert open(path).read().startswith("<svg")
+
+
+def test_unknown_and_bad_args(session):
+    assert "unknown command" in session.execute("dance")
+    assert session.execute("zoom not-a-number 2").startswith("error:")
+    assert session.execute("") == ""
+
+
+def test_repl_loop(session):
+    t0 = session.timeline.t0 / CYCLES_PER_SECOND
+    t1 = session.timeline.t1 / CYCLES_PER_SECOND
+    script = io.StringIO(
+        f"mark TRC_USER_RETURNED_MAIN\nzoom {t0} {(t0 + t1) / 2}\n"
+        "counts\nquit\n"
+    )
+    out = io.StringIO()
+    session.run(script, out)
+    text = out.getvalue()
+    assert "kmon interactive session" in text
+    assert "TRC_USER_RETURNED_MAIN" in text

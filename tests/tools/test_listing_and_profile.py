@@ -1,0 +1,100 @@
+"""Tests for the Figure 5 listing and Figure 6 profile tools."""
+
+import re
+
+from repro.core.majors import Major
+from repro.tools.listing import event_listing, format_event, format_listing
+from repro.tools.pcprofile import format_profile, pc_profile, profile_pids
+
+
+class TestListing:
+    def test_lines_have_figure5_shape(self, contention_run):
+        _, trace, _ = contention_run
+        text = format_listing(trace, limit=20)
+        lines = text.splitlines()
+        assert len(lines) == 20
+        # "   0.0001234 TRC_NAME   description"
+        for line in lines:
+            assert re.match(r"^\s*\d+\.\d{7} TRC_\w+\s+\S", line)
+
+    def test_time_window_selection(self, contention_run):
+        _, trace, _ = contention_run
+        all_events = event_listing(trace)
+        mid = (all_events[0].time + all_events[-1].time) // 2 / 1e9
+        windowed = event_listing(trace, start=mid)
+        assert 0 < len(windowed) < len(all_events)
+        assert all(e.time / 1e9 >= mid for e in windowed)
+
+    def test_name_filter(self, contention_run):
+        _, trace, _ = contention_run
+        only = event_listing(trace, names=["TRC_SYSCALL_ENTER"])
+        assert only
+        assert all(e.name == "TRC_SYSCALL_ENTER" for e in only)
+
+    def test_cpu_filter(self, contention_run):
+        _, trace, _ = contention_run
+        only = event_listing(trace, cpu=2)
+        assert only
+        assert all(e.cpu == 2 for e in only)
+
+    def test_control_events_hidden_by_default(self, contention_run):
+        _, trace, _ = contention_run
+        assert all(not e.is_control for e in event_listing(trace))
+        with_ctrl = event_listing(trace, include_control=True)
+        assert any(e.is_control for e in with_ctrl)
+
+    def test_format_event_renders_description(self, contention_run):
+        _, trace, _ = contention_run
+        ev = event_listing(trace, names=["TRC_PROC_CREATE"])[0]
+        line = format_event(ev)
+        assert "created by" in line
+
+
+class TestPcProfile:
+    def test_histogram_sorted_descending(self, contention_run):
+        kernel, trace, _ = contention_run
+        hist = pc_profile(trace, kernel.symbols().pc_names)
+        assert hist
+        counts = [c for c, _ in hist]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_hot_function_is_the_spinner_or_workload(self, contention_run):
+        kernel, trace, _ = contention_run
+        hist = pc_profile(trace, kernel.symbols().pc_names)
+        top_names = [name for _, name in hist[:3]]
+        assert any(
+            "churn" in n or "_acquire" in n or "gMalloc" in n
+            for n in top_names
+        )
+
+    def test_per_pid_profile_differs(self, contention_run):
+        kernel, trace, _ = contention_run
+        pids = profile_pids(trace)
+        assert len(pids) >= 2
+        sym = kernel.symbols().pc_names
+        h1 = dict((n, c) for c, n in pc_profile(trace, sym, pid=pids[0]))
+        total = dict((n, c) for c, n in pc_profile(trace, sym))
+        assert sum(h1.values()) < sum(total.values())
+
+    def test_server_pid_sees_server_functions(self, contention_run):
+        """PPC moves execution into baseServers (pid 1): its profile
+        contains the hash/dentry functions of Figure 6."""
+        kernel, trace, _ = contention_run
+        hist = pc_profile(trace, kernel.symbols().pc_names, pid=1)
+        names = [n for _, n in hist]
+        assert any("Hash" in n or "DirLinuxFS" in n or "Dentry" in n
+                   or "IPCallee" in n for n in names)
+
+    def test_unsymbolized_pcs_render_hex(self, contention_run):
+        _, trace, _ = contention_run
+        hist = pc_profile(trace, pc_names=None)
+        assert all(name.startswith("0x") for _, name in hist)
+
+    def test_format_matches_figure6_layout(self, contention_run):
+        kernel, trace, _ = contention_run
+        hist = pc_profile(trace, kernel.symbols().pc_names, pid=1)
+        text = format_profile(hist, pid=1,
+                              mapped_filename="servers/baseServers/baseServers.dbg")
+        lines = text.splitlines()
+        assert lines[0].startswith("histogram for pid 0x1 mapped filename")
+        assert lines[1].strip().startswith("count")

@@ -1,0 +1,55 @@
+"""Memory-profile tool tests (§2's hot-spot study)."""
+
+import pytest
+
+from repro.tools.memprofile import format_memory_report, memory_profile
+from repro.workloads import run_memstress
+
+
+@pytest.fixture(scope="module")
+def memstress_run():
+    kernel, facility, result = run_memstress(ncpus=2, bursts=8)
+    return kernel, facility.decode(), result
+
+
+def test_thrasher_identified_as_hotspot(memstress_run):
+    kernel, trace, result = memstress_run
+    report = memory_profile(trace, kernel.symbols().process_names)
+    top = report.hottest(1)[0]
+    assert top.pid == result.thrasher_pid
+    assert top.name == "memhog"
+    share = top.l2_misses / max(1, report.total_l2)
+    assert share > 0.6, f"thrasher only got {share:.0%} of misses"
+
+
+def test_sampled_misses_approximate_ground_truth(memstress_run):
+    kernel, trace, result = memstress_run
+    report = memory_profile(trace)
+    assert report.total_l2 <= result.l2_misses_total
+    assert report.total_l2 > 0.8 * result.l2_misses_total
+
+
+def test_timeline_buckets_cover_run(memstress_run):
+    kernel, trace, _ = memstress_run
+    report = memory_profile(trace, buckets=10)
+    assert 1 <= len(report.timeline) <= 10
+    times = [t for t, _ in report.timeline]
+    assert times == sorted(times)
+
+
+def test_report_renders(memstress_run):
+    kernel, trace, _ = memstress_run
+    report = memory_profile(trace, kernel.symbols().process_names)
+    text = format_memory_report(report)
+    assert "memhog" in text
+    assert "L2 misses" in text
+    assert "miss density over time" in text
+
+
+def test_empty_trace_gives_empty_report():
+    from repro.core.stream import Trace
+
+    report = memory_profile(Trace(events_by_cpu={0: []}))
+    assert report.total_l2 == 0
+    assert report.per_process == {}
+    assert "0 L2 misses" in format_memory_report(report)

@@ -1,0 +1,83 @@
+"""Path-frequency statistics and anomaly-report tests."""
+
+from repro.tools.anomaly import verify_trace
+from repro.tools.pathstats import (
+    event_histogram,
+    path_frequencies,
+    relative_frequency,
+)
+
+
+class TestPathstats:
+    def test_histogram_sorted(self, contention_run):
+        _, trace, _ = contention_run
+        hist = event_histogram(trace)
+        counts = [c for c, _ in hist]
+        assert counts == sorted(counts, reverse=True)
+        assert all(not n.startswith("TRC_CTRL") for _, n in hist)
+
+    def test_histogram_includes_control_on_request(self, contention_run):
+        _, trace, _ = contention_run
+        names = [n for _, n in event_histogram(trace, include_control=True)]
+        assert any(n.startswith("TRC_CTRL") for n in names)
+
+    def test_bigram_fast_path_dominates(self, multiprog_run):
+        """PGFLT is almost always immediately followed by PGFLT_DONE."""
+        _, trace, _ = multiprog_run
+        bigrams = dict(
+            (pair, count) for count, pair in path_frequencies(trace)
+        )
+        done = bigrams.get(("TRC_EXCEPTION_PGFLT", "TRC_EXCEPTION_PGFLT_DONE"), 0)
+        assert done > 0
+
+    def test_per_cpu_bigrams_subset(self, contention_run):
+        _, trace, _ = contention_run
+        total = sum(c for c, _ in path_frequencies(trace))
+        cpu0 = sum(c for c, _ in path_frequencies(trace, cpu=0))
+        assert 0 < cpu0 < total
+
+    def test_relative_frequency(self, contention_run):
+        _, trace, _ = contention_run
+        ratio = relative_frequency(
+            trace, "TRC_EXCEPTION_PPC_RETURN", "TRC_EXCEPTION_PPC_CALL"
+        )
+        assert ratio is not None
+        assert 0.95 <= ratio <= 1.05  # calls pair with returns
+
+    def test_relative_frequency_zero_denominator(self, contention_run):
+        _, trace, _ = contention_run
+        assert relative_frequency(trace, "TRC_TEST_EVENT0", "TRC_TEST_EVENT1") is None
+
+
+class TestAnomalyReport:
+    def test_clean_run_reports_ok(self, contention_run):
+        _, trace, _ = contention_run
+        report = verify_trace(trace)
+        assert report.ok
+        assert report.by_kind == {}
+        assert "trace clean" in report.describe()
+
+    def test_corrupted_trace_reported(self):
+        from repro.core.buffers import TraceControl
+        from repro.core.logger import TraceLogger
+        from repro.core.majors import Major
+        from repro.core.mask import TraceMask
+        from repro.core.registry import default_registry
+        from repro.core.stream import TraceReader
+        from repro.core.timestamps import ManualClock
+
+        control = TraceControl(buffer_words=32, num_buffers=4)
+        mask = TraceMask(); mask.enable_all()
+        logger = TraceLogger(control, mask, ManualClock(),
+                             registry=default_registry())
+        logger.start()
+        for i in range(100):
+            logger.log1(Major.TEST, 1, i)
+        records = control.flush()
+        records[0].words[10] = 0  # stomp an event header
+        trace = TraceReader(registry=default_registry()).decode_records(records)
+        report = verify_trace(trace)
+        assert not report.ok
+        assert "garbled" in report.by_kind
+        assert report.by_cpu.get(0, 0) >= 1
+        assert "anomalies" in report.describe()

@@ -1,0 +1,76 @@
+"""Scheduler-statistics tool tests, cross-checked against ground truth."""
+
+import pytest
+
+from repro.tools.schedstats import format_sched_report, sched_statistics
+
+
+@pytest.fixture(scope="module")
+def sched_run(multiprog_run):
+    kernel, trace, result = multiprog_run
+    return kernel, trace, result, sched_statistics(trace)
+
+
+def test_context_switches_match_kernel(sched_run):
+    kernel, trace, result, report = sched_run
+    derived = sum(s.context_switches for s in report.per_cpu.values())
+    truth = sum(c.context_switches for c in kernel.cpus)
+    assert derived == truth
+
+
+def test_migrations_match_kernel(sched_run):
+    kernel, trace, result, report = sched_run
+    derived = sum(s.migrations_in for s in report.per_cpu.values())
+    truth = sum(c.migrations_in for c in kernel.cpus)
+    assert derived == truth
+
+
+def test_utilization_close_to_kernel_accounting(sched_run):
+    kernel, trace, result, report = sched_run
+    for cpu in report.per_cpu:
+        derived = report.utilization(cpu)
+        truth = result.utilization[cpu]
+        assert derived == pytest.approx(truth, abs=0.12), cpu
+
+
+def test_process_time_covers_the_run(sched_run):
+    kernel, trace, result, report = sched_run
+    total_process = sum(report.process_time.values())
+    total_busy = sum(s.busy_cycles for s in report.per_cpu.values())
+    # Every busy cycle belongs to some process.
+    assert total_process == pytest.approx(total_busy, rel=0.01)
+    assert 0 < total_process <= report.span_cycles * len(report.per_cpu)
+
+
+def test_busiest_process_is_plausible(sched_run):
+    kernel, trace, result, report = sched_run
+    top_pid, top_cycles = report.busiest_processes(1)[0]
+    assert top_pid in kernel.processes
+    assert top_cycles > 0
+
+
+def test_report_renders(sched_run):
+    kernel, trace, result, report = sched_run
+    text = format_sched_report(report, kernel.symbols().process_names)
+    assert "CPU time by process" in text
+    assert "util" in text
+
+
+def test_single_busy_cpu():
+    from repro.core.facility import TraceFacility
+    from repro.ksim import Compute, Kernel, KernelConfig
+
+    kernel = Kernel(KernelConfig(ncpus=2, migration=False))
+    fac = TraceFacility(ncpus=2, clock=kernel.clock, buffer_words=1024,
+                        num_buffers=8)
+    fac.enable_all()
+    kernel.facility = fac
+
+    def prog(api):
+        yield Compute(10**6)
+
+    p = kernel.spawn_process(prog, "solo", cpu=0)
+    assert kernel.run_until_quiescent()
+    report = sched_statistics(fac.decode())
+    assert report.utilization(0) > 0.9
+    assert report.process_time.get(p.pid, 0) >= 10**6

@@ -1,0 +1,77 @@
+"""Multi-threaded server workload tests."""
+
+import pytest
+
+from repro.core.majors import Major
+from repro.tools.breakdown import process_breakdown
+from repro.tools.pcprofile import pc_profile
+from repro.workloads.server import run_server
+
+
+@pytest.fixture(scope="module")
+def server_run():
+    kernel, facility, result = run_server(
+        ncpus=4, nworkers=3, nclients=4, requests_per_client=8,
+        pc_sample_period=4_000,
+    )
+    return kernel, facility.decode(), result
+
+
+def test_all_requests_served(server_run):
+    kernel, trace, result = server_run
+    assert result.requests_completed == 4 * 8
+    assert result.mean_latency > 0
+    assert result.max_latency >= result.mean_latency
+
+
+def test_server_process_is_multithreaded(server_run):
+    kernel, trace, result = server_run
+    server = kernel.processes[result.server_pid]
+    assert len(server.threads) == 1 + 3  # main + workers
+    thread_creates = [
+        e for e in trace.filter(name="TRC_PROC_THR_CREATE")
+        if e.data[1] == result.server_pid
+    ]
+    assert len(thread_creates) == 4
+
+
+def test_process_exits_once_after_all_threads(server_run):
+    kernel, trace, result = server_run
+    server = kernel.processes[result.server_pid]
+    assert server.exited
+    returned = [e for e in trace.filter(name="TRC_USER_RETURNED_MAIN")
+                if e.data[0] == result.server_pid]
+    assert len(returned) == 1
+
+
+def test_queue_lock_contention_visible(server_run):
+    kernel, trace, result = server_run
+    lock = next(l for l in kernel.locks
+                if l.name == "Server::requestQueue")
+    assert lock.acquisitions >= 2 * 4 * 8  # push + pop per request
+
+
+def test_worker_functions_in_profile(server_run):
+    kernel, trace, result = server_run
+    hist = pc_profile(trace, kernel.symbols().pc_names)
+    names = [n for _, n in hist]
+    assert any("ServerWorker::handle_request" in n for n in names)
+
+
+def test_clients_all_finish(server_run):
+    kernel, trace, result = server_run
+    clients = [p for p in kernel.processes.values()
+               if p.name.startswith("client")]
+    assert len(clients) == 4
+    assert all(p.exited for p in clients)
+
+
+def test_latency_grows_with_oversubscription():
+    """One worker serving many clients queues requests; more workers
+    cut the latency."""
+    _, _, few = run_server(ncpus=4, nworkers=1, nclients=4,
+                           requests_per_client=5)
+    _, _, many = run_server(ncpus=4, nworkers=4, nclients=4,
+                            requests_per_client=5)
+    assert few.requests_completed == many.requests_completed == 20
+    assert many.mean_latency < few.mean_latency

@@ -1,0 +1,124 @@
+"""Workload-generator tests (SDET, scientific, contention, multiprog)."""
+
+import pytest
+
+from repro.core.majors import Major
+from repro.workloads import (
+    run_contention,
+    run_multiprog,
+    run_scientific,
+    run_sdet,
+)
+from repro.workloads.sdet import COMMANDS, DEFAULT_COMMANDS_PER_SCRIPT
+
+
+class TestSdet:
+    def test_run_completes_and_counts_scripts(self):
+        kernel, fac, res = run_sdet(2, scripts_per_cpu=1, commands_per_script=2)
+        assert res.scripts == 2
+        assert res.elapsed_cycles > 0
+        assert res.throughput > 0
+        assert len(res.utilization) == 2
+
+    def test_all_script_processes_exit(self):
+        kernel, fac, res = run_sdet(2, scripts_per_cpu=1, commands_per_script=2)
+        scripts = [p for p in kernel.processes.values()
+                   if p.name.startswith("sdet_script")]
+        assert scripts and all(p.exited for p in scripts)
+
+    def test_commands_become_child_processes(self):
+        kernel, fac, res = run_sdet(1, scripts_per_cpu=1, commands_per_script=3)
+        children = [p for p in kernel.processes.values()
+                    if "." in p.name and p.pid >= 2]
+        assert len(children) == 3
+
+    def test_deterministic_given_seed(self):
+        _, _, a = run_sdet(2, scripts_per_cpu=1, commands_per_script=2, seed=42)
+        _, _, b = run_sdet(2, scripts_per_cpu=1, commands_per_script=2, seed=42)
+        assert a.elapsed_cycles == b.elapsed_cycles
+        assert a.trace_events == b.trace_events
+
+    def test_seed_changes_run(self):
+        _, _, a = run_sdet(2, scripts_per_cpu=1, commands_per_script=4, seed=1)
+        _, _, b = run_sdet(2, scripts_per_cpu=1, commands_per_script=4, seed=2)
+        assert a.elapsed_cycles != b.elapsed_cycles
+
+    def test_tracing_modes(self):
+        _, fac_on, on = run_sdet(2, scripts_per_cpu=1, tracing="on")
+        _, fac_masked, masked = run_sdet(2, scripts_per_cpu=1, tracing="masked")
+        _, fac_off, off = run_sdet(2, scripts_per_cpu=1, tracing="off")
+        assert on.trace_events > 0
+        assert masked.trace_events < on.trace_events / 10
+        assert off.trace_events == 0
+        assert fac_off is None
+
+    def test_scaling_shape_fine_vs_coarse(self):
+        """The Figure 3 contrast in miniature: at 8 CPUs the K42 config
+        clearly outperforms the coarse-locked one."""
+        _, _, fine = run_sdet(8, scripts_per_cpu=2, commands_per_script=3)
+        _, _, coarse = run_sdet(8, scripts_per_cpu=2, commands_per_script=3,
+                                coarse_locked=True)
+        assert fine.throughput > coarse.throughput * 1.2
+
+    def test_near_linear_speedup_small_counts(self):
+        _, _, one = run_sdet(1, scripts_per_cpu=2, commands_per_script=3)
+        _, _, four = run_sdet(4, scripts_per_cpu=2, commands_per_script=3)
+        assert four.throughput > 2.5 * one.throughput
+
+    def test_command_table_sane(self):
+        assert len(COMMANDS) >= 6
+        assert DEFAULT_COMMANDS_PER_SCRIPT > 0
+        for name, spec in COMMANDS.items():
+            assert len(spec) == 7
+            assert spec[0] > 0  # compute cycles
+
+
+class TestScientific:
+    def test_barrier_phases_complete(self):
+        kernel, fac, res = run_scientific(ncpus=3, phases=3,
+                                          phase_cycles=200_000)
+        assert res.elapsed_cycles > 0
+        trace = fac.decode()
+        begins = trace.filter(name="TRC_APP_PHASE_BEGIN")
+        ends = trace.filter(name="TRC_APP_PHASE_END")
+        assert len(begins) == len(ends) == 3 * 3
+
+    def test_high_utilization_one_thread_per_cpu(self):
+        kernel, fac, res = run_scientific(ncpus=2, phases=3,
+                                          phase_cycles=1_000_000)
+        assert min(res.utilization) > 0.5
+
+    def test_no_tracing_variant(self):
+        kernel, fac, res = run_scientific(ncpus=2, phases=2,
+                                          phase_cycles=100_000, tracing=False)
+        assert fac is None
+
+
+class TestContention:
+    def test_generates_contention(self):
+        kernel, fac, res = run_contention(ncpus=4, workers_per_cpu=2,
+                                          iterations=20)
+        assert res.lock_contentions > 0
+        trace = fac.decode()
+        assert trace.filter(name="TRC_LOCK_CONTEND_START")
+
+    def test_pc_samples_present(self):
+        kernel, fac, res = run_contention(ncpus=2, workers_per_cpu=2,
+                                          iterations=20)
+        trace = fac.decode()
+        assert trace.filter(major=Major.PCSAMPLE)
+
+
+class TestMultiprog:
+    def test_oversubscription_causes_context_switches(self):
+        kernel, fac, res = run_multiprog(ncpus=2, jobs_per_cpu=6)
+        assert res.jobs == 12
+        assert res.context_switches > res.jobs  # real multiprogramming
+        trace = fac.decode()
+        assert trace.filter(name="TRC_PROC_CTX_SWITCH")
+
+    def test_all_jobs_finish(self):
+        kernel, fac, res = run_multiprog(ncpus=2, jobs_per_cpu=4)
+        jobs = [p for p in kernel.processes.values()
+                if p.name.startswith("job")]
+        assert jobs and all(p.exited for p in jobs)
