@@ -7,7 +7,6 @@ visible with ``pytest -s``), while pytest-benchmark times a
 representative kernel of the experiment.
 """
 
-import os
 from pathlib import Path
 
 import pytest

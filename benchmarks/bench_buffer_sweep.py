@@ -12,14 +12,12 @@ design calls out (traceCommit is "optional" in Figure 2).
 import random
 import time
 
-import pytest
 
 from _benchutil import write_result
 from repro.core.buffers import TraceControl
 from repro.core.logger import TraceLogger
 from repro.core.majors import Major
 from repro.core.mask import TraceMask
-from repro.core.registry import default_registry
 from repro.core.timestamps import ManualClock
 
 N_EVENTS = 30_000
@@ -29,7 +27,8 @@ def fill(buffer_words, commit_counts=True):
     control = TraceControl(buffer_words=buffer_words,
                            num_buffers=max(4, 2**15 // buffer_words),
                            max_pending=8)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     clock = ManualClock()
     logger = TraceLogger(control, mask, clock, commit_counts=commit_counts)
     logger.start()

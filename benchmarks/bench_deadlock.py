@@ -12,7 +12,6 @@ delay to one path changes the interleaving so the deadlock no longer
 manifests — while the always-on cheap tracing caught it.
 """
 
-import pytest
 
 from _benchutil import write_result
 from repro.core.facility import TraceFacility

@@ -14,7 +14,6 @@ Reproduction, two layers:
   the per-additional-word increment — the honest equivalent table.
 """
 
-import pytest
 
 from _benchutil import write_result
 from repro.core.buffers import TraceControl

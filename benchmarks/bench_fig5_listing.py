@@ -18,7 +18,7 @@ import pytest
 from _benchutil import write_result
 from repro.core.stream import TraceReader
 from repro.tools.listing import format_listing
-from repro.workloads import run_multiprog, run_sdet
+from repro.workloads import run_sdet
 
 FIGURE5_NAMES = [
     "TRC_USER_RUN_UL_LOADER",

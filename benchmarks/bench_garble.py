@@ -14,12 +14,9 @@ detection rate and residual stream usability.
 
 import random
 
-import pytest
 
 from _benchutil import write_result
 from repro.core.buffers import TraceControl
-from repro.core.constants import TIMESTAMP_MASK
-from repro.core.header import pack_header
 from repro.core.logger import TraceLogger
 from repro.core.majors import Major
 from repro.core.mask import TraceMask
@@ -34,7 +31,8 @@ def injected_run(kill_rate: float, n_events: int = 4_000, seed: int = 3):
     reserving (never write, never commit).  Returns the decoded trace
     and the number of injected kills."""
     control = TraceControl(buffer_words=128, num_buffers=8, zero_ahead=True)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     clock = ManualClock()
     logger = TraceLogger(control, mask, clock, registry=default_registry())
     logger.start()

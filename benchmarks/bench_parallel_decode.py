@@ -1,0 +1,134 @@
+"""Decode throughput: sequential vs. batched vs. N-worker parallel.
+
+The paper's boundary rule (§3.2 — no event ever crosses a buffer
+boundary) is what makes trace *analysis* scale: every buffer is
+independently parsable, so decoding can be vectorized per buffer and
+sharded across worker processes.  This benchmark measures the decode
+pipeline three ways on one deterministic multi-CPU trace:
+
+* **sequential** — the word-at-a-time reference reader
+  (``TraceReader(batch=False)``, the seed implementation);
+* **batched** — the vectorized numpy scan (``batch=True``, default);
+* **parallel** — ``decode_records_parallel`` with 2 and 4 workers.
+
+Every path must produce the identical trace (asserted event-for-event),
+and 4 workers must be at least 2x the sequential throughput.  Timing
+runs with the GC paused (applied equally to every path) so collector
+pauses over the growing event graph don't swamp the comparison.
+
+The trace size is tunable via ``BENCH_PARALLEL_EVENTS`` (default
+200_000 events) to let CI use a quick deterministic subset.
+"""
+
+import gc
+import os
+import time
+
+import pytest
+
+from _benchutil import write_result
+from repro.core import ManualClock, TraceFacility, TraceReader, default_registry
+from repro.core.parallel import decode_records_parallel
+
+N_EVENTS = int(os.environ.get("BENCH_PARALLEL_EVENTS", "200000"))
+NCPUS = 4
+
+
+def build_trace(n_events=N_EVENTS, ncpus=NCPUS):
+    """A deterministic multi-CPU trace: ManualClock, fixed event mix."""
+    clock = ManualClock(start=1000)
+    fac = TraceFacility(ncpus=ncpus, buffer_words=4096, num_buffers=8,
+                        clock=clock)
+    fac.enable_all()
+    records = []
+    for i in range(n_events):
+        fac.log(i % ncpus, 2 + (i % 6), i % 16, [i, i * 7, i * 13][: i % 4])
+        clock.advance(37)
+        if i % 20_000 == 19_999:
+            records.extend(fac.drain())
+    records.extend(fac.flush())
+    return records
+
+
+@pytest.fixture(scope="module")
+def records():
+    return build_trace()
+
+
+def _timeit(fn, repeats=3):
+    """Best-of-N wall time with the GC paused during the timed region."""
+    best = float("inf")
+    result = None
+    for _ in range(repeats):
+        gc.disable()
+        try:
+            t0 = time.perf_counter()
+            result = fn()
+            best = min(best, time.perf_counter() - t0)
+        finally:
+            gc.enable()
+    gc.collect()
+    return best, result
+
+
+def _as_comparable(trace):
+    """A trace as plain tuples, for bit-exact equality assertions."""
+    events = {
+        cpu: [
+            (e.cpu, e.seq, e.offset, e.ts32, e.major, e.minor,
+             tuple(e.data), e.time, e.spec.name if e.spec else None)
+            for e in evs
+        ]
+        for cpu, evs in trace.events_by_cpu.items()
+    }
+    anomalies = [(a.cpu, a.seq, a.offset, a.kind, a.detail)
+                 for a in trace.anomalies]
+    return events, anomalies
+
+
+def test_parallel_decode_throughput(benchmark, records):
+    """Sequential vs. batched vs. 2/4-worker decode of the same trace."""
+    reg = default_registry()
+    rows = []
+    t_seq, trace_seq = _timeit(
+        lambda: TraceReader(registry=reg, batch=False).decode_records(records)
+    )
+    nev = sum(len(v) for v in trace_seq.events_by_cpu.values())
+    baseline = _as_comparable(trace_seq)
+
+    candidates = [
+        ("batched", lambda: TraceReader(registry=reg).decode_records(records)),
+        ("2 workers", lambda: decode_records_parallel(
+            records, registry=reg, workers=2)),
+        ("4 workers", lambda: decode_records_parallel(
+            records, registry=reg, workers=4)),
+    ]
+    rows.append(("sequential (seed)", t_seq, 1.0))
+    speedups = {}
+    for label, fn in candidates:
+        t, trace = _timeit(fn)
+        assert _as_comparable(trace) == baseline, (
+            f"{label} decode differs from sequential"
+        )
+        speedups[label] = t_seq / t
+        rows.append((label, t, t_seq / t))
+
+    lines = [
+        f"decode throughput, {nev} events on {len(records)} buffers "
+        f"({NCPUS} trace CPUs, host cores: {os.cpu_count()})",
+        f"{'path':<18} {'seconds':>8} {'Mev/s':>7} {'speedup':>8}",
+    ]
+    for label, t, s in rows:
+        lines.append(f"{label:<18} {t:>8.3f} {nev / t / 1e6:>7.2f} {s:>7.2f}x")
+    lines.append("all paths verified event-for-event identical")
+    write_result("parallel_decode", "\n".join(lines))
+
+    assert speedups["4 workers"] >= 2.0, (
+        f"4-worker decode only {speedups['4 workers']:.2f}x over sequential"
+    )
+
+    # pytest-benchmark kernel: the batched scan of one buffer.
+    from repro.core.stream import scan_buffer
+
+    rec = max(records, key=lambda r: r.fill_words)
+    benchmark(lambda: scan_buffer(rec.words, rec.fill_words))

@@ -16,7 +16,6 @@ overhead compared; plus the dynamic tool's unique capability (attaching
 to a live, running system) demonstrated.
 """
 
-import pytest
 
 from _benchutil import write_result
 from repro.core.facility import TraceFacility

@@ -25,7 +25,6 @@ from repro.core.mask import TraceMask
 from repro.core.registry import default_registry
 from repro.core.stream import TraceReader, decode_from_offset, flat_records
 from repro.core.timestamps import ManualClock
-from repro.core.writer import TraceFileReader, save_records
 
 BW = 256
 
@@ -33,7 +32,8 @@ BW = 256
 @pytest.fixture(scope="module")
 def big_trace():
     control = TraceControl(buffer_words=BW, num_buffers=64)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     clock = ManualClock()
     logger = TraceLogger(control, mask, clock, registry=default_registry())
     logger.start()

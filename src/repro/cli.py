@@ -27,16 +27,34 @@ import argparse
 import sys
 from typing import List, Optional
 
+from repro.core.parallel import ParallelTraceReader
 from repro.core.registry import default_registry
 from repro.core.stream import Trace, TraceReader
 from repro.core.writer import load_records
 
 
-def _load_trace(path: str, include_fillers: bool = False) -> Trace:
-    records = load_records(path)
-    reader = TraceReader(registry=default_registry(),
-                         include_fillers=include_fillers)
+def _decode(records, include_fillers: bool = False, workers: int = 1) -> Trace:
+    """Decode records sequentially or on a worker pool (``--workers``).
+
+    ``workers=1`` is the plain in-process reader; ``workers=0`` means
+    "one per CPU"; anything else fans the boundary-sharded scan out over
+    that many processes.  Output is identical either way.
+    """
+    if workers != 1:
+        reader = ParallelTraceReader(
+            registry=default_registry(),
+            include_fillers=include_fillers,
+            workers=None if workers == 0 else workers,
+        )
+    else:
+        reader = TraceReader(registry=default_registry(),
+                             include_fillers=include_fillers)
     return reader.decode_records(records)
+
+
+def _load_trace(path: str, include_fillers: bool = False,
+                workers: int = 1) -> Trace:
+    return _decode(load_records(path), include_fillers, workers)
 
 
 def _load_symbols(path: Optional[str]):
@@ -51,7 +69,7 @@ def cmd_info(args) -> int:
     from collections import Counter
 
     records = load_records(args.trace)
-    trace = TraceReader(registry=default_registry()).decode_records(records)
+    trace = _decode(records, workers=args.workers)
     events = trace.all_events()
     cpus = sorted(trace.events_by_cpu)
     times = [e.time for e in events if e.time is not None]
@@ -72,7 +90,7 @@ def cmd_info(args) -> int:
 def cmd_verify(args) -> int:
     from repro.tools.anomaly import verify_trace
 
-    report = verify_trace(_load_trace(args.trace))
+    report = verify_trace(_load_trace(args.trace, workers=args.workers))
     print(report.describe())
     return 0 if report.ok else 1
 
@@ -81,7 +99,7 @@ def cmd_list(args) -> int:
     from repro.tools.listing import format_listing
 
     text = format_listing(
-        _load_trace(args.trace),
+        _load_trace(args.trace, workers=args.workers),
         names=args.name or None,
         cpu=args.cpu,
         start=args.start,
@@ -100,10 +118,10 @@ def cmd_kmon(args) -> int:
         from repro.tools.kmon_session import KmonSession
 
         sym = _load_symbols(args.symbols)
-        session = KmonSession(_load_trace(args.trace), sym.process_names)
+        session = KmonSession(_load_trace(args.trace, workers=args.workers), sym.process_names)
         session.run(sys.stdin, sys.stdout)
         return 0
-    tl = Timeline(_load_trace(args.trace))
+    tl = Timeline(_load_trace(args.trace, workers=args.workers))
     if args.mark:
         tl.mark(*args.mark)
     if args.zoom:
@@ -120,7 +138,7 @@ def cmd_locks(args) -> int:
     from repro.tools.lockstats import format_lockstats, lock_statistics
 
     sym = _load_symbols(args.symbols)
-    stats = lock_statistics(_load_trace(args.trace), sort_by=args.sort)
+    stats = lock_statistics(_load_trace(args.trace, workers=args.workers), sort_by=args.sort)
     print(format_lockstats(stats, sym.lock_names, sym.chains,
                            top=args.top, sort_label=args.sort))
     return 0
@@ -130,7 +148,7 @@ def cmd_profile(args) -> int:
     from repro.tools.pcprofile import format_profile, pc_profile
 
     sym = _load_symbols(args.symbols)
-    hist = pc_profile(_load_trace(args.trace), sym.pc_names, pid=args.pid)
+    hist = pc_profile(_load_trace(args.trace, workers=args.workers), sym.pc_names, pid=args.pid)
     print(format_profile(hist, pid=args.pid, top=args.top))
     return 0
 
@@ -141,7 +159,7 @@ def cmd_breakdown(args) -> int:
 
     sym = _load_symbols(args.symbols)
     bds = process_breakdown(
-        _load_trace(args.trace), sym.syscall_names, sym.process_names,
+        _load_trace(args.trace, workers=args.workers), sym.syscall_names, sym.process_names,
         FS_FUNCTION_NAMES,
     )
     pids = [args.pid] if args.pid is not None else sorted(bds)
@@ -157,7 +175,7 @@ def cmd_breakdown(args) -> int:
 def cmd_histogram(args) -> int:
     from repro.tools.pathstats import event_histogram
 
-    for count, name in event_histogram(_load_trace(args.trace))[: args.top]:
+    for count, name in event_histogram(_load_trace(args.trace, workers=args.workers))[: args.top]:
         print(f"{count:>8} {name}")
     return 0
 
@@ -166,7 +184,7 @@ def cmd_memprofile(args) -> int:
     from repro.tools.memprofile import format_memory_report, memory_profile
 
     sym = _load_symbols(args.symbols)
-    report = memory_profile(_load_trace(args.trace), sym.process_names)
+    report = memory_profile(_load_trace(args.trace, workers=args.workers), sym.process_names)
     print(format_memory_report(report, top=args.top))
     return 0
 
@@ -175,7 +193,7 @@ def cmd_holds(args) -> int:
     from repro.tools.holdtimes import format_hold_report, hold_times
 
     sym = _load_symbols(args.symbols)
-    report = hold_times(_load_trace(args.trace))
+    report = hold_times(_load_trace(args.trace, workers=args.workers))
     print(format_hold_report(report, sym.lock_names, top=args.top))
     return 0
 
@@ -184,7 +202,7 @@ def cmd_sched(args) -> int:
     from repro.tools.schedstats import format_sched_report, sched_statistics
 
     sym = _load_symbols(args.symbols)
-    report = sched_statistics(_load_trace(args.trace))
+    report = sched_statistics(_load_trace(args.trace, workers=args.workers))
     print(format_sched_report(report, sym.process_names, top=args.top))
     return 0
 
@@ -194,7 +212,7 @@ def cmd_compare(args) -> int:
 
     sym = _load_symbols(args.symbols)
     comparison = compare_traces(
-        _load_trace(args.before), _load_trace(args.after), sym.pc_names
+        _load_trace(args.before, workers=args.workers), _load_trace(args.after, workers=args.workers), sym.pc_names
     )
     print(format_comparison(comparison, sym.lock_names, top=args.top))
     return 0
@@ -203,7 +221,7 @@ def cmd_compare(args) -> int:
 def cmd_iostats(args) -> int:
     from repro.tools.iostats import format_io_report, io_statistics
 
-    print(format_io_report(io_statistics(_load_trace(args.trace)),
+    print(format_io_report(io_statistics(_load_trace(args.trace, workers=args.workers)),
                            top=args.top))
     return 0
 
@@ -218,8 +236,7 @@ def cmd_crashdump(args) -> int:
         for issue in dump.issues:
             print(f"dump issue (cpu section {issue.cpu}): {issue.detail}",
                   file=sys.stderr)
-    reader = TraceReader(registry=default_registry())
-    trace = reader.decode_records(dump.records)
+    trace = _decode(dump.records, workers=args.workers)
     events = [e for e in trace.all_events() if not e.is_control]
     print(f"flight recorder: {len(events)} events recovered from "
           f"{len(dump.records)} buffers on {dump.ncpus} cpus")
@@ -231,7 +248,7 @@ def cmd_crashdump(args) -> int:
 def cmd_export_ltt(args) -> int:
     from repro.ltt.export import export_ltt
 
-    trace = _load_trace(args.trace)
+    trace = _load_trace(args.trace, workers=args.workers)
     with open(args.output, "wb") as fh:
         written = export_ltt(trace, cpu=args.cpu, fh=fh)
     print(f"{written} events exported to {args.output} (cpu {args.cpu})")
@@ -248,6 +265,11 @@ def build_parser() -> argparse.ArgumentParser:
     def add(name, fn, **kw):
         sp = sub.add_parser(name, **kw)
         sp.set_defaults(fn=fn)
+        sp.add_argument(
+            "--workers", type=int, default=1, metavar="N",
+            help="decode on N worker processes (0 = one per CPU core); "
+                 "output is identical to sequential decode",
+        )
         return sp
 
     sp = add("info", cmd_info, help="trace file summary")

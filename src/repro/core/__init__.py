@@ -30,6 +30,11 @@ from repro.core.majors import (
 )
 from repro.core.mask import TraceMask
 from repro.core.packing import pack_values, parse_layout, unpack_values
+from repro.core.parallel import (
+    ParallelTraceReader,
+    decode_records_parallel,
+    shard_records,
+)
 from repro.core.registry import EventRegistry, EventSpec, default_registry
 from repro.core.stream import (
     Anomaly,
@@ -69,6 +74,7 @@ __all__ = [
     "pack_values", "unpack_values", "parse_layout",
     "EventRegistry", "EventSpec", "default_registry",
     "Anomaly", "Trace", "TraceEvent", "TraceReader",
+    "ParallelTraceReader", "decode_records_parallel", "shard_records",
     "decode_from_offset", "flat_records", "sdelta32", "seek_boundary",
     "ClockSource", "WallClock", "ExpensiveWallClock", "ManualClock",
     "DriftingTscClock",

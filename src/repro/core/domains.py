@@ -17,12 +17,12 @@ clock, so the merge is exact).  The mask and registry are shared, so
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional
+from typing import Dict, Optional
 
 from repro.core.facility import TraceFacility
 from repro.core.mask import TraceMask
 from repro.core.registry import EventRegistry, default_registry
-from repro.core.stream import Trace, TraceReader
+from repro.core.stream import Trace
 from repro.core.timestamps import ClockSource, WallClock
 
 

@@ -1,0 +1,290 @@
+"""Parallel boundary-sharded trace decoding.
+
+The paper forbids events from crossing buffer (alignment) boundaries
+precisely so that a reader can seek to *any* boundary and start parsing
+(§3.2).  That guarantee makes decoding embarrassingly parallel: every
+buffer is independently scannable, so a trace can be cut at boundaries
+into shards and fanned out over a pool of worker processes.
+
+Pipeline
+--------
+
+1. **Shard** (:func:`shard_records`): records are grouped per CPU,
+   ordered by sequence number, and split into contiguous runs.  Cuts
+   land only on buffer boundaries — the only places the format promises
+   a parseable state.
+2. **Scan** (worker processes): each worker receives raw word arrays
+   (``bytes`` of the little-endian words — never pickled event
+   objects), runs the vectorized :func:`~repro.core.stream.scan_buffer`
+   walk, and reconstructs full timestamps with
+   :func:`~repro.core.stream.unwrap_times`.  The result shipped back
+   per buffer is tiny: the accepted event offsets, the full times, and
+   the garble verdict — every other event attribute is a pure function
+   of the words, which the parent already holds.
+3. **Stitch + materialize** (parent): per-CPU shard results are
+   stitched back in sequence order through the same
+   :meth:`~repro.core.stream.TraceReader.assemble_scan` pipeline the
+   sequential batched reader uses.  A shard whose head buffers lack a
+   timestamp anchor could not be timestamped by its worker (the anchor
+   state lives in the *previous* shard); ``assemble_scan`` replays
+   exactly the sequential fallback for those buffers with the carried
+   state, so the output — events, times, anomalies, ordering — is
+   bit-identical to sequential decode.  Garble detection and
+   committed-count checks behave identically per shard because they
+   are per-buffer properties.
+
+The merged :class:`~repro.core.stream.Trace` then merges per-CPU
+streams into one time-ordered stream lazily via ``Trace.all_events``
+(a ``heapq``-based k-way merge), same as the sequential path.
+
+Worker processes are a real cost on small traces; ``workers<=1`` (or a
+trace with fewer buffers than workers) falls back to the in-process
+batched reader.  If a process pool cannot be created at all (restricted
+environments), decoding degrades gracefully to in-process shard scans.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+from concurrent.futures import ProcessPoolExecutor
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.buffers import BufferRecord
+from repro.core.registry import EventRegistry
+from repro.core.stream import (
+    BufferScan,
+    Trace,
+    TraceReader,
+    buffer_columns,
+    find_anchor,
+    scan_buffer,
+    unwrap_times,
+)
+
+#: One buffer handed to a worker: (seq, payload, fill_words).  The
+#: payload is the raw little-endian words as ``bytes`` — or, with the
+#: ``fork`` start method, an int index into :data:`_FORK_RECORDS`, which
+#: the worker inherits copy-on-write instead of over a pipe.
+_ShardEntry = Tuple[int, Union[bytes, int], int]
+#: One worker task: (cpu, entries).
+_ShardTask = Tuple[int, List[_ShardEntry]]
+#: One scanned buffer coming back:
+#: (seq, offsets, times-or-None, anchored, garble-or-None).
+_ScanResult = Tuple[
+    int, List[int], Optional[List[int]], bool, Optional[Tuple[int, str]],
+]
+
+#: Records staged for fork-inherited workers.  Set by the parent
+#: immediately before the pool forks; workers never mutate it.
+_FORK_RECORDS: List[BufferRecord] = []
+
+
+def shard_records(
+    records: Sequence[BufferRecord], nshards: int
+) -> List[Tuple[int, List[BufferRecord]]]:
+    """Cut records into at most ``nshards`` contiguous per-CPU runs.
+
+    Buffers are fixed-size, so splitting by buffer count splits by words;
+    each CPU gets a share of the shard budget proportional to its record
+    count (at least one).  Shards are returned in (cpu, sequence) order,
+    which is the order the sequential reader visits buffers — the parent
+    stitches shard results back together in this same order.
+    """
+    by_cpu: Dict[int, List[BufferRecord]] = {}
+    for rec in records:
+        by_cpu.setdefault(rec.cpu, []).append(rec)
+    for recs in by_cpu.values():
+        recs.sort(key=lambda r: r.seq)
+    total = sum(len(v) for v in by_cpu.values())
+    shards: List[Tuple[int, List[BufferRecord]]] = []
+    for cpu in sorted(by_cpu):
+        recs = by_cpu[cpu]
+        k = max(1, round(nshards * len(recs) / total)) if total else 1
+        k = min(k, len(recs))
+        base, extra = divmod(len(recs), k)
+        i = 0
+        for j in range(k):
+            n = base + (1 if j < extra else 0)
+            shards.append((cpu, recs[i : i + n]))
+            i += n
+    return shards
+
+
+def _scan_shard(task: _ShardTask) -> Tuple[int, List[_ScanResult]]:
+    """Worker: scan one shard of raw buffers into offsets + times.
+
+    Timestamp state (the previous buffer's last full time) is carried
+    *within* the shard only; a head buffer with no anchor is returned
+    with ``times=None`` for the parent to stitch against the previous
+    shard's tail — the §3.1 unwrapping fallback cannot cross a process
+    boundary, but it can be replayed after the fact.
+    """
+    cpu, entries = task
+    out: List[_ScanResult] = []
+    last_full: Optional[int] = None
+    last_ts32: Optional[int] = None
+    for seq, raw, fill_words in entries:
+        if isinstance(raw, int):
+            words = _FORK_RECORDS[raw].words
+        else:
+            words = np.frombuffer(raw, dtype="<u8")
+        scan = scan_buffer(words, fill_words)
+        anchor_i, anchor_time = find_anchor(scan)
+        ts32 = scan.event_ts32()
+        times = unwrap_times(ts32, anchor_i, anchor_time, last_full, last_ts32)
+        if times:
+            last_full, last_ts32 = times[-1], ts32[-1]
+        out.append((seq, scan.offsets, times, anchor_i is not None, scan.garble))
+    return cpu, out
+
+
+def _fork_available() -> bool:
+    """Whether the ``fork`` start method (and its COW inheritance) works."""
+    try:
+        import multiprocessing
+
+        return "fork" in multiprocessing.get_all_start_methods()
+    except ImportError:  # pragma: no cover
+        return False
+
+
+def _run_tasks(
+    tasks: List[_ShardTask], workers: int
+) -> List[Tuple[int, List[_ScanResult]]]:
+    """Scan shards on a process pool, in-process if no pool is possible."""
+    try:
+        import multiprocessing
+
+        ctx = None
+        if "fork" in multiprocessing.get_all_start_methods():
+            ctx = multiprocessing.get_context("fork")
+        with ProcessPoolExecutor(
+            max_workers=min(workers, len(tasks)), mp_context=ctx
+        ) as pool:
+            return list(pool.map(_scan_shard, tasks))
+    except (OSError, PermissionError, ImportError) as exc:  # pragma: no cover
+        warnings.warn(
+            f"process pool unavailable ({exc}); scanning shards in-process",
+            RuntimeWarning,
+            stacklevel=3,
+        )
+        return [_scan_shard(t) for t in tasks]
+
+
+def decode_records_parallel(
+    records: Iterable[BufferRecord],
+    registry: Optional[EventRegistry] = None,
+    include_fillers: bool = False,
+    check_committed: bool = True,
+    workers: Optional[int] = None,
+    shards_per_worker: int = 2,
+) -> Trace:
+    """Decode buffer records on ``workers`` processes; bit-identical to
+    ``TraceReader(...).decode_records(records)``.
+
+    ``workers=None`` uses ``os.cpu_count()``; ``workers<=1`` (or a trace
+    too small to be worth sharding) decodes in-process on the batched
+    fast path.  ``shards_per_worker`` oversubscribes the pool slightly
+    so an unlucky shard full of dense buffers cannot straggle the run.
+    """
+    records = list(records)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    reader = TraceReader(
+        registry=registry,
+        include_fillers=include_fillers,
+        check_committed=check_committed,
+    )
+    if workers <= 1 or len(records) <= workers:
+        return reader.decode_records(records)
+
+    shards = shard_records(records, workers * shards_per_worker)
+    use_fork = _fork_available()
+    if use_fork:
+        # Children of fork() see the parent's records copy-on-write;
+        # ship an index instead of pushing megabytes through a pipe.
+        _FORK_RECORDS.clear()
+        _FORK_RECORDS.extend(records)
+        index = {id(rec): i for i, rec in enumerate(records)}
+
+        def payload(rec: BufferRecord) -> Union[bytes, int]:
+            return index[id(rec)]
+    else:
+        def payload(rec: BufferRecord) -> Union[bytes, int]:
+            return np.ascontiguousarray(rec.words, dtype="<u8").tobytes()
+
+    tasks: List[_ShardTask] = [
+        (cpu, [(rec.seq, payload(rec), rec.fill_words) for rec in recs])
+        for cpu, recs in shards
+    ]
+    try:
+        results = _run_tasks(tasks, workers)
+    finally:
+        if use_fork:
+            _FORK_RECORDS.clear()
+
+    # Stitch: walk shards per CPU in sequence order, exactly the order
+    # (and with exactly the state) the sequential reader would have —
+    # shard_records yields shards in (cpu, seq) order, so events and
+    # anomalies are appended in the sequential reader's visit order.
+    trace = Trace()
+    state: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+    for (cpu, recs), (res_cpu, scans) in zip(shards, results):
+        assert cpu == res_cpu
+        events_out = trace.events_by_cpu.setdefault(cpu, [])
+        last_full, last_ts32 = state.get(cpu, (None, None))
+        for rec, (seq, offsets, times, anchored, garble) in zip(recs, scans):
+            assert rec.seq == seq
+            scan = BufferScan(
+                buffer_columns(rec.words, rec.fill_words), offsets, garble
+            )
+            events, last_full, last_ts32 = reader.assemble_scan(
+                rec, scan, trace.anomalies, last_full, last_ts32,
+                times=times, anchored=anchored,
+            )
+            events_out.extend(events)
+        state[cpu] = (last_full, last_ts32)
+    return trace
+
+
+class ParallelTraceReader:
+    """Drop-in parallel counterpart of :class:`~repro.core.stream.TraceReader`.
+
+    Same constructor surface plus ``workers``; ``decode_records`` output
+    is guaranteed event-for-event identical to the sequential reader,
+    including anomaly reports for garbled buffers and committed-count
+    mismatches.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[EventRegistry] = None,
+        include_fillers: bool = False,
+        check_committed: bool = True,
+        workers: Optional[int] = None,
+        shards_per_worker: int = 2,
+    ) -> None:
+        self.registry = registry
+        self.include_fillers = include_fillers
+        self.check_committed = check_committed
+        self.workers = workers
+        self.shards_per_worker = shards_per_worker
+
+    def decode_records(self, records: Iterable[BufferRecord]) -> Trace:
+        return decode_records_parallel(
+            records,
+            registry=self.registry,
+            include_fillers=self.include_fillers,
+            check_committed=self.check_committed,
+            workers=self.workers,
+            shards_per_worker=self.shards_per_worker,
+        )
+
+    def decode_file(self, path) -> Trace:
+        """Load a ``.k42`` trace file and decode it in parallel."""
+        from repro.core.writer import load_records
+
+        return self.decode_records(load_records(path))

@@ -15,6 +15,20 @@ This module implements:
 * merging per-CPU streams into one time-ordered stream;
 * flat-array random access (seek to an arbitrary word offset, snap to
   the preceding boundary, decode from there).
+
+Two decode implementations share this logic:
+
+* the **scalar** path walks word by word with Python integers — the
+  reference implementation, kept as ground truth;
+* the **batched** path (:func:`scan_buffer`) unpacks every header field
+  of a buffer in one set of numpy operations and walks precomputed
+  columns, with timestamp unwrapping vectorized as a cumulative sum of
+  exact 32-bit deltas.  It is bit-identical to the scalar path (the
+  test suite fuzzes both against each other) and is the default.
+
+:mod:`repro.core.parallel` builds on :func:`scan_buffer` to fan the
+scan out over worker processes — the §3.2 boundary guarantee is what
+makes each buffer independently parsable.
 """
 
 from __future__ import annotations
@@ -26,7 +40,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 import numpy as np
 
 from repro.core.buffers import BufferRecord
-from repro.core.constants import EXTENDED_FILLER_LENGTH
+from repro.core.constants import (
+    EXTENDED_FILLER_LENGTH,
+    LENGTH_MASK,
+    LENGTH_SHIFT,
+    MAJOR_MASK,
+    MAJOR_SHIFT,
+    MINOR_MASK,
+    TIMESTAMP_SHIFT,
+)
 from repro.core.header import unpack_header
 from repro.core.majors import ControlMinor, Major
 from repro.core.registry import EventRegistry, EventSpec
@@ -42,6 +64,197 @@ def sdelta32(a: int, b: int) -> int:
 
 
 @dataclass
+class BufferColumns:
+    """Per-word header fields of one buffer, unpacked in one batch.
+
+    Four vectorized shift/mask operations plus ``tolist`` replace the
+    per-word Python arithmetic of the scalar walk.  Every list has
+    ``limit`` entries (the words actually reserved); entries at non-header
+    offsets are meaningless and simply never consulted.
+    """
+
+    words: List[int]    # the raw words as Python ints
+    ts32: List[int]     # bits 63..32 — the truncated timestamp
+    length: List[int]   # bits 31..22 — total event length in words
+    major: List[int]    # bits 21..16
+    minor: List[int]    # bits 15..0
+    limit: int
+
+
+def buffer_columns(words: Union[np.ndarray, Sequence[int]],
+                   fill_words: int) -> BufferColumns:
+    """Unpack all header fields of a buffer with vectorized numpy ops."""
+    arr = np.asarray(words, dtype=np.uint64)
+    limit = min(fill_words, len(arr))
+    arr = arr[:limit]
+    return BufferColumns(
+        words=arr.tolist(),
+        ts32=(arr >> np.uint64(TIMESTAMP_SHIFT)).tolist(),
+        length=((arr >> np.uint64(LENGTH_SHIFT)) & np.uint64(LENGTH_MASK)).tolist(),
+        major=((arr >> np.uint64(MAJOR_SHIFT)) & np.uint64(MAJOR_MASK)).tolist(),
+        minor=(arr & np.uint64(MINOR_MASK)).tolist(),
+        limit=limit,
+    )
+
+
+@dataclass
+class BufferScan:
+    """One buffer's parse decisions: accepted event offsets plus garble.
+
+    This is the unit of work decode workers ship back to the parent
+    (:mod:`repro.core.parallel`): the offsets and the garble verdict are
+    the *only* outputs of the walk — every other event attribute is a
+    pure function of the words, which the parent already holds.  A scan
+    is therefore one flat int list, orders of magnitude cheaper to move
+    between processes than a list of event objects.
+    """
+
+    cols: BufferColumns
+    offsets: List[int]      # word offset of each accepted event header
+    garble: Optional[Tuple[int, str]] = None   # (offset, detail) if parsing stopped
+
+    def __len__(self) -> int:
+        return len(self.offsets)
+
+    def event_ts32(self) -> List[int]:
+        """The accepted events' 32-bit timestamps, in stream order."""
+        ts = self.cols.ts32
+        return [ts[o] for o in self.offsets]
+
+
+def scan_buffer(words: Union[np.ndarray, Sequence[int]],
+                fill_words: int,
+                cols: Optional[BufferColumns] = None) -> BufferScan:
+    """Batched buffer walk: unpack all header fields at once, then parse.
+
+    Semantically identical to the scalar walk in
+    :meth:`TraceReader.decode_buffer` — same validity checks, same
+    garble details, same recovery (stop at the first bad header; the
+    next alignment boundary is the next buffer).
+    """
+    if cols is None:
+        cols = buffer_columns(words, fill_words)
+    limit = cols.limit
+    wl = cols.words
+    ts_l = cols.ts32
+    len_l = cols.length
+    maj_l = cols.major
+    min_l = cols.minor
+
+    offsets: List[int] = []
+    append = offsets.append
+    garble: Optional[Tuple[int, str]] = None
+    mask32 = _U32 - 1
+
+    off = 0
+    prev_ts32: Optional[int] = None
+    while off < limit:
+        length = len_l[off]
+        end = off + length
+        if length == 0 or end > limit:
+            # Rare path: an extended filler (length field is 0) or garble.
+            if (
+                length == EXTENDED_FILLER_LENGTH
+                and maj_l[off] == Major.CONTROL
+                and min_l[off] == ControlMinor.FILLER_EXT
+            ):
+                if off + 1 >= limit:
+                    garble = (off, "truncated extended filler")
+                    break
+                span = wl[off + 1]
+                if span < 2 or off + span > limit:
+                    garble = (off, f"bad extended filler span {span}")
+                    break
+                end = off + span
+            else:
+                garble = (
+                    off,
+                    f"invalid header {wl[off]:#018x} (length {length})",
+                )
+                break
+        ts = ts_l[off]
+        if prev_ts32 is not None and ((ts - prev_ts32) & mask32) >= _HALF32:
+            # A large backwards jump cannot come from a healthy stream:
+            # per-CPU timestamps are monotonic by construction (§3.1).
+            garble = (off, f"timestamp regression {prev_ts32}->{ts}")
+            break
+        append(off)
+        prev_ts32 = ts
+        off = end
+    return BufferScan(cols, offsets, garble)
+
+
+def find_anchor(scan: BufferScan) -> Tuple[Optional[int], Optional[int]]:
+    """Locate the buffer's timestamp anchor: ``(event index, full value)``.
+
+    An anchor must carry its full-width value as data (length >= 2) — a
+    truncated anchor is useless, exactly the ``e.data`` guard of the
+    scalar path.  Returns ``(None, None)`` when the buffer has no usable
+    anchor.
+    """
+    cols = scan.cols
+    for i, off in enumerate(scan.offsets):
+        if (
+            cols.major[off] == Major.CONTROL
+            and cols.minor[off] == ControlMinor.TIMESTAMP_ANCHOR
+            and cols.length[off] >= 2
+        ):
+            return i, cols.words[off + 1]
+    return None, None
+
+
+def unwrap_times(
+    ts32: Sequence[int],
+    anchor_i: Optional[int],
+    anchor_time: Optional[int],
+    last_full: Optional[int],
+    last_ts32: Optional[int],
+) -> Optional[List[int]]:
+    """Vectorized full-timestamp reconstruction for one buffer.
+
+    Full times are sums of the per-event signed 32-bit deltas around a
+    base — the anchor's full value, or the previous buffer's last event.
+    Integer addition is associative, so a cumulative sum of the deltas
+    (exact in int64: each delta is in [-2^31, 2^31) and a buffer holds
+    far fewer than 2^31 events) anchored at the base reproduces the
+    scalar event-by-event accumulation bit for bit.  The base itself
+    stays a Python int, so arbitrarily large anchor values cannot
+    overflow.
+
+    Returns the full times, or ``None`` when there is no basis (no
+    anchor and no prior state) — the caller keeps times unset, exactly
+    like the scalar path.
+    """
+    n = len(ts32)
+    if n == 0:
+        return None
+    if anchor_i is None and (last_full is None or last_ts32 is None):
+        return None
+    if n == 1:
+        base = (
+            anchor_time
+            if anchor_i is not None
+            else last_full + sdelta32(ts32[0], last_ts32)
+        )
+        return [base]
+    a = np.asarray(ts32, dtype=np.int64)
+    d = (a[1:] - a[:-1]) & np.int64(_U32 - 1)
+    d = np.where(d >= np.int64(_HALF32), d - np.int64(_U32), d)
+    cum = np.empty(n, dtype=np.int64)
+    cum[0] = 0
+    np.cumsum(d, out=cum[1:])
+    cl = cum.tolist()
+    if anchor_i is not None:
+        base = anchor_time - cl[anchor_i]
+    else:
+        base = last_full + sdelta32(ts32[0], last_ts32)
+    return [base + c for c in cl]
+
+
+_MISSING = object()   # sentinel for the per-buffer spec memo
+
+
+@dataclass(slots=True)
 class TraceEvent:
     """One decoded trace event."""
 
@@ -145,17 +358,25 @@ class Trace:
 
 
 class TraceReader:
-    """Decodes :class:`BufferRecord` streams into :class:`Trace` objects."""
+    """Decodes :class:`BufferRecord` streams into :class:`Trace` objects.
+
+    ``batch=True`` (the default) uses the vectorized numpy scan and
+    cumulative-sum timestamp unwrapping; ``batch=False`` selects the
+    original word-at-a-time reference path.  Both produce bit-identical
+    traces — the flag exists for benchmarking and cross-checking.
+    """
 
     def __init__(
         self,
         registry: Optional[EventRegistry] = None,
         include_fillers: bool = False,
         check_committed: bool = True,
+        batch: bool = True,
     ) -> None:
         self.registry = registry
         self.include_fillers = include_fillers
         self.check_committed = check_committed
+        self.batch = batch
 
     # ------------------------------------------------------------------
     def decode_records(self, records: Iterable[BufferRecord]) -> Trace:
@@ -164,18 +385,25 @@ class TraceReader:
         for rec in records:
             by_cpu.setdefault(rec.cpu, []).append(rec)
         trace = Trace()
+        batch = self.batch
         for cpu, recs in sorted(by_cpu.items()):
             recs.sort(key=lambda r: r.seq)
             events: List[TraceEvent] = []
             last_full: Optional[int] = None
             last_ts32: Optional[int] = None
             for rec in recs:
-                evs = self.decode_buffer(rec, trace.anomalies)
-                last_full, last_ts32 = self._reconstruct_times(
-                    evs, rec, trace.anomalies, last_full, last_ts32
-                )
-                if not self.include_fillers:
-                    evs = [e for e in evs if not e.is_filler]
+                if batch:
+                    scan = scan_buffer(rec.words, rec.fill_words)
+                    evs, last_full, last_ts32 = self.assemble_scan(
+                        rec, scan, trace.anomalies, last_full, last_ts32
+                    )
+                else:
+                    evs = self.decode_buffer(rec, trace.anomalies)
+                    last_full, last_ts32 = self._reconstruct_times(
+                        evs, rec, trace.anomalies, last_full, last_ts32
+                    )
+                    if not self.include_fillers:
+                        evs = [e for e in evs if not e.is_filler]
                 events.extend(evs)
             trace.events_by_cpu[cpu] = events
         return trace
@@ -197,6 +425,135 @@ class TraceReader:
         Recovery is exactly what the paper prescribes: skip to the next
         alignment boundary, i.e. abandon the rest of this buffer.
         """
+        if self.batch:
+            return self._decode_buffer_batch(rec, anomalies)
+        return self._decode_buffer_scalar(rec, anomalies)
+
+    def _decode_buffer_batch(
+        self, rec: BufferRecord, anomalies: List[Anomaly]
+    ) -> List[TraceEvent]:
+        """Batched walk: scan columns first, then materialize events."""
+        scan = scan_buffer(rec.words, rec.fill_words)
+        events = self.materialize_scan(rec, scan, anomalies)
+        self._check_committed(rec, anomalies)
+        return events
+
+    def materialize_scan(
+        self,
+        rec: BufferRecord,
+        scan: BufferScan,
+        anomalies: List[Anomaly],
+        times: Optional[List[int]] = None,
+        include_fillers: bool = True,
+    ) -> List[TraceEvent]:
+        """Turn a :class:`BufferScan` into :class:`TraceEvent` objects.
+
+        Data words are sliced from the scan's own word column, so a scan
+        whose offsets came back from a worker process needs no payload of
+        its own.  ``times`` (when given) supplies the reconstructed full
+        timestamps, indexed like the scan's events.  The garble (if any)
+        is reported after the events so it lands in the same per-buffer
+        position as the scalar path's report.
+        """
+        lookup = self.registry.lookup if self.registry is not None else None
+        cols = scan.cols
+        wl = cols.words
+        ts_l = cols.ts32
+        len_l = cols.length
+        maj_l = cols.major
+        min_l = cols.minor
+        offs = scan.offsets
+        if times is None:
+            times = [None] * len(offs)
+        cpu = rec.cpu
+        seq = rec.seq
+        ctrl = int(Major.CONTROL)
+        filler = int(ControlMinor.FILLER)
+        filler_ext = int(ControlMinor.FILLER_EXT)
+        # Specs repeat heavily within a buffer; memoize the registry
+        # lookup per (major, minor) so the hot loop pays a dict probe.
+        specs: Dict[int, Optional[EventSpec]] = {}
+        miss = _MISSING
+        events: List[TraceEvent] = []
+        append = events.append
+        for i, off in enumerate(offs):
+            major = maj_l[off]
+            minor = min_l[off]
+            if major == ctrl and (minor == filler or minor == filler_ext):
+                if not include_fillers:
+                    continue
+                if minor == filler:
+                    dl = 0          # filler payload words are not data
+                else:
+                    length = len_l[off]
+                    # A real extended filler has header length 0 and its
+                    # span word as payload; a FILLER_EXT minor with a
+                    # nonzero length is an ordinary-shaped event.
+                    dl = 1 if length == 0 else length - 1
+            else:
+                dl = len_l[off] - 1
+            key = major << 16 | minor
+            spec = specs.get(key, miss)
+            if spec is miss:
+                spec = specs[key] = (
+                    lookup(major, minor) if lookup is not None else None
+                )
+            append(
+                TraceEvent(
+                    cpu, seq, off, ts_l[off], major, minor,
+                    wl[off + 1 : off + 1 + dl], times[i], spec,
+                )
+            )
+        if scan.garble is not None:
+            self._garbled(anomalies, rec, scan.garble[0], scan.garble[1])
+        return events
+
+    def assemble_scan(
+        self,
+        rec: BufferRecord,
+        scan: BufferScan,
+        anomalies: List[Anomaly],
+        last_full: Optional[int],
+        last_ts32: Optional[int],
+        times: Optional[List[int]] = None,
+        anchored: bool = False,
+    ) -> Tuple[List[TraceEvent], Optional[int], Optional[int]]:
+        """Full per-buffer batch pipeline: times, events, anomalies, state.
+
+        ``times``/``anchored`` may be precomputed (by a decode worker);
+        when ``times`` is ``None`` they are reconstructed here from the
+        buffer's anchor or the carried ``(last_full, last_ts32)`` state —
+        which is also how a worker's head-of-shard buffer (whose state
+        lives in the previous shard) gets stitched by the parent.
+        Returns the (filler-filtered, per ``include_fillers``) events and
+        the updated timestamp state.
+        """
+        if times is None:
+            anchor_i, anchor_time = find_anchor(scan)
+            times = unwrap_times(
+                scan.event_ts32(), anchor_i, anchor_time, last_full, last_ts32
+            )
+            anchored = anchor_i is not None
+        events = self.materialize_scan(
+            rec, scan, anomalies,
+            times=times, include_fillers=self.include_fillers,
+        )
+        self._check_committed(rec, anomalies)
+        if times is not None:
+            if not anchored:
+                anomalies.append(
+                    Anomaly(rec.cpu, rec.seq, 0, "missing-anchor",
+                            "no timestamp anchor; times unwrapped "
+                            "from previous buffer")
+                )
+            last_full = times[-1]
+            last_ts32 = scan.cols.ts32[scan.offsets[-1]]
+        return events, last_full, last_ts32
+
+    def _decode_buffer_scalar(
+        self, rec: BufferRecord, anomalies: List[Anomaly]
+    ) -> List[TraceEvent]:
+        """The reference word-at-a-time walk (the seed implementation)."""
         words = rec.words
         limit = min(rec.fill_words, len(words))
         events: List[TraceEvent] = []
@@ -259,6 +616,13 @@ class TraceReader:
             )
             prev_ts32 = hdr.timestamp
             off += span
+        self._check_committed(rec, anomalies)
+        return events
+
+    def _check_committed(
+        self, rec: BufferRecord, anomalies: List[Anomaly]
+    ) -> None:
+        """The per-buffer ``traceCommit`` consistency check (§3.1)."""
         if (
             self.check_committed
             and not rec.partial
@@ -273,7 +637,6 @@ class TraceReader:
                     f"committed {rec.committed} words, buffer holds {rec.fill_words}",
                 )
             )
-        return events
 
     def _garbled(
         self, anomalies: List[Anomaly], rec: BufferRecord, off: int, detail: str
@@ -294,6 +657,60 @@ class TraceReader:
         Falls back to unwrapping from the previous buffer's last event
         when a buffer has no anchor (possible after garbling).
         """
+        if self.batch:
+            return self._reconstruct_times_vector(
+                events, rec, anomalies, last_full, last_ts32
+            )
+        return self._reconstruct_times_scalar(
+            events, rec, anomalies, last_full, last_ts32
+        )
+
+    def _reconstruct_times_vector(
+        self,
+        events: List[TraceEvent],
+        rec: BufferRecord,
+        anomalies: List[Anomaly],
+        last_full: Optional[int],
+        last_ts32: Optional[int],
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """Vectorized time reconstruction via :func:`unwrap_times`."""
+        if not events:
+            return (last_full, last_ts32)
+        anchor_i = next(
+            (
+                i
+                for i, e in enumerate(events)
+                if e.major == Major.CONTROL
+                and e.minor == ControlMinor.TIMESTAMP_ANCHOR
+                and e.data
+            ),
+            None,
+        )
+        anchor_time = events[anchor_i].data[0] if anchor_i is not None else None
+        times = unwrap_times(
+            [e.ts32 for e in events], anchor_i, anchor_time,
+            last_full, last_ts32,
+        )
+        if times is None:
+            return (last_full, last_ts32)
+        if anchor_i is None:
+            anomalies.append(
+                Anomaly(rec.cpu, rec.seq, 0, "missing-anchor",
+                        "no timestamp anchor; times unwrapped from previous buffer")
+            )
+        for e, t in zip(events, times):
+            e.time = t
+        return (events[-1].time, events[-1].ts32)
+
+    def _reconstruct_times_scalar(
+        self,
+        events: List[TraceEvent],
+        rec: BufferRecord,
+        anomalies: List[Anomaly],
+        last_full: Optional[int],
+        last_ts32: Optional[int],
+    ) -> Tuple[Optional[int], Optional[int]]:
+        """The reference event-by-event accumulation (the seed path)."""
         if not events:
             return (last_full, last_ts32)
         anchor_i = next(

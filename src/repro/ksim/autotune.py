@@ -20,9 +20,8 @@ routing changes, at a quiesce point, while the system runs.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from functools import partial
-from typing import TYPE_CHECKING, List, Optional
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, List
 
 from repro.core.majors import LockMinor, Major
 

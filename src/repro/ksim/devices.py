@@ -10,8 +10,8 @@ that takes it — and wakes the blocked requester.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import TYPE_CHECKING, Generator, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Generator, List, Tuple
 
 from repro.core.majors import ExcMinor, Major
 from repro.ksim.ops import BlockOn, Compute, Op

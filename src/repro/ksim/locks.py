@@ -11,8 +11,8 @@ events alone.
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Deque, Optional, Tuple
+from dataclasses import dataclass
+from typing import Deque, Optional
 
 from repro.ksim.engine import CancelToken
 from repro.ksim.thread import SimThread

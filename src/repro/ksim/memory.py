@@ -19,7 +19,7 @@ Lock structure:
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Generator, Optional
+from typing import TYPE_CHECKING, Generator
 
 from repro.core.majors import ExcMinor, Major, MemMinor
 from repro.ksim.ops import Acquire, Compute, Op, Release, Sleep

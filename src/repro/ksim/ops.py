@@ -10,7 +10,7 @@ facility.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Any, Callable, Generator, Optional, Tuple
 
 Program = Generator["Op", Any, Any]

@@ -17,7 +17,7 @@ than static events — the trade-off the §5 comparison is about.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import TYPE_CHECKING, Dict, List, Optional
 
 from repro.core.majors import AppMinor, Major

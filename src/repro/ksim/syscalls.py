@@ -19,7 +19,7 @@ generators::
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Callable, Generator, Optional
+from typing import TYPE_CHECKING, Callable, Generator, Optional
 
 from repro.core.majors import IOMinor, Major, SyscallMinor, UserMinor
 from repro.ksim.ops import (

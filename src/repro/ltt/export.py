@@ -27,15 +27,9 @@ from __future__ import annotations
 import io
 import struct
 from dataclasses import dataclass
-from typing import BinaryIO, Dict, List, Optional, Tuple, Union
+from typing import BinaryIO, List, Tuple, Union
 
-from repro.core.majors import (
-    ExcMinor,
-    IOMinor,
-    Major,
-    ProcMinor,
-    SyscallMinor,
-)
+from repro.core.majors import ExcMinor, Major, ProcMinor, SyscallMinor
 from repro.core.stream import Trace, TraceEvent
 
 FILE_MAGIC = b"LTTK42X\x00"

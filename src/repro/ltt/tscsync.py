@@ -15,7 +15,7 @@ single time-ordered stream despite offset and frequency drift.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, Iterable, List, Sequence, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.stream import Trace, TraceEvent
 from repro.core.timestamps import DriftingTscClock

@@ -15,9 +15,8 @@ the call's own computation.  Times print in microseconds like Figure 8.
 
 from __future__ import annotations
 
-from collections import defaultdict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.majors import ExcMinor, Major, SyscallMinor
 from repro.core.stream import Trace

@@ -323,3 +323,22 @@ class Timeline:
         """Figure 5-style text for a click at ``at_seconds``."""
         events = self.events_near(at_seconds, window_seconds)
         return "\n".join(format_event(e) for e in events)
+
+
+def main(argv=None) -> int:
+    """Run kmon standalone: ``python -m repro.tools.kmon trace.k42``.
+
+    Delegates to the ``kmon`` subcommand of :mod:`repro.cli`, so all its
+    options — including ``--workers N`` parallel decoding — apply.
+    """
+    import sys
+
+    from repro.cli import main as cli_main
+
+    return cli_main(["kmon", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

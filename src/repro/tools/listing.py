@@ -61,3 +61,22 @@ def format_listing(
     """The full Figure 5-style listing as one string."""
     events = event_listing(trace, **selection)
     return "\n".join(format_event(e, name_width) for e in events)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """Run the listing tool standalone: ``python -m repro.tools.listing``.
+
+    Delegates to the ``list`` subcommand of :mod:`repro.cli`, so all its
+    options — including ``--workers N`` parallel decoding — apply.
+    """
+    import sys
+
+    from repro.cli import main as cli_main
+
+    return cli_main(["list", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

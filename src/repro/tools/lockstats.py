@@ -157,3 +157,22 @@ def format_lockstats(
             lines.append(f"{frame}")
         lines.append("")
     return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Run lock analysis standalone: ``python -m repro.tools.lockstats``.
+
+    Delegates to the ``locks`` subcommand of :mod:`repro.cli`, so all its
+    options — including ``--workers N`` parallel decoding — apply.
+    """
+    import sys
+
+    from repro.cli import main as cli_main
+
+    return cli_main(["locks", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

@@ -10,7 +10,7 @@ helpers are that counting step.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 from repro.core.stream import Trace
 

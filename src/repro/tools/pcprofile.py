@@ -71,3 +71,22 @@ def format_profile(
     for count, name in histogram[:top]:
         lines.append(f"{count:>8} {name}")
     return "\n".join(lines)
+
+
+def main(argv=None) -> int:
+    """Run the profiler standalone: ``python -m repro.tools.pcprofile``.
+
+    Delegates to the ``profile`` subcommand of :mod:`repro.cli`, so all
+    its options — including ``--workers N`` parallel decoding — apply.
+    """
+    import sys
+
+    from repro.cli import main as cli_main
+
+    return cli_main(["profile", *(argv if argv is not None else sys.argv[1:])])
+
+
+if __name__ == "__main__":  # pragma: no cover
+    import sys
+
+    sys.exit(main())

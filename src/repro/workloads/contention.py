@@ -10,10 +10,9 @@ Figure 6 does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.facility import TraceFacility
-from repro.ksim.costs import DEFAULT_COSTS
 from repro.ksim.kernel import Kernel, KernelConfig
 
 

@@ -9,7 +9,7 @@ you find.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Tuple
 
 from repro.core.facility import TraceFacility
 from repro.ksim.kernel import Kernel, KernelConfig

@@ -21,7 +21,6 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Literal, Optional, Tuple
 
 from repro.core.facility import TraceFacility
-from repro.core.majors import Major
 from repro.ksim.costs import DEFAULT_COSTS, CostModel
 from repro.ksim.kernel import Kernel, KernelConfig
 

@@ -14,11 +14,11 @@ from __future__ import annotations
 
 from collections import deque
 from dataclasses import dataclass, field
-from typing import Deque, List, Optional, Tuple
+from typing import Deque, List, Tuple
 
 from repro.core.facility import TraceFacility
 from repro.ksim.kernel import Kernel, KernelConfig
-from repro.ksim.ops import Acquire, BlockOn, Compute, Release, Wake
+from repro.ksim.ops import Acquire, BlockOn, Release, Wake
 
 
 @dataclass

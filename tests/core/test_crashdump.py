@@ -5,12 +5,7 @@ import io
 import numpy as np
 import pytest
 
-from repro.core.crashdump import (
-    CrashDump,
-    dump_bytes,
-    read_dump,
-    write_dump,
-)
+from repro.core.crashdump import dump_bytes, read_dump, write_dump
 from repro.core.facility import TraceFacility
 from repro.core.majors import Major
 from repro.core.registry import default_registry

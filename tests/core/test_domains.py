@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.core.domains import PermissionError_, TraceDomains, merge_traces
+from repro.core.domains import TraceDomains, merge_traces
 from repro.core.majors import Major
 from repro.core.timestamps import ManualClock
 

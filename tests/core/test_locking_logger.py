@@ -13,7 +13,8 @@ from repro.core.timestamps import ManualClock, WallClock
 
 def make(buffer_words=32, num_buffers=4, clock=None):
     control = TraceControl(buffer_words=buffer_words, num_buffers=num_buffers)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     logger = LockingTraceLogger(
         control, mask, clock or ManualClock(), registry=default_registry()
     )
@@ -57,7 +58,8 @@ def test_stream_identical_semantics_to_lockless():
 
     def run(logger_cls):
         control = TraceControl(buffer_words=32, num_buffers=8)
-        mask = TraceMask(); mask.enable_all()
+        mask = TraceMask()
+        mask.enable_all()
         clock = ManualClock()
         logger = logger_cls(control, mask, clock, registry=default_registry())
         logger.start()
@@ -101,7 +103,8 @@ def test_shared_control_multiple_cpu_ids():
     """The original-LTT configuration: every CPU logs through one global
     buffer under one lock."""
     control = TraceControl(buffer_words=256, num_buffers=8)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     clock = WallClock()
     lock = threading.Lock()
     loggers = [

@@ -184,7 +184,8 @@ class TestBufferBoundaries:
 
     def test_commit_counts_can_be_disabled(self):
         control = TraceControl(buffer_words=32, num_buffers=4)
-        mask = TraceMask(); mask.enable_all()
+        mask = TraceMask()
+        mask.enable_all()
         logger = TraceLogger(control, mask, ManualClock(), commit_counts=False)
         logger.start()
         for i in range(100):

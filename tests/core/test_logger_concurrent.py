@@ -88,7 +88,8 @@ class TestConcurrentLogging:
 
     def test_variable_lengths_under_contention(self):
         control = TraceControl(buffer_words=128, num_buffers=64)
-        mask = TraceMask(); mask.enable_all()
+        mask = TraceMask()
+        mask.enable_all()
         logger = TraceLogger(control, mask, WallClock(), registry=default_registry())
         logger.start()
         n_threads = 6
@@ -150,7 +151,8 @@ class TestMultiCpuConcurrent:
         ncpus = 4
         controls = [TraceControl(cpu=c, buffer_words=256, num_buffers=8)
                     for c in range(ncpus)]
-        mask = TraceMask(); mask.enable_all()
+        mask = TraceMask()
+        mask.enable_all()
         clock = WallClock()
         loggers = [TraceLogger(c, mask, clock, registry=default_registry())
                    for c in controls]
@@ -184,7 +186,8 @@ class TestMultiCpuConcurrent:
         ncpus = 3
         controls = [TraceControl(cpu=c, buffer_words=256, num_buffers=8)
                     for c in range(ncpus)]
-        mask = TraceMask(); mask.enable_all()
+        mask = TraceMask()
+        mask.enable_all()
         clock = WallClock()
         loggers = [TraceLogger(c, mask, clock, registry=default_registry())
                    for c in controls]

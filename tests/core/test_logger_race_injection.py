@@ -11,7 +11,6 @@ reachable on demand:
 * the slow-path filler CAS itself loses → its caller retries.
 """
 
-import pytest
 
 from repro.atomic import SimAtomicWord
 from repro.core.buffers import TraceControl

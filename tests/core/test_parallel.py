@@ -1,0 +1,330 @@
+"""Parallel/batched decode equivalence: every path must be bit-identical.
+
+The contract under test: ``TraceReader(batch=True)`` (vectorized scan),
+``decode_records_parallel`` (boundary-sharded worker pool), and the
+scalar reference reader produce event-for-event, anomaly-for-anomaly
+identical traces — on clean streams, on every garble class the format
+can exhibit, with and without fillers, and across shard cuts that
+separate a buffer from its timestamp anchor state.
+"""
+
+import random
+
+import numpy as np
+
+from repro.core.buffers import TraceControl
+from repro.core.facility import TraceFacility
+from repro.core.header import pack_header
+from repro.core.logger import TraceLogger
+from repro.core.majors import ControlMinor, Major
+from repro.core.mask import TraceMask
+from repro.core.parallel import (
+    ParallelTraceReader,
+    decode_records_parallel,
+    shard_records,
+)
+from repro.core.registry import default_registry
+from repro.core.stream import TraceReader, scan_buffer, unwrap_times
+from repro.core.timestamps import ManualClock
+
+
+def build_records(n_events=600, ncpus=3, buffer_words=64, tick=7,
+                  start=1000):
+    clock = ManualClock(start=start)
+    fac = TraceFacility(ncpus=ncpus, buffer_words=buffer_words,
+                        num_buffers=4, clock=clock)
+    fac.enable_all()
+    records = []
+    for i in range(n_events):
+        fac.log(i % ncpus, 2 + (i % 6), i % 16, [i, i * 7][: i % 3])
+        clock.advance(tick)
+        if i % 150 == 149:
+            records.extend(fac.drain())
+    records.extend(fac.flush())
+    return records
+
+
+def as_comparable(trace):
+    events = {
+        cpu: [
+            (e.cpu, e.seq, e.offset, e.ts32, e.major, e.minor,
+             tuple(e.data), e.time, e.spec.name if e.spec else None)
+            for e in evs
+        ]
+        for cpu, evs in trace.events_by_cpu.items()
+    }
+    anomalies = [(a.cpu, a.seq, a.offset, a.kind, a.detail)
+                 for a in trace.anomalies]
+    return events, anomalies
+
+
+def assert_all_paths_identical(records, include_fillers=False, workers=3):
+    reg = default_registry()
+    scalar = TraceReader(registry=reg, include_fillers=include_fillers,
+                         batch=False).decode_records(records)
+    batched = TraceReader(registry=reg, include_fillers=include_fillers,
+                          batch=True).decode_records(records)
+    par = decode_records_parallel(records, registry=reg,
+                                  include_fillers=include_fillers,
+                                  workers=workers)
+    ref = as_comparable(scalar)
+    assert as_comparable(batched) == ref
+    assert as_comparable(par) == ref
+    return scalar
+
+
+class TestCleanEquivalence:
+    def test_multi_cpu_trace(self):
+        records = build_records()
+        trace = assert_all_paths_identical(records)
+        assert sum(len(v) for v in trace.events_by_cpu.values()) > 500
+        assert trace.anomalies == []
+
+    def test_with_fillers(self):
+        records = build_records()
+        assert_all_paths_identical(records, include_fillers=True)
+
+    def test_near_wrap_timestamps(self):
+        # 32-bit timestamp wrap mid-trace exercises the cumsum unwrap.
+        records = build_records(start=(1 << 32) - 2000)
+        assert_all_paths_identical(records)
+
+    def test_single_buffer_falls_back_sequential(self):
+        records = build_records(n_events=10, ncpus=1)
+        assert_all_paths_identical(records, workers=4)
+
+    def test_workers_one_is_sequential(self):
+        records = build_records()
+        reg = default_registry()
+        seq = TraceReader(registry=reg).decode_records(records)
+        one = decode_records_parallel(records, registry=reg, workers=1)
+        assert as_comparable(one) == as_comparable(seq)
+
+    def test_parallel_reader_decode_file(self, tmp_path):
+        from repro.core.writer import save_records
+
+        records = build_records()
+        path = tmp_path / "t.k42"
+        save_records(str(path), records)
+        reg = default_registry()
+        seq = TraceReader(registry=reg).decode_records(records)
+        par = ParallelTraceReader(registry=reg, workers=3).decode_file(
+            str(path))
+        assert as_comparable(par) == as_comparable(seq)
+
+
+class TestGarbledEquivalence:
+    """Every garble class decodes identically on every path."""
+
+    def _corrupt(self, mutate):
+        """Mutate a mid-trace record; ``mutate`` gets the record, its
+        words, and the offsets of real event headers in the buffer."""
+        records = build_records()
+        rec = records[len(records) // 2]
+        words = np.array(rec.words, dtype=np.uint64, copy=True)
+        offsets = scan_buffer(words, rec.fill_words).offsets
+        assert len(offsets) > 4
+        mutate(rec, words, offsets)
+        rec.words = words
+        return records
+
+    def _assert_identical_with_anomaly(self, records, kind="garbled"):
+        trace = assert_all_paths_identical(records)
+        assert any(a.kind == kind for a in trace.anomalies)
+        assert_all_paths_identical(records, include_fillers=True)
+
+    def test_zeroed_header(self):
+        def mutate(rec, w, offs):
+            w[offs[2]] = 0
+
+        self._assert_identical_with_anomaly(self._corrupt(mutate))
+
+    def test_overrun_length(self):
+        def mutate(rec, w, offs):
+            w[offs[2]] = pack_header(1 << 20, 1000, Major.TEST, 1)
+
+        self._assert_identical_with_anomaly(self._corrupt(mutate))
+
+    def test_timestamp_regression(self):
+        def mutate(rec, w, offs):
+            # A header claiming a huge backwards timestamp jump.
+            w[offs[3]] = pack_header(1, 1, Major.TEST, 1)
+
+        self._assert_identical_with_anomaly(self._corrupt(mutate))
+
+    def test_truncated_extended_filler(self):
+        def mutate(rec, w, offs):
+            # An extended filler whose span word lies past the buffer.
+            w[offs[-1]] = pack_header(1 << 20, 0, Major.CONTROL,
+                                      ControlMinor.FILLER_EXT)
+            rec.fill_words = offs[-1] + 1
+
+        self._assert_identical_with_anomaly(self._corrupt(mutate))
+
+    def test_bad_extended_filler_span(self):
+        def mutate(rec, w, offs):
+            w[offs[2]] = pack_header(1 << 20, 0, Major.CONTROL,
+                                     ControlMinor.FILLER_EXT)
+            w[offs[2] + 1] = 1  # span < 2 can never be a real filler
+
+        self._assert_identical_with_anomaly(self._corrupt(mutate))
+
+    def test_committed_mismatch(self):
+        def mutate(rec, w, offs):
+            rec.committed = max(0, rec.committed - 3)
+
+        records = self._corrupt(mutate)
+        self._assert_identical_with_anomaly(records, "committed-mismatch")
+
+    def test_random_garbage_fuzz(self):
+        """Deterministic adversarial sweep over corruption modes."""
+        for seed in range(25):
+            rng = random.Random(seed)
+            records = build_records(
+                n_events=rng.randint(100, 500),
+                ncpus=rng.randint(1, 4),
+                start=(1 << 32) - 3000 if seed % 3 == 0 else 1000,
+            )
+            for rec in records:
+                if rng.random() < 0.5:
+                    w = np.array(rec.words, dtype=np.uint64, copy=True)
+                    k = rng.randrange(max(1, rec.fill_words))
+                    mode = rng.randrange(4)
+                    if mode == 0:
+                        w[k] = 0
+                    elif mode == 1:
+                        w[k] = pack_header(
+                            rng.getrandbits(32), rng.randint(0, 1023),
+                            rng.randint(0, 63), rng.getrandbits(16))
+                    elif mode == 2:
+                        w[k] = rng.getrandbits(64)
+                    else:
+                        rec.committed = max(0, rec.committed
+                                            - rng.randint(1, 10))
+                    rec.words = w
+            for inc in (False, True):
+                assert_all_paths_identical(records, include_fillers=inc,
+                                           workers=rng.randint(2, 4))
+
+
+class TestShardStitching:
+    """Shard cuts that strand a buffer away from its timestamp anchor."""
+
+    def _anchorless_chain(self):
+        """Four buffers on one CPU where only some carry anchors, so
+        times for the rest must be unwrapped across buffer (and shard)
+        boundaries."""
+        control = TraceControl(buffer_words=32, num_buffers=8)
+        mask = TraceMask()
+        mask.enable_all()
+        clock = ManualClock(start=500)
+        logger = TraceLogger(control, mask, clock,
+                             registry=default_registry())
+        logger.start()
+        for i in range(70):
+            clock.advance(11)
+            logger.log_words(Major.TEST, 1, [i])
+        records = control.flush()
+        assert len(records) >= 4
+        # Strip the anchor from every buffer except the first: overwrite
+        # the anchor event's header with a plain TEST event.
+        reg = default_registry()
+        for rec in records[1:]:
+            w = np.array(rec.words, dtype=np.uint64, copy=True)
+            scan = scan_buffer(w, rec.fill_words)
+            for off in scan.offsets:
+                hdr_ts = scan.cols.ts32[off]
+                if (scan.cols.major[off] == Major.CONTROL
+                        and scan.cols.minor[off]
+                        == ControlMinor.TIMESTAMP_ANCHOR):
+                    w[off] = pack_header(hdr_ts, scan.cols.length[off],
+                                         Major.TEST, 7)
+            rec.words = w
+        return records
+
+    def test_anchorless_buffers_stitch_across_shards(self):
+        records = self._anchorless_chain()
+        trace = assert_all_paths_identical(records, workers=2)
+        kinds = [a.kind for a in trace.anomalies]
+        assert "missing-anchor" in kinds
+        # Every event still got a reconstructed time.
+        for evs in trace.events_by_cpu.values():
+            assert all(e.time is not None for e in evs)
+
+    def test_shards_cut_at_every_boundary(self):
+        """Force one shard per buffer — the worst stitching case."""
+        records = self._anchorless_chain()
+        reg = default_registry()
+        seq = TraceReader(registry=reg).decode_records(records)
+        par = decode_records_parallel(records, registry=reg, workers=2,
+                                      shards_per_worker=len(records))
+        assert as_comparable(par) == as_comparable(seq)
+
+
+class TestShardRecords:
+    def test_contiguous_and_complete(self):
+        records = build_records(ncpus=3)
+        shards = shard_records(records, 6)
+        seen = {}
+        for cpu, recs in shards:
+            assert all(r.cpu == cpu for r in recs)
+            seqs = [r.seq for r in recs]
+            assert seqs == sorted(seqs)
+            seen.setdefault(cpu, []).extend(seqs)
+        for cpu, seqs in seen.items():
+            expected = sorted(r.seq for r in records if r.cpu == cpu)
+            assert seqs == expected  # contiguous concatenation, in order
+
+    def test_deterministic(self):
+        records = build_records()
+        a = shard_records(records, 5)
+        b = shard_records(records, 5)
+        assert [(c, [r.seq for r in rs]) for c, rs in a] == \
+               [(c, [r.seq for r in rs]) for c, rs in b]
+
+    def test_budget_respected(self):
+        records = build_records(ncpus=2)
+        assert len(shard_records(records, 4)) <= 4 + 2  # rounding slack
+        assert len(shard_records(records, 1)) >= 2  # at least one per CPU
+
+    def test_empty(self):
+        assert shard_records([], 4) == []
+
+
+class TestUnwrapTimes:
+    def test_no_events(self):
+        assert unwrap_times([], None, None, None, None) is None
+
+    def test_no_basis(self):
+        assert unwrap_times([5, 6], None, None, None, None) is None
+
+    def test_anchor_based(self):
+        ts = [10, 20, 15, 30]
+        times = unwrap_times(ts, 1, 1_000_020, None, None)
+        assert times == [1_000_010, 1_000_020, 1_000_015, 1_000_030]
+
+    def test_state_based_wraps(self):
+        wrap = 1 << 32
+        ts = [wrap - 2 & 0xFFFFFFFF, 3]
+        times = unwrap_times(ts, None, None, 5_000_000_000, wrap - 10)
+        assert times[0] == 5_000_000_008
+        assert times[1] == 5_000_000_013
+
+    def test_single_event(self):
+        assert unwrap_times([7], 0, 99, None, None) == [99]
+
+
+class TestCliWorkers:
+    def test_cli_list_workers_matches_sequential(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.writer import save_records
+
+        records = build_records()
+        path = str(tmp_path / "t.k42")
+        save_records(path, records)
+        assert main(["list", path, "--limit", "50"]) == 0
+        seq_out = capsys.readouterr().out
+        assert main(["list", path, "--limit", "50", "--workers", "3"]) == 0
+        par_out = capsys.readouterr().out
+        assert par_out == seq_out
+        assert "TRC_" in seq_out

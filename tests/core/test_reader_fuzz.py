@@ -7,7 +7,6 @@ any other exception, never a hang — regardless of input.
 
 import io
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -65,7 +64,8 @@ def mutated_trace_file(draw):
     from repro.core.writer import save_records
 
     control = TraceControl(buffer_words=32, num_buffers=4)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     clock = ManualClock()
     logger = TraceLogger(control, mask, clock)
     logger.start()

@@ -1,7 +1,6 @@
 """Stream decoding: garble detection/recovery, random access, merging."""
 
 import numpy as np
-import pytest
 
 from repro.core.buffers import BufferRecord, TraceControl
 from repro.core.header import pack_header
@@ -21,7 +20,8 @@ from repro.core.timestamps import ManualClock
 
 def build_trace(n_events=300, buffer_words=32, data_words=1, tick=5):
     control = TraceControl(buffer_words=buffer_words, num_buffers=8)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     clock = ManualClock()
     logger = TraceLogger(control, mask, clock, registry=default_registry())
     logger.start()
@@ -187,7 +187,8 @@ class TestTraceContainer:
 
     def test_unknown_event_renders_hex(self):
         control = TraceControl(buffer_words=32, num_buffers=4)
-        mask = TraceMask(); mask.enable_all()
+        mask = TraceMask()
+        mask.enable_all()
         logger = TraceLogger(control, mask, ManualClock())
         logger.start()
         logger.log1(40, 9, 0xFEED)  # unregistered major

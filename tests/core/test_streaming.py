@@ -10,7 +10,6 @@ identical stream.
 import socket
 import threading
 
-import pytest
 
 from repro.core.buffers import TraceControl
 from repro.core.logger import TraceLogger
@@ -25,7 +24,8 @@ from repro.core.writer import TraceFileReader, TraceFileWriter
 def test_stream_trace_over_socket():
     left, right = socket.socketpair()
     control = TraceControl(buffer_words=64, num_buffers=8)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     logger = TraceLogger(control, mask, WallClock(),
                          registry=default_registry())
     logger.start()
@@ -75,7 +75,8 @@ def test_streamed_while_logging_continues():
     """Drain mid-run: earlier buffers ship while later events are still
     being produced (the examined-while-running property)."""
     control = TraceControl(buffer_words=64, num_buffers=8)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     logger = TraceLogger(control, mask, WallClock(),
                          registry=default_registry())
     logger.start()

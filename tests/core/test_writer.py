@@ -22,7 +22,8 @@ from repro.core.writer import (
 
 def make_records(n_events=300, buffer_words=32):
     control = TraceControl(buffer_words=buffer_words, num_buffers=8)
-    mask = TraceMask(); mask.enable_all()
+    mask = TraceMask()
+    mask.enable_all()
     clock = ManualClock()
     logger = TraceLogger(control, mask, clock, registry=default_registry())
     logger.start()

@@ -37,7 +37,6 @@ from repro.tools import (
     sched_statistics,
     verify_trace,
 )
-from repro.workloads.sdet import run_sdet
 
 
 @pytest.fixture(scope="module")

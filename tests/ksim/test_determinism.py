@@ -7,14 +7,12 @@ conserve: threads all terminate, busy time never exceeds capacity,
 per-CPU idle + busy covers elapsed.
 """
 
-import random
 
-import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.facility import TraceFacility
-from repro.ksim import Compute, Kernel, KernelConfig, ThreadState
+from repro.ksim import Kernel, KernelConfig, ThreadState
 
 SETTINGS = dict(
     max_examples=25,

@@ -1,6 +1,5 @@
 """Block-device tests: queueing, interrupts, latency under load."""
 
-import pytest
 
 from repro.core.facility import TraceFacility
 from repro.core.majors import ExcMinor, Major

@@ -1,6 +1,5 @@
 """Hardware-counter substrate tests (§2's counter/tracing integration)."""
 
-import pytest
 
 from repro.core.facility import TraceFacility
 from repro.core.majors import Major
@@ -137,7 +136,6 @@ class TestSampling:
         hog = kernel.spawn_process(job(8192, "hog"), "hog", cpu=0)
         kernel.spawn_process(job(8, "tiny"), "tiny", cpu=1)
         assert kernel.run_until_quiescent()
-        from repro.ksim.hwcounters import HwCounter as HC
         from repro.tools.memprofile import memory_profile
 
         report = memory_profile(fac.decode(), kernel.symbols().process_names)

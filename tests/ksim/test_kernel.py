@@ -7,7 +7,6 @@ from repro.core.majors import ExcMinor, LockMinor, Major, ProcMinor
 from repro.ksim.costs import DEFAULT_COSTS
 from repro.ksim.kernel import Kernel, KernelConfig
 from repro.ksim.ops import Acquire, BlockOn, Compute, Release, Wake
-from repro.ksim.thread import ThreadState
 
 
 def make_kernel(ncpus=2, tracing=True, **cfg_kw):

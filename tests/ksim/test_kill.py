@@ -1,6 +1,5 @@
 """Process-kill (SIGKILL semantics) tests."""
 
-import pytest
 
 from repro.core.facility import TraceFacility
 from repro.ksim import (

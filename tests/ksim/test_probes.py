@@ -1,6 +1,5 @@
 """Dynamic-probe tests (§5's KernInst/DProbes complement)."""
 
-import pytest
 
 from repro.core.facility import TraceFacility
 from repro.core.majors import AppMinor, Major

@@ -1,6 +1,5 @@
 """Hold-time tool tests — the §2 anecdote reproduced end to end."""
 
-import pytest
 
 from repro.core.facility import TraceFacility
 from repro.ksim import Acquire, Compute, Kernel, KernelConfig, Release

@@ -2,7 +2,6 @@
 
 import re
 
-from repro.core.majors import Major
 from repro.tools.listing import event_listing, format_event, format_listing
 from repro.tools.pcprofile import format_profile, pc_profile, profile_pids
 

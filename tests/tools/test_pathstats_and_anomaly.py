@@ -67,7 +67,8 @@ class TestAnomalyReport:
         from repro.core.timestamps import ManualClock
 
         control = TraceControl(buffer_words=32, num_buffers=4)
-        mask = TraceMask(); mask.enable_all()
+        mask = TraceMask()
+        mask.enable_all()
         logger = TraceLogger(control, mask, ManualClock(),
                              registry=default_registry())
         logger.start()

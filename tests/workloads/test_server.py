@@ -2,8 +2,6 @@
 
 import pytest
 
-from repro.core.majors import Major
-from repro.tools.breakdown import process_breakdown
 from repro.tools.pcprofile import pc_profile
 from repro.workloads.server import run_server
 

@@ -1,6 +1,5 @@
 """Workload-generator tests (SDET, scientific, contention, multiprog)."""
 
-import pytest
 
 from repro.core.majors import Major
 from repro.workloads import (
