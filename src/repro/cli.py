@@ -18,7 +18,12 @@ file, optionally save the symbol table as JSON, then analyze offline::
     repro-trace memprofile trace.k42 --symbols syms.json
     repro-trace iostats trace.k42
     repro-trace crashdump core.img
+    repro-trace doctor damaged.k42               # damage + salvage report
+    repro-trace inject trace.k42 bad.k42 --kind header-bitflip --seed 7
     repro-trace export-ltt trace.k42 --cpu 0 -o cpu0.ltt
+
+Every subcommand accepts ``--strict`` (stop at the first damage instead
+of resynchronizing past it) and ``--workers N`` (parallel decode).
 """
 
 from __future__ import annotations
@@ -33,28 +38,34 @@ from repro.core.stream import Trace, TraceReader
 from repro.core.writer import load_records
 
 
-def _decode(records, include_fillers: bool = False, workers: int = 1) -> Trace:
+def _decode(records, include_fillers: bool = False, workers: int = 1,
+            strict: bool = False) -> Trace:
     """Decode records sequentially or on a worker pool (``--workers``).
 
     ``workers=1`` is the plain in-process reader; ``workers=0`` means
     "one per CPU"; anything else fans the boundary-sharded scan out over
-    that many processes.  Output is identical either way.
+    that many processes.  Output is identical either way.  ``strict``
+    stops at the first garbled event per buffer instead of
+    resynchronizing past damage (``--strict``).
     """
     if workers != 1:
         reader = ParallelTraceReader(
             registry=default_registry(),
             include_fillers=include_fillers,
             workers=None if workers == 0 else workers,
+            strict=strict,
         )
     else:
         reader = TraceReader(registry=default_registry(),
-                             include_fillers=include_fillers)
+                             include_fillers=include_fillers,
+                             strict=strict)
     return reader.decode_records(records)
 
 
 def _load_trace(path: str, include_fillers: bool = False,
-                workers: int = 1) -> Trace:
-    return _decode(load_records(path), include_fillers, workers)
+                workers: int = 1, strict: bool = False) -> Trace:
+    return _decode(load_records(path, strict=strict), include_fillers,
+                   workers, strict)
 
 
 def _load_symbols(path: Optional[str]):
@@ -69,7 +80,7 @@ def cmd_info(args) -> int:
     from collections import Counter
 
     records = load_records(args.trace)
-    trace = _decode(records, workers=args.workers)
+    trace = _decode(records, workers=args.workers, strict=args.strict)
     events = trace.all_events()
     cpus = sorted(trace.events_by_cpu)
     times = [e.time for e in events if e.time is not None]
@@ -90,7 +101,7 @@ def cmd_info(args) -> int:
 def cmd_verify(args) -> int:
     from repro.tools.anomaly import verify_trace
 
-    report = verify_trace(_load_trace(args.trace, workers=args.workers))
+    report = verify_trace(_load_trace(args.trace, workers=args.workers, strict=args.strict))
     print(report.describe())
     return 0 if report.ok else 1
 
@@ -99,7 +110,7 @@ def cmd_list(args) -> int:
     from repro.tools.listing import format_listing
 
     text = format_listing(
-        _load_trace(args.trace, workers=args.workers),
+        _load_trace(args.trace, workers=args.workers, strict=args.strict),
         names=args.name or None,
         cpu=args.cpu,
         start=args.start,
@@ -118,10 +129,13 @@ def cmd_kmon(args) -> int:
         from repro.tools.kmon_session import KmonSession
 
         sym = _load_symbols(args.symbols)
-        session = KmonSession(_load_trace(args.trace, workers=args.workers), sym.process_names)
+        session = KmonSession(
+            _load_trace(args.trace, workers=args.workers,
+                        strict=args.strict),
+            sym.process_names)
         session.run(sys.stdin, sys.stdout)
         return 0
-    tl = Timeline(_load_trace(args.trace, workers=args.workers))
+    tl = Timeline(_load_trace(args.trace, workers=args.workers, strict=args.strict))
     if args.mark:
         tl.mark(*args.mark)
     if args.zoom:
@@ -138,7 +152,8 @@ def cmd_locks(args) -> int:
     from repro.tools.lockstats import format_lockstats, lock_statistics
 
     sym = _load_symbols(args.symbols)
-    stats = lock_statistics(_load_trace(args.trace, workers=args.workers), sort_by=args.sort)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
+    stats = lock_statistics(trace, sort_by=args.sort)
     print(format_lockstats(stats, sym.lock_names, sym.chains,
                            top=args.top, sort_label=args.sort))
     return 0
@@ -148,7 +163,8 @@ def cmd_profile(args) -> int:
     from repro.tools.pcprofile import format_profile, pc_profile
 
     sym = _load_symbols(args.symbols)
-    hist = pc_profile(_load_trace(args.trace, workers=args.workers), sym.pc_names, pid=args.pid)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
+    hist = pc_profile(trace, sym.pc_names, pid=args.pid)
     print(format_profile(hist, pid=args.pid, top=args.top))
     return 0
 
@@ -159,7 +175,8 @@ def cmd_breakdown(args) -> int:
 
     sym = _load_symbols(args.symbols)
     bds = process_breakdown(
-        _load_trace(args.trace, workers=args.workers), sym.syscall_names, sym.process_names,
+        _load_trace(args.trace, workers=args.workers, strict=args.strict),
+        sym.syscall_names, sym.process_names,
         FS_FUNCTION_NAMES,
     )
     pids = [args.pid] if args.pid is not None else sorted(bds)
@@ -175,7 +192,8 @@ def cmd_breakdown(args) -> int:
 def cmd_histogram(args) -> int:
     from repro.tools.pathstats import event_histogram
 
-    for count, name in event_histogram(_load_trace(args.trace, workers=args.workers))[: args.top]:
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
+    for count, name in event_histogram(trace)[: args.top]:
         print(f"{count:>8} {name}")
     return 0
 
@@ -184,7 +202,8 @@ def cmd_memprofile(args) -> int:
     from repro.tools.memprofile import format_memory_report, memory_profile
 
     sym = _load_symbols(args.symbols)
-    report = memory_profile(_load_trace(args.trace, workers=args.workers), sym.process_names)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
+    report = memory_profile(trace, sym.process_names)
     print(format_memory_report(report, top=args.top))
     return 0
 
@@ -193,7 +212,7 @@ def cmd_holds(args) -> int:
     from repro.tools.holdtimes import format_hold_report, hold_times
 
     sym = _load_symbols(args.symbols)
-    report = hold_times(_load_trace(args.trace, workers=args.workers))
+    report = hold_times(_load_trace(args.trace, workers=args.workers, strict=args.strict))
     print(format_hold_report(report, sym.lock_names, top=args.top))
     return 0
 
@@ -202,7 +221,7 @@ def cmd_sched(args) -> int:
     from repro.tools.schedstats import format_sched_report, sched_statistics
 
     sym = _load_symbols(args.symbols)
-    report = sched_statistics(_load_trace(args.trace, workers=args.workers))
+    report = sched_statistics(_load_trace(args.trace, workers=args.workers, strict=args.strict))
     print(format_sched_report(report, sym.process_names, top=args.top))
     return 0
 
@@ -212,7 +231,9 @@ def cmd_compare(args) -> int:
 
     sym = _load_symbols(args.symbols)
     comparison = compare_traces(
-        _load_trace(args.before, workers=args.workers), _load_trace(args.after, workers=args.workers), sym.pc_names
+        _load_trace(args.before, workers=args.workers, strict=args.strict),
+        _load_trace(args.after, workers=args.workers, strict=args.strict),
+        sym.pc_names,
     )
     print(format_comparison(comparison, sym.lock_names, top=args.top))
     return 0
@@ -221,8 +242,8 @@ def cmd_compare(args) -> int:
 def cmd_iostats(args) -> int:
     from repro.tools.iostats import format_io_report, io_statistics
 
-    print(format_io_report(io_statistics(_load_trace(args.trace, workers=args.workers)),
-                           top=args.top))
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
+    print(format_io_report(io_statistics(trace), top=args.top))
     return 0
 
 
@@ -236,7 +257,7 @@ def cmd_crashdump(args) -> int:
         for issue in dump.issues:
             print(f"dump issue (cpu section {issue.cpu}): {issue.detail}",
                   file=sys.stderr)
-    trace = _decode(dump.records, workers=args.workers)
+    trace = _decode(dump.records, workers=args.workers, strict=args.strict)
     events = [e for e in trace.all_events() if not e.is_control]
     print(f"flight recorder: {len(events)} events recovered from "
           f"{len(dump.records)} buffers on {dump.ncpus} cpus")
@@ -245,10 +266,74 @@ def cmd_crashdump(args) -> int:
     return 0 if dump.intact else 1
 
 
+def cmd_doctor(args) -> int:
+    """Damage report: file issues, anomalies, and what recovery salvaged."""
+    from repro.core.writer import TraceFileReader
+    from repro.tools.anomaly import verify_trace
+
+    with open(args.trace, "rb") as fh:
+        reader = TraceFileReader(fh, strict=args.strict)
+        records = reader.read_all()
+    print(f"trace file: {args.trace}")
+    print(f"frames read: {len(records)}")
+    if reader.issues:
+        print(f"file-level damage ({len(reader.issues)} issues):")
+        for issue in reader.issues:
+            print(f"  {issue}")
+    else:
+        print("file-level damage: none")
+
+    strict_trace = _decode(records, workers=args.workers, strict=True)
+    trace = _decode(records, workers=args.workers, strict=args.strict)
+    report = verify_trace(trace)
+    n_strict = len(strict_trace.all_events())
+    print(report.describe())
+    if not args.strict and report.total_events > n_strict:
+        print(f"recovery salvaged {report.total_events - n_strict} events "
+              f"that strict decoding would discard "
+              f"({n_strict} -> {report.total_events})")
+    clean = report.ok and not reader.issues
+    return 0 if clean else 1
+
+
+def cmd_inject(args) -> int:
+    """Deterministically corrupt a trace/dump for testing the read path."""
+    from repro.core.faults import (
+        DUMP_KINDS,
+        FILE_KINDS,
+        FaultInjector,
+        InjectionReport,
+    )
+    from repro.core.writer import save_records
+
+    injector = FaultInjector(args.seed)
+    report: InjectionReport
+    if args.kind in FILE_KINDS:
+        with open(args.input, "rb") as fh:
+            data = fh.read()
+        out, report = injector.inject_trace_bytes(data, args.kind)
+        with open(args.output, "wb") as fh:
+            fh.write(out)
+    elif args.kind in DUMP_KINDS:
+        with open(args.input, "rb") as fh:
+            data = fh.read()
+        out, report = injector.inject_dump_bytes(data, args.kind)
+        with open(args.output, "wb") as fh:
+            fh.write(out)
+    else:
+        records = load_records(args.input)
+        damaged, report = injector.inject_records(records, args.kind)
+        save_records(args.output, damaged,
+                     buffer_words=len(records[0].words) if records else None)
+    print(report.describe())
+    print(f"damaged copy written to {args.output}")
+    return 0
+
+
 def cmd_export_ltt(args) -> int:
     from repro.ltt.export import export_ltt
 
-    trace = _load_trace(args.trace, workers=args.workers)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
     with open(args.output, "wb") as fh:
         written = export_ltt(trace, cpu=args.cpu, fh=fh)
     print(f"{written} events exported to {args.output} (cpu {args.cpu})")
@@ -269,6 +354,11 @@ def build_parser() -> argparse.ArgumentParser:
             "--workers", type=int, default=1, metavar="N",
             help="decode on N worker processes (0 = one per CPU core); "
                  "output is identical to sequential decode",
+        )
+        sp.add_argument(
+            "--strict", action="store_true",
+            help="stop at the first damage (garbled event, bad frame) "
+                 "instead of resynchronizing past it",
         )
         return sp
 
@@ -357,6 +447,21 @@ def build_parser() -> argparse.ArgumentParser:
              help="recover the flight recorder from a memory image (§4.2)")
     sp.add_argument("dump")
     sp.add_argument("--last", type=int, default=20)
+
+    sp = add("doctor", cmd_doctor,
+             help="damage report: file issues, anomalies, salvage")
+    sp.add_argument("trace")
+
+    sp = add("inject", cmd_inject,
+             help="deterministically corrupt a trace (fault injection)")
+    sp.add_argument("input")
+    sp.add_argument("output")
+    from repro.core.faults import ALL_KINDS
+
+    sp.add_argument("--kind", required=True, choices=ALL_KINDS,
+                    help="which fault from the matrix to inject")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="RNG seed; same seed = same damage")
 
     sp = add("export-ltt", cmd_export_ltt,
              help="convert to the LTT-style format (§5)")

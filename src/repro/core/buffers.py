@@ -119,7 +119,9 @@ class TraceControl:
         #: another entity notices", §3.1) while still copying before the
         #: ring can recycle the slot.
         self.completed: Deque[tuple] = deque()
-        self._written: List[BufferRecord] = []
+        # A deque: max_pending eviction drops from the front, and
+        # list.pop(0) is O(n) per drop where popleft is O(1).
+        self._written: Deque[BufferRecord] = deque()
         self._high_water = max(1, num_buffers - 2)
 
         # Statistics (plain ints: updated under the GIL, read for reporting;
@@ -190,14 +192,15 @@ class TraceControl:
         )
         if self.max_pending is not None:
             while len(self._written) > self.max_pending:
-                self._written.pop(0)
+                self._written.popleft()
                 self.stats_dropped_buffers += 1
 
     def drain(self) -> List[BufferRecord]:
         """Write out everything completed so far and return it."""
         while self.completed:
             self._writeout_one()
-        out, self._written = self._written, []
+        out = list(self._written)
+        self._written.clear()
         return out
 
     def flush(self) -> List[BufferRecord]:
@@ -290,4 +293,4 @@ class TraceControl:
             self.committed.store(slot, 0)
         self.slot_seq = [0] * self.num_buffers
         self.completed.clear()
-        self._written = []
+        self._written.clear()

@@ -32,6 +32,7 @@ from typing import BinaryIO, List, Union
 import numpy as np
 
 from repro.core.buffers import BufferRecord, TraceControl
+from repro.core.writer import scan_for_magic
 
 DUMP_MAGIC = b"K42CRASH"
 DUMP_VERSION = 1
@@ -39,6 +40,7 @@ SECTION_MAGIC = 0xC4A5_4DED
 
 _IMG_HEADER = struct.Struct("<8sII")
 _SEC_HEADER = struct.Struct("<IIIIQQ")
+_SECTION_MAGIC_BYTES = struct.pack("<I", SECTION_MAGIC)
 
 #: Upper bound accepted for ring geometry when parsing an untrusted dump.
 MAX_BUFFER_WORDS = 1 << 26
@@ -104,8 +106,10 @@ def read_dump(source: Union[bytes, BinaryIO]) -> CrashDump:
     """Reconstruct flight-recorder records from a memory image.
 
     Mirrors :meth:`TraceControl.snapshot`, but works from raw bytes and
-    survives corruption: a damaged CPU section is reported as an issue
-    and skipped; geometry fields are sanity-checked before use.
+    survives corruption: a damaged CPU section is reported as an issue,
+    the reader scans forward for the next section magic and resumes
+    there, and geometry fields are sanity-checked before use.  Only when
+    no later section magic exists does parsing stop early.
     """
     fh = io.BytesIO(source) if isinstance(source, (bytes, bytearray)) else source
     header = fh.read(_IMG_HEADER.size)
@@ -118,9 +122,12 @@ def read_dump(source: Union[bytes, BinaryIO]) -> CrashDump:
         raise ValueError(f"unsupported crash dump version {version}")
 
     dump = CrashDump(ncpus=ncpus)
-    for section in range(ncpus):
+    parsed = 0
+    pos = fh.tell()
+    while parsed < ncpus:
+        fh.seek(pos)
         try:
-            raw = _read_exact(fh, _SEC_HEADER.size, f"cpu section {section}")
+            raw = _read_exact(fh, _SEC_HEADER.size, f"cpu section {parsed}")
             (sec_magic, cpu, buffer_words, num_buffers,
              index, booked_seq) = _SEC_HEADER.unpack(raw)
             if sec_magic != SECTION_MAGIC:
@@ -140,8 +147,26 @@ def read_dump(source: Union[bytes, BinaryIO]) -> CrashDump:
                 _read_exact(fh, total * 8, "trace memory"), dtype="<u8"
             ).astype(np.uint64)
         except (ValueError, EOFError) as exc:
-            dump.issues.append(DumpIssue(section, str(exc)))
-            break  # framing is lost; later sections are unrecoverable
+            dump.issues.append(DumpIssue(parsed, str(exc)))
+            # Framing is lost at this point, but sections carry their
+            # own magic: scan forward for the next one and resume there
+            # — the dump-level counterpart of the decoder's in-buffer
+            # resynchronization.
+            nxt = scan_for_magic(fh, _SECTION_MAGIC_BYTES, pos + 1)
+            if nxt is None:
+                break  # no later section magic; the rest is rubble
+            dump.issues.append(
+                DumpIssue(
+                    parsed,
+                    f"resynchronized at byte {nxt}: "
+                    f"skipped {nxt - pos} bytes",
+                )
+            )
+            parsed += 1
+            pos = nxt
+            continue
+        parsed += 1
+        pos = fh.tell()
 
         cur_seq = index // buffer_words
         fill = index % buffer_words

@@ -39,7 +39,10 @@ streams into one time-ordered stream lazily via ``Trace.all_events``
 
 Worker processes are a real cost on small traces; ``workers<=1`` (or a
 trace with fewer buffers than workers) falls back to the in-process
-batched reader.  If a process pool cannot be created at all (restricted
+batched reader.  The pool uses the ``fork`` start method so workers see
+the parent's records copy-on-write; on spawn-only platforms
+(macOS/Windows) decoding falls back to the sequential batched reader
+with a warning.  If a process pool cannot be created at all (restricted
 environments), decoding degrades gracefully to in-process shard scans.
 """
 
@@ -69,12 +72,13 @@ from repro.core.stream import (
 #: ``fork`` start method, an int index into :data:`_FORK_RECORDS`, which
 #: the worker inherits copy-on-write instead of over a pipe.
 _ShardEntry = Tuple[int, Union[bytes, int], int]
-#: One worker task: (cpu, entries).
-_ShardTask = Tuple[int, List[_ShardEntry]]
+#: One worker task: (cpu, entries, recover-after-garble flag).
+_ShardTask = Tuple[int, List[_ShardEntry], bool]
 #: One scanned buffer coming back:
-#: (seq, offsets, times-or-None, anchored, garble-or-None).
+#: (seq, offsets, times-or-None, anchored, garbles, resumes).
 _ScanResult = Tuple[
-    int, List[int], Optional[List[int]], bool, Optional[Tuple[int, str]],
+    int, List[int], Optional[List[int]], bool,
+    List[Tuple[int, str]], List[Optional[int]],
 ]
 
 #: Records staged for fork-inherited workers.  Set by the parent
@@ -122,7 +126,7 @@ def _scan_shard(task: _ShardTask) -> Tuple[int, List[_ScanResult]]:
     shard's tail — the §3.1 unwrapping fallback cannot cross a process
     boundary, but it can be replayed after the fact.
     """
-    cpu, entries = task
+    cpu, entries, recover = task
     out: List[_ScanResult] = []
     last_full: Optional[int] = None
     last_ts32: Optional[int] = None
@@ -131,13 +135,14 @@ def _scan_shard(task: _ShardTask) -> Tuple[int, List[_ScanResult]]:
             words = _FORK_RECORDS[raw].words
         else:
             words = np.frombuffer(raw, dtype="<u8")
-        scan = scan_buffer(words, fill_words)
+        scan = scan_buffer(words, fill_words, recover=recover)
         anchor_i, anchor_time = find_anchor(scan)
         ts32 = scan.event_ts32()
         times = unwrap_times(ts32, anchor_i, anchor_time, last_full, last_ts32)
         if times:
             last_full, last_ts32 = times[-1], ts32[-1]
-        out.append((seq, scan.offsets, times, anchor_i is not None, scan.garble))
+        out.append((seq, scan.offsets, times, anchor_i is not None,
+                    scan.garbles, scan.resumes))
     return cpu, out
 
 
@@ -181,6 +186,7 @@ def decode_records_parallel(
     check_committed: bool = True,
     workers: Optional[int] = None,
     shards_per_worker: int = 2,
+    strict: bool = False,
 ) -> Trace:
     """Decode buffer records on ``workers`` processes; bit-identical to
     ``TraceReader(...).decode_records(records)``.
@@ -189,6 +195,8 @@ def decode_records_parallel(
     too small to be worth sharding) decodes in-process on the batched
     fast path.  ``shards_per_worker`` oversubscribes the pool slightly
     so an unlucky shard full of dense buffers cannot straggle the run.
+    ``strict`` selects stop-at-first-garble decoding exactly as on
+    :class:`~repro.core.stream.TraceReader`.
     """
     records = list(records)
     if workers is None:
@@ -197,34 +205,40 @@ def decode_records_parallel(
         registry=registry,
         include_fillers=include_fillers,
         check_committed=check_committed,
+        strict=strict,
     )
     if workers <= 1 or len(records) <= workers:
         return reader.decode_records(records)
+    if not _fork_available():
+        # Spawn-only platform (macOS/Windows): the copy-on-write record
+        # sharing the pool depends on does not exist, and a spawned
+        # child re-imports the world per worker — costlier than the
+        # decode itself for typical traces.  Degrade to the sequential
+        # batched reader, loudly.
+        warnings.warn(
+            "the 'fork' start method is unavailable on this platform; "
+            "decoding sequentially instead of on a worker pool",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return reader.decode_records(records)
 
     shards = shard_records(records, workers * shards_per_worker)
-    use_fork = _fork_available()
-    if use_fork:
-        # Children of fork() see the parent's records copy-on-write;
-        # ship an index instead of pushing megabytes through a pipe.
-        _FORK_RECORDS.clear()
-        _FORK_RECORDS.extend(records)
-        index = {id(rec): i for i, rec in enumerate(records)}
-
-        def payload(rec: BufferRecord) -> Union[bytes, int]:
-            return index[id(rec)]
-    else:
-        def payload(rec: BufferRecord) -> Union[bytes, int]:
-            return np.ascontiguousarray(rec.words, dtype="<u8").tobytes()
+    # Children of fork() see the parent's records copy-on-write;
+    # ship an index instead of pushing megabytes through a pipe.
+    _FORK_RECORDS.clear()
+    _FORK_RECORDS.extend(records)
+    index = {id(rec): i for i, rec in enumerate(records)}
 
     tasks: List[_ShardTask] = [
-        (cpu, [(rec.seq, payload(rec), rec.fill_words) for rec in recs])
+        (cpu, [(rec.seq, index[id(rec)], rec.fill_words) for rec in recs],
+         not strict)
         for cpu, recs in shards
     ]
     try:
         results = _run_tasks(tasks, workers)
     finally:
-        if use_fork:
-            _FORK_RECORDS.clear()
+        _FORK_RECORDS.clear()
 
     # Stitch: walk shards per CPU in sequence order, exactly the order
     # (and with exactly the state) the sequential reader would have —
@@ -236,10 +250,12 @@ def decode_records_parallel(
         assert cpu == res_cpu
         events_out = trace.events_by_cpu.setdefault(cpu, [])
         last_full, last_ts32 = state.get(cpu, (None, None))
-        for rec, (seq, offsets, times, anchored, garble) in zip(recs, scans):
+        for rec, (seq, offsets, times, anchored, garbles, resumes) in zip(
+                recs, scans):
             assert rec.seq == seq
             scan = BufferScan(
-                buffer_columns(rec.words, rec.fill_words), offsets, garble
+                buffer_columns(rec.words, rec.fill_words), offsets,
+                garbles, resumes,
             )
             events, last_full, last_ts32 = reader.assemble_scan(
                 rec, scan, trace.anomalies, last_full, last_ts32,
@@ -266,12 +282,14 @@ class ParallelTraceReader:
         check_committed: bool = True,
         workers: Optional[int] = None,
         shards_per_worker: int = 2,
+        strict: bool = False,
     ) -> None:
         self.registry = registry
         self.include_fillers = include_fillers
         self.check_committed = check_committed
         self.workers = workers
         self.shards_per_worker = shards_per_worker
+        self.strict = strict
 
     def decode_records(self, records: Iterable[BufferRecord]) -> Trace:
         return decode_records_parallel(
@@ -281,6 +299,7 @@ class ParallelTraceReader:
             check_committed=self.check_committed,
             workers=self.workers,
             shards_per_worker=self.shards_per_worker,
+            strict=self.strict,
         )
 
     def decode_file(self, path) -> Trace:

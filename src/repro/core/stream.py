@@ -7,7 +7,11 @@ This module implements:
 
 * decoding of one buffer's words into events, with validity heuristics
   that detect the garbled regions a preempted/killed writer leaves
-  behind (§3.1) and recover at the next boundary;
+  behind (§3.1) and recover — by default *within* the buffer, rescanning
+  forward for the next plausible header and salvaging the remainder
+  (each salvage is reported as a ``recovered-region`` anomaly);
+  ``strict=True`` restores the paper's minimal recovery of abandoning
+  the rest of the buffer and resuming at the next alignment boundary;
 * reconstruction of full 64-bit timestamps from the 32-bit header field
   plus the per-buffer timestamp-anchor events;
 * checking of the per-buffer committed counts against buffer size (the
@@ -56,11 +60,67 @@ from repro.core.registry import EventRegistry, EventSpec
 _U32 = 1 << 32
 _HALF32 = 1 << 31
 
+#: Minor IDs a CONTROL-class header may legitimately carry; anything else
+#: in the CONTROL major is junk and disqualifies a resync candidate.
+_KNOWN_CONTROL_MINORS = frozenset(int(m) for m in ControlMinor)
+
 
 def sdelta32(a: int, b: int) -> int:
     """``a - b`` of 32-bit timestamps as a signed value in [-2^31, 2^31)."""
     d = (a - b) & (_U32 - 1)
     return d - _U32 if d >= _HALF32 else d
+
+
+def _plausible_header(fields, o: int, limit: int,
+                      prev_ts32: Optional[int]) -> bool:
+    """Whether the word at ``o`` could be a live event header.
+
+    ``fields(o)`` returns ``(ts32, length, major, minor)``.  Plausible
+    means: a nonzero length that fits in the buffer, a believable
+    major/minor combination (a CONTROL header must carry a known control
+    minor), and — when ``prev_ts32`` is given — a timestamp that does
+    not regress (mod 2^32) relative to the accepted stream.
+    """
+    ts, length, major, minor = fields(o)
+    if length == 0 or o + length > limit:
+        return False
+    if major == Major.CONTROL and minor not in _KNOWN_CONTROL_MINORS:
+        return False
+    if prev_ts32 is not None and ((ts - prev_ts32) & (_U32 - 1)) >= _HALF32:
+        return False
+    return True
+
+
+def find_resync(fields, start: int, limit: int,
+                prev_ts32: Optional[int] = None) -> Optional[int]:
+    """Locate the next plausible event header at or after ``start``.
+
+    This is the §3.1 recovery story pushed below the alignment boundary:
+    after a garble verdict, rescan forward word by word for a header
+    whose length/major fields are valid, whose timestamp continues the
+    accepted stream monotonically, and which *chains* — the header it
+    points at must itself be plausible (or end the buffer exactly).
+    Requiring two linked plausible headers keeps the false-acceptance
+    rate on random garbage low (§3.1: "it is unlikely that random data
+    will have the correct format of a trace event header").
+
+    Two passes: the first holds candidates to the accepted timestamp
+    state; if nothing qualifies — which happens when the accepted state
+    itself was poisoned by a corrupt-but-well-shaped header — a second,
+    shape-only pass requires only internal chain monotonicity.  Returns
+    the offset of the accepted candidate, or ``None`` when the rest of
+    the buffer holds nothing salvageable.
+    """
+    passes = (prev_ts32, None) if prev_ts32 is not None else (None,)
+    for anchor in passes:
+        for o in range(start, limit):
+            if not _plausible_header(fields, o, limit, anchor):
+                continue
+            ts, length, _, _ = fields(o)
+            nxt = o + length
+            if nxt == limit or _plausible_header(fields, nxt, limit, ts):
+                return o
+    return None
 
 
 @dataclass
@@ -102,19 +162,30 @@ class BufferScan:
     """One buffer's parse decisions: accepted event offsets plus garble.
 
     This is the unit of work decode workers ship back to the parent
-    (:mod:`repro.core.parallel`): the offsets and the garble verdict are
+    (:mod:`repro.core.parallel`): the offsets and the garble verdicts are
     the *only* outputs of the walk — every other event attribute is a
     pure function of the words, which the parent already holds.  A scan
-    is therefore one flat int list, orders of magnitude cheaper to move
-    between processes than a list of event objects.
+    is therefore a few flat int lists, orders of magnitude cheaper to
+    move between processes than a list of event objects.
+
+    ``garbles`` and ``resumes`` run in parallel: for each garble verdict
+    ``(offset, detail)`` the matching entry of ``resumes`` holds the
+    offset where the recovery rescan resumed parsing, or ``None`` when
+    the walk stopped there (strict mode, or nothing salvageable).
     """
 
     cols: BufferColumns
     offsets: List[int]      # word offset of each accepted event header
-    garble: Optional[Tuple[int, str]] = None   # (offset, detail) if parsing stopped
+    garbles: List[Tuple[int, str]] = field(default_factory=list)
+    resumes: List[Optional[int]] = field(default_factory=list)
 
     def __len__(self) -> int:
         return len(self.offsets)
+
+    @property
+    def garble(self) -> Optional[Tuple[int, str]]:
+        """The first garble verdict, if any (compatibility accessor)."""
+        return self.garbles[0] if self.garbles else None
 
     def event_ts32(self) -> List[int]:
         """The accepted events' 32-bit timestamps, in stream order."""
@@ -124,13 +195,17 @@ class BufferScan:
 
 def scan_buffer(words: Union[np.ndarray, Sequence[int]],
                 fill_words: int,
-                cols: Optional[BufferColumns] = None) -> BufferScan:
+                cols: Optional[BufferColumns] = None,
+                recover: bool = False) -> BufferScan:
     """Batched buffer walk: unpack all header fields at once, then parse.
 
     Semantically identical to the scalar walk in
     :meth:`TraceReader.decode_buffer` — same validity checks, same
-    garble details, same recovery (stop at the first bad header; the
-    next alignment boundary is the next buffer).
+    garble details, same recovery.  With ``recover=False`` parsing stops
+    at the first bad header (the next alignment boundary is the next
+    buffer); with ``recover=True`` each garble triggers a
+    :func:`find_resync` rescan and parsing resumes at the next plausible
+    header, salvaging the remainder of the buffer.
     """
     if cols is None:
         cols = buffer_columns(words, fill_words)
@@ -143,14 +218,19 @@ def scan_buffer(words: Union[np.ndarray, Sequence[int]],
 
     offsets: List[int] = []
     append = offsets.append
-    garble: Optional[Tuple[int, str]] = None
+    garbles: List[Tuple[int, str]] = []
+    resumes: List[Optional[int]] = []
     mask32 = _U32 - 1
+
+    def fields(o: int) -> Tuple[int, int, int, int]:
+        return ts_l[o], len_l[o], maj_l[o], min_l[o]
 
     off = 0
     prev_ts32: Optional[int] = None
     while off < limit:
         length = len_l[off]
         end = off + length
+        verdict: Optional[str] = None
         if length == 0 or end > limit:
             # Rare path: an extended filler (length field is 0) or garble.
             if (
@@ -159,29 +239,41 @@ def scan_buffer(words: Union[np.ndarray, Sequence[int]],
                 and min_l[off] == ControlMinor.FILLER_EXT
             ):
                 if off + 1 >= limit:
-                    garble = (off, "truncated extended filler")
-                    break
-                span = wl[off + 1]
-                if span < 2 or off + span > limit:
-                    garble = (off, f"bad extended filler span {span}")
-                    break
-                end = off + span
+                    verdict = "truncated extended filler"
+                else:
+                    span = wl[off + 1]
+                    if span < 2 or off + span > limit:
+                        verdict = f"bad extended filler span {span}"
+                    else:
+                        end = off + span
             else:
-                garble = (
-                    off,
-                    f"invalid header {wl[off]:#018x} (length {length})",
-                )
+                verdict = f"invalid header {wl[off]:#018x} (length {length})"
+        if verdict is None:
+            ts = ts_l[off]
+            if prev_ts32 is not None and ((ts - prev_ts32) & mask32) >= _HALF32:
+                # A large backwards jump cannot come from a healthy stream:
+                # per-CPU timestamps are monotonic by construction (§3.1).
+                verdict = f"timestamp regression {prev_ts32}->{ts}"
+        if verdict is not None:
+            garbles.append((off, verdict))
+            if not recover:
+                resumes.append(None)
                 break
-        ts = ts_l[off]
-        if prev_ts32 is not None and ((ts - prev_ts32) & mask32) >= _HALF32:
-            # A large backwards jump cannot come from a healthy stream:
-            # per-CPU timestamps are monotonic by construction (§3.1).
-            garble = (off, f"timestamp regression {prev_ts32}->{ts}")
-            break
+            resume = find_resync(fields, off + 1, limit, prev_ts32)
+            resumes.append(resume)
+            if resume is None:
+                break
+            if (prev_ts32 is not None
+                    and ((ts_l[resume] - prev_ts32) & mask32) >= _HALF32):
+                # Shape-only (relaxed) resync: the accepted timestamp
+                # state was itself poisoned; restart the chain here.
+                prev_ts32 = None
+            off = resume
+            continue
         append(off)
         prev_ts32 = ts
         off = end
-    return BufferScan(cols, offsets, garble)
+    return BufferScan(cols, offsets, garbles, resumes)
 
 
 def find_anchor(scan: BufferScan) -> Tuple[Optional[int], Optional[int]]:
@@ -305,7 +397,8 @@ class Anomaly:
     cpu: int
     seq: int
     offset: int
-    kind: str      # "garbled" | "committed-mismatch" | "missing-anchor"
+    #: "garbled" | "recovered-region" | "committed-mismatch" | "missing-anchor"
+    kind: str
     detail: str
 
 
@@ -364,6 +457,14 @@ class TraceReader:
     cumulative-sum timestamp unwrapping; ``batch=False`` selects the
     original word-at-a-time reference path.  Both produce bit-identical
     traces — the flag exists for benchmarking and cross-checking.
+
+    ``strict=False`` (the default) resynchronizes after a garble verdict
+    — rescanning forward for the next plausible header and salvaging the
+    rest of the buffer, each salvage reported as a ``recovered-region``
+    anomaly.  ``strict=True`` preserves the stop-at-first-garble
+    behavior: the rest of a garbled buffer is abandoned and parsing
+    resumes at the next alignment boundary.  Clean traces decode
+    identically either way.
     """
 
     def __init__(
@@ -372,11 +473,13 @@ class TraceReader:
         include_fillers: bool = False,
         check_committed: bool = True,
         batch: bool = True,
+        strict: bool = False,
     ) -> None:
         self.registry = registry
         self.include_fillers = include_fillers
         self.check_committed = check_committed
         self.batch = batch
+        self.strict = strict
 
     # ------------------------------------------------------------------
     def decode_records(self, records: Iterable[BufferRecord]) -> Trace:
@@ -393,7 +496,8 @@ class TraceReader:
             last_ts32: Optional[int] = None
             for rec in recs:
                 if batch:
-                    scan = scan_buffer(rec.words, rec.fill_words)
+                    scan = scan_buffer(rec.words, rec.fill_words,
+                                       recover=not self.strict)
                     evs, last_full, last_ts32 = self.assemble_scan(
                         rec, scan, trace.anomalies, last_full, last_ts32
                     )
@@ -420,10 +524,13 @@ class TraceReader:
     def decode_buffer(
         self, rec: BufferRecord, anomalies: List[Anomaly]
     ) -> List[TraceEvent]:
-        """Walk one buffer, validating headers; stop at the first garble.
+        """Walk one buffer, validating headers.
 
-        Recovery is exactly what the paper prescribes: skip to the next
-        alignment boundary, i.e. abandon the rest of this buffer.
+        In strict mode a garble verdict stops the walk — recovery is
+        exactly what the paper prescribes: skip to the next alignment
+        boundary, i.e. abandon the rest of this buffer.  In the default
+        recovering mode the walk rescans forward for the next plausible
+        header and salvages the remainder.
         """
         if self.batch:
             return self._decode_buffer_batch(rec, anomalies)
@@ -433,7 +540,8 @@ class TraceReader:
         self, rec: BufferRecord, anomalies: List[Anomaly]
     ) -> List[TraceEvent]:
         """Batched walk: scan columns first, then materialize events."""
-        scan = scan_buffer(rec.words, rec.fill_words)
+        scan = scan_buffer(rec.words, rec.fill_words,
+                           recover=not self.strict)
         events = self.materialize_scan(rec, scan, anomalies)
         self._check_committed(rec, anomalies)
         return events
@@ -504,8 +612,7 @@ class TraceReader:
                     wl[off + 1 : off + 1 + dl], times[i], spec,
                 )
             )
-        if scan.garble is not None:
-            self._garbled(anomalies, rec, scan.garble[0], scan.garble[1])
+        self._emit_garbles(anomalies, rec, scan.garbles, scan.resumes)
         return events
 
     def assemble_scan(
@@ -553,10 +660,23 @@ class TraceReader:
     def _decode_buffer_scalar(
         self, rec: BufferRecord, anomalies: List[Anomaly]
     ) -> List[TraceEvent]:
-        """The reference word-at-a-time walk (the seed implementation)."""
+        """The reference word-at-a-time walk (the seed implementation).
+
+        Makes exactly the same accept/garble/resync decisions as
+        :func:`scan_buffer` — the test suite fuzzes the two against each
+        other on corrupted streams.
+        """
         words = rec.words
         limit = min(rec.fill_words, len(words))
+        recover = not self.strict
         events: List[TraceEvent] = []
+        garbles: List[Tuple[int, str]] = []
+        resumes: List[Optional[int]] = []
+
+        def fields(o: int) -> Tuple[int, int, int, int]:
+            h = unpack_header(int(words[o]))
+            return h.timestamp, h.length, h.major, h.minor
+
         off = 0
         prev_ts32: Optional[int] = None
         while off < limit:
@@ -564,33 +684,41 @@ class TraceReader:
             hdr = unpack_header(word)
             length = hdr.length
             span = length
+            verdict: Optional[str] = None
             if (
                 length == EXTENDED_FILLER_LENGTH
                 and hdr.major == Major.CONTROL
                 and hdr.minor == ControlMinor.FILLER_EXT
             ):
                 if off + 1 >= limit:
-                    self._garbled(anomalies, rec, off, "truncated extended filler")
-                    break
-                span = int(words[off + 1])
-                length = 2  # header + span word are the real payload
-                if span < 2 or off + span > limit:
-                    self._garbled(anomalies, rec, off, f"bad extended filler span {span}")
-                    break
+                    verdict = "truncated extended filler"
+                else:
+                    span = int(words[off + 1])
+                    length = 2  # header + span word are the real payload
+                    if span < 2 or off + span > limit:
+                        verdict = f"bad extended filler span {span}"
             elif length == 0 or off + length > limit:
-                self._garbled(
-                    anomalies, rec, off,
-                    f"invalid header {word:#018x} (length {length})",
-                )
-                break
-            if prev_ts32 is not None and sdelta32(hdr.timestamp, prev_ts32) < 0:
+                verdict = f"invalid header {word:#018x} (length {length})"
+            if verdict is None and prev_ts32 is not None \
+                    and sdelta32(hdr.timestamp, prev_ts32) < 0:
                 # A large backwards jump cannot come from a healthy stream:
                 # per-CPU timestamps are monotonic by construction (§3.1).
-                self._garbled(
-                    anomalies, rec, off,
-                    f"timestamp regression {prev_ts32}->{hdr.timestamp}",
-                )
-                break
+                verdict = f"timestamp regression {prev_ts32}->{hdr.timestamp}"
+            if verdict is not None:
+                garbles.append((off, verdict))
+                if not recover:
+                    resumes.append(None)
+                    break
+                resume = find_resync(fields, off + 1, limit, prev_ts32)
+                resumes.append(resume)
+                if resume is None:
+                    break
+                if prev_ts32 is not None \
+                        and sdelta32(fields(resume)[0], prev_ts32) < 0:
+                    # Shape-only (relaxed) resync: restart the chain.
+                    prev_ts32 = None
+                off = resume
+                continue
             if hdr.major == Major.CONTROL and hdr.minor == ControlMinor.FILLER:
                 # A plain filler is just a header spanning the remainder;
                 # the words underneath it are not event data.
@@ -616,6 +744,7 @@ class TraceReader:
             )
             prev_ts32 = hdr.timestamp
             off += span
+        self._emit_garbles(anomalies, rec, garbles, resumes)
         self._check_committed(rec, anomalies)
         return events
 
@@ -638,10 +767,24 @@ class TraceReader:
                 )
             )
 
-    def _garbled(
-        self, anomalies: List[Anomaly], rec: BufferRecord, off: int, detail: str
+    def _emit_garbles(
+        self,
+        anomalies: List[Anomaly],
+        rec: BufferRecord,
+        garbles: List[Tuple[int, str]],
+        resumes: List[Optional[int]],
     ) -> None:
-        anomalies.append(Anomaly(rec.cpu, rec.seq, off, "garbled", detail))
+        """Report each garble verdict, and the salvage that followed it."""
+        for (off, detail), resume in zip(garbles, resumes):
+            anomalies.append(Anomaly(rec.cpu, rec.seq, off, "garbled", detail))
+            if resume is not None:
+                anomalies.append(
+                    Anomaly(
+                        rec.cpu, rec.seq, off, "recovered-region",
+                        f"skipped {resume - off} words; resynchronized at "
+                        f"offset {resume}",
+                    )
+                )
 
     # ------------------------------------------------------------------
     def _reconstruct_times(
@@ -799,6 +942,7 @@ def decode_from_offset(
     word_offset: int,
     registry: Optional[EventRegistry] = None,
     cpu: int = 0,
+    strict: bool = False,
 ) -> Trace:
     """Seek into the middle of a flat trace and decode from there.
 
@@ -809,5 +953,5 @@ def decode_from_offset(
     start = seek_boundary(word_offset, buffer_words)
     arr = np.asarray(words, dtype=np.uint64)[start:]
     records = flat_records(arr, buffer_words, cpu=cpu, start_seq=start // buffer_words)
-    reader = TraceReader(registry=registry, check_committed=False)
+    reader = TraceReader(registry=registry, check_committed=False, strict=strict)
     return reader.decode_records(records)

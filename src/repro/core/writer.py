@@ -13,13 +13,20 @@ Layout (all little-endian)::
     frame       : magic u32 | cpu u32 | seq u64 | committed u64
                 | fill_words u32 | partial u8 | pad[3]
                 | buffer_words * u64 payload
+
+Reading is corruption-tolerant by default: a frame whose header is
+damaged (bad magic, implausible geometry) is skipped by scanning forward
+for the next frame magic — the file-level counterpart of the decoder's
+in-buffer resynchronization — and the skip is reported on
+:attr:`TraceFileReader.issues`.  ``strict=True`` restores the
+raise-on-first-damage behavior.
 """
 
 from __future__ import annotations
 
 import io
 import struct
-from typing import BinaryIO, Iterable, List, Union
+from typing import BinaryIO, Iterable, List, Optional, Union
 
 import numpy as np
 
@@ -31,8 +38,34 @@ FRAME_MAGIC = 0x4B42BEEF
 
 _FILE_HEADER = struct.Struct("<8sII")
 _FRAME_HEADER = struct.Struct("<IIQQIB3x")
+_FRAME_MAGIC_BYTES = struct.pack("<I", FRAME_MAGIC)
 
 PathOrFile = Union[str, BinaryIO]
+
+
+def scan_for_magic(fh: BinaryIO, token: bytes, start: int,
+                   chunk: int = 1 << 16) -> Optional[int]:
+    """Find the next occurrence of ``token`` at or after byte ``start``.
+
+    Streams the file in chunks (with overlap, so a token straddling a
+    chunk boundary is still found); returns the absolute byte offset of
+    the first occurrence, or ``None``.  This is the resynchronization
+    primitive shared by the trace-file and crash-dump readers.
+    """
+    fh.seek(start)
+    base = start
+    tail = b""
+    overlap = len(token) - 1
+    while True:
+        block = fh.read(chunk)
+        if not block:
+            return None
+        hay = tail + block
+        i = hay.find(token)
+        if i >= 0:
+            return base - len(tail) + i
+        tail = hay[-overlap:] if overlap else b""
+        base += len(block)
 
 
 class TraceFileWriter:
@@ -64,10 +97,24 @@ class TraceFileWriter:
 
 
 class TraceFileReader:
-    """Reads trace files; supports sequential and per-frame random access."""
+    """Reads trace files; supports sequential and per-frame random access.
 
-    def __init__(self, fh: BinaryIO) -> None:
+    ``strict=False`` (the default) makes :meth:`read_all` skip damaged
+    frames — a stomped frame magic, an implausible frame header — by
+    scanning forward for the next frame magic, and truncated trailing
+    bytes are dropped; every skip is described on :attr:`issues`.
+    ``strict=True`` raises ``ValueError``/``EOFError`` at the first
+    damage, as the original reader did.  The file *header* is always
+    validated strictly — without it there is no geometry to resync with.
+    """
+
+    def __init__(self, fh: BinaryIO, strict: bool = False) -> None:
         self.fh = fh
+        self.strict = strict
+        #: Human-readable descriptions of damage seen (and survived).
+        self.issues: List[str] = []
+        #: Bytes beyond the last whole frame (0 for a well-formed file).
+        self.trailing_bytes = 0
         header = fh.read(_FILE_HEADER.size)
         if len(header) != _FILE_HEADER.size:
             raise ValueError("truncated trace file header")
@@ -81,12 +128,23 @@ class TraceFileReader:
         self._data_start = _FILE_HEADER.size
 
     def frame_count(self) -> int:
+        """Number of whole frames; flags a truncated trailing frame."""
         self.fh.seek(0, io.SEEK_END)
         end = self.fh.tell()
-        return (end - self._data_start) // self.frame_size
+        n, trailing = divmod(end - self._data_start, self.frame_size)
+        if trailing and not self.trailing_bytes:
+            self.trailing_bytes = trailing
+            self.issues.append(
+                f"truncated trailing frame: {trailing} bytes after the "
+                f"last whole frame"
+            )
+        return n
 
     def read_frame(self, k: int) -> BufferRecord:
         """Random access to frame ``k`` — a seek, not a scan."""
+        n = self.frame_count()
+        if not 0 <= k < n:
+            raise IndexError(f"frame {k} out of range: file holds {n} frames")
         self.fh.seek(self._data_start + k * self.frame_size)
         return self._read_one()
 
@@ -107,19 +165,83 @@ class TraceFileReader:
         )
 
     def read_all(self) -> List[BufferRecord]:
-        n = self.frame_count()
+        """Read every readable frame, resynchronizing past damage."""
+        self.frame_count()   # flag a truncated tail up front
         self.fh.seek(self._data_start)
-        records = []
-        for _ in range(n):
-            records.append(self._read_one())
+        records: List[BufferRecord] = []
+        while True:
+            pos = self.fh.tell()
+            raw = self.fh.read(_FRAME_HEADER.size)
+            if not raw:
+                break
+            if len(raw) < _FRAME_HEADER.size:
+                if self.strict:
+                    raise EOFError("truncated frame header")
+                if not self.trailing_bytes:
+                    self.issues.append(
+                        f"truncated frame header at byte {pos}; dropped"
+                    )
+                break
+            (magic, cpu, seq, committed,
+             fill_words, partial) = _FRAME_HEADER.unpack(raw)
+            plausible = (magic == FRAME_MAGIC
+                         and fill_words <= self.buffer_words
+                         and partial <= 1)
+            if not plausible:
+                if self.strict:
+                    if magic != FRAME_MAGIC:
+                        raise ValueError(f"bad frame magic {magic:#x}")
+                    raise ValueError(
+                        f"implausible frame header at byte {pos} "
+                        f"(fill_words {fill_words}, partial {partial})"
+                    )
+                nxt = scan_for_magic(self.fh, _FRAME_MAGIC_BYTES, pos + 1)
+                if nxt is None:
+                    self.fh.seek(0, io.SEEK_END)
+                    self.issues.append(
+                        f"damaged frame at byte {pos}; no later frame "
+                        f"magic — {self.fh.tell() - pos} bytes dropped"
+                    )
+                    break
+                self.issues.append(
+                    f"damaged frame at byte {pos}; skipped {nxt - pos} "
+                    f"bytes to the next frame magic"
+                )
+                self.fh.seek(nxt)
+                continue
+            payload = self.fh.read(self.buffer_words * 8)
+            if len(payload) < self.buffer_words * 8:
+                if self.strict:
+                    raise EOFError("truncated frame payload")
+                if not self.trailing_bytes:
+                    self.issues.append(
+                        f"truncated frame payload at byte {pos}; dropped"
+                    )
+                break
+            words = np.frombuffer(payload, dtype="<u8").astype(np.uint64)
+            records.append(
+                BufferRecord(
+                    cpu=cpu, seq=seq, words=words, committed=committed,
+                    fill_words=fill_words, partial=bool(partial),
+                )
+            )
         return records
 
 
-def save_records(path: PathOrFile, records: List[BufferRecord]) -> int:
-    """Write records to ``path``; returns the number of frames written."""
-    if not records:
-        raise ValueError("no records to save")
-    buffer_words = len(records[0].words)
+def save_records(path: PathOrFile, records: List[BufferRecord],
+                 buffer_words: Optional[int] = None) -> int:
+    """Write records to ``path``; returns the number of frames written.
+
+    An empty record list is a valid (if quiet) trace, but its geometry
+    cannot be inferred — pass ``buffer_words`` explicitly to write a
+    header-only file that ``load_records`` round-trips to ``[]``.
+    """
+    if not records and buffer_words is None:
+        raise ValueError(
+            "no records to save; pass buffer_words= to write an empty trace"
+        )
+    if buffer_words is None:
+        buffer_words = len(records[0].words)
 
     def _write(fh: BinaryIO) -> int:
         w = TraceFileWriter(fh, buffer_words)
@@ -132,9 +254,14 @@ def save_records(path: PathOrFile, records: List[BufferRecord]) -> int:
     return _write(path)
 
 
-def load_records(path: PathOrFile) -> List[BufferRecord]:
-    """Read every frame of a trace file."""
+def load_records(path: PathOrFile, strict: bool = False) -> List[BufferRecord]:
+    """Read every readable frame of a trace file.
+
+    With the default ``strict=False``, damaged frames are skipped (see
+    :class:`TraceFileReader`); use :class:`TraceFileReader` directly
+    when the skip reports are needed.
+    """
     if isinstance(path, str):
         with open(path, "rb") as fh:
-            return TraceFileReader(fh).read_all()
-    return TraceFileReader(path).read_all()
+            return TraceFileReader(fh, strict=strict).read_all()
+    return TraceFileReader(path, strict=strict).read_all()

@@ -31,6 +31,12 @@ class AnomalyReport:
     def by_cpu(self) -> Dict[int, int]:
         return dict(Counter(a.cpu for a in self.anomalies))
 
+    @property
+    def salvaged_regions(self) -> int:
+        """Garbled regions the reader resynchronized past (and thus
+        salvaged the data after), rather than discarding the buffer."""
+        return self.by_kind.get("recovered-region", 0)
+
     def describe(self) -> str:
         if self.ok:
             return f"trace clean: {self.total_events} events, no anomalies"
@@ -40,6 +46,11 @@ class AnomalyReport:
         ]
         for kind, count in sorted(self.by_kind.items()):
             lines.append(f"  {kind}: {count}")
+        if self.salvaged_regions:
+            lines.append(
+                f"  ({self.salvaged_regions} damaged region(s) "
+                f"resynchronized — the data after each was salvaged)"
+            )
         for a in self.anomalies[:20]:
             lines.append(f"  cpu{a.cpu} buf{a.seq}+{a.offset}: {a.kind} ({a.detail})")
         if len(self.anomalies) > 20:

@@ -85,6 +85,25 @@ def test_corrupted_section_reported_not_fatal():
     assert any(r.cpu == 0 for r in dump.records)
 
 
+def test_damaged_section_resync_recovers_later_cpus():
+    """Damage in an early section must not take later CPUs with it: the
+    reader scans forward for the next section magic and resumes."""
+    fac = TraceFacility(ncpus=3, buffer_words=64, num_buffers=4,
+                        mode="flight", clock=ManualClock())
+    fac.enable_all()
+    for i in range(300):
+        fac.clock.advance(3)
+        fac.log(i % 3, Major.TEST, 1, (i,))
+    image = bytearray(dump_bytes(fac.controls))
+    image[16:20] = b"\x00\x00\x00\x00"  # stomp cpu0's section magic
+    dump = read_dump(bytes(image))
+    assert not dump.intact
+    assert any("resynchronized" in i.detail for i in dump.issues)
+    recovered_cpus = {r.cpu for r in dump.records}
+    assert 0 not in recovered_cpus
+    assert {1, 2} <= recovered_cpus
+
+
 def test_truncated_memory_reported():
     fac = crashed_facility(200)
     image = dump_bytes(fac.controls)

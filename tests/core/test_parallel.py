@@ -58,15 +58,16 @@ def as_comparable(trace):
     return events, anomalies
 
 
-def assert_all_paths_identical(records, include_fillers=False, workers=3):
+def assert_all_paths_identical(records, include_fillers=False, workers=3,
+                               strict=False):
     reg = default_registry()
     scalar = TraceReader(registry=reg, include_fillers=include_fillers,
-                         batch=False).decode_records(records)
+                         batch=False, strict=strict).decode_records(records)
     batched = TraceReader(registry=reg, include_fillers=include_fillers,
-                          batch=True).decode_records(records)
+                          batch=True, strict=strict).decode_records(records)
     par = decode_records_parallel(records, registry=reg,
                                   include_fillers=include_fillers,
-                                  workers=workers)
+                                  workers=workers, strict=strict)
     ref = as_comparable(scalar)
     assert as_comparable(batched) == ref
     assert as_comparable(par) == ref
@@ -132,6 +133,8 @@ class TestGarbledEquivalence:
         trace = assert_all_paths_identical(records)
         assert any(a.kind == kind for a in trace.anomalies)
         assert_all_paths_identical(records, include_fillers=True)
+        # Strict (stop-at-first-garble) must also agree across paths.
+        assert_all_paths_identical(records, strict=True)
 
     def test_zeroed_header(self):
         def mutate(rec, w, offs):
@@ -204,7 +207,8 @@ class TestGarbledEquivalence:
                     rec.words = w
             for inc in (False, True):
                 assert_all_paths_identical(records, include_fillers=inc,
-                                           workers=rng.randint(2, 4))
+                                           workers=rng.randint(2, 4),
+                                           strict=seed % 2 == 1)
 
 
 class TestShardStitching:
@@ -258,6 +262,37 @@ class TestShardStitching:
         seq = TraceReader(registry=reg).decode_records(records)
         par = decode_records_parallel(records, registry=reg, workers=2,
                                       shards_per_worker=len(records))
+        assert as_comparable(par) == as_comparable(seq)
+
+
+class TestSpawnFallback:
+    """Spawn-only platforms (macOS/Windows) must degrade, not crash."""
+
+    def test_forced_spawn_falls_back_sequential(self, monkeypatch):
+        import pytest
+
+        import repro.core.parallel as parallel
+
+        records = build_records()
+        reg = default_registry()
+        seq = TraceReader(registry=reg).decode_records(records)
+        monkeypatch.setattr(parallel, "_fork_available", lambda: False)
+        with pytest.warns(RuntimeWarning, match="fork.*unavailable"):
+            par = decode_records_parallel(records, registry=reg, workers=3)
+        assert as_comparable(par) == as_comparable(seq)
+
+    def test_forced_spawn_strict_mode(self, monkeypatch):
+        import pytest
+
+        import repro.core.parallel as parallel
+
+        records = build_records()
+        reg = default_registry()
+        seq = TraceReader(registry=reg, strict=True).decode_records(records)
+        monkeypatch.setattr(parallel, "_fork_available", lambda: False)
+        with pytest.warns(RuntimeWarning):
+            par = decode_records_parallel(records, registry=reg, workers=3,
+                                          strict=True)
         assert as_comparable(par) == as_comparable(seq)
 
 

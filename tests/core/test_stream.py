@@ -11,7 +11,9 @@ from repro.core.registry import default_registry
 from repro.core.stream import (
     TraceReader,
     decode_from_offset,
+    find_resync,
     flat_records,
+    scan_buffer,
     sdelta32,
     seek_boundary,
 )
@@ -112,6 +114,102 @@ class TestGarbleDetection:
         rec = BufferRecord(cpu=0, seq=0, words=words, committed=bw, fill_words=bw)
         trace = TraceReader().decode_records([rec])
         assert any("filler span" in a.detail for a in trace.anomalies)
+
+
+class TestRecovery:
+    """In-buffer resynchronization after a garble (the tentpole)."""
+
+    def _records(self):
+        return build_trace(n_events=300, data_words=2).flush()
+
+    def test_salvages_events_after_mid_buffer_garble(self):
+        records = self._records()
+        victim = max(records, key=lambda r: r.fill_words)
+        offsets = scan_buffer(victim.words, victim.fill_words).offsets
+        mid = offsets[len(offsets) // 2]
+        victim.words[mid] = 0
+
+        reg = default_registry()
+        loose = TraceReader(registry=reg).decode_records(records)
+        strict = TraceReader(registry=reg, strict=True).decode_records(records)
+        n_loose = sum(len(v) for v in loose.events_by_cpu.values())
+        n_strict = sum(len(v) for v in strict.events_by_cpu.values())
+        assert n_loose > n_strict
+        kinds = [a.kind for a in loose.anomalies]
+        assert kinds.count("garbled") == 1
+        assert kinds.count("recovered-region") == 1
+        # The salvage report names where scanning resumed.
+        rr = next(a for a in loose.anomalies if a.kind == "recovered-region")
+        assert rr.seq == victim.seq and "resynchronized" in rr.detail
+
+    def test_strict_mode_emits_no_recovered_region(self):
+        records = self._records()
+        victim = max(records, key=lambda r: r.fill_words)
+        offsets = scan_buffer(victim.words, victim.fill_words).offsets
+        victim.words[offsets[len(offsets) // 2]] = 0
+        trace = TraceReader(registry=default_registry(),
+                            strict=True).decode_records(records)
+        kinds = [a.kind for a in trace.anomalies]
+        assert "garbled" in kinds
+        assert "recovered-region" not in kinds
+
+    def test_find_resync_locates_next_real_header(self):
+        records = self._records()
+        victim = max(records, key=lambda r: r.fill_words)
+        words = victim.words
+        scan = scan_buffer(words, victim.fill_words)
+        offsets = scan.offsets
+        mid_i = len(offsets) // 2
+        words[offsets[mid_i]] = 0
+
+        fresh = scan_buffer(words, victim.fill_words)
+
+        def fields(o):
+            return (int(fresh.cols.ts32[o]), int(fresh.cols.length[o]),
+                    int(fresh.cols.major[o]), int(fresh.cols.minor[o]))
+
+        prev_ts32 = int(fresh.cols.ts32[offsets[mid_i - 1]])
+        resume = find_resync(fields, offsets[mid_i] + 1, victim.fill_words,
+                             prev_ts32)
+        assert resume == offsets[mid_i + 1]
+
+    def test_find_resync_gives_up_on_pure_garbage(self):
+        rng = np.random.default_rng(1)
+        words = rng.integers(1, 1 << 63, size=64, dtype=np.uint64)
+        # Make every word an implausible header: length 0 forces that.
+        words &= ~np.uint64(0x3FF << 22)
+        scan = scan_buffer(words, 64)
+
+        def fields(o):
+            return (int(scan.cols.ts32[o]), int(scan.cols.length[o]),
+                    int(scan.cols.major[o]), int(scan.cols.minor[o]))
+
+        assert find_resync(fields, 0, 64, None) is None
+
+    def test_multiple_garbles_in_one_buffer(self):
+        records = self._records()
+        victim = max(records, key=lambda r: r.fill_words)
+        offsets = scan_buffer(victim.words, victim.fill_words).offsets
+        assert len(offsets) >= 8
+        victim.words[offsets[2]] = 0
+        victim.words[offsets[5]] = 0
+        trace = TraceReader(registry=default_registry()).decode_records(records)
+        kinds = [a.kind for a in trace.anomalies]
+        assert kinds.count("garbled") == 2
+        assert kinds.count("recovered-region") == 2
+
+    def test_decode_from_offset_strict_flag(self):
+        records = [r for r in self._records() if not r.partial]
+        victim = max(records, key=lambda r: r.fill_words)
+        offsets = scan_buffer(victim.words, victim.fill_words).offsets
+        victim.words[offsets[len(offsets) // 2]] = 0
+        flat = np.concatenate([r.words for r in records])
+        bw = len(records[0].words)
+        reg = default_registry()
+        loose = decode_from_offset(flat, bw, 0, registry=reg)
+        strict = decode_from_offset(flat, bw, 0, registry=reg, strict=True)
+        assert len(loose.events(0)) > len(strict.events(0))
+        assert any(a.kind == "recovered-region" for a in loose.anomalies)
 
 
 class TestRandomAccess:

@@ -93,8 +93,26 @@ def test_truncated_frame_detected():
     save_records(buf, records)
     data = buf.getvalue()[:-10]  # chop the last frame
     reader = TraceFileReader(io.BytesIO(data))
-    with pytest.raises(EOFError):
-        reader.read_frame(reader.frame_count())  # the chopped one
+    n = reader.frame_count()
+    assert reader.trailing_bytes > 0
+    assert any("truncated trailing frame" in s for s in reader.issues)
+    with pytest.raises(IndexError):
+        reader.read_frame(n)  # the chopped one is out of range
+
+
+def test_read_frame_out_of_range():
+    records = make_records(n_events=100)
+    buf = io.BytesIO()
+    save_records(buf, records)
+    buf.seek(0)
+    reader = TraceFileReader(buf)
+    n = reader.frame_count()
+    with pytest.raises(IndexError):
+        reader.read_frame(n)
+    with pytest.raises(IndexError):
+        reader.read_frame(-1)
+    with pytest.raises(IndexError):
+        reader.read_frame(n + 100)
 
 
 def test_mismatched_record_size_rejected():
@@ -107,8 +125,46 @@ def test_mismatched_record_size_rejected():
 
 
 def test_save_empty_rejected():
+    """Without an explicit geometry an empty save is still an error."""
     with pytest.raises(ValueError):
         save_records(io.BytesIO(), [])
+
+
+def test_save_empty_roundtrip():
+    """An empty trace with explicit geometry is a valid header-only file."""
+    buf = io.BytesIO()
+    written = save_records(buf, [], buffer_words=32)
+    assert written == 0
+    buf.seek(0)
+    assert load_records(buf) == []
+    buf.seek(0)
+    reader = TraceFileReader(buf)
+    assert reader.buffer_words == 32
+    assert reader.frame_count() == 0
+
+
+def test_damaged_frame_resync():
+    """A stomped frame magic loses that frame, not the rest of the file."""
+    records = make_records(n_events=300)
+    buf = io.BytesIO()
+    save_records(buf, records)
+    data = bytearray(buf.getvalue())
+    buf.seek(0)
+    frame_size = TraceFileReader(buf).frame_size
+    victim = len(records) // 2
+    off = 16 + victim * frame_size  # file header is 16 bytes
+    data[off:off + 4] = b"\x00\x00\x00\x00"  # stomp the frame magic
+
+    reader = TraceFileReader(io.BytesIO(bytes(data)))
+    loaded = reader.read_all()
+    assert len(loaded) == len(records) - 1
+    assert [r.seq for r in loaded] == [
+        r.seq for i, r in enumerate(records) if i != victim
+    ]
+    assert any("damaged frame" in s for s in reader.issues)
+
+    with pytest.raises(ValueError):
+        TraceFileReader(io.BytesIO(bytes(data)), strict=True).read_all()
 
 
 def test_multi_cpu_frames_interleave(tmp_path):

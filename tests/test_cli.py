@@ -149,3 +149,64 @@ def test_verify_fails_on_corrupt_trace(artifacts, capsys, tmp_path):
     bad.write_bytes(bytes(raw))
     rc = main(["verify", str(bad)])
     assert rc == 1
+
+
+def test_doctor_clean(artifacts, capsys):
+    assert main(["doctor", artifacts["trace"]]) == 0
+    out = capsys.readouterr().out
+    assert "file-level damage: none" in out
+    assert "trace clean" in out
+
+
+def test_inject_then_doctor(artifacts, capsys, tmp_path):
+    bad = str(tmp_path / "bad.k42")
+    assert main(["inject", artifacts["trace"], bad,
+                 "--kind", "torn-event", "--seed", "5"]) == 0
+    out = capsys.readouterr().out
+    assert "injected torn-event" in out
+
+    rc = main(["doctor", bad])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "garbled" in out
+    assert "recovered-region" in out
+    assert "salvaged" in out
+
+
+def test_inject_file_fault_then_doctor(artifacts, capsys, tmp_path):
+    bad = str(tmp_path / "badframe.k42")
+    assert main(["inject", artifacts["trace"], bad,
+                 "--kind", "frame-magic", "--seed", "2"]) == 0
+    capsys.readouterr()
+    rc = main(["doctor", bad])
+    out = capsys.readouterr().out
+    assert rc == 1
+    assert "file-level damage (1 issues)" in out
+    assert "damaged frame" in out
+
+
+def test_inject_deterministic(artifacts, tmp_path, capsys):
+    a = tmp_path / "a.k42"
+    b = tmp_path / "b.k42"
+    for p in (a, b):
+        assert main(["inject", artifacts["trace"], str(p),
+                     "--kind", "header-bitflip", "--seed", "9"]) == 0
+    capsys.readouterr()
+    assert a.read_bytes() == b.read_bytes()
+
+
+def test_strict_flag_stops_at_first_garble(artifacts, capsys, tmp_path):
+    bad = str(tmp_path / "bad.k42")
+    assert main(["inject", artifacts["trace"], bad,
+                 "--kind", "torn-event", "--seed", "5"]) == 0
+    capsys.readouterr()
+    assert main(["info", bad]) == 0
+    loose = capsys.readouterr().out
+    assert main(["info", bad, "--strict"]) == 0
+    strict = capsys.readouterr().out
+
+    def events(out):
+        line = next(l for l in out.splitlines() if l.startswith("events:"))
+        return int(line.split()[1])
+
+    assert events(loose) > events(strict)
