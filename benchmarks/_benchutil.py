@@ -1,25 +1,27 @@
-"""Shared helpers for the reproduction benchmarks.
+"""Back-compat shim for the reproduction benchmarks.
 
-Every ``bench_figN_*``/``bench_*`` module regenerates one table or
-figure from the paper's evaluation.  Each writes its human-readable
-reproduction table to ``benchmarks/results/<name>.txt`` (and prints it,
-visible with ``pytest -s``), while pytest-benchmark times a
-representative kernel of the experiment.
+The timing/report helpers that used to live here are now part of the
+unified harness (``repro.perf``); this module re-exports them so every
+``bench_*.py`` — and any downstream script that did ``from _benchutil
+import write_result`` — keeps working unchanged.  Narrative ``.txt``
+tables under ``benchmarks/results/`` are renderings of the harness's
+JSON report: under a harness run they are captured into
+``BENCH_*.json`` and re-rendered from it; under plain pytest they are
+written directly, exactly as before.
 """
 
 from pathlib import Path
 
 import pytest
 
-RESULTS_DIR = Path(__file__).parent / "results"
+from repro.perf import report as _report
 
+# All narrative tables land next to the benchmarks, wherever this
+# checkout lives.
+_report.set_results_dir(Path(__file__).parent / "results")
 
-def write_result(name: str, text: str) -> Path:
-    RESULTS_DIR.mkdir(exist_ok=True)
-    path = RESULTS_DIR / f"{name}.txt"
-    path.write_text(text + "\n")
-    print(f"\n=== {name} ===\n{text}\n[written to {path}]")
-    return path
+RESULTS_DIR = _report.RESULTS_DIR
+write_result = _report.write_result
 
 
 @pytest.fixture(scope="session")

@@ -23,7 +23,7 @@ from repro.core.timestamps import ManualClock
 N_EVENTS = 30_000
 
 
-def fill(buffer_words, commit_counts=True):
+def fill(buffer_words, commit_counts=True, n_events=None):
     control = TraceControl(buffer_words=buffer_words,
                            num_buffers=max(4, 2**15 // buffer_words),
                            max_pending=8)
@@ -36,7 +36,8 @@ def fill(buffer_words, commit_counts=True):
     sizes = [rng.randint(0, 4) for _ in range(512)]  # aperiodic mix
     payload = (1, 2, 3, 4)
     t0 = time.perf_counter()
-    for i in range(N_EVENTS):
+    n = N_EVENTS if n_events is None else n_events
+    for i in range(n):
         clock.advance(2)
         logger.log_words(Major.TEST, 1, payload[: sizes[i % 512]])
     wall = time.perf_counter() - t0
@@ -92,3 +93,34 @@ def test_commit_counts_ablation(benchmark):
     # The counts shouldn't dominate: well under 2x.
     assert t_on < t_off * 2
     benchmark(lambda: fill(4096, commit_counts=False))
+
+
+# ---------------------------------------------------------------------------
+# Unified-harness registrations (`repro-trace bench`; `python bench_buffer_sweep.py`)
+# ---------------------------------------------------------------------------
+from repro.perf import benchmark as perf_bench  # noqa: E402
+
+
+@perf_bench("buffers.fill_4096", quick=True, tolerance=0.5)
+def hb_fill_4096(b):
+    """Log a variable-length event mix into 4096-word buffers."""
+    n = 4_000 if b.quick else N_EVENTS
+    b.note("n_events", n)
+    control, _ = b(lambda: fill(4096, n_events=n))
+    assert control.stats_words_logged > 0
+
+
+@perf_bench("buffers.fill_4096_no_commit", tolerance=0.5)
+def hb_fill_no_commit(b):
+    """Same fill with the optional commit-count bookkeeping ablated."""
+    n = 4_000 if b.quick else N_EVENTS
+    b.note("n_events", n)
+    b(lambda: fill(4096, commit_counts=False, n_events=n))
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.perf import module_main
+
+    sys.exit(module_main(__name__))

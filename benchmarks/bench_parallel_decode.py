@@ -132,3 +132,59 @@ def test_parallel_decode_throughput(benchmark, records):
 
     rec = max(records, key=lambda r: r.fill_words)
     benchmark(lambda: scan_buffer(rec.words, rec.fill_words))
+
+
+# ---------------------------------------------------------------------------
+# Unified-harness registrations (`repro-trace bench`; `python bench_parallel_decode.py`)
+# ---------------------------------------------------------------------------
+from functools import lru_cache  # noqa: E402
+
+from repro.perf import benchmark as perf_bench  # noqa: E402
+
+
+@lru_cache(maxsize=1)
+def _harness_records(quick):
+    return build_trace(n_events=20_000 if quick else min(N_EVENTS, 120_000))
+
+
+@perf_bench("parallel.scan_buffer", quick=True, tolerance=0.5)
+def hb_scan_buffer(b):
+    """The vectorized numpy header scan of one full buffer."""
+    from repro.core.stream import scan_buffer
+
+    records = _harness_records(b.quick)
+    rec = max(records, key=lambda r: r.fill_words)
+    b(lambda: scan_buffer(rec.words, rec.fill_words))
+
+
+@perf_bench("parallel.decode_batched", quick=True, tolerance=0.4)
+def hb_decode_batched(b):
+    """Batched (default) decode of the whole deterministic trace."""
+    records = _harness_records(b.quick)
+    reg = default_registry()
+    reader = TraceReader(registry=reg)
+    trace = b(lambda: reader.decode_records(records))
+    n = sum(len(v) for v in trace.events_by_cpu.values())
+    assert n > 0
+    b.note("events", n)
+
+
+@perf_bench("parallel.decode_workers", tolerance=0.75)
+def hb_decode_workers(b):
+    """Worker-pool decode; spawn/fork overhead makes this inherently
+    noisier, hence the wide band."""
+    records = _harness_records(b.quick)
+    reg = default_registry()
+    workers = min(4, os.cpu_count() or 1)
+    b.note("workers", workers)
+    trace = b(lambda: decode_records_parallel(records, registry=reg,
+                                              workers=workers))
+    assert trace.all_events()
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.perf import module_main
+
+    sys.exit(module_main(__name__))

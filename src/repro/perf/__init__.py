@@ -1,0 +1,93 @@
+"""Unified benchmark harness and perf-regression gate.
+
+The paper's claims are quantitative (<1% active-tracing overhead, ~0
+masked, per-event cycle costs); this package is how the repro keeps its
+own numbers honest: every benchmark registers with one harness, every
+run emits one schema-versioned JSON report, and CI diffs that report
+against a committed baseline.
+
+* :mod:`repro.perf.timing` — calibrated warmup/repeat measurement,
+  median-and-MAD summaries;
+* :mod:`repro.perf.harness` — the ``@benchmark`` registry, ``Bench``
+  handle, tier selection (full vs ``--quick``), module discovery;
+* :mod:`repro.perf.fingerprint` — the environment block every report
+  embeds;
+* :mod:`repro.perf.schema` — the versioned report format + validator;
+* :mod:`repro.perf.report` — JSON emission and the human-readable
+  renderings (``benchmarks/results/*.txt`` are views of the JSON);
+* :mod:`repro.perf.compare` — the regression detector behind the CI
+  ``perf-gate`` job (``python -m repro.perf.compare``).
+"""
+
+from repro.perf.compare import (
+    Comparison,
+    Verdict,
+    compare_reports,
+    format_comparison,
+)
+from repro.perf.fingerprint import environment_fingerprint
+from repro.perf.harness import (
+    CALIBRATION_BENCH,
+    DEFAULT_TOLERANCE,
+    FULL_TIER,
+    QUICK_TIER,
+    Bench,
+    BenchmarkDef,
+    BenchmarkRegistry,
+    DuplicateBenchmarkError,
+    REGISTRY,
+    Tier,
+    benchmark,
+    discover_benchmarks,
+    module_main,
+    run_benchmarks,
+)
+from repro.perf.report import (
+    RESULTS_DIR,
+    default_report_path,
+    load_report,
+    make_report,
+    render_report,
+    save_report,
+    set_results_dir,
+    write_result,
+)
+from repro.perf.schema import REPORT_KIND, SCHEMA_VERSION, validate_report
+from repro.perf.timing import TimingResult, mad, measure, median
+
+__all__ = [
+    "Bench",
+    "BenchmarkDef",
+    "BenchmarkRegistry",
+    "CALIBRATION_BENCH",
+    "Comparison",
+    "DEFAULT_TOLERANCE",
+    "DuplicateBenchmarkError",
+    "FULL_TIER",
+    "QUICK_TIER",
+    "REGISTRY",
+    "REPORT_KIND",
+    "RESULTS_DIR",
+    "SCHEMA_VERSION",
+    "Tier",
+    "TimingResult",
+    "Verdict",
+    "benchmark",
+    "compare_reports",
+    "default_report_path",
+    "discover_benchmarks",
+    "environment_fingerprint",
+    "format_comparison",
+    "load_report",
+    "mad",
+    "make_report",
+    "measure",
+    "median",
+    "module_main",
+    "render_report",
+    "run_benchmarks",
+    "save_report",
+    "set_results_dir",
+    "validate_report",
+    "write_result",
+]

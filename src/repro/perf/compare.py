@@ -1,0 +1,243 @@
+"""Performance-regression detector: diff a run against a baseline.
+
+``python -m repro.perf.compare RUN.json BASELINE.json`` exits non-zero
+iff any benchmark regressed beyond its tolerance band.  The verdict per
+benchmark present in both reports:
+
+* **regression** — normalized run median exceeds
+  ``baseline_median * (1 + tolerance) + mad_guard * max(MADs)``;
+* **speedup** — normalized run median is below
+  ``baseline_median * (1 - tolerance)`` (reported, never fatal);
+* **ok** — inside the band.
+
+``tolerance`` comes from the baseline entry (falling back to the run
+entry, then ``--tolerance``), so a noisy benchmark can carry a wider
+band than the default 25% without loosening the gate for everything
+else.  The MAD guard absorbs scheduler jitter on very stable baselines.
+
+**Machine-speed normalization**: when both reports carry the
+``_calibration.spin`` yardstick, every run median is divided by
+``run_spin / baseline_spin`` before comparison, so a CI runner that is
+uniformly 1.7x slower than the machine that recorded the baseline does
+not read as a regression (disable with ``--no-normalize``).  Benchmarks
+in the ``_calibration`` group are never themselves gated.
+
+Benchmarks only present on one side are listed as *new*/*missing*;
+missing ones fail the gate only under ``--require-all`` (the quick tier
+legitimately runs a subset of a full baseline).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional
+
+from repro.perf.harness import CALIBRATION_BENCH
+from repro.perf.report import load_report
+
+#: Multiplier on max(baseline MAD, run MAD) added to the regression
+#: threshold; absorbs sampling jitter without hiding real slowdowns.
+MAD_GUARD = 3.0
+
+
+@dataclass
+class Verdict:
+    """One benchmark's comparison outcome."""
+
+    name: str
+    status: str                    # "ok" | "regression" | "speedup"
+    baseline_ns: float
+    run_ns: float                  # normalized when normalization is on
+    raw_run_ns: float
+    tolerance: float
+    limit_ns: float
+
+    @property
+    def ratio(self) -> float:
+        return self.run_ns / self.baseline_ns if self.baseline_ns else \
+            float("inf")
+
+
+@dataclass
+class Comparison:
+    """Full diff of a run against a baseline."""
+
+    verdicts: List[Verdict]
+    new_benchmarks: List[str]
+    missing_benchmarks: List[str]
+    scale: float                   # run/baseline machine-speed ratio
+    normalized: bool
+
+    @property
+    def regressions(self) -> List[Verdict]:
+        return [v for v in self.verdicts if v.status == "regression"]
+
+    @property
+    def speedups(self) -> List[Verdict]:
+        return [v for v in self.verdicts if v.status == "speedup"]
+
+    def ok(self, require_all: bool = False) -> bool:
+        if self.regressions:
+            return False
+        if require_all and self.missing_benchmarks:
+            return False
+        return True
+
+
+def _by_name(report: Dict[str, Any]) -> Dict[str, Dict[str, Any]]:
+    return {e["name"]: e for e in report.get("benchmarks", [])}
+
+
+def _speed_scale(run: Dict[str, Dict[str, Any]],
+                 base: Dict[str, Dict[str, Any]]) -> Optional[float]:
+    run_cal = run.get(CALIBRATION_BENCH)
+    base_cal = base.get(CALIBRATION_BENCH)
+    if not run_cal or not base_cal:
+        return None
+    if run_cal["median_ns"] <= 0 or base_cal["median_ns"] <= 0:
+        return None
+    return run_cal["median_ns"] / base_cal["median_ns"]
+
+
+def compare_reports(run: Dict[str, Any], baseline: Dict[str, Any], *,
+                    default_tolerance: float = 0.25,
+                    normalize: bool = True,
+                    mad_guard: float = MAD_GUARD) -> Comparison:
+    """Pure comparison of two schema-valid report documents."""
+    run_by = _by_name(run)
+    base_by = _by_name(baseline)
+
+    scale = _speed_scale(run_by, base_by) if normalize else None
+    normalized = scale is not None
+    effective_scale = scale if scale is not None else 1.0
+
+    verdicts: List[Verdict] = []
+    for name in sorted(set(run_by) & set(base_by)):
+        if run_by[name].get("group") == "_calibration":
+            continue
+        base_entry = base_by[name]
+        run_entry = run_by[name]
+        tolerance = float(
+            base_entry.get("tolerance")
+            or run_entry.get("tolerance")
+            or default_tolerance)
+        base_ns = float(base_entry["median_ns"])
+        raw_run_ns = float(run_entry["median_ns"])
+        run_ns = raw_run_ns / effective_scale
+        guard = mad_guard * max(float(base_entry.get("mad_ns", 0.0)),
+                                float(run_entry.get("mad_ns", 0.0))
+                                / effective_scale)
+        limit = base_ns * (1.0 + tolerance) + guard
+        if run_ns > limit:
+            status = "regression"
+        elif run_ns < base_ns * (1.0 - tolerance):
+            status = "speedup"
+        else:
+            status = "ok"
+        verdicts.append(Verdict(name=name, status=status,
+                                baseline_ns=base_ns, run_ns=run_ns,
+                                raw_run_ns=raw_run_ns,
+                                tolerance=tolerance, limit_ns=limit))
+
+    gated = {n for n in run_by if run_by[n].get("group") != "_calibration"}
+    gated_base = {n for n in base_by
+                  if base_by[n].get("group") != "_calibration"}
+    return Comparison(
+        verdicts=verdicts,
+        new_benchmarks=sorted(gated - gated_base),
+        missing_benchmarks=sorted(gated_base - gated),
+        scale=effective_scale,
+        normalized=normalized,
+    )
+
+
+def _fmt_ns(ns: float) -> str:
+    if ns >= 1e6:
+        return f"{ns / 1e6:.3f} ms"
+    if ns >= 1e3:
+        return f"{ns / 1e3:.2f} us"
+    return f"{ns:.0f} ns"
+
+
+def format_comparison(cmp: Comparison, *, verbose: bool = False) -> str:
+    lines: List[str] = []
+    if cmp.normalized:
+        lines.append(f"machine-speed normalization: run/baseline = "
+                     f"{cmp.scale:.3f}x (via {CALIBRATION_BENCH})")
+    else:
+        lines.append("machine-speed normalization: off "
+                     "(calibration benchmark absent on one side)")
+    lines.append("")
+    header = (f"{'benchmark':<38} {'baseline':>12} {'run':>12} "
+              f"{'ratio':>7} {'band':>7}  verdict")
+    lines.append(header)
+    for v in cmp.verdicts:
+        if not verbose and v.status == "ok":
+            continue
+        lines.append(
+            f"{v.name:<38} {_fmt_ns(v.baseline_ns):>12} "
+            f"{_fmt_ns(v.run_ns):>12} {v.ratio:>6.2f}x "
+            f"{v.tolerance * 100:>5.0f}%  {v.status.upper()}")
+    if not verbose:
+        n_ok = sum(1 for v in cmp.verdicts if v.status == "ok")
+        if n_ok:
+            lines.append(f"... and {n_ok} benchmark(s) inside their bands")
+    if cmp.new_benchmarks:
+        lines.append(f"new (not in baseline): "
+                     f"{', '.join(cmp.new_benchmarks)}")
+    if cmp.missing_benchmarks:
+        lines.append(f"missing from run: "
+                     f"{', '.join(cmp.missing_benchmarks)}")
+    lines.append("")
+    lines.append(
+        f"{len(cmp.verdicts)} compared: "
+        f"{len(cmp.regressions)} regression(s), "
+        f"{len(cmp.speedups)} speedup(s)")
+    return "\n".join(lines)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.perf.compare",
+        description="fail (exit 1) when RUN regressed against BASELINE")
+    parser.add_argument("run", help="BENCH_*.json from the run under test")
+    parser.add_argument("baseline",
+                        help="committed baseline (benchmarks/"
+                             "BENCH_baseline.json)")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="default regression band when an entry "
+                             "carries none (fraction of baseline median; "
+                             "default 0.25)")
+    parser.add_argument("--no-normalize", action="store_true",
+                        help="skip machine-speed normalization")
+    parser.add_argument("--require-all", action="store_true",
+                        help="also fail when a baseline benchmark is "
+                             "missing from the run")
+    parser.add_argument("--verbose", action="store_true",
+                        help="list every benchmark, not just the ones "
+                             "outside their band")
+    args = parser.parse_args(argv)
+
+    try:
+        run_doc = load_report(Path(args.run))
+        base_doc = load_report(Path(args.baseline))
+    except (OSError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    cmp = compare_reports(run_doc, base_doc,
+                          default_tolerance=args.tolerance,
+                          normalize=not args.no_normalize)
+    print(format_comparison(cmp, verbose=args.verbose))
+    if not cmp.ok(require_all=args.require_all):
+        print("\nPERF GATE: FAIL", file=sys.stderr)
+        return 1
+    print("\nPERF GATE: ok")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,33 @@
+"""Environment fingerprint embedded in every benchmark report.
+
+A timing number is meaningless without the machine it came from; the
+fingerprint makes every ``BENCH_*.json`` self-describing so cross-run
+comparisons can tell "the code got slower" apart from "the machine got
+slower".  Only stable, non-identifying facts are recorded.
+"""
+
+from __future__ import annotations
+
+import os
+import platform
+import sys
+from typing import Any, Dict
+
+
+def environment_fingerprint() -> Dict[str, Any]:
+    """Facts about the interpreter and host that affect timings."""
+    fp: Dict[str, Any] = {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+        "byte_order": sys.byteorder,
+    }
+    try:
+        import numpy
+
+        fp["numpy"] = str(numpy.__version__)
+    except Exception:  # pragma: no cover - numpy is a hard dep in practice
+        fp["numpy"] = None
+    return fp

@@ -1,0 +1,164 @@
+"""Versioned schema for machine-readable benchmark reports.
+
+One consolidated JSON document per harness run (Recorder's lesson: a
+uniform result format is what makes runs comparable at all).  The
+schema is versioned so future PRs can evolve the format without
+silently breaking ``compare.py`` against old baselines.
+
+Schema version 1::
+
+    {
+      "schema_version": 1,
+      "kind": "repro-bench-report",
+      "created": "2026-08-05T12:00:00Z",       # UTC, ISO-8601
+      "quick": false,                           # quick tier?
+      "filter": null,                           # --filter pattern or null
+      "environment": { ... },                   # fingerprint.py
+      "benchmarks": [
+        {
+          "name": "event_cost.one_word",
+          "group": "event_cost",
+          "module": "bench_event_cost",
+          "quick": true,                        # registered in quick tier
+          "tolerance": 0.25,                    # regression band
+          "repeats": 9, "warmup": 2, "inner_loops": 4096,
+          "median_ns": 812.4, "mad_ns": 6.1, "mean_ns": 815.0,
+          "min_ns": 801.2, "max_ns": 840.9,
+          "samples_ns": [ ... ],
+          "notes": { ... }                      # benchmark-specific extras
+        }, ...
+      ],
+      "narratives": { "<result name>": "<text table>", ... }
+    }
+
+Validation is hand-rolled (no jsonschema dependency): ``validate_report``
+returns a list of human-readable problems, empty when the document is
+schema-valid.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+SCHEMA_VERSION = 1
+REPORT_KIND = "repro-bench-report"
+
+_REQUIRED_TOP = {
+    "schema_version": int,
+    "kind": str,
+    "created": str,
+    "quick": bool,
+    "environment": dict,
+    "benchmarks": list,
+    "narratives": dict,
+}
+
+_REQUIRED_BENCH = {
+    "name": str,
+    "group": str,
+    "module": str,
+    "quick": bool,
+    "tolerance": (int, float),
+    "repeats": int,
+    "warmup": int,
+    "inner_loops": int,
+    "median_ns": (int, float),
+    "mad_ns": (int, float),
+    "mean_ns": (int, float),
+    "min_ns": (int, float),
+    "max_ns": (int, float),
+    "samples_ns": list,
+    "notes": dict,
+}
+
+
+def _type_name(expected: Any) -> str:
+    if isinstance(expected, tuple):
+        return " or ".join(t.__name__ for t in expected)
+    return expected.__name__
+
+
+def validate_report(doc: Any) -> List[str]:
+    """Return all schema problems in ``doc`` (empty list == valid)."""
+    problems: List[str] = []
+    if not isinstance(doc, dict):
+        return [f"report must be a JSON object, got {type(doc).__name__}"]
+
+    for key, expected in _REQUIRED_TOP.items():
+        if key not in doc:
+            problems.append(f"missing top-level key {key!r}")
+        elif not isinstance(doc[key], expected):
+            # bool is an int subclass; schema_version must be a real int.
+            problems.append(
+                f"top-level {key!r} must be {_type_name(expected)}, "
+                f"got {type(doc[key]).__name__}")
+    if isinstance(doc.get("schema_version"), bool):
+        problems.append("top-level 'schema_version' must be int, got bool")
+
+    version = doc.get("schema_version")
+    if isinstance(version, int) and not isinstance(version, bool) \
+            and version > SCHEMA_VERSION:
+        problems.append(
+            f"schema_version {version} is newer than supported "
+            f"{SCHEMA_VERSION}")
+    if doc.get("kind") not in (None, REPORT_KIND):
+        problems.append(
+            f"kind must be {REPORT_KIND!r}, got {doc.get('kind')!r}")
+    if "filter" in doc and doc["filter"] is not None \
+            and not isinstance(doc["filter"], str):
+        problems.append("top-level 'filter' must be a string or null")
+
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, list):
+        return problems
+    seen: Dict[str, int] = {}
+    for i, entry in enumerate(benches):
+        where = f"benchmarks[{i}]"
+        if not isinstance(entry, dict):
+            problems.append(f"{where} must be an object")
+            continue
+        for key, expected in _REQUIRED_BENCH.items():
+            if key not in entry:
+                problems.append(f"{where} missing key {key!r}")
+            elif not isinstance(entry[key], expected) or (
+                    isinstance(entry[key], bool)
+                    and expected in (int, (int, float))):
+                problems.append(
+                    f"{where}.{key} must be {_type_name(expected)}, "
+                    f"got {type(entry[key]).__name__}")
+        name = entry.get("name")
+        if isinstance(name, str):
+            if name in seen:
+                problems.append(
+                    f"{where}.name {name!r} duplicates benchmarks[{seen[name]}]")
+            seen[name] = i
+        samples = entry.get("samples_ns")
+        if isinstance(samples, list):
+            if not samples:
+                problems.append(f"{where}.samples_ns must be non-empty")
+            for s in samples:
+                if not isinstance(s, (int, float)) or isinstance(s, bool):
+                    problems.append(
+                        f"{where}.samples_ns entries must be numbers")
+                    break
+                if s < 0:
+                    problems.append(
+                        f"{where}.samples_ns entries must be >= 0")
+                    break
+        for key in ("median_ns", "mad_ns", "mean_ns", "min_ns", "max_ns"):
+            value = entry.get(key)
+            if isinstance(value, (int, float)) and not isinstance(value, bool) \
+                    and value < 0:
+                problems.append(f"{where}.{key} must be >= 0")
+        tol = entry.get("tolerance")
+        if isinstance(tol, (int, float)) and not isinstance(tol, bool) \
+                and tol <= 0:
+            problems.append(f"{where}.tolerance must be > 0")
+
+    narratives = doc.get("narratives")
+    if isinstance(narratives, dict):
+        for key, value in narratives.items():
+            if not isinstance(key, str) or not isinstance(value, str):
+                problems.append("narratives must map str -> str")
+                break
+    return problems

@@ -1,0 +1,147 @@
+"""Robust wall-clock timing for the benchmark harness.
+
+Every benchmark kernel is measured the same way (Metz & Lencevicius:
+instrumentation cost must be *measured*, not asserted — and measured
+uniformly, or runs cannot be compared):
+
+1. **calibrate** — double the inner-loop count until one batch takes at
+   least ``min_time_s``, so ``perf_counter`` granularity is amortized
+   even for nanosecond-scale kernels;
+2. **warm up** — run ``warmup`` uncounted batches (caches, allocator,
+   JIT-less but still branch-predictor warm);
+3. **repeat** — time ``repeats`` batches, each yielding one per-call
+   sample in nanoseconds;
+4. **summarize** — the median is the reported cost and the MAD (median
+   absolute deviation) the reported spread; both are robust to the
+   one-off scheduling hiccups that poison mean/stddev on shared
+   machines.
+
+The GC is paused inside timed regions (re-enabled between batches) so
+collector pauses over benchmark-built object graphs don't swamp
+microsecond kernels; the pause is applied identically to every
+benchmark, keeping results comparable.
+"""
+
+from __future__ import annotations
+
+import gc
+import math
+import time
+from dataclasses import dataclass, field
+from typing import Any, Callable, List, Optional, Sequence
+
+
+def median(values: Sequence[float]) -> float:
+    """Median of a non-empty sequence."""
+    ordered = sorted(values)
+    n = len(ordered)
+    if n == 0:
+        raise ValueError("median of empty sequence")
+    mid = n // 2
+    if n % 2:
+        return float(ordered[mid])
+    return (ordered[mid - 1] + ordered[mid]) / 2.0
+
+
+def mad(values: Sequence[float], center: Optional[float] = None) -> float:
+    """Median absolute deviation around ``center`` (default: the median)."""
+    if center is None:
+        center = median(values)
+    return median([abs(v - center) for v in values])
+
+
+@dataclass
+class TimingResult:
+    """Summary statistics for one measured kernel."""
+
+    samples_ns: List[float] = field(default_factory=list)
+    inner_loops: int = 1
+    warmup: int = 0
+    last_return: Any = None
+
+    @property
+    def repeats(self) -> int:
+        return len(self.samples_ns)
+
+    @property
+    def median_ns(self) -> float:
+        return median(self.samples_ns)
+
+    @property
+    def mad_ns(self) -> float:
+        return mad(self.samples_ns)
+
+    @property
+    def mean_ns(self) -> float:
+        return sum(self.samples_ns) / len(self.samples_ns)
+
+    @property
+    def min_ns(self) -> float:
+        return min(self.samples_ns)
+
+    @property
+    def max_ns(self) -> float:
+        return max(self.samples_ns)
+
+
+def _run_batch(fn: Callable[[], Any], loops: int) -> tuple[float, Any]:
+    """Time ``loops`` consecutive calls with the GC paused; returns
+    (elapsed_seconds, last_return_value)."""
+    result = None
+    gc_was_enabled = gc.isenabled()
+    if gc_was_enabled:
+        gc.disable()
+    try:
+        t0 = time.perf_counter()
+        for _ in range(loops):
+            result = fn()
+        elapsed = time.perf_counter() - t0
+    finally:
+        if gc_was_enabled:
+            gc.enable()
+    return elapsed, result
+
+
+def calibrate_loops(fn: Callable[[], Any], min_time_s: float,
+                    max_loops: int = 1 << 20) -> int:
+    """Smallest power-of-two loop count whose batch takes >= ``min_time_s``."""
+    loops = 1
+    while loops < max_loops:
+        elapsed, _ = _run_batch(fn, loops)
+        if elapsed >= min_time_s:
+            break
+        # Jump straight toward the target rather than doubling blindly
+        # when a batch finished quickly but measurably.
+        if elapsed > 0:
+            needed = int(math.ceil(min_time_s / elapsed))
+            loops = min(max_loops, max(loops * 2, loops * min(needed, 16)))
+        else:
+            loops *= 4
+    return loops
+
+
+def measure(fn: Callable[[], Any], *, repeats: int = 9, warmup: int = 2,
+            min_time_s: float = 0.005,
+            max_total_s: float = 20.0) -> TimingResult:
+    """Measure ``fn`` per the module protocol.
+
+    ``max_total_s`` bounds total measurement time: once exceeded, the
+    remaining repeats are skipped (at least 3 samples are always
+    collected so median/MAD stay meaningful).
+    """
+    if repeats < 1:
+        raise ValueError("repeats must be >= 1")
+    loops = calibrate_loops(fn, min_time_s)
+    result: Any = None
+    for _ in range(warmup):
+        _, result = _run_batch(fn, loops)
+    samples: List[float] = []
+    budget_t0 = time.perf_counter()
+    for i in range(repeats):
+        elapsed, result = _run_batch(fn, loops)
+        samples.append(elapsed / loops * 1e9)
+        if (time.perf_counter() - budget_t0 > max_total_s
+                and len(samples) >= 3):
+            break
+    return TimingResult(samples_ns=samples, inner_loops=loops,
+                        warmup=warmup, last_return=result)

@@ -1,0 +1,50 @@
+"""Shared builders for synthetic benchmark reports."""
+
+from typing import Any, Dict, List, Optional
+
+import pytest
+
+from repro.perf import make_report
+
+
+def make_entry(name: str, median_ns: float, *, mad_ns: float = 1.0,
+               tolerance: float = 0.25, group: Optional[str] = None,
+               quick: bool = True) -> Dict[str, Any]:
+    return {
+        "name": name,
+        "group": group if group is not None else name.rsplit(".", 1)[0],
+        "module": "synthetic",
+        "quick": quick,
+        "tolerance": tolerance,
+        "repeats": 5,
+        "warmup": 1,
+        "inner_loops": 8,
+        "median_ns": median_ns,
+        "mad_ns": mad_ns,
+        "mean_ns": median_ns,
+        "min_ns": median_ns - mad_ns,
+        "max_ns": median_ns + mad_ns,
+        "samples_ns": [median_ns] * 5,
+        "notes": {},
+    }
+
+
+def make_doc(entries: List[Dict[str, Any]], *,
+             quick: bool = True) -> Dict[str, Any]:
+    return make_report(
+        environment={"python": "3.11", "platform": "test", "cpu_count": 1},
+        quick=quick,
+        filter_pattern=None,
+        benchmarks=entries,
+        narratives={},
+    )
+
+
+@pytest.fixture
+def entry_factory():
+    return make_entry
+
+
+@pytest.fixture
+def doc_factory():
+    return make_doc

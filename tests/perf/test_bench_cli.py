@@ -1,0 +1,58 @@
+"""End-to-end: the `repro-trace bench` subcommand over the real
+benchmarks directory — the quick smoke the perf-gate CI job relies on."""
+
+from pathlib import Path
+
+import pytest
+
+from repro.cli import main as cli_main
+from repro.perf import load_report, validate_report
+
+BENCH_DIR = Path(__file__).resolve().parents[2] / "benchmarks"
+
+
+@pytest.mark.skipif(not BENCH_DIR.is_dir(),
+                    reason="benchmarks directory not present")
+def test_bench_quick_smoke_over_event_cost(tmp_path, capsys):
+    """At least 3 registered benchmarks run, and the emitted JSON is
+    schema-valid and loadable."""
+    out = tmp_path / "BENCH_smoke.json"
+    rc = cli_main(["bench", "--quick", "--filter", "event_cost.",
+                   "--dir", str(BENCH_DIR), "--output", str(out)])
+    assert rc == 0
+    doc = load_report(out)          # raises on schema problems
+    assert validate_report(doc) == []
+    names = [e["name"] for e in doc["benchmarks"]]
+    assert len([n for n in names if n.startswith("event_cost.")]) >= 3
+    # The machine-speed yardstick rides along even under --filter.
+    assert "_calibration.spin" in names
+    assert doc["quick"] is True
+    assert doc["filter"] == "event_cost."
+    stdout = capsys.readouterr().out
+    assert "report written to" in stdout
+
+
+@pytest.mark.skipif(not BENCH_DIR.is_dir(),
+                    reason="benchmarks directory not present")
+def test_bench_list_shows_registered_benchmarks(capsys):
+    rc = cli_main(["bench", "--list", "--dir", str(BENCH_DIR)])
+    assert rc == 0
+    out = capsys.readouterr().out
+    assert "event_cost.one_word" in out
+    assert "[quick]" in out and "tolerance" in out
+
+
+@pytest.mark.skipif(not BENCH_DIR.is_dir(),
+                    reason="benchmarks directory not present")
+def test_bench_gate_passes_against_itself(tmp_path, capsys):
+    """A run compared against its own output must pass the gate."""
+    first = tmp_path / "BENCH_first.json"
+    rc = cli_main(["bench", "--quick", "--filter", "event_cost.cost_model",
+                   "--dir", str(BENCH_DIR), "--output", str(first)])
+    assert rc == 0
+    second = tmp_path / "BENCH_second.json"
+    rc = cli_main(["bench", "--quick", "--filter", "event_cost.cost_model",
+                   "--dir", str(BENCH_DIR), "--output", str(second),
+                   "--baseline", str(first)])
+    assert rc == 0
+    assert "PERF GATE: ok" in capsys.readouterr().out

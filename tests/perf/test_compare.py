@@ -1,0 +1,179 @@
+"""Deterministic regression verdicts from compare.py."""
+
+import copy
+import json
+
+import pytest
+
+from repro.perf import CALIBRATION_BENCH, compare_reports, format_comparison
+from repro.perf.compare import main as compare_main
+
+from .conftest import make_doc, make_entry
+
+
+def calibrated_doc(extra=(), spin_ns=1000.0):
+    entries = [make_entry(CALIBRATION_BENCH, spin_ns, group="_calibration",
+                          tolerance=1.0)]
+    entries.extend(extra)
+    return make_doc(entries)
+
+
+def baseline_doc():
+    return calibrated_doc([
+        make_entry("a.x", 500.0),
+        make_entry("a.y", 2000.0, tolerance=0.5),
+    ])
+
+
+def test_identical_run_passes():
+    base = baseline_doc()
+    cmp = compare_reports(copy.deepcopy(base), base)
+    assert cmp.ok()
+    assert not cmp.regressions and not cmp.speedups
+    assert all(v.status == "ok" for v in cmp.verdicts)
+
+
+def test_synthetic_2x_slowdown_fails():
+    base = baseline_doc()
+    run = copy.deepcopy(base)
+    run["benchmarks"][1]["median_ns"] = 1000.0  # a.x: 500 -> 1000
+    cmp = compare_reports(run, base)
+    assert not cmp.ok()
+    assert [v.name for v in cmp.regressions] == ["a.x"]
+    assert cmp.regressions[0].ratio == pytest.approx(2.0)
+
+
+def test_10pct_jitter_passes():
+    base = baseline_doc()
+    run = copy.deepcopy(base)
+    run["benchmarks"][1]["median_ns"] = 550.0
+    run["benchmarks"][2]["median_ns"] = 1800.0
+    assert compare_reports(run, base).ok()
+
+
+def test_speedups_reported_not_fatal():
+    base = baseline_doc()
+    run = copy.deepcopy(base)
+    run["benchmarks"][1]["median_ns"] = 100.0
+    cmp = compare_reports(run, base)
+    assert cmp.ok()
+    assert [v.name for v in cmp.speedups] == ["a.x"]
+
+
+def test_per_bench_tolerance_band_honored():
+    base = baseline_doc()
+    run = copy.deepcopy(base)
+    # +40%: outside a.x's default 25% band, inside a.y's 50% band.
+    run["benchmarks"][1]["median_ns"] = 700.0
+    run["benchmarks"][2]["median_ns"] = 2800.0
+    cmp = compare_reports(run, base)
+    assert [v.name for v in cmp.regressions] == ["a.x"]
+
+
+def test_machine_speed_normalization_absorbs_uniform_slowdown():
+    base = baseline_doc()
+    run = copy.deepcopy(base)
+    for entry in run["benchmarks"]:
+        entry["median_ns"] *= 2.0  # a uniformly 2x slower machine
+    cmp = compare_reports(run, base)
+    assert cmp.normalized and cmp.scale == pytest.approx(2.0)
+    assert cmp.ok()
+    # ...but with normalization off it reads as a regression.
+    assert not compare_reports(run, base, normalize=False).ok()
+
+
+def test_normalization_does_not_hide_real_regression():
+    base = baseline_doc()
+    run = copy.deepcopy(base)
+    for entry in run["benchmarks"]:
+        entry["median_ns"] *= 2.0
+    run["benchmarks"][1]["median_ns"] *= 2.0  # a.x 4x total: 2x real
+    cmp = compare_reports(run, base)
+    assert [v.name for v in cmp.regressions] == ["a.x"]
+
+
+def test_normalization_off_without_calibration_benchmark():
+    base = make_doc([make_entry("a.x", 500.0)])
+    run = copy.deepcopy(base)
+    cmp = compare_reports(run, base)
+    assert not cmp.normalized and cmp.scale == 1.0
+    assert cmp.ok()
+
+
+def test_calibration_benchmark_itself_never_gated():
+    base = baseline_doc()
+    run = copy.deepcopy(base)
+    run["benchmarks"][0]["median_ns"] = 10_000.0  # spin 10x slower
+    run["benchmarks"][1]["median_ns"] = 5_000.0   # matches the 10x scale
+    run["benchmarks"][2]["median_ns"] = 20_000.0
+    cmp = compare_reports(run, base)
+    assert cmp.ok()
+    assert all(v.name != CALIBRATION_BENCH for v in cmp.verdicts)
+
+
+def test_new_and_missing_benchmarks_reported():
+    base = baseline_doc()
+    run = calibrated_doc([make_entry("a.x", 500.0),
+                          make_entry("a.z", 42.0)])
+    cmp = compare_reports(run, base)
+    assert cmp.new_benchmarks == ["a.z"]
+    assert cmp.missing_benchmarks == ["a.y"]
+    assert cmp.ok()                      # subset runs are legitimate...
+    assert not cmp.ok(require_all=True)  # ...unless the gate demands all
+
+
+def test_mad_guard_absorbs_jitter_on_tiny_baselines():
+    base = calibrated_doc([make_entry("a.fast", 20.0, mad_ns=5.0)])
+    run = copy.deepcopy(base)
+    # 20ns -> 28ns is +40%, but inside 3*MAD of a noisy measurement.
+    run["benchmarks"][1]["median_ns"] = 28.0
+    assert compare_reports(run, base).ok()
+
+
+def test_format_comparison_mentions_verdicts():
+    base = baseline_doc()
+    run = copy.deepcopy(base)
+    run["benchmarks"][1]["median_ns"] = 5000.0
+    text = format_comparison(compare_reports(run, base))
+    assert "REGRESSION" in text and "a.x" in text
+    verbose = format_comparison(compare_reports(run, base), verbose=True)
+    assert "a.y" in verbose
+
+
+# ------------------------------------------------------------- CLI main
+
+def _write(tmp_path, name, doc):
+    path = tmp_path / name
+    path.write_text(json.dumps(doc))
+    return str(path)
+
+
+def test_main_exit_codes(tmp_path, capsys):
+    base = baseline_doc()
+    good = copy.deepcopy(base)
+    bad = copy.deepcopy(base)
+    bad["benchmarks"][1]["median_ns"] = 1000.0
+
+    base_p = _write(tmp_path, "base.json", base)
+    assert compare_main([_write(tmp_path, "good.json", good), base_p]) == 0
+    assert "PERF GATE: ok" in capsys.readouterr().out
+    assert compare_main([_write(tmp_path, "bad.json", bad), base_p]) == 1
+    assert "PERF GATE: FAIL" in capsys.readouterr().err
+
+
+def test_main_rejects_invalid_or_missing_files(tmp_path, capsys):
+    base_p = _write(tmp_path, "base.json", baseline_doc())
+    assert compare_main([str(tmp_path / "absent.json"), base_p]) == 2
+    broken = tmp_path / "broken.json"
+    broken.write_text(json.dumps({"schema_version": 1}))
+    assert compare_main([str(broken), base_p]) == 2
+
+
+def test_entry_tolerance_dominates_default_flag(tmp_path):
+    base = calibrated_doc([make_entry("a.x", 500.0, tolerance=0.25)])
+    run = copy.deepcopy(base)
+    run["benchmarks"][1]["median_ns"] = 700.0  # +40%
+    base_p = _write(tmp_path, "b.json", base)
+    run_p = _write(tmp_path, "r.json", run)
+    # The entry's own 25% band applies even when the CLI default is wide.
+    assert compare_main([run_p, base_p, "--tolerance", "0.9"]) == 1

@@ -1,0 +1,231 @@
+"""The @benchmark registry, timing protocol, and report emission."""
+
+import json
+
+import pytest
+
+from repro.perf import (
+    CALIBRATION_BENCH,
+    Bench,
+    BenchmarkRegistry,
+    DuplicateBenchmarkError,
+    QUICK_TIER,
+    REGISTRY,
+    Tier,
+    benchmark,
+    mad,
+    measure,
+    median,
+    run_benchmarks,
+    save_report,
+    validate_report,
+)
+from repro.perf import report as report_mod
+from repro.perf.harness import BenchmarkDef
+
+
+# ---------------------------------------------------------------- timing
+
+def test_median_and_mad_definitions():
+    assert median([3, 1, 2]) == 2
+    assert median([1, 2, 3, 4]) == 2.5
+    assert mad([1, 1, 1]) == 0
+    # values {1,2,9}: median 2, deviations {1,0,7} -> MAD 1
+    assert mad([1, 2, 9]) == 1
+
+
+def test_median_rejects_empty():
+    with pytest.raises(ValueError):
+        median([])
+
+
+def test_measure_produces_robust_stats():
+    timing = measure(lambda: sum(range(100)), repeats=5, warmup=1,
+                     min_time_s=0.001, max_total_s=5.0)
+    assert timing.repeats == 5
+    assert timing.inner_loops >= 1
+    assert timing.median_ns > 0
+    assert timing.mad_ns >= 0
+    assert timing.min_ns <= timing.median_ns <= timing.max_ns
+    assert timing.last_return == sum(range(100))
+
+
+def test_measure_calibrates_fast_kernels_to_many_loops():
+    timing = measure(lambda: None, repeats=3, warmup=0,
+                     min_time_s=0.002, max_total_s=5.0)
+    assert timing.inner_loops > 100  # a no-op needs batching
+
+
+def test_measure_respects_total_budget():
+    import time
+
+    timing = measure(lambda: time.sleep(0.02), repeats=50, warmup=0,
+                     min_time_s=0.001, max_total_s=0.15)
+    # The budget cut the repeat count but kept enough for a median.
+    assert 3 <= timing.repeats < 50
+
+
+# -------------------------------------------------------------- registry
+
+def test_decorator_registers_with_defaults():
+    reg = BenchmarkRegistry()
+
+    @benchmark("grp.thing", quick=True, registry=reg)
+    def my_bench(b):
+        b(lambda: None)
+
+    assert "grp.thing" in reg
+    defn = reg.get("grp.thing")
+    assert defn.group == "grp"
+    assert defn.quick is True
+    assert defn.tolerance == pytest.approx(0.25)
+
+
+def test_duplicate_name_with_different_function_rejected():
+    reg = BenchmarkRegistry()
+
+    @benchmark("dup.name", registry=reg)
+    def first(b):
+        b(lambda: None)
+
+    with pytest.raises(DuplicateBenchmarkError):
+        @benchmark("dup.name", registry=reg)
+        def second(b):
+            b(lambda: None)
+
+
+def test_reregistering_same_function_is_idempotent():
+    reg = BenchmarkRegistry()
+
+    def kernel(b):
+        b(lambda: None)
+
+    benchmark("re.same", registry=reg)(kernel)
+    benchmark("re.same", registry=reg)(kernel)
+    assert len(reg) == 1
+
+
+def test_invalid_tolerance_rejected():
+    with pytest.raises(ValueError):
+        benchmark("bad.tol", tolerance=0)
+
+
+def test_select_by_pattern_glob_and_tier():
+    reg = BenchmarkRegistry()
+    for name, quick in (("a.one", True), ("a.two", False), ("b.one", True)):
+        reg.register(BenchmarkDef(name=name, func=lambda b: None,
+                                  group=name.split(".")[0], quick=quick,
+                                  tolerance=0.25, module="m"))
+    assert [d.name for d in reg.select(pattern="a.")] == ["a.one", "a.two"]
+    assert [d.name for d in reg.select(pattern="a.*")] == ["a.one", "a.two"]
+    assert [d.name for d in reg.select(pattern="*.one")] == ["a.one", "b.one"]
+    assert [d.name for d in reg.select(quick=True)] == ["a.one", "b.one"]
+    assert [d.name for d in reg.select(pattern="a.", quick=True)] == ["a.one"]
+
+
+# ----------------------------------------------------------- run + report
+
+def _quick_tier():
+    return Tier(repeats=3, warmup=0, min_time_s=0.0005, max_total_s=1.0)
+
+
+def test_run_benchmarks_emits_schema_valid_report(tmp_path):
+    reg = BenchmarkRegistry()
+
+    @benchmark("t.fast", quick=True, registry=reg)
+    def fast(b):
+        b(lambda: 1 + 1)
+        b.note("answer", 2)
+
+    doc = run_benchmarks(registry=reg, quick=True, tier=_quick_tier())
+    assert validate_report(doc) == []
+    names = [e["name"] for e in doc["benchmarks"]]
+    assert names == ["t.fast"]
+    entry = doc["benchmarks"][0]
+    assert entry["notes"] == {"answer": 2}
+    assert entry["median_ns"] > 0
+    assert doc["quick"] is True
+    assert doc["environment"]["python"]
+
+    out = save_report(doc, tmp_path / "BENCH_test.json")
+    reloaded = json.loads(out.read_text())
+    assert validate_report(reloaded) == []
+
+
+def test_run_benchmarks_includes_calibration_from_global_registry():
+    doc = run_benchmarks(quick=True, filter_pattern="no-such-bench-xyz",
+                         tier=_quick_tier())
+    assert [e["name"] for e in doc["benchmarks"]] == [CALIBRATION_BENCH]
+
+
+def test_benchmark_that_never_times_is_an_error():
+    reg = BenchmarkRegistry()
+
+    @benchmark("t.lazy", quick=True, registry=reg)
+    def lazy(b):
+        pass
+
+    with pytest.raises(RuntimeError, match="never invoked"):
+        run_benchmarks(registry=reg, quick=True, tier=_quick_tier())
+
+
+def test_benchmark_exception_carries_name():
+    reg = BenchmarkRegistry()
+
+    @benchmark("t.boom", quick=True, registry=reg)
+    def boom(b):
+        raise ValueError("kaboom")
+
+    with pytest.raises(RuntimeError, match="t.boom"):
+        run_benchmarks(registry=reg, quick=True, tier=_quick_tier())
+
+
+def test_quick_flag_reaches_bench_handle():
+    reg = BenchmarkRegistry()
+    seen = {}
+
+    @benchmark("t.tiered", quick=True, registry=reg)
+    def tiered(b):
+        seen["quick"] = b.quick
+        b(lambda: None)
+
+    run_benchmarks(registry=reg, quick=True, tier=_quick_tier())
+    assert seen["quick"] is True
+    run_benchmarks(registry=reg, quick=False, tier=_quick_tier())
+    assert seen["quick"] is False
+
+
+def test_narratives_are_captured_into_report(tmp_path):
+    reg = BenchmarkRegistry()
+    previous_dir = report_mod.RESULTS_DIR
+    report_mod.set_results_dir(tmp_path / "results")
+
+    @benchmark("t.story", quick=True, registry=reg)
+    def story(b):
+        report_mod.write_result("story_table", "hello narrative")
+        b(lambda: None)
+
+    try:
+        doc = run_benchmarks(registry=reg, quick=True, tier=_quick_tier())
+        assert doc["narratives"] == {"story_table": "hello narrative"}
+        # The .txt rendering is (re)written when the report is saved.
+        (tmp_path / "results" / "story_table.txt").unlink()
+        save_report(doc, tmp_path / "BENCH_x.json")
+        assert (tmp_path / "results" / "story_table.txt").read_text() \
+            == "hello narrative\n"
+    finally:
+        report_mod.set_results_dir(previous_dir)
+
+
+def test_save_report_refuses_invalid_document(tmp_path):
+    with pytest.raises(ValueError, match="schema-invalid"):
+        save_report({"schema_version": 1}, tmp_path / "BENCH_bad.json")
+
+
+def test_global_registry_has_calibration_benchmark():
+    assert CALIBRATION_BENCH in REGISTRY
+    defn = REGISTRY.get(CALIBRATION_BENCH)
+    assert defn.quick is True
+    bench = Bench(defn, QUICK_TIER, quick=True)
+    defn.func(bench)
+    assert bench.timing is not None and bench.timing.median_ns > 0

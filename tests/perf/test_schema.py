@@ -1,0 +1,90 @@
+"""The versioned report schema validator."""
+
+import copy
+
+from repro.perf import SCHEMA_VERSION, validate_report
+
+from .conftest import make_doc, make_entry
+
+
+def valid_doc():
+    return make_doc([make_entry("a.x", 100.0), make_entry("a.y", 200.0)])
+
+
+def test_valid_document_passes():
+    assert validate_report(valid_doc()) == []
+
+
+def test_non_object_rejected():
+    assert validate_report([]) != []
+    assert validate_report("nope") != []
+    assert validate_report(None) != []
+
+
+def test_missing_top_level_keys_reported():
+    doc = valid_doc()
+    del doc["environment"]
+    del doc["created"]
+    problems = validate_report(doc)
+    assert any("environment" in p for p in problems)
+    assert any("created" in p for p in problems)
+
+
+def test_future_schema_version_rejected():
+    doc = valid_doc()
+    doc["schema_version"] = SCHEMA_VERSION + 1
+    assert any("newer than supported" in p for p in validate_report(doc))
+
+
+def test_wrong_kind_rejected():
+    doc = valid_doc()
+    doc["kind"] = "something-else"
+    assert any("kind" in p for p in validate_report(doc))
+
+
+def test_bool_is_not_a_valid_number():
+    doc = valid_doc()
+    doc["benchmarks"][0]["median_ns"] = True
+    assert any("median_ns" in p for p in validate_report(doc))
+
+
+def test_missing_bench_keys_reported():
+    doc = valid_doc()
+    del doc["benchmarks"][0]["samples_ns"]
+    del doc["benchmarks"][1]["tolerance"]
+    problems = validate_report(doc)
+    assert any("benchmarks[0]" in p and "samples_ns" in p for p in problems)
+    assert any("benchmarks[1]" in p and "tolerance" in p for p in problems)
+
+
+def test_duplicate_names_rejected():
+    doc = make_doc([make_entry("dup.n", 1.0), make_entry("dup.n", 2.0)])
+    assert any("duplicates" in p for p in validate_report(doc))
+
+
+def test_negative_and_empty_samples_rejected():
+    doc = valid_doc()
+    doc["benchmarks"][0]["samples_ns"] = []
+    assert any("non-empty" in p for p in validate_report(doc))
+    doc = valid_doc()
+    doc["benchmarks"][0]["samples_ns"] = [1.0, -2.0]
+    assert any(">= 0" in p for p in validate_report(doc))
+
+
+def test_nonpositive_tolerance_rejected():
+    doc = valid_doc()
+    doc["benchmarks"][0]["tolerance"] = 0
+    assert any("tolerance" in p for p in validate_report(doc))
+
+
+def test_bad_narratives_rejected():
+    doc = valid_doc()
+    doc["narratives"] = {"table": 42}
+    assert any("narratives" in p for p in validate_report(doc))
+
+
+def test_validation_does_not_mutate_document():
+    doc = valid_doc()
+    snapshot = copy.deepcopy(doc)
+    validate_report(doc)
+    assert doc == snapshot
