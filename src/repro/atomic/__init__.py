@@ -16,9 +16,23 @@ such primitive, so this package provides two stand-ins:
   for the discrete-event simulator and for property tests, with an
   injectable interference hook so tests can force CAS failures at exact
   points in the retry loop.
+
+* :class:`~repro.atomic.stepped.SteppedAtomicWord` /
+  :class:`~repro.atomic.stepped.SteppedAtomicArray` — step-instrumented
+  variants for the schedule-exploring model checker (:mod:`repro.check`):
+  every operation is a scheduling point at which a controlled scheduler
+  may switch simulated CPUs.
 """
 
 from repro.atomic.primitives import AtomicArray, AtomicWord
 from repro.atomic.simatomic import InterferenceHook, SimAtomicWord
+from repro.atomic.stepped import SteppedAtomicArray, SteppedAtomicWord
 
-__all__ = ["AtomicWord", "AtomicArray", "SimAtomicWord", "InterferenceHook"]
+__all__ = [
+    "AtomicWord",
+    "AtomicArray",
+    "SimAtomicWord",
+    "InterferenceHook",
+    "SteppedAtomicWord",
+    "SteppedAtomicArray",
+]

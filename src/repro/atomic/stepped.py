@@ -1,0 +1,168 @@
+"""Step-instrumented atomic primitives for schedule exploration.
+
+The model checker (:mod:`repro.check`) runs the real lockless logger
+under a controlled scheduler that decides, at every shared-memory
+operation, which simulated CPU runs next.  These primitives make each
+operation such a *scheduling point*: immediately before the effect of a
+``load``/``store``/``compare_and_store``/``fetch_and_add`` takes place,
+the word calls a yield function, giving the scheduler the chance to run
+a competitor first — exactly the interleavings a preemptible machine
+can produce around a ``lwarx``/``stwcx.`` pair.
+
+An optional observer is called *after* each operation with the operation
+name and its outcome; the checker uses it to track reservations and
+commits without touching the logger.  ``peek``/``peek_all`` read the
+value without a scheduling point, for invariant checks run from the
+scheduler itself (a checker observing memory is not a protocol
+participant).
+
+Only one task runs at a time under the checker's scheduler, so these
+classes need no internal locking; they must not be shared between truly
+concurrent threads.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+_WORD_MASK = (1 << 64) - 1
+
+#: Called before an operation's effect: ``yield_fn(label)``.
+YieldFn = Callable[[str], None]
+#: Called after an operation: ``observer(name, op, args_tuple, result)``.
+Observer = Callable[[str, str, tuple, object], None]
+
+
+class SteppedAtomicWord:
+    """A 64-bit word whose every operation is an explicit scheduling point."""
+
+    def __init__(
+        self,
+        initial: int = 0,
+        yield_fn: Optional[YieldFn] = None,
+        observer: Optional[Observer] = None,
+        name: str = "word",
+    ) -> None:
+        self._value = initial & _WORD_MASK
+        self.yield_fn = yield_fn
+        self.observer = observer
+        self.name = name
+
+    # -- checker-side access (no scheduling point) ---------------------
+    def peek(self) -> int:
+        """Read the value without yielding (checker/invariant use only)."""
+        return self._value
+
+    # -- protocol-side operations (each one a scheduling point) --------
+    def load(self) -> int:
+        if self.yield_fn is not None:
+            self.yield_fn(f"{self.name}.load")
+        value = self._value
+        if self.observer is not None:
+            self.observer(self.name, "load", (), value)
+        return value
+
+    def store(self, value: int) -> None:
+        if self.yield_fn is not None:
+            self.yield_fn(f"{self.name}.store")
+        old = self._value
+        self._value = value & _WORD_MASK
+        if self.observer is not None:
+            self.observer(self.name, "store", (old, self._value), None)
+
+    def compare_and_store(self, expected: int, new: int) -> bool:
+        if self.yield_fn is not None:
+            self.yield_fn(f"{self.name}.cas")
+        expected &= _WORD_MASK
+        new &= _WORD_MASK
+        ok = self._value == expected
+        if ok:
+            self._value = new
+        if self.observer is not None:
+            self.observer(self.name, "cas", (expected, new), ok)
+        return ok
+
+    def fetch_and_add(self, delta: int) -> int:
+        if self.yield_fn is not None:
+            self.yield_fn(f"{self.name}.faa")
+        old = self._value
+        self._value = (old + delta) & _WORD_MASK
+        if self.observer is not None:
+            self.observer(self.name, "faa", (old, self._value), old)
+        return old
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"SteppedAtomicWord({self.name}={self._value:#x})"
+
+
+class SteppedAtomicArray:
+    """Per-element stepped atomic words (the committed-count seam)."""
+
+    def __init__(
+        self,
+        length: int,
+        initial: int = 0,
+        yield_fn: Optional[YieldFn] = None,
+        observer: Optional[Observer] = None,
+        name: str = "array",
+    ) -> None:
+        if length < 0:
+            raise ValueError("length must be non-negative")
+        self._values = [initial & _WORD_MASK] * length
+        self.yield_fn = yield_fn
+        self.observer = observer
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._values)
+
+    def peek(self, index: int) -> int:
+        """Read one element without yielding (checker/invariant use only)."""
+        return self._values[index]
+
+    def peek_all(self) -> list:
+        return list(self._values)
+
+    def load(self, index: int) -> int:
+        if self.yield_fn is not None:
+            self.yield_fn(f"{self.name}[{index}].load")
+        value = self._values[index]
+        if self.observer is not None:
+            self.observer(f"{self.name}[{index}]", "load", (index,), value)
+        return value
+
+    def store(self, index: int, value: int) -> None:
+        if self.yield_fn is not None:
+            self.yield_fn(f"{self.name}[{index}].store")
+        old = self._values[index]
+        self._values[index] = value & _WORD_MASK
+        if self.observer is not None:
+            self.observer(f"{self.name}[{index}]", "store",
+                          (index, old, self._values[index]), None)
+
+    def compare_and_store(self, index: int, expected: int, new: int) -> bool:
+        if self.yield_fn is not None:
+            self.yield_fn(f"{self.name}[{index}].cas")
+        expected &= _WORD_MASK
+        new &= _WORD_MASK
+        ok = self._values[index] == expected
+        if ok:
+            self._values[index] = new
+        if self.observer is not None:
+            self.observer(f"{self.name}[{index}]", "cas",
+                          (index, expected, new), ok)
+        return ok
+
+    def fetch_and_add(self, index: int, delta: int) -> int:
+        if self.yield_fn is not None:
+            self.yield_fn(f"{self.name}[{index}].faa")
+        old = self._values[index]
+        self._values[index] = (old + delta) & _WORD_MASK
+        if self.observer is not None:
+            self.observer(f"{self.name}[{index}]", "faa",
+                          (index, old, self._values[index]), old)
+        return old
+
+    def snapshot(self) -> list:
+        """Element-wise copy (mirrors :meth:`AtomicArray.snapshot`)."""
+        return [self.load(i) for i in range(len(self._values))]

@@ -1,0 +1,173 @@
+"""Deterministic cooperative runtime for schedule exploration.
+
+Each simulated CPU (a *task*) runs real logger code on its own Python
+thread, but only one task is ever runnable: control passes between the
+scheduler and the chosen task through a pair of semaphores, so execution
+is a deterministic function of the scheduler's choices.  A task advances
+in *steps*: resuming it executes exactly one pending shared-memory
+operation (the one whose scheduling point it is parked at) plus all
+thread-local code up to the next scheduling point.
+
+Tasks can also be *killed* — the model of a thread destroyed mid-log
+(§3.1's "preempted or killed" writer).  A killed task is unwound by
+raising :class:`TaskKilled` at its parked scheduling point; the pending
+operation never executes, leaving exactly the reserved-but-unwritten (or
+written-but-uncommitted) hole the committed-count heuristic must catch.
+
+The GIL is irrelevant here: concurrency is *modeled*, not real.  The
+same schedule always produces the same memory states, which is what
+makes counterexamples replayable.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional
+
+#: Seconds to wait on a handoff before declaring the engine wedged.  A
+#: correct system under test never blocks between scheduling points, so
+#: hitting this means a bug in the harness (or a lock in the SUT).
+HANDOFF_TIMEOUT = 30.0
+
+READY = "ready"
+DONE = "done"
+KILLED = "killed"
+FAILED = "failed"
+
+
+class EngineError(RuntimeError):
+    """The cooperative machinery itself broke (deadlock, bad handoff)."""
+
+
+class TaskKilled(BaseException):
+    """Unwinds a killed task's stack.
+
+    Derives from ``BaseException`` so logger-level ``except Exception``
+    handlers (none today, but futureproof) cannot swallow the kill.
+    """
+
+
+class Task:
+    """One simulated CPU: a thread that runs only when scheduled."""
+
+    def __init__(self, tid: int, name: str, fn: Callable[[], None]) -> None:
+        self.tid = tid
+        self.name = name
+        self.fn = fn
+        self.state = READY
+        self.pending: Optional[str] = None  # label of the parked op
+        self.error: Optional[BaseException] = None
+        self.kill_flag = False
+        self.sem = threading.Semaphore(0)
+        self.thread: Optional[threading.Thread] = None
+
+
+class CoopRuntime:
+    """Owns the tasks and the scheduler<->task handoff protocol."""
+
+    def __init__(self) -> None:
+        self.tasks: List[Task] = []
+        self.current: Optional[Task] = None
+        self._sched_sem = threading.Semaphore(0)
+        self._started = False
+
+    # -- setup ---------------------------------------------------------
+    def spawn(self, name: str, fn: Callable[[], None]) -> Task:
+        if self._started:
+            raise EngineError("cannot spawn after stepping began")
+        task = Task(len(self.tasks), name, fn)
+        self.tasks.append(task)
+        return task
+
+    def _bootstrap(self, task: Task) -> None:
+        # First resume: park at a synthetic "task start" point so the
+        # scheduler controls even the first real operation.
+        task.sem.acquire()
+        try:
+            if task.kill_flag:
+                raise TaskKilled()
+            task.fn()
+            task.state = DONE
+        except TaskKilled:
+            task.state = KILLED
+        except BaseException as exc:  # invariant violations or SUT bugs
+            task.state = FAILED
+            task.error = exc
+        finally:
+            task.pending = None
+            self._sched_sem.release()
+
+    def _ensure_threads(self) -> None:
+        if self._started:
+            return
+        self._started = True
+        for task in self.tasks:
+            task.thread = threading.Thread(
+                target=self._bootstrap, args=(task,),
+                name=f"check-{task.name}", daemon=True,
+            )
+            task.thread.start()
+
+    # -- called from inside a task -------------------------------------
+    def yield_point(self, label: str) -> None:
+        """A scheduling point: park and wait to be rescheduled.
+
+        No-op when called outside a task (e.g. during sequential setup
+        such as ``logger.start()`` on the main thread), so instrumented
+        structures can be used before concurrency begins.
+        """
+        task = self.current
+        if task is None or threading.current_thread() is not task.thread:
+            return
+        task.pending = label
+        self._sched_sem.release()
+        task.sem.acquire()
+        if task.kill_flag:
+            raise TaskKilled()
+
+    # -- called from the scheduler -------------------------------------
+    def enabled(self) -> List[Task]:
+        return [t for t in self.tasks if t.state == READY]
+
+    def step(self, task: Task) -> Task:
+        """Run ``task`` until its next scheduling point (or completion)."""
+        if task.state != READY:
+            raise EngineError(f"cannot step {task.name}: state={task.state}")
+        self._ensure_threads()
+        self.current = task
+        task.sem.release()
+        if not self._sched_sem.acquire(timeout=HANDOFF_TIMEOUT):
+            raise EngineError(
+                f"handoff timed out stepping {task.name} "
+                f"(blocked outside a scheduling point?)"
+            )
+        self.current = None
+        return task
+
+    def kill(self, task: Task) -> None:
+        """Kill a parked task: its pending operation never executes."""
+        if task.state != READY:
+            raise EngineError(f"cannot kill {task.name}: state={task.state}")
+        self._ensure_threads()
+        task.kill_flag = True
+        # Resume it so the raise at the parked yield point unwinds the
+        # stack; this executes no system-under-test code.
+        self.current = task
+        task.sem.release()
+        if not self._sched_sem.acquire(timeout=HANDOFF_TIMEOUT):
+            raise EngineError(f"handoff timed out killing {task.name}")
+        self.current = None
+        if task.state != KILLED:
+            raise EngineError(
+                f"kill of {task.name} left state={task.state}"
+            )
+
+    def shutdown(self) -> None:
+        """Tear down any still-parked tasks (after a violation stops a
+        schedule early).  Idempotent."""
+        for task in self.tasks:
+            if task.state == READY and task.thread is not None:
+                try:
+                    self.kill(task)
+                except EngineError:
+                    task.state = FAILED

@@ -1,0 +1,193 @@
+"""Instrumented trace memory, stepped clock, and the execution probe.
+
+Three pieces the harness plugs into a :class:`TraceControl` under test:
+
+* :class:`InstrumentedArray` — the trace memory.  Every word write is a
+  scheduling point, and the array remembers *who* wrote each position so
+  the checker can detect overlapping reservations directly: in a
+  wrap-free run no trace word is ever legitimately written twice, so a
+  rewrite means two writers were handed the same words.  Reads are not
+  scheduling points — a 64-bit aligned load is atomic on the modeled
+  hardware, and serialized execution means a read always sees a
+  word-consistent value.
+
+* :class:`StepClock` — a per-read auto-incrementing clock whose ``now``
+  is itself a scheduling point (the paper's argument about re-reading
+  the timestamp inside the CAS retry loop is precisely about what can
+  happen *between* the clock read and the reservation).  Distinct reads
+  return distinct, strictly increasing ticks, so any timestamp
+  regression in a decoded trace is a genuine ordering bug, never a tie.
+
+* :class:`Probe` — passive bookkeeping fed by the stepped primitives'
+  observer hooks: which words each task reserved (successful index CAS
+  or store transitions), which it wrote, and how many words it committed
+  per buffer.  The kill/torn-event invariants are phrased over this
+  record.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.check.coop import CoopRuntime
+
+
+class DoubleWriteError(AssertionError):
+    """A trace word was written twice in a wrap-free run."""
+
+
+class InstrumentedArray(list):
+    """Trace memory whose word writes are scheduling points.
+
+    Slice assignment (used only by zero-ahead's ``zero_slot``) is
+    treated as one bookkeeping operation: a single scheduling point, and
+    it *resets* ownership of the zeroed range rather than recording a
+    write.
+    """
+
+    def __init__(self, length: int, runtime: CoopRuntime,
+                 probe: "Probe") -> None:
+        super().__init__([0] * length)
+        self.runtime = runtime
+        self.probe = probe
+        # position -> tid of the writing task (None = setup phase)
+        self.owner: Dict[int, Optional[int]] = {}
+
+    def __setitem__(self, key, value):  # type: ignore[override]
+        if isinstance(key, slice):
+            self.runtime.yield_point("mem.zero")
+            for pos in range(*key.indices(len(self))):
+                self.owner.pop(pos, None)
+            return super().__setitem__(key, value)
+        self.runtime.yield_point(f"mem[{key}]")
+        task = self.runtime.current
+        tid = task.tid if task is not None else None
+        if key in self.owner:
+            prev = self.owner[key]
+            raise DoubleWriteError(
+                f"trace word {key} rewritten by task {tid} "
+                f"(first written by task {prev}): overlapping reservation"
+            )
+        self.owner[key] = tid
+        self.probe.on_write(tid, key)
+        return super().__setitem__(key, value)
+
+
+class StepClock:
+    """Manually-ticked clock; each read is a scheduling point.
+
+    Auto-advances by one tick per read so that every observed timestamp
+    is unique — ties can never mask an ordering violation.
+    """
+
+    cost_cycles = 10
+
+    def __init__(self, runtime: CoopRuntime, start: int = 1) -> None:
+        self.runtime = runtime
+        self._now = start
+
+    def now(self, cpu: int = 0) -> int:
+        self.runtime.yield_point("clock.read")
+        self._now += 1
+        return self._now
+
+    def peek(self) -> int:
+        return self._now
+
+
+class Probe:
+    """Execution record used by the invariant engine.
+
+    Fed by the observer hooks of the stepped index word, the stepped
+    committed array, and the instrumented trace memory.  All keys are
+    *word positions* or *buffer sequence numbers*; runs are wrap-free,
+    so position ``p`` belongs to buffer ``p // buffer_words``.
+    """
+
+    def __init__(self, runtime: CoopRuntime, buffer_words: int) -> None:
+        self.runtime = runtime
+        self.buffer_words = buffer_words
+        # tid -> list of reserved (start, end) word ranges
+        self.reserved: Dict[Optional[int], List[Tuple[int, int]]] = {}
+        # tid -> set of word positions written
+        self.written: Dict[Optional[int], Set[int]] = {}
+        # tid -> {seq: words committed}
+        self.committed_by: Dict[Optional[int], Dict[int, int]] = {}
+        # tid -> buffer seqs whose start-bookkeeping the task claimed
+        self.booked: Dict[Optional[int], Set[int]] = {}
+        self._index_prev = 0
+
+    def _tid(self) -> Optional[int]:
+        task = self.runtime.current
+        return task.tid if task is not None else None
+
+    # -- observer hooks -------------------------------------------------
+    def on_write(self, tid: Optional[int], pos: int) -> None:
+        self.written.setdefault(tid, set()).add(pos)
+
+    def on_index(self, name: str, op: str, args: tuple, result) -> None:
+        """Observer for the reservation index word."""
+        tid = self._tid()
+        if op == "cas" and result:
+            old, new = args
+            if new > old:
+                self.reserved.setdefault(tid, []).append((old, new))
+        elif op == "store":
+            old, new = args
+            if new > old:
+                # A store-based bump (the non-atomic mutant) still counts
+                # as that task's reservation for hole accounting.
+                self.reserved.setdefault(tid, []).append((old, new))
+
+    def on_booked(self, name: str, op: str, args: tuple, result) -> None:
+        """Observer for the booked_seq word."""
+        if op == "cas" and result:
+            _, new = args
+            self.booked.setdefault(self._tid(), set()).add(new)
+
+    def on_committed(self, name: str, op: str, args: tuple, result) -> None:
+        """Observer for the committed-count array (generation-tagged)."""
+        from repro.core.constants import COMMIT_COUNT_MASK, COMMIT_SEQ_SHIFT
+
+        if op == "cas" and result:
+            _, old, new = args
+            tag = new >> COMMIT_SEQ_SHIFT
+            old_count = (
+                old & COMMIT_COUNT_MASK
+                if (old >> COMMIT_SEQ_SHIFT) == tag else 0
+            )
+            delta = (new & COMMIT_COUNT_MASK) - old_count
+            seq = tag  # wrap-free runs: tag == seq
+            per = self.committed_by.setdefault(self._tid(), {})
+            per[seq] = per.get(seq, 0) + delta
+        elif op == "store":
+            # Raw store (the reset-on-book mutant): not attributed.
+            pass
+
+    # -- derived views --------------------------------------------------
+    def reserved_words_by_seq(self, tid: Optional[int]) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        bw = self.buffer_words
+        for start, end in self.reserved.get(tid, ()):
+            for pos in range(start, end):
+                out[pos // bw] = out.get(pos // bw, 0) + 1
+        return out
+
+    def written_words_by_seq(self, tid: Optional[int]) -> Dict[int, int]:
+        out: Dict[int, int] = {}
+        bw = self.buffer_words
+        for pos in self.written.get(tid, ()):
+            out[pos // bw] = out.get(pos // bw, 0) + 1
+        return out
+
+    def torn_seqs(self, tid: Optional[int]) -> Set[int]:
+        """Buffers where ``tid`` left reserved words unwritten or
+        written words uncommitted — the footprint a kill must expose."""
+        reserved = self.reserved_words_by_seq(tid)
+        written = self.written_words_by_seq(tid)
+        committed = self.committed_by.get(tid, {})
+        torn = set()
+        for seq, n in reserved.items():
+            if written.get(seq, 0) < n or committed.get(seq, 0) < n:
+                torn.add(seq)
+        return torn

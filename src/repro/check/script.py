@@ -1,0 +1,124 @@
+"""Replayable schedule scripts (JSON).
+
+A counterexample is only useful if it reproduces somewhere else: this
+module serializes a failing schedule — the configuration plus the full
+list of executed scheduling choices — as a small JSON document, and
+replays one deterministically.  Replay forces the scripted choices
+through the harness with ``on_infeasible="error"``: because the harness
+is deterministic, a script produced from an executed schedule replays
+identically, and any divergence means the script does not match the
+code under test (wrong config, edited script, or a changed logger).
+
+Format (``repro-check-schedule-v1``)::
+
+    {
+      "format": "repro-check-schedule-v1",
+      "config":  { ... CheckConfig fields ... },
+      "choices": [{"run": 0}, {"kill": 1}, ...],
+      "violation": {"invariant": ..., "detail": ..., "step": ...},
+      "note": "free-form provenance"
+    }
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import List, Optional
+
+from repro.check.harness import (
+    Action,
+    CheckConfig,
+    ScheduleOutcome,
+    run_schedule,
+)
+
+FORMAT = "repro-check-schedule-v1"
+
+
+@dataclass
+class ScheduleScript:
+    """A serializable schedule: config + choices (+ what it violated)."""
+
+    config: CheckConfig
+    choices: List[Action]
+    violation: Optional[dict] = None
+    note: str = ""
+
+    @classmethod
+    def from_outcome(cls, outcome: ScheduleOutcome,
+                     note: str = "") -> "ScheduleScript":
+        violation = None
+        if outcome.violation is not None:
+            violation = asdict(outcome.violation)
+        return cls(
+            config=outcome.config,
+            choices=list(outcome.choices),
+            violation=violation,
+            note=note,
+        )
+
+    def replay(self, strict: bool = True) -> ScheduleOutcome:
+        """Re-execute the scripted schedule deterministically."""
+        return run_schedule(
+            self.config,
+            prefix=self.choices,
+            on_infeasible="error" if strict else "default",
+        )
+
+    def to_json(self) -> str:
+        doc = {
+            "format": FORMAT,
+            "config": asdict(self.config),
+            "choices": [{kind: tid} for kind, tid in self.choices],
+            "violation": self.violation,
+            "note": self.note,
+        }
+        return json.dumps(doc, indent=2) + "\n"
+
+
+def save_script(script: ScheduleScript, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as fh:
+        fh.write(script.to_json())
+
+
+def _parse_choice(entry: dict, i: int) -> Action:
+    if not isinstance(entry, dict) or len(entry) != 1:
+        raise ValueError(f"choice {i}: expected one-key object, got {entry!r}")
+    (kind, tid), = entry.items()
+    if kind not in ("run", "kill"):
+        raise ValueError(f"choice {i}: unknown kind {kind!r}")
+    if not isinstance(tid, int) or tid < 0:
+        raise ValueError(f"choice {i}: bad task id {tid!r}")
+    return (kind, tid)
+
+
+def load_script(path: str) -> ScheduleScript:
+    """Parse and validate a schedule script file."""
+    with open(path, "r", encoding="utf-8") as fh:
+        doc = json.load(fh)
+    if not isinstance(doc, dict) or doc.get("format") != FORMAT:
+        raise ValueError(
+            f"not a schedule script: format is {doc.get('format')!r}, "
+            f"expected {FORMAT!r}"
+        )
+    raw_config = doc.get("config", {})
+    known = {f.name for f in
+             CheckConfig.__dataclass_fields__.values()}  # type: ignore[attr-defined]
+    unknown = set(raw_config) - known
+    if unknown:
+        raise ValueError(f"unknown config fields: {sorted(unknown)}")
+    config = CheckConfig(**raw_config)
+    choices = [
+        _parse_choice(entry, i)
+        for i, entry in enumerate(doc.get("choices", []))
+    ]
+    return ScheduleScript(
+        config=config,
+        choices=choices,
+        violation=doc.get("violation"),
+        note=str(doc.get("note", "")),
+    )
+
+
+__all__ = ["FORMAT", "ScheduleScript", "save_script", "load_script"]

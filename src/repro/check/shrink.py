@@ -1,0 +1,107 @@
+"""Counterexample minimization (delta-debugging over schedules).
+
+A raw failing schedule from the explorer carries every choice made along
+the way, most of which are irrelevant to the bug.  Shrinking reduces it
+to the shortest forced prefix that still trips the *same* invariant
+(matching on the invariant id — a different failure is a different bug,
+not a smaller instance of this one), in two alternating phases:
+
+1. **prefix truncation** — find the shortest prefix of the choices
+   that still fails when the rest of the schedule follows the default
+   non-preempting policy;
+2. **choice elimination** — delete forced choices one at a time,
+   keeping each deletion that preserves the failure, until a fixpoint.
+
+Both phases re-execute candidates through the deterministic harness, so
+the minimized schedule is guaranteed to reproduce — the replay script
+is written from the minimized schedule's *executed* choices, never from
+an untested edit.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.check.harness import Action, CheckConfig, ScheduleOutcome, run_schedule
+
+#: Hard cap on shrink re-executions, so pathological schedules cannot
+#: stall a CI run; the best-so-far counterexample is returned on hitting
+#: it (still a genuine, re-executed failure — just not minimal).
+MAX_SHRINK_RUNS = 4000
+
+
+class _Budget:
+    def __init__(self, result=None) -> None:
+        self.runs = 0
+        self.result = result  # optional ExploreResult to bill steps to
+
+    def run(self, config: CheckConfig,
+            prefix: List[Action]) -> Optional[ScheduleOutcome]:
+        if self.runs >= MAX_SHRINK_RUNS:
+            return None
+        self.runs += 1
+        outcome = run_schedule(config, prefix=prefix)
+        if self.result is not None:
+            self.result.schedules += 1
+            self.result.steps += outcome.steps
+        return outcome
+
+
+def _same_failure(outcome: Optional[ScheduleOutcome],
+                  invariant: str) -> bool:
+    return (
+        outcome is not None
+        and outcome.violation is not None
+        and outcome.violation.invariant == invariant
+    )
+
+
+def _truncate(config: CheckConfig, choices: List[Action], invariant: str,
+              budget: _Budget) -> Optional[tuple]:
+    """Shortest prefix of ``choices`` that still fails the same way."""
+    for n in range(len(choices) + 1):
+        candidate = budget.run(config, choices[:n])
+        if candidate is None:
+            return None
+        if _same_failure(candidate, invariant):
+            return list(choices[:n]), candidate
+    return None
+
+
+def shrink_outcome(
+    config: CheckConfig,
+    outcome: ScheduleOutcome,
+    result=None,
+) -> ScheduleOutcome:
+    """Minimize a failing schedule; returns a re-executed outcome whose
+    violation has the same invariant id as the input's."""
+    assert outcome.violation is not None
+    invariant = outcome.violation.invariant
+    budget = _Budget(result)
+
+    found = _truncate(config, list(outcome.choices), invariant, budget)
+    if found is None:
+        return outcome
+    prefix, best = found
+
+    improved = True
+    while improved:
+        improved = False
+        i = 0
+        while i < len(prefix):
+            candidate_prefix = prefix[:i] + prefix[i + 1:]
+            candidate = budget.run(config, candidate_prefix)
+            if candidate is None:
+                return best
+            if _same_failure(candidate, invariant):
+                prefix, best = candidate_prefix, candidate
+                improved = True
+            else:
+                i += 1
+        found = _truncate(config, prefix, invariant, budget)
+        if found is None:
+            return best
+        if len(found[0]) < len(prefix):
+            prefix, best = found
+            improved = True
+    return best

@@ -22,6 +22,9 @@ file, optionally save the symbol table as JSON, then analyze offline::
     repro-trace inject trace.k42 bad.k42 --kind header-bitflip --seed 7
     repro-trace export-ltt trace.k42 --cpu 0 -o cpu0.ltt
     repro-trace bench --quick --baseline benchmarks/BENCH_baseline.json
+    repro-trace check --writers 2 --events 2 --preemption-bound 2
+    repro-trace check --mutant reset-on-book --save counterexample.json
+    repro-trace check --replay counterexample.json
 
 Every trace-analysis subcommand accepts ``--strict`` (stop at the first
 damage instead of resynchronizing past it) and ``--workers N``
@@ -392,6 +395,148 @@ def cmd_bench(args) -> int:
     return 0
 
 
+def _print_schedule(outcome) -> None:
+    """Render a counterexample schedule step by step."""
+    for point in outcome.points:
+        kind, tid = point.choice
+        label = point.labels.get(tid, "?")
+        mark = "kill" if kind == "kill" else "run "
+        print(f"  step {point.step:>3}: {mark} task {tid} @ {label}")
+
+
+def cmd_check(args) -> int:
+    """Model-check the lockless reserve/commit protocol."""
+    from repro.check import (
+        CheckConfig,
+        MUTANTS,
+        explore_exhaustive,
+        explore_random,
+        load_script,
+        save_script,
+    )
+    from repro.check.harness import ConfigError, ReplayDivergence
+    from repro.check.script import ScheduleScript
+
+    if args.list_mutants:
+        for name, spec in sorted(MUTANTS.items()):
+            print(f"{name:<22} {spec.summary}")
+            print(f"{'':<22} expected: {', '.join(spec.expected)}")
+        return 0
+
+    if args.replay:
+        script = load_script(args.replay)
+        cfg = script.config
+        print(f"replaying {args.replay}: {len(script.choices)} choices, "
+              f"mutant={cfg.mutant or 'none'}")
+        try:
+            outcome = script.replay()
+        except ReplayDivergence as exc:
+            print(f"REPLAY DIVERGED: {exc}", file=sys.stderr)
+            return 2
+        if outcome.violation is not None:
+            v = outcome.violation
+            print(f"reproduced: {v.invariant}")
+            print(f"  {v.detail}")
+            _print_schedule(outcome)
+            return 1
+        if script.violation is not None:
+            print("REPLAY DIVERGED: the script records violation "
+                  f"{script.violation.get('invariant')!r} but the replay "
+                  "ran clean (code under test changed?)", file=sys.stderr)
+            return 2
+        print("replay completed: no violation")
+        return 0
+
+    # Resolve the configuration: explicit flags beat the mutant's
+    # recommended settings, which beat the built-in defaults.
+    spec = None
+    if args.mutant is not None:
+        spec = MUTANTS.get(args.mutant)
+        if spec is None:
+            print(f"unknown mutant {args.mutant!r}; known: "
+                  f"{', '.join(sorted(MUTANTS))}", file=sys.stderr)
+            return 2
+    defaults = {
+        "writers": 2, "events": 2, "data_words": 1, "buffer_words": 8,
+        "num_buffers": 8, "kills": 0, "reader": False, "reader_steps": 3,
+        "preemption_bound": 2,
+    }
+    if spec is not None:
+        defaults.update(spec.config)
+
+    def pick(name):
+        value = getattr(args, name)
+        return defaults[name] if value is None else value
+
+    preemption_bound = pick("preemption_bound")
+    cfg = CheckConfig(
+        writers=pick("writers"),
+        events=pick("events"),
+        data_words=pick("data_words"),
+        buffer_words=pick("buffer_words"),
+        num_buffers=pick("num_buffers"),
+        kills=pick("kills"),
+        reader=bool(pick("reader")),
+        reader_steps=pick("reader_steps"),
+        mutant=args.mutant,
+    )
+    try:
+        cfg.validate()
+    except ConfigError as exc:
+        print(f"bad configuration: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"mode={args.mode} writers={cfg.writers} events={cfg.events} "
+          f"data-words={cfg.data_words} buffer-words={cfg.buffer_words} "
+          f"num-buffers={cfg.num_buffers} kills={cfg.kills} "
+          f"reader={cfg.reader} mutant={cfg.mutant or 'none'}")
+    if args.mode == "exhaustive":
+        print(f"preemption bound {preemption_bound}"
+              + (f", max {args.max_schedules} schedules"
+                 if args.max_schedules else ""))
+        result = explore_exhaustive(
+            cfg, preemption_bound=preemption_bound,
+            max_schedules=args.max_schedules,
+        )
+    else:
+        print(f"{args.schedules} randomized schedules, seed {args.seed}, "
+              f"depth {args.depth}")
+        result = explore_random(
+            cfg, schedules=args.schedules, seed=args.seed, depth=args.depth,
+        )
+
+    print(f"schedules explored: {result.schedules}   "
+          f"steps: {result.steps}")
+    if result.passed:
+        if result.truncated:
+            print(f"stopped at --max-schedules={args.max_schedules} "
+                  "without a violation (NOT a proof)")
+        elif args.mode == "exhaustive":
+            print(f"all interleavings pass "
+                  f"(preemption bound {preemption_bound})")
+        else:
+            print("no violation found")
+        return 0
+
+    v = result.violation
+    print(f"\nVIOLATION: {v.invariant}")
+    print(f"  {v.detail}")
+    if result.mode == "random" and result.iteration is not None:
+        print(f"  found at seed {result.seed} iteration {result.iteration}")
+    mini = result.counterexample
+    print(f"minimized counterexample: {mini.steps} steps, "
+          f"{mini.preemptions} preemption(s), {mini.kills} kill(s) "
+          f"(first found at {result.original.steps} steps)")
+    _print_schedule(mini)
+    if args.save:
+        note = (f"found by repro-trace check --mode {args.mode}; "
+                f"mutant={cfg.mutant or 'none'}")
+        save_script(ScheduleScript.from_outcome(mini, note=note), args.save)
+        print(f"counterexample written to {args.save}")
+        print(f"replay with: repro-trace check --replay {args.save}")
+    return 1
+
+
 def cmd_export_ltt(args) -> int:
     from repro.ltt.export import export_ltt
 
@@ -561,6 +706,71 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("trace")
     sp.add_argument("--cpu", type=int, default=0)
     sp.add_argument("-o", "--output", required=True)
+
+    sp = sub.add_parser(
+        "check",
+        help="model-check the lockless reserve/commit protocol "
+             "(schedule exploration)")
+    sp.set_defaults(fn=cmd_check)
+    # Geometry/config flags default to None so the CLI can tell an
+    # explicit value from "use the mutant's recommended config".
+    sp.add_argument("--writers", type=int, default=None, metavar="N",
+                    help="concurrent writer tasks (default 2)")
+    sp.add_argument("--events", type=int, default=None, metavar="N",
+                    help="events each writer logs (default 2)")
+    sp.add_argument("--data-words", type=int, default=None, metavar="N",
+                    dest="data_words",
+                    help="payload words per event (default 1)")
+    sp.add_argument("--buffer-words", type=int, default=None, metavar="N",
+                    dest="buffer_words",
+                    help="words per trace buffer (default 8)")
+    sp.add_argument("--num-buffers", type=int, default=None, metavar="N",
+                    dest="num_buffers",
+                    help="buffers in the ring (default 8; runs must be "
+                         "wrap-free)")
+    sp.add_argument("--kills", type=int, default=None, metavar="N",
+                    help="writer kills the scheduler may inject "
+                         "(default 0)")
+    sp.add_argument("--reader", action="store_const", const=True,
+                    default=None,
+                    help="run a concurrent reader task that checks "
+                         "committed-covered buffers mid-run")
+    sp.add_argument("--reader-steps", type=int, default=None, metavar="N",
+                    dest="reader_steps",
+                    help="observations the reader takes (default 3)")
+    sp.add_argument("--mode", choices=("exhaustive", "random"),
+                    default="exhaustive",
+                    help="bounded exhaustive DFS, or randomized "
+                         "PCT-style priority schedules")
+    sp.add_argument("--preemption-bound", type=int, default=None,
+                    metavar="N", dest="preemption_bound",
+                    help="max preemptions per schedule in exhaustive "
+                         "mode (default 2)")
+    sp.add_argument("--schedules", type=int, default=500, metavar="N",
+                    help="iterations in random mode (default 500)")
+    sp.add_argument("--seed", type=int, default=0,
+                    help="base seed for random mode; failures report "
+                         "seed + iteration for exact re-runs")
+    sp.add_argument("--depth", type=int, default=3,
+                    help="PCT priority-change points per random "
+                         "schedule (default 3)")
+    sp.add_argument("--max-schedules", type=int, default=None, metavar="N",
+                    dest="max_schedules",
+                    help="stop exhaustive search after N schedules "
+                         "(reported as truncated, not as a proof)")
+    sp.add_argument("--mutant", default=None, metavar="NAME",
+                    help="check a deliberately broken logger instead "
+                         "(see --list-mutants); its recommended config "
+                         "fills in unspecified flags")
+    sp.add_argument("--list-mutants", action="store_true",
+                    dest="list_mutants",
+                    help="list known mutants and exit")
+    sp.add_argument("--save", metavar="PATH",
+                    help="write the minimized counterexample as a "
+                         "replayable JSON schedule script")
+    sp.add_argument("--replay", metavar="PATH",
+                    help="replay a saved schedule script and report "
+                         "whether it still violates")
 
     return p
 

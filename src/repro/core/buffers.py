@@ -30,13 +30,32 @@ from typing import Callable, Deque, List, Literal, Optional
 import numpy as np
 
 from repro.atomic import AtomicArray, AtomicWord
-from repro.core.constants import DEFAULT_BUFFER_WORDS, DEFAULT_NUM_BUFFERS
+from repro.core.constants import (
+    COMMIT_COUNT_MASK,
+    COMMIT_SEQ_SHIFT,
+    DEFAULT_BUFFER_WORDS,
+    DEFAULT_NUM_BUFFERS,
+)
 
 Mode = Literal["writeout", "flight"]
 
 
 def _is_pow2(n: int) -> bool:
     return n > 0 and (n & (n - 1)) == 0
+
+
+def decode_commit_word(seq: int, word: int) -> int:
+    """Committed word count carried by a raw (generation-tagged) commit word.
+
+    Returns the low-half count when the word's tag matches buffer ``seq``,
+    else 0 — the word belongs to a different occupant of the slot (either
+    the count was never started for ``seq``, or the slot has been recycled).
+    Shared by :class:`TraceControl` and the crash-dump reader, which sees
+    the same words in a raw memory image.
+    """
+    if (word >> COMMIT_SEQ_SHIFT) == (seq & COMMIT_COUNT_MASK):
+        return word & COMMIT_COUNT_MASK
+    return 0
 
 
 @dataclass
@@ -59,7 +78,13 @@ class TraceControl:
 
     ``atomic_word_factory`` lets the discrete simulator substitute
     :class:`~repro.atomic.simatomic.SimAtomicWord` (including interference
-    hooks) for the thread-safe default.
+    hooks) for the thread-safe default.  ``atomic_array_factory`` and
+    ``array_factory`` are the matching seams for the per-buffer commit
+    counts and the trace memory itself: the schedule-exploring model
+    checker (:mod:`repro.check`) substitutes step-instrumented variants
+    so that every atomic operation and buffer write becomes an explicit
+    scheduling point.  Defaults are unchanged, so the hot path pays
+    nothing for the seams.
 
     ``zero_ahead`` enables the paper's optional "cheaply zero-filling a
     buffer before use" mitigation (§3.1): unwritten holes then decode as
@@ -79,6 +104,8 @@ class TraceControl:
         zero_ahead: bool = False,
         max_pending: Optional[int] = None,
         atomic_word_factory: Callable[[int], AtomicWord] = AtomicWord,
+        atomic_array_factory: Callable[[int], AtomicArray] = AtomicArray,
+        array_factory: Optional[Callable[[int], List[int]]] = None,
     ) -> None:
         if not _is_pow2(buffer_words):
             raise ValueError("buffer_words must be a power of two")
@@ -99,12 +126,16 @@ class TraceControl:
         #: ints: single-word stores are ~2x faster than numpy element
         #: assignment, and the write path is the hot path — records are
         #: converted to numpy only at (rare) copy-out.
-        self.array: List[int] = [0] * self.total_words
+        self.array: List[int] = (
+            [0] * self.total_words if array_factory is None
+            else array_factory(self.total_words)
+        )
         self._zero_buffer: List[int] = [0] * buffer_words
         #: The reservation index the lockless algorithm CASes on.
         self.index = atomic_word_factory(0)
-        #: Per-buffer committed word counts (traceCommit target).
-        self.committed = AtomicArray(num_buffers)
+        #: Per-buffer committed word counts (traceCommit target).  Each
+        #: word is generation-tagged (see :func:`decode_commit_word`).
+        self.committed = atomic_array_factory(num_buffers)
         #: Highest buffer sequence whose start bookkeeping has been claimed.
         self.booked_seq = atomic_word_factory(0)
         #: Sequence number currently occupying each slot (flight snapshots).
@@ -151,6 +182,43 @@ class TraceControl:
         """Words already reserved in the buffer containing ``index``."""
         return index & (self.buffer_words - 1)
 
+    # -- committed counts (traceCommit) ------------------------------------
+    def commit(self, seq: int, length: int) -> None:
+        """traceCommit: add ``length`` to buffer ``seq``'s committed count.
+
+        Lock-free CAS loop on the slot's generation-tagged word.  The
+        first committer of a new occupant installs the new tag with its
+        own length, resetting the recycled slot implicitly; this is what
+        makes the reset safe without ordering it against the buffer-start
+        bookkeeping (the schedule checker found that a booking-time
+        ``store(slot, 0)`` can erase commits from writers that entered
+        the buffer before the booker ran).  A commit whose buffer has
+        already been recycled (a writer descheduled for a whole ring
+        trip) is dropped — its buffer is gone, and polluting the new
+        occupant's count would turn one lost event into a falsely
+        garbled buffer.
+        """
+        slot = seq % self.num_buffers
+        tag = seq & COMMIT_COUNT_MASK
+        committed = self.committed
+        while True:
+            cur = committed.load(slot)
+            cur_tag = cur >> COMMIT_SEQ_SHIFT
+            if cur_tag == tag:
+                new = cur + length
+            elif ((tag - cur_tag) & COMMIT_COUNT_MASK) <= COMMIT_COUNT_MASK // 2:
+                # Tag is older than ours (mod 2**32): first commit for the
+                # new occupant resets the count.
+                new = (tag << COMMIT_SEQ_SHIFT) | length
+            else:
+                return  # our buffer was recycled; the commit is moot
+            if committed.compare_and_store(slot, cur, new):
+                return
+
+    def committed_count(self, seq: int) -> int:
+        """Committed words recorded for buffer ``seq`` (0 if recycled)."""
+        return decode_commit_word(seq, self.committed.load(seq % self.num_buffers))
+
     # -- completion --------------------------------------------------------
     def complete_buffer(self, seq: int) -> None:
         """Queue buffer ``seq`` for write-out.
@@ -186,7 +254,7 @@ class TraceControl:
                 cpu=self.cpu,
                 seq=seq,
                 words=self.array[start : start + self.buffer_words],
-                committed=self.committed.load(slot),
+                committed=self.committed_count(seq),
                 fill_words=self.buffer_words,
             )
         )
@@ -224,7 +292,7 @@ class TraceControl:
                     cpu=self.cpu,
                     seq=seq,
                     words=self.array[start : start + self.buffer_words],
-                    committed=self.committed.load(slot),
+                    committed=self.committed_count(seq),
                     fill_words=fill,
                     partial=True,
                 )
@@ -240,7 +308,7 @@ class TraceControl:
                     cpu=self.cpu,
                     seq=prev,
                     words=self.array[start : start + self.buffer_words],
-                    committed=self.committed.load(slot),
+                    committed=self.committed_count(prev),
                     fill_words=self.buffer_words,
                 )
             )
@@ -272,7 +340,7 @@ class TraceControl:
                     cpu=self.cpu,
                     seq=seq,
                     words=self.array[start : start + self.buffer_words],
-                    committed=self.committed.load(slot),
+                    committed=self.committed_count(seq),
                     fill_words=fill if partial else self.buffer_words,
                     partial=partial,
                 )

@@ -53,6 +53,16 @@ DEFAULT_BUFFER_WORDS = 16 * 1024
 #: Default number of buffers in each per-CPU ring.
 DEFAULT_NUM_BUFFERS = 8
 
+#: Commit-count words are generation-tagged: the high 32 bits hold the
+#: buffer sequence (mod 2**32) the count belongs to, the low 32 bits the
+#: committed word count.  The tag lets ``traceCommit`` reset a recycled
+#: slot's count lazily and locklessly — the first committer of a new
+#: buffer installs the new tag via CAS — instead of the buffer-start
+#: bookkeeping storing 0, which could race with (and erase) commits made
+#: by writers that entered the buffer before the booker ran.
+COMMIT_SEQ_SHIFT = 32
+COMMIT_COUNT_MASK = (1 << 32) - 1
+
 #: Length-field value marking an *extended* filler event: the true span
 #: (in words, including both filler words) is stored in the single data
 #: word.  Plain fillers (span <= MAX_EVENT_WORDS) put the span directly in

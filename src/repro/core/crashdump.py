@@ -31,7 +31,7 @@ from typing import BinaryIO, List, Union
 
 import numpy as np
 
-from repro.core.buffers import BufferRecord, TraceControl
+from repro.core.buffers import BufferRecord, TraceControl, decode_commit_word
 from repro.core.writer import scan_for_magic
 
 DUMP_MAGIC = b"K42CRASH"
@@ -181,7 +181,7 @@ def read_dump(source: Union[bytes, BinaryIO]) -> CrashDump:
                     cpu=cpu,
                     seq=seq,
                     words=memory[start : start + buffer_words].copy(),
-                    committed=int(committed[slot]),
+                    committed=decode_commit_word(seq, int(committed[slot])),
                     fill_words=fill if partial else buffer_words,
                     partial=partial,
                 )

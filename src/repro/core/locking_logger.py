@@ -102,8 +102,7 @@ class LockingTraceLogger:
             for i, w in enumerate(data):
                 arr[pos + 1 + i] = w & WORD_MASK
             if self.commit_counts:
-                slot = ctl.slot_of(ctl.buffer_of(index))
-                ctl.committed.fetch_and_add(slot, length)
+                ctl.commit(ctl.buffer_of(index), length)
             ctl.stats_events_logged += 1
             ctl.stats_words_logged += length
         return True
@@ -140,7 +139,7 @@ class LockingTraceLogger:
                     ctl.array[pos + 1] = rem
                 seq = old // bw
                 if self.commit_counts:
-                    ctl.committed.fetch_and_add(ctl.slot_of(seq), rem)
+                    ctl.commit(seq, rem)
                 ctl.stats_fillers += 1
                 ctl.stats_filler_words += rem
                 ctl.index.store(old + rem)
@@ -155,7 +154,8 @@ class LockingTraceLogger:
             return
         ctl.booked_seq.store(seq)
         slot = ctl.slot_of(seq)
-        ctl.committed.store(slot, 0)
+        # No committed reset: the generation tag in TraceControl.commit
+        # resets the recycled slot's count at the first commit instead.
         ctl.complete_buffer(seq - 1)
         ctl.slot_seq[slot] = seq
         if ctl.zero_ahead:
@@ -179,7 +179,7 @@ class LockingTraceLogger:
         )
         ctl.array[pos + 1] = ts & WORD_MASK
         if self.commit_counts:
-            ctl.committed.fetch_and_add(ctl.slot_of(ctl.buffer_of(old)), 2)
+            ctl.commit(ctl.buffer_of(old), 2)
         ctl.index.store(old + 2)
         ctl.stats_events_logged += 1
         ctl.stats_words_logged += 2
@@ -195,7 +195,7 @@ class LockingTraceLogger:
         for i, w in enumerate(data):
             ctl.array[pos + 1 + i] = w & WORD_MASK
         if self.commit_counts:
-            ctl.committed.fetch_and_add(ctl.slot_of(ctl.buffer_of(old)), length)
+            ctl.commit(ctl.buffer_of(old), length)
         ctl.index.store(old + length)
         ctl.stats_events_logged += 1
         ctl.stats_words_logged += length

@@ -150,9 +150,7 @@ class TraceLogger:
             arr[i] = w & WORD_MASK
             i += 1
         if self.commit_counts:
-            ctl.committed.fetch_and_add(
-                (index // ctl.buffer_words) % ctl.num_buffers, length
-            )
+            ctl.commit(index // ctl.buffer_words, length)
         ctl.stats_events_logged += 1
         ctl.stats_words_logged += length
         return True
@@ -219,7 +217,7 @@ class TraceLogger:
             arr[pos + 1] = rem
         seq = old // bw
         if self.commit_counts:
-            ctl.committed.fetch_and_add(ctl.slot_of(seq), rem)
+            ctl.commit(seq, rem)
         ctl.stats_fillers += 1
         ctl.stats_filler_words += rem
         self._maybe_book(seq + 1, exact=False)
@@ -228,10 +226,16 @@ class TraceLogger:
         """Claim and perform start-of-buffer bookkeeping for ``seq``.
 
         Exactly one thread wins the CAS on ``booked_seq`` per buffer.  The
-        winner completes the previous buffer(s), resets the new buffer's
-        committed count, zeroes the buffer *ahead* (so unwritten holes
-        decode as invalid, one of §3.1's proposed mitigations), and logs
-        the full-width timestamp anchor that random access needs.
+        winner completes the previous buffer(s), zeroes the buffer *ahead*
+        (so unwritten holes decode as invalid, one of §3.1's proposed
+        mitigations), and logs the full-width timestamp anchor that random
+        access needs.  The new buffer's committed count is *not* reset
+        here: writers can reserve into buffer ``seq`` the moment the index
+        crosses the boundary — before the booker runs — so a store of 0
+        here can erase their commits and falsely garble a clean buffer
+        (found by the schedule checker, :mod:`repro.check`).  The reset is
+        instead folded into :meth:`TraceControl.commit` via the
+        generation tag.
         """
         ctl = self.control
         booked = ctl.booked_seq
@@ -242,9 +246,6 @@ class TraceLogger:
             if booked.compare_and_store(cur, seq):
                 break
         slot = ctl.slot_of(seq)
-        fresh = ctl.index.load() < (seq + 1) * ctl.buffer_words
-        if fresh:
-            ctl.committed.store(slot, 0)
         # Normally completes just seq-1; the range covers transitions whose
         # booker was preempted before claiming (see DESIGN.md §3.2 notes).
         for s in range(cur, seq):
@@ -252,7 +253,7 @@ class TraceLogger:
         ctl.slot_seq[slot] = seq
         if exact:
             ctl.stats_exact_boundary += 1
-        if ctl.zero_ahead and fresh:
+        if ctl.zero_ahead and ctl.index.load() < (seq + 1) * ctl.buffer_words:
             # Only zero the slot ahead while the index is still inside
             # buffer ``seq``: a booker descheduled long enough for the
             # index to advance must not destroy live data.  (The residual
@@ -280,8 +281,7 @@ class TraceLogger:
         )
         ctl.array[pos + 1] = ts & WORD_MASK
         if self.commit_counts:
-            slot = ctl.slot_of(ctl.buffer_of(index))
-            ctl.committed.fetch_and_add(slot, 2)
+            ctl.commit(ctl.buffer_of(index), 2)
         ctl.stats_events_logged += 1
         ctl.stats_words_logged += 2
         self._log_unmasked(Major.CONTROL, ControlMinor.BUFFER_START, (seq,))

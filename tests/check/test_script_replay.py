@@ -1,0 +1,93 @@
+"""Schedule scripts: serialization, validation, and replay semantics."""
+
+import json
+
+import pytest
+
+from repro.check import CheckConfig, load_script, run_schedule, save_script
+from repro.check.harness import ReplayDivergence
+from repro.check.script import FORMAT, ScheduleScript
+
+
+def _sample_outcome():
+    cfg = CheckConfig(writers=2, events=1)
+    return run_schedule(cfg, prefix=[("run", 1), ("run", 0)])
+
+
+class TestRoundTrip:
+    def test_save_load_replay(self, tmp_path):
+        outcome = _sample_outcome()
+        script = ScheduleScript.from_outcome(outcome, note="unit test")
+        path = tmp_path / "sched.json"
+        save_script(script, str(path))
+        loaded = load_script(str(path))
+        assert loaded.config == script.config
+        assert loaded.choices == script.choices
+        assert loaded.note == "unit test"
+        replayed = loaded.replay()
+        assert replayed.choices == outcome.choices
+        assert replayed.violation is None
+
+    def test_json_shape(self, tmp_path):
+        script = ScheduleScript.from_outcome(_sample_outcome())
+        path = tmp_path / "sched.json"
+        save_script(script, str(path))
+        doc = json.loads(path.read_text())
+        assert doc["format"] == FORMAT
+        assert doc["config"]["writers"] == 2
+        assert doc["choices"][0] == {"run": 1}
+
+    def test_violation_recorded(self):
+        from repro.check import explore_exhaustive
+
+        cfg = CheckConfig(writers=2, events=1, mutant="non-atomic-reserve")
+        result = explore_exhaustive(cfg, preemption_bound=1)
+        assert not result.passed
+        script = ScheduleScript.from_outcome(result.counterexample)
+        doc = json.loads(script.to_json())
+        assert doc["violation"]["invariant"] == "double-write"
+
+
+class TestValidation:
+    def test_rejects_wrong_format(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ValueError, match="format"):
+            load_script(str(path))
+
+    def test_rejects_unknown_config_field(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format": FORMAT,
+            "config": {"writers": 2, "bogus": 1},
+            "choices": [],
+        }))
+        with pytest.raises(ValueError, match="bogus"):
+            load_script(str(path))
+
+    @pytest.mark.parametrize("choice", [
+        {"jump": 0}, {"run": -1}, {"run": 0, "kill": 1}, "run 0",
+    ])
+    def test_rejects_bad_choice(self, tmp_path, choice):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({
+            "format": FORMAT,
+            "config": {},
+            "choices": [choice],
+        }))
+        with pytest.raises(ValueError):
+            load_script(str(path))
+
+
+class TestReplayModes:
+    def test_strict_replay_detects_divergence(self):
+        # A script that asks for a task that is already done must fail
+        # loudly in strict mode and fall back to policy otherwise.
+        cfg = CheckConfig(writers=2, events=1)
+        base = run_schedule(cfg)
+        bogus = list(base.choices) + [("run", 0)] * 5
+        script = ScheduleScript(config=cfg, choices=bogus)
+        with pytest.raises(ReplayDivergence):
+            script.replay(strict=True)
+        lenient = script.replay(strict=False)
+        assert lenient.violation is None

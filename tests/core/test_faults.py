@@ -38,6 +38,12 @@ SEEDS = [int(s) for s in
          os.environ.get("FAULT_FUZZ_SEEDS", "0,1,2").split(",")]
 
 
+def _rerun(seed, keyword):
+    """One-line command that reproduces a failing seed locally."""
+    return (f"re-run: FAULT_FUZZ_SEEDS={seed} PYTHONPATH=src "
+            f"python -m pytest tests/core/test_faults.py -k {keyword}")
+
+
 @pytest.fixture(scope="module")
 def records():
     return build_records(n_events=500, ncpus=2)
@@ -82,13 +88,21 @@ class TestRecordFaults:
     @pytest.mark.parametrize("seed", SEEDS)
     @pytest.mark.parametrize("kind", RECORD_KINDS)
     def test_fault_yields_anomaly_never_raises(self, records, kind, seed):
+        why = _rerun(seed, "fault_yields_anomaly")
         damaged, report = FaultInjector(seed).inject_records(records, kind)
-        assert report.detectable, report.describe()
+        assert report.detectable, f"{report.describe()}\n{why}"
         trace = TraceReader().decode_records(damaged)
-        assert trace.anomalies, report.describe()
+        assert trace.anomalies, (
+            f"{kind} injected (seed {seed}) but decode saw no anomaly: "
+            f"{report.describe()}\n{why}")
         # Damage decodes identically on every path, strict or not.
-        assert_all_paths_identical(damaged)
-        assert_all_paths_identical(damaged, strict=True)
+        try:
+            assert_all_paths_identical(damaged)
+            assert_all_paths_identical(damaged, strict=True)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"reader paths diverged on {kind} (seed {seed})\n{why}"
+            ) from exc
 
     @pytest.mark.parametrize("seed", SEEDS)
     def test_recovery_salvages_strictly_more(self, records, seed):
@@ -110,11 +124,15 @@ class TestRecordFaults:
 
         loose = TraceReader(strict=False).decode_records(damaged)
         strict = TraceReader(strict=True).decode_records(damaged)
+        why = _rerun(seed, "recovery_salvages")
         n_loose = sum(len(v) for v in loose.events_by_cpu.values())
         n_strict = sum(len(v) for v in strict.events_by_cpu.values())
-        assert n_loose > n_strict
+        assert n_loose > n_strict, (
+            f"recovery salvaged nothing: {n_loose} vs {n_strict} events "
+            f"(seed {seed})\n{why}")
         kinds = [a.kind for a in loose.anomalies]
-        assert "garbled" in kinds and "recovered-region" in kinds
+        assert "garbled" in kinds and "recovered-region" in kinds, \
+            f"anomalies {kinds} (seed {seed})\n{why}"
         assert "recovered-region" not in [a.kind for a in strict.anomalies]
 
     @pytest.mark.parametrize("kind", RECORD_KINDS)
@@ -131,12 +149,14 @@ class TestFileFaults:
     @pytest.mark.parametrize("seed", SEEDS)
     @pytest.mark.parametrize("kind", FILE_KINDS)
     def test_fault_reported_never_raises(self, records, kind, seed):
+        why = _rerun(seed, "TestFileFaults")
         data, report = FaultInjector(seed).inject_trace_bytes(
             trace_bytes(records), kind)
         reader = TraceFileReader(io.BytesIO(data))
         loaded = reader.read_all()   # must not raise
-        assert reader.issues, report.describe()
-        assert loaded, "damage must not take the whole file with it"
+        assert reader.issues, f"{report.describe()}\n{why}"
+        assert loaded, \
+            f"damage must not take the whole file with it (seed {seed})\n{why}"
         with pytest.raises((ValueError, EOFError)):
             TraceFileReader(io.BytesIO(data), strict=True).read_all()
 
@@ -148,7 +168,8 @@ class TestDumpFaults:
         data, report = FaultInjector(seed).inject_dump_bytes(
             dump_image(), kind)
         dump = read_dump(data)   # must not raise
-        assert dump.issues, report.describe()
+        assert dump.issues, (
+            f"{report.describe()}\n{_rerun(seed, 'TestDumpFaults')}")
 
 
 class TestInjectorApi:

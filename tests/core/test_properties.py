@@ -15,8 +15,11 @@ The invariants the paper's design rests on:
 """
 
 import io
+import os
+import random
 
 import numpy as np
+import pytest
 from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
@@ -184,6 +187,97 @@ def test_serialization_roundtrip(events):
     b = reader.decode_records(reloaded)
     assert [(e.time, e.major, e.minor, e.data) for e in a.events(0)] == \
         [(e.time, e.major, e.minor, e.data) for e in b.events(0)]
+
+
+# --- reader-path equivalence -------------------------------------------
+#
+# Invariant 8: the scalar reference reader, the batched (vectorized)
+# reader, and the boundary-sharded parallel reader are bit-identical on
+# the same input — event for event, anomaly for anomaly — in both
+# resynchronizing and strict (stop-at-first-garble) modes.  The helpers
+# come from the exhaustive equivalence suite in test_parallel.py.
+
+from tests.core.test_parallel import (  # noqa: E402
+    as_comparable,
+    assert_all_paths_identical,
+    build_records,
+)
+
+_SEEDS = [int(s) for s in
+          os.environ.get("FAULT_FUZZ_SEEDS", "0,1,2").split(",")]
+
+
+def _rerun(seed, keyword):
+    return (f"re-run: FAULT_FUZZ_SEEDS={seed} PYTHONPATH=src "
+            f"python -m pytest tests/core/test_properties.py -k {keyword}")
+
+
+def _random_stream(seed):
+    """A seeded, arbitrary multi-CPU event stream (drains mid-run so
+    buffer boundaries land at random fill levels)."""
+    rng = random.Random(seed)
+    return build_records(
+        n_events=rng.randint(50, 400),
+        ncpus=rng.randint(1, 3),
+        buffer_words=rng.choice([32, 64]),
+        tick=rng.randint(1, 20),
+        start=(1 << 32) - 1500 if rng.random() < 0.3 else rng.randint(1, 10**6),
+    )
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+@pytest.mark.parametrize("strict", [False, True],
+                         ids=["resync", "strict"])
+def test_seeded_roundtrip_identical_across_readers(seed, strict):
+    """Invariant 8 on clean seeded streams: scalar == batched == parallel,
+    and the decoded stream is anomaly-free."""
+    records = _random_stream(seed)
+    try:
+        trace = assert_all_paths_identical(records, workers=2,
+                                           strict=strict)
+    except AssertionError as exc:
+        raise AssertionError(
+            f"reader paths diverged (seed {seed}, strict={strict}); "
+            + _rerun(seed, "seeded_roundtrip")) from exc
+    assert trace.anomalies == [], (
+        f"clean stream decoded with anomalies (seed {seed}); "
+        + _rerun(seed, "seeded_roundtrip"))
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+def test_seeded_corruption_identical_across_readers(seed):
+    """Invariant 8 under corruption: random word stomps must not make
+    any reader path disagree with the scalar reference, in either
+    anomaly-handling mode."""
+    rng = random.Random(seed ^ 0xC0FFEE)
+    records = _random_stream(seed)
+    for rec in records:
+        if rng.random() < 0.4:
+            w = np.array(rec.words, dtype=np.uint64, copy=True)
+            w[rng.randrange(max(1, rec.fill_words))] = rng.getrandbits(64)
+            rec.words = w
+    for strict in (False, True):
+        try:
+            assert_all_paths_identical(records, workers=2, strict=strict)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"reader paths diverged on corrupted stream "
+                f"(seed {seed}, strict={strict}); "
+                + _rerun(seed, "seeded_corruption")) from exc
+
+
+@given(st.integers(0, 2**32 - 1))
+@settings(max_examples=8, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+def test_reader_paths_identical_on_arbitrary_streams(seed):
+    """Invariant 8, hypothesis-driven: low example count because the
+    parallel path forks worker processes per example."""
+    records = _random_stream(seed)
+    reg = default_registry()
+    scalar = TraceReader(registry=reg).decode_records(records)
+    batched = TraceReader(registry=reg, batch=True).decode_records(records)
+    assert as_comparable(batched) == as_comparable(scalar), (
+        "batched reader diverged; " + _rerun(seed, "arbitrary_streams"))
 
 
 @given(sequence_strategy)

@@ -195,6 +195,86 @@ def test_inject_deterministic(artifacts, tmp_path, capsys):
     assert a.read_bytes() == b.read_bytes()
 
 
+def _subcommands():
+    from repro.cli import build_parser
+
+    parser = build_parser()
+    for action in parser._subparsers._group_actions:
+        return sorted(action.choices)
+    return []
+
+
+@pytest.mark.parametrize("command", _subcommands())
+def test_every_subcommand_has_help(command, capsys):
+    """`repro-trace <cmd> --help` must exit 0 for every subcommand."""
+    with pytest.raises(SystemExit) as exc:
+        main([command, "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "usage:" in out
+
+
+def test_help_lists_every_subcommand(capsys):
+    with pytest.raises(SystemExit) as exc:
+        main(["--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    for command in _subcommands():
+        assert command in out
+
+
+def test_check_clean_run(capsys):
+    assert main(["check", "--writers", "2", "--events", "1",
+                 "--preemption-bound", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "all interleavings pass" in out
+
+
+def test_check_list_mutants(capsys):
+    assert main(["check", "--list-mutants"]) == 0
+    out = capsys.readouterr().out
+    assert "reset-on-book" in out and "non-atomic-reserve" in out
+
+
+def test_check_mutant_save_replay_cycle(capsys, tmp_path):
+    """Catch a mutant, save its counterexample, replay it byte-for-byte."""
+    cex = str(tmp_path / "cex.json")
+    assert main(["check", "--mutant", "non-atomic-reserve",
+                 "--save", cex]) == 1
+    out = capsys.readouterr().out
+    assert "VIOLATION" in out or "double-write" in out
+    assert "--replay" in out  # re-run hint printed
+
+    assert main(["check", "--replay", cex]) == 1
+    out = capsys.readouterr().out
+    assert "reproduced: double-write" in out
+
+
+def test_check_replay_clean_script(capsys, tmp_path):
+    """A clean schedule script replays to exit 0."""
+    from repro.check import CheckConfig, run_schedule, save_script
+    from repro.check.script import ScheduleScript
+
+    outcome = run_schedule(CheckConfig(writers=2, events=1))
+    path = str(tmp_path / "clean.json")
+    save_script(ScheduleScript.from_outcome(outcome), path)
+    assert main(["check", "--replay", path]) == 0
+    assert "no violation" in capsys.readouterr().out
+
+
+def test_check_rejects_bad_config(capsys):
+    assert main(["check", "--writers", "4", "--events", "8",
+                 "--num-buffers", "2"]) == 2
+    assert "bad configuration" in capsys.readouterr().err
+
+
+def test_check_random_mode(capsys):
+    assert main(["check", "--mode", "random", "--writers", "2",
+                 "--events", "1", "--schedules", "25", "--seed", "7"]) == 0
+    out = capsys.readouterr().out
+    assert "randomized schedules" in out
+
+
 def test_strict_flag_stops_at_first_garble(artifacts, capsys, tmp_path):
     bad = str(tmp_path / "bad.k42")
     assert main(["inject", artifacts["trace"], bad,

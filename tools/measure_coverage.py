@@ -1,0 +1,96 @@
+#!/usr/bin/env python
+"""Dependency-free line-coverage measurement for the tier-1 suite.
+
+CI enforces a coverage floor with pytest-cov; this script exists so the
+floor can be measured (and re-measured after big changes) on machines
+that don't have coverage.py installed.  It runs pytest under a
+``sys.settrace`` hook that records line events only for frames inside
+``src/repro`` and divides by the executable-line count derived from
+each module's compiled code objects (``co_lines``) — the same universe
+coverage.py reports against, modulo its pragma handling, so expect
+agreement within a percentage point.
+
+Usage:
+    python tools/measure_coverage.py [pytest args, default: tests/ -q]
+
+Prints per-package and total percentages; the CI floor in
+.github/workflows/ci.yml should be the measured total, rounded down,
+minus a small cross-version jitter margin.
+"""
+
+import os
+import sys
+import threading
+
+SRC = os.path.abspath(
+    os.path.join(os.path.dirname(__file__), os.pardir, "src", "repro"))
+
+_hits = {}
+
+
+def _tracer(frame, event, arg):
+    if event == "call":
+        if not frame.f_code.co_filename.startswith(SRC):
+            return None  # pay only the call event outside src/repro
+        return _tracer
+    if event == "line":
+        _hits.setdefault(frame.f_code.co_filename, set()).add(frame.f_lineno)
+    return _tracer
+
+
+def _executable_lines(path):
+    """Line numbers with instructions, collected over nested code objects."""
+    with open(path, "rb") as fh:
+        try:
+            top = compile(fh.read(), path, "exec")
+        except SyntaxError:
+            return set()
+    lines, stack = set(), [top]
+    while stack:
+        code = stack.pop()
+        lines.update(ln for _, _, ln in code.co_lines() if ln)
+        stack.extend(c for c in code.co_consts if hasattr(c, "co_lines"))
+    return lines
+
+
+def main(argv):
+    import pytest
+
+    args = argv or ["tests/", "-q", "-p", "no:cacheprovider"]
+    threading.settrace(_tracer)
+    sys.settrace(_tracer)
+    try:
+        rc = pytest.main(args)
+    finally:
+        sys.settrace(None)
+        threading.settrace(None)
+    if rc != 0:
+        print(f"pytest exited {rc}; coverage below is for a FAILING run")
+
+    total_exec = total_hit = 0
+    per_pkg = {}
+    for root, _dirs, files in os.walk(SRC):
+        for name in sorted(files):
+            if not name.endswith(".py"):
+                continue
+            path = os.path.join(root, name)
+            execable = _executable_lines(path)
+            hit = _hits.get(path, set()) & execable
+            pkg = os.path.relpath(root, SRC) or "."
+            e, h = per_pkg.get(pkg, (0, 0))
+            per_pkg[pkg] = (e + len(execable), h + len(hit))
+            total_exec += len(execable)
+            total_hit += len(hit)
+
+    print(f"\n{'package':<16} {'lines':>7} {'hit':>7} {'cover':>7}")
+    for pkg in sorted(per_pkg):
+        e, h = per_pkg[pkg]
+        pct = 100.0 * h / e if e else 100.0
+        print(f"{pkg:<16} {e:>7} {h:>7} {pct:>6.1f}%")
+    pct = 100.0 * total_hit / total_exec if total_exec else 100.0
+    print(f"{'TOTAL':<16} {total_exec:>7} {total_hit:>7} {pct:>6.1f}%")
+    return rc
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))
