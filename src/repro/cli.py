@@ -28,7 +28,10 @@ file, optionally save the symbol table as JSON, then analyze offline::
 
 Every trace-analysis subcommand accepts ``--strict`` (stop at the first
 damage instead of resynchronizing past it) and ``--workers N``
-(parallel decode).  ``bench`` runs the unified benchmark harness
+(parallel decode).  The analysis subcommands (``info``, ``list``,
+``kmon``, ``locks``, ``profile``, ``breakdown``, ``sched``) default to
+the columnar structure-of-arrays fast path; ``--no-columnar`` forces
+the scalar per-event walk — output is identical either way.  ``bench`` runs the unified benchmark harness
 (``repro.perf``) over ``benchmarks/bench_*.py``, writes a consolidated
 ``BENCH_<timestamp>.json``, and — with ``--baseline`` — exits non-zero
 on a performance regression.
@@ -42,20 +45,40 @@ from typing import List, Optional
 
 from repro.core.parallel import ParallelTraceReader
 from repro.core.registry import default_registry
-from repro.core.stream import Trace, TraceReader
+from repro.core.stream import TraceReader
 from repro.core.writer import load_records
 
 
 def _decode(records, include_fillers: bool = False, workers: int = 1,
-            strict: bool = False) -> Trace:
+            strict: bool = False, columnar: bool = False):
     """Decode records sequentially or on a worker pool (``--workers``).
 
     ``workers=1`` is the plain in-process reader; ``workers=0`` means
     "one per CPU"; anything else fans the boundary-sharded scan out over
     that many processes.  Output is identical either way.  ``strict``
     stops at the first garbled event per buffer instead of
-    resynchronizing past damage (``--strict``).
+    resynchronizing past damage (``--strict``).  ``columnar`` returns a
+    :class:`~repro.core.columnar.ColumnarTrace` (structure-of-arrays
+    event batches) instead of a scalar :class:`Trace`; the event stream
+    and anomalies are identical.
     """
+    if columnar:
+        from repro.core.columnar import ColumnarTraceReader
+        from repro.core.parallel import decode_records_columnar_parallel
+
+        if workers != 1:
+            return decode_records_columnar_parallel(
+                records,
+                registry=default_registry(),
+                include_fillers=include_fillers,
+                workers=None if workers == 0 else workers,
+                strict=strict,
+            )
+        return ColumnarTraceReader(
+            registry=default_registry(),
+            include_fillers=include_fillers,
+            strict=strict,
+        ).decode_records(records)
     if workers != 1:
         reader = ParallelTraceReader(
             registry=default_registry(),
@@ -71,9 +94,10 @@ def _decode(records, include_fillers: bool = False, workers: int = 1,
 
 
 def _load_trace(path: str, include_fillers: bool = False,
-                workers: int = 1, strict: bool = False) -> Trace:
+                workers: int = 1, strict: bool = False,
+                columnar: bool = False):
     return _decode(load_records(path, strict=strict), include_fillers,
-                   workers, strict)
+                   workers, strict, columnar)
 
 
 def _load_symbols(path: Optional[str]):
@@ -85,15 +109,43 @@ def _load_symbols(path: Optional[str]):
 
 
 def cmd_info(args) -> int:
+    records = load_records(args.trace)
+    trace = _decode(records, workers=args.workers, strict=args.strict,
+                    columnar=args.columnar)
+    print(f"trace file: {args.trace}")
+    print(f"frames: {len(records)}  buffer words: {len(records[0].words) if records else 0}")
+    if args.columnar:
+        import numpy as np
+
+        from repro.core.columnar import ColumnarTrace, as_batch
+
+        b = as_batch(trace)
+        cpus = (trace.cpus if isinstance(trace, ColumnarTrace)
+                else sorted(trace.events_by_cpu))
+        print(f"cpus: {cpus}")
+        print(f"events: {len(b)}  anomalies: {len(trace.anomalies)}")
+        t_idx = np.flatnonzero(b.timed)
+        if len(t_idx):
+            tvals = b.time[t_idx]
+            if tvals.dtype == object:
+                tl = tvals.tolist()
+                t_min, t_max = min(tl), max(tl)
+            else:
+                t_min, t_max = int(tvals.min()), int(tvals.max())
+            span = (t_max - t_min) / 1e9
+            print(f"time span: {span:.6f} s "
+                  f"({t_min:,} .. {t_max:,} cycles)")
+        maj, first, cnt = np.unique(b.major, return_index=True,
+                                    return_counts=True)
+        # Match Counter.most_common(): count desc, first-seen on ties.
+        for i in sorted(range(len(maj)), key=lambda i: (-cnt[i], first[i])):
+            print(f"  major {int(maj[i]):>2}: {int(cnt[i]):>8} events")
+        return 0
     from collections import Counter
 
-    records = load_records(args.trace)
-    trace = _decode(records, workers=args.workers, strict=args.strict)
     events = trace.all_events()
     cpus = sorted(trace.events_by_cpu)
     times = [e.time for e in events if e.time is not None]
-    print(f"trace file: {args.trace}")
-    print(f"frames: {len(records)}  buffer words: {len(records[0].words) if records else 0}")
     print(f"cpus: {cpus}")
     print(f"events: {len(events)}  anomalies: {len(trace.anomalies)}")
     if times:
@@ -118,13 +170,15 @@ def cmd_list(args) -> int:
     from repro.tools.listing import format_listing
 
     text = format_listing(
-        _load_trace(args.trace, workers=args.workers, strict=args.strict),
+        _load_trace(args.trace, workers=args.workers, strict=args.strict,
+                    columnar=args.columnar),
         names=args.name or None,
         cpu=args.cpu,
         start=args.start,
         end=args.end,
         limit=args.limit,
         include_control=args.control,
+        columnar=args.columnar,
     )
     print(text)
     return 0
@@ -139,11 +193,13 @@ def cmd_kmon(args) -> int:
         sym = _load_symbols(args.symbols)
         session = KmonSession(
             _load_trace(args.trace, workers=args.workers,
-                        strict=args.strict),
+                        strict=args.strict, columnar=args.columnar),
             sym.process_names)
         session.run(sys.stdin, sys.stdout)
         return 0
-    tl = Timeline(_load_trace(args.trace, workers=args.workers, strict=args.strict))
+    tl = Timeline(_load_trace(args.trace, workers=args.workers,
+                              strict=args.strict, columnar=args.columnar),
+                  columnar=args.columnar)
     if args.mark:
         tl.mark(*args.mark)
     if args.zoom:
@@ -160,8 +216,10 @@ def cmd_locks(args) -> int:
     from repro.tools.lockstats import format_lockstats, lock_statistics
 
     sym = _load_symbols(args.symbols)
-    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
-    stats = lock_statistics(trace, sort_by=args.sort)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
+                        columnar=args.columnar)
+    stats = lock_statistics(trace, sort_by=args.sort,
+                            columnar=args.columnar)
     print(format_lockstats(stats, sym.lock_names, sym.chains,
                            top=args.top, sort_label=args.sort))
     return 0
@@ -171,8 +229,10 @@ def cmd_profile(args) -> int:
     from repro.tools.pcprofile import format_profile, pc_profile
 
     sym = _load_symbols(args.symbols)
-    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
-    hist = pc_profile(trace, sym.pc_names, pid=args.pid)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
+                        columnar=args.columnar)
+    hist = pc_profile(trace, sym.pc_names, pid=args.pid,
+                      columnar=args.columnar)
     print(format_profile(hist, pid=args.pid, top=args.top))
     return 0
 
@@ -183,9 +243,11 @@ def cmd_breakdown(args) -> int:
 
     sym = _load_symbols(args.symbols)
     bds = process_breakdown(
-        _load_trace(args.trace, workers=args.workers, strict=args.strict),
+        _load_trace(args.trace, workers=args.workers, strict=args.strict,
+                    columnar=args.columnar),
         sym.syscall_names, sym.process_names,
         FS_FUNCTION_NAMES,
+        columnar=args.columnar,
     )
     pids = [args.pid] if args.pid is not None else sorted(bds)
     for pid in pids:
@@ -229,7 +291,10 @@ def cmd_sched(args) -> int:
     from repro.tools.schedstats import format_sched_report, sched_statistics
 
     sym = _load_symbols(args.symbols)
-    report = sched_statistics(_load_trace(args.trace, workers=args.workers, strict=args.strict))
+    report = sched_statistics(
+        _load_trace(args.trace, workers=args.workers, strict=args.strict,
+                    columnar=args.columnar),
+        columnar=args.columnar)
     print(format_sched_report(report, sym.process_names, top=args.top))
     return 0
 
@@ -554,7 +619,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     sub = p.add_subparsers(dest="command", required=True)
 
-    def add(name, fn, **kw):
+    def add(name, fn, columnar=False, **kw):
         sp = sub.add_parser(name, **kw)
         sp.set_defaults(fn=fn)
         sp.add_argument(
@@ -567,15 +632,24 @@ def build_parser() -> argparse.ArgumentParser:
             help="stop at the first damage (garbled event, bad frame) "
                  "instead of resynchronizing past it",
         )
+        if columnar:
+            sp.add_argument(
+                "--columnar", action=argparse.BooleanOptionalAction,
+                default=True,
+                help="analyze via structure-of-arrays event batches "
+                     "(default); --no-columnar forces the scalar "
+                     "per-event path — output is identical",
+            )
         return sp
 
-    sp = add("info", cmd_info, help="trace file summary")
+    sp = add("info", cmd_info, columnar=True, help="trace file summary")
     sp.add_argument("trace")
 
     sp = add("verify", cmd_verify, help="check trace integrity (§3.1)")
     sp.add_argument("trace")
 
-    sp = add("list", cmd_list, help="event listing (Figure 5)")
+    sp = add("list", cmd_list, columnar=True,
+             help="event listing (Figure 5)")
     sp.add_argument("trace")
     sp.add_argument("--name", action="append")
     sp.add_argument("--cpu", type=int)
@@ -585,7 +659,8 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--control", action="store_true",
                     help="include infrastructure events")
 
-    sp = add("kmon", cmd_kmon, help="timeline view (Figure 4)")
+    sp = add("kmon", cmd_kmon, columnar=True,
+             help="timeline view (Figure 4)")
     sp.add_argument("trace")
     sp.add_argument("--width", type=int, default=96)
     sp.add_argument("--mark", action="append")
@@ -596,20 +671,22 @@ def build_parser() -> argparse.ArgumentParser:
                     help="command-driven session (zoom/mark/click/...)")
     sp.add_argument("--symbols")
 
-    sp = add("locks", cmd_locks, help="lock contention (Figure 7)")
+    sp = add("locks", cmd_locks, columnar=True,
+             help="lock contention (Figure 7)")
     sp.add_argument("trace")
     sp.add_argument("--symbols")
     sp.add_argument("--sort", default="time",
                     choices=["time", "count", "spin", "max"])
     sp.add_argument("--top", type=int, default=10)
 
-    sp = add("profile", cmd_profile, help="PC-sample histogram (Figure 6)")
+    sp = add("profile", cmd_profile, columnar=True,
+             help="PC-sample histogram (Figure 6)")
     sp.add_argument("trace")
     sp.add_argument("--symbols")
     sp.add_argument("--pid", type=int)
     sp.add_argument("--top", type=int, default=20)
 
-    sp = add("breakdown", cmd_breakdown,
+    sp = add("breakdown", cmd_breakdown, columnar=True,
              help="per-process syscall/IPC breakdown (Figure 8)")
     sp.add_argument("trace")
     sp.add_argument("--symbols")
@@ -632,7 +709,7 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--symbols")
     sp.add_argument("--top", type=int, default=10)
 
-    sp = add("sched", cmd_sched,
+    sp = add("sched", cmd_sched, columnar=True,
              help="scheduler stats + CPU time by process (§4.5)")
     sp.add_argument("trace")
     sp.add_argument("--symbols")

@@ -3,6 +3,13 @@ infrastructure (events, mask, per-CPU buffers, lockless logger, stream
 reader, serialization, unified facility)."""
 
 from repro.core.buffers import BufferRecord, TraceControl
+from repro.core.columnar import (
+    ColumnarTrace,
+    ColumnarTraceReader,
+    EventBatch,
+    as_batch,
+    decode_records_columnar,
+)
 from repro.core.constants import (
     DEFAULT_BUFFER_WORDS,
     DEFAULT_NUM_BUFFERS,
@@ -29,9 +36,16 @@ from repro.core.majors import (
     UserMinor,
 )
 from repro.core.mask import TraceMask
-from repro.core.packing import pack_values, parse_layout, unpack_values
+from repro.core.packing import (
+    LayoutPlan,
+    compile_layout,
+    pack_values,
+    parse_layout,
+    unpack_values,
+)
 from repro.core.parallel import (
     ParallelTraceReader,
+    decode_records_columnar_parallel,
     decode_records_parallel,
     shard_records,
 )
@@ -72,9 +86,13 @@ __all__ = [
     "AppMinor",
     "TraceMask",
     "pack_values", "unpack_values", "parse_layout",
+    "LayoutPlan", "compile_layout",
     "EventRegistry", "EventSpec", "default_registry",
     "Anomaly", "Trace", "TraceEvent", "TraceReader",
-    "ParallelTraceReader", "decode_records_parallel", "shard_records",
+    "EventBatch", "ColumnarTrace", "ColumnarTraceReader",
+    "decode_records_columnar", "as_batch",
+    "ParallelTraceReader", "decode_records_parallel",
+    "decode_records_columnar_parallel", "shard_records",
     "decode_from_offset", "flat_records", "sdelta32", "seek_boundary",
     "ClockSource", "WallClock", "ExpensiveWallClock", "ManualClock",
     "DriftingTscClock",

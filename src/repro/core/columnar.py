@@ -1,0 +1,857 @@
+"""Columnar trace analytics: structure-of-arrays event batches.
+
+The analysis side of the paper (§4: listing, kmon, PC-sample profiling,
+lock statistics) has to chew through traces from many processors
+quickly.  PR 1 vectorized the *header scan*; this module vectorizes the
+*analysis*: instead of materializing one Python
+:class:`~repro.core.stream.TraceEvent` per event and walking them in
+``if e.major != ...`` loops, a decoded trace is held as a
+structure-of-arrays :class:`EventBatch` — one numpy column per header
+field (timestamp, major, minor, length, CPU, word offset) plus the raw
+buffer words — and tools select events with boolean masks and gather
+payload words with fancy indexing.
+
+Payload decoding is lazy and per-(major, minor) group: the layout
+string of each registered event compiles (once, memoized) to a
+:class:`~repro.core.packing.LayoutPlan` of static ``(word, shift,
+width)`` positions, so a fixed-layout group like ``"64 64"`` decodes
+with one gather and shift/mask per field instead of N
+:func:`~repro.core.packing.unpack_values` calls.
+
+Equivalence contract: the columnar path is bit-identical to the scalar
+reference reader on clean *and* corrupted input.  Scan decisions
+(accept/garble/resync) are shared — the assembler consumes the very
+:class:`~repro.core.stream.BufferScan` objects the batched reader
+produces — and garble/committed/anchor verdicts surface in the same
+order as per-batch anomaly columns.  ``ColumnarTrace`` also offers the
+full ``Trace`` reading surface (``all_events``, ``events_by_cpu``,
+``filter``) by materializing lazily, so unported consumers keep
+working unchanged.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+
+import numpy as np
+
+from repro.core.buffers import BufferRecord
+from repro.core.constants import (
+    LENGTH_MASK,
+    LENGTH_SHIFT,
+    MAJOR_MASK,
+    MAJOR_SHIFT,
+    MINOR_MASK,
+    TIMESTAMP_SHIFT,
+)
+from repro.core.majors import ControlMinor, Major
+from repro.core.registry import EventRegistry, EventSpec
+from repro.core.stream import (
+    Anomaly,
+    BufferScan,
+    Trace,
+    TraceEvent,
+    find_anchor,
+    scan_buffer,
+    unwrap_times,
+)
+
+_CTRL = int(Major.CONTROL)
+_FILLER = int(ControlMinor.FILLER)
+_FILLER_EXT = int(ControlMinor.FILLER_EXT)
+
+
+def _int_column(values: Sequence[int]) -> np.ndarray:
+    """An integer column that survives arbitrarily large values.
+
+    Reconstructed full times are Python ints and — on corrupt anchors —
+    can exceed int64.  The common case packs into int64; the pathological
+    case falls back to an object column, which every consumer handles
+    (comparisons and ``tolist`` behave identically, just slower).
+    """
+    try:
+        return np.array(values, dtype=np.int64)
+    except OverflowError:
+        return np.array(values, dtype=object)
+
+
+class EventBatch:
+    """A structure-of-arrays view of decoded events.
+
+    Per-event columns (all aligned, length ``len(batch)``):
+
+    ``cpu``, ``seq``, ``offset``
+        where the event came from (CPU, buffer sequence, word offset).
+    ``ts32``, ``major``, ``minor``, ``length``
+        the unpacked header fields (``length`` is the header's total
+        word count for scan-built batches).
+    ``dlen``
+        payload word count, filler-aware (a plain filler has no data).
+    ``time``, ``timed``
+        reconstructed full timestamp and whether one exists; ``time``
+        is 0 where ``timed`` is False.
+    ``base``
+        index of the event's *header* word in :attr:`words`; payload
+        word ``k`` lives at ``words[base + 1 + k]``.
+
+    ``words`` is the shared raw uint64 word pool the payloads are
+    gathered from (events reference it, slices share it).
+    """
+
+    __slots__ = (
+        "words", "base", "cpu", "seq", "offset", "ts32", "major",
+        "minor", "length", "dlen", "time", "timed", "registry",
+        "_spec_cache", "_keys",
+    )
+
+    def __init__(
+        self,
+        words: np.ndarray,
+        base: np.ndarray,
+        cpu: np.ndarray,
+        seq: np.ndarray,
+        offset: np.ndarray,
+        ts32: np.ndarray,
+        major: np.ndarray,
+        minor: np.ndarray,
+        length: np.ndarray,
+        dlen: np.ndarray,
+        time: np.ndarray,
+        timed: np.ndarray,
+        registry: Optional[EventRegistry] = None,
+        spec_cache: Optional[Dict[int, Optional[EventSpec]]] = None,
+    ) -> None:
+        self.words = words
+        self.base = base
+        self.cpu = cpu
+        self.seq = seq
+        self.offset = offset
+        self.ts32 = ts32
+        self.major = major
+        self.minor = minor
+        self.length = length
+        self.dlen = dlen
+        self.time = time
+        self.timed = timed
+        self.registry = registry
+        self._spec_cache: Dict[int, Optional[EventSpec]] = (
+            spec_cache if spec_cache is not None else {}
+        )
+        self._keys: Optional[np.ndarray] = None
+
+    # -- construction ---------------------------------------------------
+    @classmethod
+    def empty(cls, registry: Optional[EventRegistry] = None) -> "EventBatch":
+        z = np.zeros(0, dtype=np.int64)
+        return cls(np.zeros(0, dtype=np.uint64), z, z, z, z, z, z, z, z, z,
+                   z.copy(), np.zeros(0, dtype=bool), registry)
+
+    @classmethod
+    def from_events(
+        cls,
+        events: Sequence[TraceEvent],
+        registry: Optional[EventRegistry] = None,
+    ) -> "EventBatch":
+        """Columnarize already-materialized events (compatibility path).
+
+        Synthesizes a word pool from the events' data; ``base`` points
+        one word *before* each payload (there is no header word to point
+        at), which keeps the ``words[base + 1 + k]`` payload rule intact.
+        ``length`` is synthesized as ``dlen + 1``.
+        """
+        n = len(events)
+        if n == 0:
+            return cls.empty(registry)
+        dlen = np.fromiter((len(e.data) for e in events), dtype=np.int64,
+                           count=n)
+        starts = np.zeros(n, dtype=np.int64)
+        np.cumsum(dlen[:-1], out=starts[1:])
+        total = int(dlen.sum())
+        words = np.fromiter(
+            (w for e in events for w in e.data), dtype=np.uint64, count=total,
+        )
+        specs: Dict[int, Optional[EventSpec]] = {}
+        for e in events:
+            specs.setdefault((e.major << 16) | e.minor, e.spec)
+        return cls(
+            words=words,
+            base=starts - 1,
+            cpu=np.fromiter((e.cpu for e in events), dtype=np.int64, count=n),
+            seq=np.fromiter((e.seq for e in events), dtype=np.int64, count=n),
+            offset=np.fromiter((e.offset for e in events), dtype=np.int64,
+                               count=n),
+            ts32=np.fromiter((e.ts32 for e in events), dtype=np.int64,
+                             count=n),
+            major=np.fromiter((e.major for e in events), dtype=np.int64,
+                              count=n),
+            minor=np.fromiter((e.minor for e in events), dtype=np.int64,
+                              count=n),
+            length=dlen + 1,
+            dlen=dlen,
+            time=_int_column([e.time if e.time is not None else 0
+                              for e in events]),
+            timed=np.fromiter((e.time is not None for e in events),
+                              dtype=bool, count=n),
+            registry=registry,
+            spec_cache=specs,
+        )
+
+    @classmethod
+    def concat(cls, batches: Sequence["EventBatch"]) -> "EventBatch":
+        """Concatenate batches; word pools merge with rebased indices."""
+        batches = [b for b in batches]
+        if not batches:
+            return cls.empty(None)
+        if len(batches) == 1:
+            return batches[0]
+        shift = 0
+        bases = []
+        for b in batches:
+            bases.append(b.base + shift)
+            shift += len(b.words)
+        if any(b.time.dtype == object for b in batches):
+            time = np.concatenate([b.time.astype(object) for b in batches])
+        else:
+            time = np.concatenate([b.time for b in batches])
+        registry = next((b.registry for b in batches
+                         if b.registry is not None), None)
+        specs: Dict[int, Optional[EventSpec]] = {}
+        for b in batches:
+            for k, v in b._spec_cache.items():
+                specs.setdefault(k, v)
+        return cls(
+            words=np.concatenate([b.words for b in batches]),
+            base=np.concatenate(bases),
+            cpu=np.concatenate([b.cpu for b in batches]),
+            seq=np.concatenate([b.seq for b in batches]),
+            offset=np.concatenate([b.offset for b in batches]),
+            ts32=np.concatenate([b.ts32 for b in batches]),
+            major=np.concatenate([b.major for b in batches]),
+            minor=np.concatenate([b.minor for b in batches]),
+            length=np.concatenate([b.length for b in batches]),
+            dlen=np.concatenate([b.dlen for b in batches]),
+            time=time,
+            timed=np.concatenate([b.timed for b in batches]),
+            registry=registry,
+            spec_cache=specs,
+        )
+
+    # -- shape ----------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.cpu)
+
+    def select(self, sel: np.ndarray) -> "EventBatch":
+        """A new batch of the selected rows (mask or index array).
+
+        The word pool and spec cache are shared, not copied.
+        """
+        sel = np.asarray(sel)
+        if sel.dtype == np.bool_:
+            sel = np.flatnonzero(sel)
+        return EventBatch(
+            words=self.words,
+            base=self.base[sel],
+            cpu=self.cpu[sel],
+            seq=self.seq[sel],
+            offset=self.offset[sel],
+            ts32=self.ts32[sel],
+            major=self.major[sel],
+            minor=self.minor[sel],
+            length=self.length[sel],
+            dlen=self.dlen[sel],
+            time=self.time[sel],
+            timed=self.timed[sel],
+            registry=self.registry,
+            spec_cache=self._spec_cache,
+        )
+
+    # -- masks ----------------------------------------------------------
+    def keys(self) -> np.ndarray:
+        """``(major << 16) | minor`` per event (cached)."""
+        if self._keys is None:
+            self._keys = (self.major << np.int64(16)) | self.minor
+        return self._keys
+
+    def control_mask(self) -> np.ndarray:
+        return self.major == _CTRL
+
+    def filler_mask(self) -> np.ndarray:
+        return self.control_mask() & (
+            (self.minor == _FILLER) | (self.minor == _FILLER_EXT)
+        )
+
+    def mask(
+        self,
+        major: Optional[int] = None,
+        minor: Optional[int] = None,
+        min_data: Optional[int] = None,
+    ) -> np.ndarray:
+        """Boolean selection by major/minor/minimum payload length."""
+        m = np.ones(len(self), dtype=bool)
+        if major is not None:
+            m &= self.major == int(major)
+        if minor is not None:
+            m &= self.minor == int(minor)
+        if min_data is not None:
+            m &= self.dlen >= int(min_data)
+        return m
+
+    def spec_for(self, major: int, minor: int) -> Optional[EventSpec]:
+        key = (major << 16) | minor
+        if key in self._spec_cache:
+            return self._spec_cache[key]
+        spec = (self.registry.lookup(major, minor)
+                if self.registry is not None else None)
+        self._spec_cache[key] = spec
+        return spec
+
+    def name_of(self, major: int, minor: int) -> str:
+        spec = self.spec_for(major, minor)
+        if spec is not None:
+            return spec.name
+        return f"TRC_UNKNOWN_{major}_{minor}"
+
+    def mask_names(self, names: Iterable[str]) -> np.ndarray:
+        """Events whose (self-describing) name is in ``names``.
+
+        Resolved per unique (major, minor) key, not per event: one
+        registry probe per distinct event type in the batch.
+        """
+        wanted = set(names)
+        if not wanted or len(self) == 0:
+            return np.zeros(len(self), dtype=bool)
+        keys = self.keys()
+        uniq = np.unique(keys)
+        hit = [k for k in uniq.tolist()
+               if self.name_of(k >> 16, k & 0xFFFF) in wanted]
+        if not hit:
+            return np.zeros(len(self), dtype=bool)
+        return np.isin(keys, np.array(hit, dtype=np.int64))
+
+    # -- payload access -------------------------------------------------
+    def data_column(self, k: int,
+                    sel: Optional[np.ndarray] = None) -> np.ndarray:
+        """Payload word ``k`` of each (selected) event, as one gather.
+
+        Indices are clipped to the word pool, so a row whose ``dlen``
+        is ``<= k`` yields an arbitrary (in-pool) word — callers must
+        mask on ``dlen`` before trusting the value, exactly as scalar
+        tools guard with ``len(e.data) >= ...``.
+        """
+        base = self.base if sel is None else self.base[np.asarray(sel)]
+        if len(self.words) == 0:
+            return np.zeros(len(base), dtype=np.uint64)
+        idx = base + 1 + k
+        np.clip(idx, 0, len(self.words) - 1, out=idx)
+        return self.words[idx]
+
+    def field_columns(
+        self, spec: EventSpec, sel: Optional[np.ndarray] = None
+    ) -> Optional[List[np.ndarray]]:
+        """Decode a fixed-layout group vectorized via its compiled plan.
+
+        One gather plus shift/mask per layout field; ``None`` when the
+        layout is variable-length (``str``) and cannot be vectorized.
+        Rows must already be selected down to events of this spec with
+        sufficient ``dlen`` (``spec.fixed_data_words``).
+        """
+        plan = spec.plan
+        if not plan.vectorizable:
+            return None
+        out: List[np.ndarray] = []
+        word_cache: Dict[int, np.ndarray] = {}
+        for f in plan.fields:
+            assert f is not None
+            widx, shift, width = f
+            w = word_cache.get(widx)
+            if w is None:
+                w = word_cache[widx] = self.data_column(widx, sel)
+            out.append(
+                (w >> np.uint64(shift)) & np.uint64((1 << width) - 1)
+            )
+        return out
+
+    # -- ordering -------------------------------------------------------
+    def time_key(self) -> np.ndarray:
+        """The merge key: full time, with -1 standing in for "no time"."""
+        if self.time.dtype == object:
+            return np.array(
+                [t if f else -1
+                 for t, f in zip(self.time.tolist(), self.timed.tolist())],
+                dtype=object,
+            )
+        return np.where(self.timed, self.time, np.int64(-1))
+
+    def order_by_time(self) -> np.ndarray:
+        """Indices sorting by the ``Trace.all_events`` total order:
+        ``(time | -1, cpu, seq, offset)``."""
+        tk = self.time_key()
+        if tk.dtype == object:
+            tkl = tk.tolist()
+            cl = self.cpu.tolist()
+            sl = self.seq.tolist()
+            ol = self.offset.tolist()
+            idx = sorted(range(len(self)),
+                         key=lambda i: (tkl[i], cl[i], sl[i], ol[i]))
+            return np.array(idx, dtype=np.int64)
+        return np.lexsort((self.offset, self.seq, self.cpu, tk))
+
+    def order_by_stream(self) -> np.ndarray:
+        """Indices sorting by decode order: ``(cpu, seq, offset)``."""
+        return np.lexsort((self.offset, self.seq, self.cpu))
+
+    # -- materialization (compatibility) --------------------------------
+    def event(self, i: int) -> TraceEvent:
+        """Materialize row ``i`` as a scalar-identical TraceEvent."""
+        return self.events(np.array([i], dtype=np.int64))[0]
+
+    def events(self, sel: Optional[np.ndarray] = None) -> List[TraceEvent]:
+        """Materialize (selected) rows as scalar-identical TraceEvents.
+
+        Bit-identical to what the scalar reader would have produced for
+        the same rows: Python-int data lists, ``None`` time where no
+        timestamp was reconstructed, specs resolved from the registry.
+        """
+        if sel is None:
+            idx = np.arange(len(self), dtype=np.int64)
+        else:
+            idx = np.asarray(sel)
+            if idx.dtype == np.bool_:
+                idx = np.flatnonzero(idx)
+        n = len(idx)
+        if n == 0:
+            return []
+        wl = self.words
+        cpu_l = self.cpu[idx].tolist()
+        seq_l = self.seq[idx].tolist()
+        off_l = self.offset[idx].tolist()
+        ts_l = self.ts32[idx].tolist()
+        maj_l = self.major[idx].tolist()
+        min_l = self.minor[idx].tolist()
+        dlen_l = self.dlen[idx].tolist()
+        base_l = self.base[idx].tolist()
+        time_l = self.time[idx].tolist()
+        timed_l = self.timed[idx].tolist()
+        out: List[TraceEvent] = []
+        append = out.append
+        spec_for = self.spec_for
+        for j in range(n):
+            b = base_l[j]
+            dl = dlen_l[j]
+            data = wl[b + 1 : b + 1 + dl].tolist() if dl else []
+            append(TraceEvent(
+                cpu_l[j], seq_l[j], off_l[j], ts_l[j],
+                maj_l[j], min_l[j], data,
+                time_l[j] if timed_l[j] else None,
+                spec_for(maj_l[j], min_l[j]),
+            ))
+        return out
+
+
+class AnomalyColumns:
+    """Anomaly verdicts as parallel columns, in scalar-report order."""
+
+    __slots__ = ("cpu", "seq", "offset", "kind", "detail")
+
+    def __init__(self) -> None:
+        self.cpu: List[int] = []
+        self.seq: List[int] = []
+        self.offset: List[int] = []
+        self.kind: List[str] = []
+        self.detail: List[str] = []
+
+    def append(self, cpu: int, seq: int, offset: int,
+               kind: str, detail: str) -> None:
+        self.cpu.append(cpu)
+        self.seq.append(seq)
+        self.offset.append(offset)
+        self.kind.append(kind)
+        self.detail.append(detail)
+
+    def __len__(self) -> int:
+        return len(self.kind)
+
+    def counts(self) -> Dict[str, int]:
+        out: Dict[str, int] = {}
+        for k in self.kind:
+            out[k] = out.get(k, 0) + 1
+        return out
+
+    def to_list(self) -> List[Anomaly]:
+        """Materialize as :class:`Anomaly` objects (scalar order)."""
+        return [
+            Anomaly(c, s, o, k, d)
+            for c, s, o, k, d in zip(self.cpu, self.seq, self.offset,
+                                     self.kind, self.detail)
+        ]
+
+
+class _CpuAccumulator:
+    """Per-CPU column chunks while a trace is being assembled."""
+
+    __slots__ = ("words", "base", "offset", "seq", "ts32", "major", "minor",
+                 "length", "dlen", "time_vals", "timed", "word_total", "n")
+
+    def __init__(self) -> None:
+        self.words: List[np.ndarray] = []
+        self.base: List[np.ndarray] = []
+        self.offset: List[np.ndarray] = []
+        self.seq: List[np.ndarray] = []
+        self.ts32: List[np.ndarray] = []
+        self.major: List[np.ndarray] = []
+        self.minor: List[np.ndarray] = []
+        self.length: List[np.ndarray] = []
+        self.dlen: List[np.ndarray] = []
+        self.time_vals: List[int] = []
+        self.timed: List[bool] = []
+        self.word_total = 0
+        self.n = 0
+
+
+class ColumnarAssembler:
+    """Accumulates per-buffer scans into per-CPU event columns.
+
+    The columnar analogue of ``TraceReader.assemble_scan``: same
+    timestamp stitching (carried ``(last_full, last_ts32)`` state per
+    CPU), same filler filtering, same anomaly order — but the output is
+    columns, never ``TraceEvent`` objects.  Buffers must be added in
+    (cpu, seq) order, the order the sequential reader visits them.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[EventRegistry] = None,
+        include_fillers: bool = False,
+        check_committed: bool = True,
+    ) -> None:
+        self.registry = registry
+        self.include_fillers = include_fillers
+        self.check_committed = check_committed
+        self.anomaly_columns = AnomalyColumns()
+        self._acc: Dict[int, _CpuAccumulator] = {}
+        self._state: Dict[int, Tuple[Optional[int], Optional[int]]] = {}
+
+    def add_buffer(
+        self,
+        rec: BufferRecord,
+        scan: BufferScan,
+        times: Optional[List[int]] = None,
+        anchored: bool = False,
+    ) -> None:
+        """Fold one scanned buffer into the columns.
+
+        ``times``/``anchored`` may come precomputed from a decode
+        worker; when ``times`` is ``None`` they are reconstructed here
+        from the buffer's anchor or the carried state — which is also
+        how an unanchored head-of-shard buffer gets stitched.
+        """
+        cpu = rec.cpu
+        acc = self._acc.get(cpu)
+        if acc is None:
+            acc = self._acc[cpu] = _CpuAccumulator()
+        last_full, last_ts32 = self._state.get(cpu, (None, None))
+        if times is None:
+            anchor_i, anchor_time = find_anchor(scan)
+            times = unwrap_times(scan.event_ts32(), anchor_i, anchor_time,
+                                 last_full, last_ts32)
+            anchored = anchor_i is not None
+
+        cols = scan.cols
+        n = len(scan.offsets)
+        if n:
+            arr = cols.arr
+            if arr is None:
+                arr = np.asarray(cols.words, dtype=np.uint64)
+            offs = np.asarray(scan.offsets, dtype=np.int64)
+            hdr = arr[offs]
+            ts32 = (hdr >> np.uint64(TIMESTAMP_SHIFT)).astype(np.int64)
+            length = ((hdr >> np.uint64(LENGTH_SHIFT))
+                      & np.uint64(LENGTH_MASK)).astype(np.int64)
+            major = ((hdr >> np.uint64(MAJOR_SHIFT))
+                     & np.uint64(MAJOR_MASK)).astype(np.int64)
+            minor = (hdr & np.uint64(MINOR_MASK)).astype(np.int64)
+            dlen = length - 1
+            is_ctrl = major == _CTRL
+            f_plain = is_ctrl & (minor == _FILLER)
+            f_ext = is_ctrl & (minor == _FILLER_EXT)
+            # Plain fillers carry no data; a real extended filler
+            # (header length 0) carries exactly its span word.
+            dlen[f_plain] = 0
+            dlen[f_ext & (length == 0)] = 1
+            timed = times is not None
+            tv: List[int] = times if timed else [0] * n  # type: ignore[assignment]
+            if not self.include_fillers:
+                keep = ~(f_plain | f_ext)
+                if not keep.all():
+                    offs = offs[keep]
+                    ts32 = ts32[keep]
+                    length = length[keep]
+                    major = major[keep]
+                    minor = minor[keep]
+                    dlen = dlen[keep]
+                    tv = [t for t, k in zip(tv, keep.tolist()) if k]
+            kept = len(offs)
+            if kept:
+                acc.words.append(arr)
+                acc.base.append(acc.word_total + offs)
+                acc.offset.append(offs)
+                acc.seq.append(np.full(kept, rec.seq, dtype=np.int64))
+                acc.ts32.append(ts32)
+                acc.major.append(major)
+                acc.minor.append(minor)
+                acc.length.append(length)
+                acc.dlen.append(dlen)
+                acc.time_vals.extend(tv)
+                acc.timed.extend([timed] * kept)
+                acc.word_total += len(arr)
+                acc.n += kept
+
+        # Anomalies, in exactly the scalar per-buffer order:
+        # garbles/recoveries, committed mismatch, missing anchor.
+        an = self.anomaly_columns
+        for (off, detail), resume in zip(scan.garbles, scan.resumes):
+            an.append(cpu, rec.seq, off, "garbled", detail)
+            if resume is not None:
+                an.append(cpu, rec.seq, off, "recovered-region",
+                          f"skipped {resume - off} words; resynchronized at "
+                          f"offset {resume}")
+        if (self.check_committed and not rec.partial
+                and rec.committed != rec.fill_words):
+            an.append(cpu, rec.seq, 0, "committed-mismatch",
+                      f"committed {rec.committed} words, buffer holds "
+                      f"{rec.fill_words}")
+        if times is not None:
+            if not anchored:
+                an.append(cpu, rec.seq, 0, "missing-anchor",
+                          "no timestamp anchor; times unwrapped "
+                          "from previous buffer")
+            self._state[cpu] = (times[-1],
+                                cols.ts32[scan.offsets[-1]])
+
+    def finish(self) -> "ColumnarTrace":
+        """Concatenate the per-CPU chunks into final batches."""
+        batches: Dict[int, EventBatch] = {}
+        for cpu in sorted(self._acc):
+            acc = self._acc[cpu]
+            if acc.n == 0:
+                batches[cpu] = EventBatch.empty(self.registry)
+                continue
+            n = acc.n
+            batches[cpu] = EventBatch(
+                words=np.concatenate(acc.words),
+                base=np.concatenate(acc.base),
+                cpu=np.full(n, cpu, dtype=np.int64),
+                seq=np.concatenate(acc.seq),
+                offset=np.concatenate(acc.offset),
+                ts32=np.concatenate(acc.ts32),
+                major=np.concatenate(acc.major),
+                minor=np.concatenate(acc.minor),
+                length=np.concatenate(acc.length),
+                dlen=np.concatenate(acc.dlen),
+                time=_int_column(acc.time_vals),
+                timed=np.array(acc.timed, dtype=bool),
+                registry=self.registry,
+            )
+        return ColumnarTrace(batches, self.anomaly_columns, self.registry)
+
+
+class ColumnarTrace:
+    """A decoded trace held as per-CPU :class:`EventBatch` columns.
+
+    Ported tools call :meth:`batch` and stay columnar end to end; the
+    ``Trace``-compatible surface (``all_events``, ``events_by_cpu``,
+    ``events``, ``filter``, ``anomalies``) materializes lazily and
+    caches, so scalar consumers — including identity-keyed ones like
+    ``ContextTracker`` — see one stable set of event objects.
+    """
+
+    def __init__(
+        self,
+        batches_by_cpu: Dict[int, EventBatch],
+        anomaly_columns: Optional[AnomalyColumns] = None,
+        registry: Optional[EventRegistry] = None,
+    ) -> None:
+        self.batches_by_cpu = batches_by_cpu
+        self.registry = registry
+        self._anomaly_columns = (anomaly_columns if anomaly_columns
+                                 is not None else AnomalyColumns())
+        self._merged: Optional[EventBatch] = None
+        self._events_by_cpu: Optional[Dict[int, List[TraceEvent]]] = None
+        self._all_events: Optional[List[TraceEvent]] = None
+        self._anomalies: Optional[List[Anomaly]] = None
+
+    # -- columnar surface -----------------------------------------------
+    @property
+    def anomaly_columns(self) -> AnomalyColumns:
+        return self._anomaly_columns
+
+    def cpu_batch(self, cpu: int) -> EventBatch:
+        """This CPU's events in decode order."""
+        return self.batches_by_cpu.get(cpu, EventBatch.empty(self.registry))
+
+    def batch(self) -> EventBatch:
+        """All CPUs merged into the ``all_events`` total order (cached)."""
+        if self._merged is None:
+            parts = [self.batches_by_cpu[c]
+                     for c in sorted(self.batches_by_cpu)]
+            cat = EventBatch.concat(parts) if parts \
+                else EventBatch.empty(self.registry)
+            self._merged = cat.select(cat.order_by_time())
+        return self._merged
+
+    @property
+    def cpus(self) -> List[int]:
+        return sorted(self.batches_by_cpu)
+
+    # -- Trace-compatible surface ---------------------------------------
+    @property
+    def ncpus(self) -> int:
+        return len(self.batches_by_cpu)
+
+    @property
+    def anomalies(self) -> List[Anomaly]:
+        if self._anomalies is None:
+            self._anomalies = self._anomaly_columns.to_list()
+        return self._anomalies
+
+    @property
+    def events_by_cpu(self) -> Dict[int, List[TraceEvent]]:
+        if self._events_by_cpu is None:
+            self._events_by_cpu = {
+                cpu: self.batches_by_cpu[cpu].events()
+                for cpu in sorted(self.batches_by_cpu)
+            }
+        return self._events_by_cpu
+
+    def events(self, cpu: int) -> List[TraceEvent]:
+        return self.events_by_cpu.get(cpu, [])
+
+    def all_events(self) -> List[TraceEvent]:
+        """Same objects as ``events_by_cpu``, merged like ``Trace``."""
+        if self._all_events is None:
+            def key(e: TraceEvent):
+                return (e.time if e.time is not None else -1,
+                        e.cpu, e.seq, e.offset)
+
+            streams = [sorted(evs, key=key)
+                       for evs in self.events_by_cpu.values()]
+            self._all_events = list(heapq.merge(*streams, key=key))
+        return self._all_events
+
+    def filter(
+        self,
+        major: Optional[int] = None,
+        minor: Optional[int] = None,
+        name: Optional[str] = None,
+        include_control: bool = False,
+    ) -> List[TraceEvent]:
+        """Mask-select counterpart of ``Trace.filter`` (same output)."""
+        b = self.batch()
+        m = np.ones(len(b), dtype=bool)
+        if not include_control:
+            m &= ~b.control_mask()
+        if major is not None:
+            m &= b.major == int(major)
+        if minor is not None:
+            m &= b.minor == int(minor)
+        if name is not None:
+            m &= b.mask_names([name])
+        # Materialize through all_events() so callers mixing filter()
+        # with identity-keyed lookups see the same objects.
+        idx = set(np.flatnonzero(m).tolist())
+        return [e for i, e in enumerate(self.all_events()) if i in idx]
+
+    def to_trace(self) -> Trace:
+        """Materialize as a plain :class:`Trace` (bit-identical)."""
+        return Trace(events_by_cpu=dict(self.events_by_cpu),
+                     anomalies=list(self.anomalies))
+
+
+# ----------------------------------------------------------------------
+# Decoding entry points
+# ----------------------------------------------------------------------
+def decode_records_columnar(
+    records: Iterable[BufferRecord],
+    registry: Optional[EventRegistry] = None,
+    include_fillers: bool = False,
+    check_committed: bool = True,
+    strict: bool = False,
+) -> ColumnarTrace:
+    """Sequential columnar decode; scan decisions and anomaly verdicts
+    identical to ``TraceReader(...).decode_records(records)``."""
+    by_cpu: Dict[int, List[BufferRecord]] = {}
+    for rec in records:
+        by_cpu.setdefault(rec.cpu, []).append(rec)
+    asm = ColumnarAssembler(registry=registry,
+                            include_fillers=include_fillers,
+                            check_committed=check_committed)
+    for cpu, recs in sorted(by_cpu.items()):
+        recs.sort(key=lambda r: r.seq)
+        for rec in recs:
+            scan = scan_buffer(rec.words, rec.fill_words, recover=not strict)
+            asm.add_buffer(rec, scan)
+    return asm.finish()
+
+
+class ColumnarTraceReader:
+    """Columnar counterpart of :class:`~repro.core.stream.TraceReader`.
+
+    Same constructor surface; ``decode_records`` returns a
+    :class:`ColumnarTrace` whose events, ordering, and anomaly verdicts
+    are bit-identical to the scalar reader's output (``to_trace()``
+    materializes the proof).
+    """
+
+    def __init__(
+        self,
+        registry: Optional[EventRegistry] = None,
+        include_fillers: bool = False,
+        check_committed: bool = True,
+        strict: bool = False,
+    ) -> None:
+        self.registry = registry
+        self.include_fillers = include_fillers
+        self.check_committed = check_committed
+        self.strict = strict
+
+    def decode_records(
+        self, records: Iterable[BufferRecord]
+    ) -> ColumnarTrace:
+        return decode_records_columnar(
+            records,
+            registry=self.registry,
+            include_fillers=self.include_fillers,
+            check_committed=self.check_committed,
+            strict=self.strict,
+        )
+
+    def decode_one(self, record: BufferRecord) -> ColumnarTrace:
+        return self.decode_records([record])
+
+    def decode_file(self, path) -> ColumnarTrace:
+        """Load a ``.k42`` trace file and decode it columnar."""
+        from repro.core.writer import load_records
+
+        return self.decode_records(load_records(path))
+
+
+def as_batch(
+    trace: Union[Trace, ColumnarTrace, EventBatch],
+) -> EventBatch:
+    """The merged, time-ordered :class:`EventBatch` for any trace form.
+
+    For a :class:`ColumnarTrace` this is the (cached) column merge; for
+    a plain :class:`Trace` the events are columnarized once and the
+    batch is cached on the instance, so repeated tool calls pay the
+    conversion only once.
+    """
+    if isinstance(trace, EventBatch):
+        return trace
+    if isinstance(trace, ColumnarTrace):
+        return trace.batch()
+    batch = getattr(trace, "_columnar_batch", None)
+    if batch is None:
+        batch = EventBatch.from_events(trace.all_events())
+        trace._columnar_batch = batch  # type: ignore[attr-defined]
+    return batch

@@ -18,7 +18,9 @@ Packing rules (mirrored by :func:`unpack_values`):
 
 from __future__ import annotations
 
-from typing import Sequence, Union
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional, Sequence, Tuple, Union
 
 from repro.core.constants import WORD_BITS, WORD_BYTES, WORD_MASK
 
@@ -27,13 +29,74 @@ Value = Union[int, str]
 _FIXED_WIDTHS = {"8": 8, "16": 16, "32": 32, "64": 64}
 
 
-def parse_layout(layout: str) -> list[str]:
-    """Split and validate a layout string; returns the token list."""
-    tokens = layout.split()
+@lru_cache(maxsize=None)
+def parse_layout(layout: str) -> Tuple[str, ...]:
+    """Split and validate a layout string; returns the token tuple.
+
+    Layout strings come from the (small, fixed) event registry but are
+    re-parsed on every decode, so the result is memoized — the cache is
+    keyed by the layout string itself and the returned tuple is
+    immutable and safe to share.
+    """
+    tokens = tuple(layout.split())
     for tok in tokens:
         if tok not in _FIXED_WIDTHS and tok != "str":
             raise ValueError(f"unknown layout token {tok!r} in {layout!r}")
     return tokens
+
+
+@dataclass(frozen=True)
+class LayoutPlan:
+    """Precomputed decode plan for one layout string.
+
+    ``fields`` holds, per layout token, the static ``(word, shift, width)``
+    position of that value inside the event's data words — or ``None``
+    once positions become data-dependent (everything from the first
+    ``str`` token on, since a string's word count is only known at decode
+    time).  A fully static plan (``vectorizable``) lets a columnar reader
+    decode a whole group of same-shaped events with one numpy gather and
+    shift/mask per field instead of N :func:`unpack_values` calls.
+    """
+
+    tokens: Tuple[str, ...]
+    fields: Tuple[Optional[Tuple[int, int, int]], ...]
+    vectorizable: bool
+    #: Fixed total data-word count, or None when the layout is
+    #: variable-length ("str").
+    data_words: Optional[int]
+
+
+@lru_cache(maxsize=None)
+def compile_layout(layout: str) -> LayoutPlan:
+    """Compile a layout into a :class:`LayoutPlan` (memoized).
+
+    Mirrors the packing rules of :func:`pack_values` exactly: fixed-width
+    values fill each word LSB-up and never straddle a word boundary;
+    a string starts on a fresh word and invalidates all later static
+    positions.
+    """
+    tokens = parse_layout(layout)
+    fields: list = []
+    widx = -1
+    bit = WORD_BITS
+    static = True
+    for tok in tokens:
+        if tok == "str" or not static:
+            static = False
+            fields.append(None)
+            continue
+        width = _FIXED_WIDTHS[tok]
+        if bit + width > WORD_BITS:
+            widx += 1
+            bit = 0
+        fields.append((widx, bit, width))
+        bit += width
+    return LayoutPlan(
+        tokens=tokens,
+        fields=tuple(fields),
+        vectorizable=static,
+        data_words=(widx + 1) if static else None,
+    )
 
 
 def pack_values(layout: str, values: Sequence[Value]) -> list[int]:

@@ -179,6 +179,41 @@ def _run_tasks(
         return [_scan_shard(t) for t in tasks]
 
 
+def _sharded_scan(
+    records: List[BufferRecord],
+    workers: int,
+    strict: bool,
+    shards_per_worker: int,
+) -> Tuple[
+    List[Tuple[int, List[BufferRecord]]],
+    List[Tuple[int, List[_ScanResult]]],
+]:
+    """Shard ``records`` and scan the shards on a worker pool.
+
+    The shared fan-out stage of both parallel decoders (event-object and
+    columnar): shards are built in (cpu, seq) order, records are staged
+    for copy-on-write fork inheritance, and the per-buffer scan results
+    come back aligned with the shard list for stitching.
+    """
+    shards = shard_records(records, workers * shards_per_worker)
+    # Children of fork() see the parent's records copy-on-write;
+    # ship an index instead of pushing megabytes through a pipe.
+    _FORK_RECORDS.clear()
+    _FORK_RECORDS.extend(records)
+    index = {id(rec): i for i, rec in enumerate(records)}
+
+    tasks: List[_ShardTask] = [
+        (cpu, [(rec.seq, index[id(rec)], rec.fill_words) for rec in recs],
+         not strict)
+        for cpu, recs in shards
+    ]
+    try:
+        results = _run_tasks(tasks, workers)
+    finally:
+        _FORK_RECORDS.clear()
+    return shards, results
+
+
 def decode_records_parallel(
     records: Iterable[BufferRecord],
     registry: Optional[EventRegistry] = None,
@@ -223,22 +258,8 @@ def decode_records_parallel(
         )
         return reader.decode_records(records)
 
-    shards = shard_records(records, workers * shards_per_worker)
-    # Children of fork() see the parent's records copy-on-write;
-    # ship an index instead of pushing megabytes through a pipe.
-    _FORK_RECORDS.clear()
-    _FORK_RECORDS.extend(records)
-    index = {id(rec): i for i, rec in enumerate(records)}
-
-    tasks: List[_ShardTask] = [
-        (cpu, [(rec.seq, index[id(rec)], rec.fill_words) for rec in recs],
-         not strict)
-        for cpu, recs in shards
-    ]
-    try:
-        results = _run_tasks(tasks, workers)
-    finally:
-        _FORK_RECORDS.clear()
+    shards, results = _sharded_scan(records, workers, strict,
+                                    shards_per_worker)
 
     # Stitch: walk shards per CPU in sequence order, exactly the order
     # (and with exactly the state) the sequential reader would have —
@@ -307,3 +328,65 @@ class ParallelTraceReader:
         from repro.core.writer import load_records
 
         return self.decode_records(load_records(path))
+
+
+def decode_records_columnar_parallel(
+    records: Iterable[BufferRecord],
+    registry: Optional[EventRegistry] = None,
+    include_fillers: bool = False,
+    check_committed: bool = True,
+    workers: Optional[int] = None,
+    shards_per_worker: int = 2,
+    strict: bool = False,
+):
+    """Parallel decode straight into columns: the shard scans fan out
+    exactly as :func:`decode_records_parallel`, but the parent folds the
+    returned offsets/times into a
+    :class:`~repro.core.columnar.ColumnarTrace` — per-CPU shard columns
+    concatenate without ever materializing ``TraceEvent`` objects.
+
+    Output is column-for-column identical to
+    ``ColumnarTraceReader(...).decode_records(records)`` (and therefore
+    bit-identical to the sequential scalar reader once materialized).
+    """
+    from repro.core.columnar import ColumnarAssembler, ColumnarTraceReader
+
+    records = list(records)
+    if workers is None:
+        workers = os.cpu_count() or 1
+    sequential = ColumnarTraceReader(
+        registry=registry,
+        include_fillers=include_fillers,
+        check_committed=check_committed,
+        strict=strict,
+    )
+    if workers <= 1 or len(records) <= workers:
+        return sequential.decode_records(records)
+    if not _fork_available():
+        warnings.warn(
+            "the 'fork' start method is unavailable on this platform; "
+            "decoding sequentially instead of on a worker pool",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return sequential.decode_records(records)
+
+    shards, results = _sharded_scan(records, workers, strict,
+                                    shards_per_worker)
+
+    asm = ColumnarAssembler(
+        registry=registry,
+        include_fillers=include_fillers,
+        check_committed=check_committed,
+    )
+    for (cpu, recs), (res_cpu, scans) in zip(shards, results):
+        assert cpu == res_cpu
+        for rec, (seq, offsets, times, anchored, garbles, resumes) in zip(
+                recs, scans):
+            assert rec.seq == seq
+            scan = BufferScan(
+                buffer_columns(rec.words, rec.fill_words), offsets,
+                garbles, resumes,
+            )
+            asm.add_buffer(rec, scan, times=times, anchored=anchored)
+    return asm.finish()

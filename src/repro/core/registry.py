@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterator, Optional, Sequence, Tuple, Union
 
 from repro.core import majors as M
-from repro.core.packing import parse_layout, unpack_values
+from repro.core.packing import LayoutPlan, compile_layout, parse_layout, unpack_values
 
 Value = Union[int, str]
 
@@ -67,19 +67,18 @@ class EventSpec:
                 )
 
     @property
+    def plan(self) -> LayoutPlan:
+        """The compiled (memoized) decode plan for this event's layout."""
+        return compile_layout(self.layout)
+
+    @property
     def fixed_data_words(self) -> Optional[int]:
         """Data-word count if the layout is constant-length, else None.
 
         Mirrors K42's per-major-ID macros: constant-length events are
         logged without variable-argument machinery (§3.2).
         """
-        if "str" in self.layout.split():
-            return None
-        from repro.core.packing import pack_values
-
-        tokens = parse_layout(self.layout)
-        zeros = [0] * len(tokens)
-        return len(pack_values(self.layout, zeros))
+        return self.plan.data_words
 
     def decode(self, words: Sequence[int]) -> list[Value]:
         """Decode raw data words into field values per the layout."""

@@ -139,6 +139,10 @@ class BufferColumns:
     major: List[int]    # bits 21..16
     minor: List[int]    # bits 15..0
     limit: int
+    #: The raw words as a uint64 array (the source the lists above were
+    #: unpacked from).  The columnar reader slices payloads from it
+    #: without a list round-trip; ``None`` for hand-built columns.
+    arr: Optional[np.ndarray] = None
 
 
 def buffer_columns(words: Union[np.ndarray, Sequence[int]],
@@ -154,6 +158,7 @@ def buffer_columns(words: Union[np.ndarray, Sequence[int]],
         major=((arr >> np.uint64(MAJOR_SHIFT)) & np.uint64(MAJOR_MASK)).tolist(),
         minor=(arr & np.uint64(MINOR_MASK)).tolist(),
         limit=limit,
+        arr=arr,
     )
 
 

@@ -16,11 +16,14 @@ the call's own computation.  Times print in microseconds like Figure 8.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.core.columnar import as_batch
 from repro.core.majors import ExcMinor, Major, SyscallMinor
 from repro.core.stream import Trace
-from repro.tools.context import ContextTracker
+from repro.tools.context import ColumnarContext, ContextTracker
 
 CYCLES_PER_US = 1_000  # 1 GHz reference machine
 
@@ -77,8 +80,19 @@ def process_breakdown(
     syscall_names: Optional[Dict[int, str]] = None,
     process_names: Optional[Dict[int, str]] = None,
     fs_function_names: Optional[Dict[int, str]] = None,
+    columnar: bool = True,
 ) -> Dict[int, ProcessBreakdown]:
-    """Build per-process breakdowns from the unified trace."""
+    """Build per-process breakdowns from the unified trace.
+
+    The columnar path (default) replays only the syscall/IPC/fault
+    boundary events and computes the per-call event counts and
+    per-process totals by binary search over position columns; results
+    are identical to the scalar event walk.
+    """
+    if columnar:
+        return _process_breakdown_columnar(
+            trace, syscall_names, process_names, fs_function_names
+        )
     ctx = ContextTracker(trace)
     out: Dict[int, ProcessBreakdown] = {}
 
@@ -162,6 +176,165 @@ def process_breakdown(
                     if oc is not None:
                         oc[2].fault_cycles += cycles
                         oc[2].faults += 1
+
+    return out
+
+
+def _process_breakdown_columnar(
+    trace: Trace,
+    syscall_names: Optional[Dict[int, str]],
+    process_names: Optional[Dict[int, str]],
+    fs_function_names: Optional[Dict[int, str]],
+) -> Dict[int, ProcessBreakdown]:
+    b = as_batch(trace)
+    ctx = ColumnarContext(b)
+    out: Dict[int, ProcessBreakdown] = {}
+
+    def bd(pid: int) -> ProcessBreakdown:
+        r = out.get(pid)
+        if r is None:
+            r = ProcessBreakdown(pid, (process_names or {}).get(pid, ""))
+            out[pid] = r
+        return r
+
+    # Countable rows: the scalar walk's "generic step" applies to every
+    # non-control event whose executing pid is known.
+    countable = ~b.control_mask() & ctx.known
+    g_idx = np.flatnonzero(countable)
+    g_pid = ctx.pid[g_idx]
+
+    # The state machine only ever reacts to these boundary events.
+    sm = b.mask(major=int(Major.SYSCALL), min_data=2) & (
+        (b.minor == int(SyscallMinor.ENTER))
+        | (b.minor == int(SyscallMinor.EXIT))
+    )
+    sm |= b.mask(major=int(Major.EXC), min_data=1) & (
+        (b.minor == int(ExcMinor.PPC_CALL))
+        | (b.minor == int(ExcMinor.PPC_RETURN))
+        | (b.minor == int(ExcMinor.PGFLT))
+        | (b.minor == int(ExcMinor.PGFLT_DONE))
+    )
+    sel = np.flatnonzero(sm)
+    majors = b.major[sel].tolist()
+    minors = b.minor[sel].tolist()
+    dlens = b.dlen[sel].tolist()
+    d0 = b.data_column(0, sel).tolist()
+    d1 = b.data_column(1, sel).tolist()
+    d2 = b.data_column(2, sel).tolist()      # valid only where dlen >= 3
+    tv = [t if f else 0
+          for t, f in zip(b.time[sel].tolist(), b.timed[sel].tolist())]
+    pid_k = ctx.known[sel].tolist()
+    pid_v = ctx.pid[sel].tolist()
+    pos = sel.tolist()
+
+    syscall_major = int(Major.SYSCALL)
+    enter_minor = int(SyscallMinor.ENTER)
+    exit_minor = int(SyscallMinor.EXIT)
+    ppc_call = int(ExcMinor.PPC_CALL)
+    ppc_return = int(ExcMinor.PPC_RETURN)
+    pgflt = int(ExcMinor.PGFLT)
+    pgflt_done = int(ExcMinor.PGFLT_DONE)
+
+    # Per-pid open syscall: (enter_position, enter_time, row)
+    open_call: Dict[int, Tuple[int, int, SyscallRow]] = {}
+    open_ppc: Dict[int, Tuple[int, int]] = {}
+    open_fault: Dict[int, int] = {}
+    #: closed (and trace-end) call windows: (pid, open_pos, close_pos, row);
+    #: the window covers merged positions (open_pos, close_pos].
+    windows: List[Tuple[int, int, int, SyscallRow]] = []
+    end_pos = len(b)  # exclusive upper bound, > any real position
+
+    for i in range(len(sel)):
+        pid = pid_v[i] if pid_k[i] else None
+        if majors[i] == syscall_major:
+            sc_pid, num = d0[i], d1[i]
+            name = (syscall_names or {}).get(num, f"SC{num}")
+            if minors[i] == enter_minor:
+                r = bd(sc_pid)
+                row = r.syscalls.get(name)
+                if row is None:
+                    row = SyscallRow(name)
+                    r.syscalls[name] = row
+                prev = open_call.get(sc_pid)
+                if prev is not None:
+                    # The replacing ENTER itself still counts toward the
+                    # replaced call (generic step precedes replacement).
+                    windows.append((sc_pid, prev[0], pos[i], prev[2]))
+                open_call[sc_pid] = (pos[i], tv[i], row)
+            else:
+                oc = open_call.pop(sc_pid, None)
+                if oc is not None:
+                    open_pos, t0, row = oc
+                    elapsed = d2[i] if dlens[i] >= 3 else max(0, tv[i] - t0)
+                    row.total_cycles += elapsed
+                    row.calls += 1
+                    bd(sc_pid).total_syscall_cycles += elapsed
+                    windows.append((sc_pid, open_pos, pos[i], row))
+        else:
+            if minors[i] == ppc_call:
+                if pid is not None:
+                    open_ppc[pid] = (d0[i], tv[i])
+            elif minors[i] == ppc_return:
+                if pid is not None:
+                    op = open_ppc.pop(pid, None)
+                    if op is not None:
+                        comm_id, t0 = op
+                        cycles = max(0, tv[i] - t0)
+                        r = bd(pid)
+                        r.total_ipc_cycles += cycles
+                        r.total_ipc_calls += 1
+                        oc = open_call.get(pid)
+                        if oc is not None:
+                            oc[2].ipc_cycles += cycles
+                            oc[2].ipc_calls += 1
+                        server_pid = comm_id >> 32
+                        fn_id = comm_id & 0xFFFF_FFFF
+                        fn = (fs_function_names or {}).get(fn_id, f"fn{fn_id}")
+                        sb = bd(server_pid)
+                        calls, cyc = sb.server_functions.get(fn, (0, 0))
+                        sb.server_functions[fn] = (calls + 1, cyc + cycles)
+            elif minors[i] == pgflt:
+                if dlens[i] >= 2:
+                    open_fault[d0[i]] = tv[i]
+            elif minors[i] == pgflt_done:
+                if dlens[i] >= 2:
+                    t0 = open_fault.pop(d0[i], None)
+                    if t0 is not None and pid is not None:
+                        cycles = max(0, tv[i] - t0)
+                        r = bd(pid)
+                        r.total_fault_cycles += cycles
+                        r.total_faults += 1
+                        oc = open_call.get(pid)
+                        if oc is not None:
+                            oc[2].fault_cycles += cycles
+                            oc[2].faults += 1
+
+    # Calls still open at trace end count every later event of their pid.
+    for sc_pid, (open_pos, _t0, row) in open_call.items():
+        windows.append((sc_pid, open_pos, end_pos, row))
+
+    # Per-process totals and per-call event counts, by binary search
+    # over each pid's countable-position column.
+    if len(g_idx):
+        order = np.argsort(g_pid, kind="stable")
+        gp_sorted = g_pid[order]
+        gi_sorted = g_idx[order]
+        uniq, starts, counts = np.unique(gp_sorted, return_index=True,
+                                         return_counts=True)
+        pos_by_pid: Dict[int, np.ndarray] = {}
+        for p, s, c in zip(uniq.tolist(), starts.tolist(), counts.tolist()):
+            pos_by_pid[p] = gi_sorted[s : s + c]
+            bd(p).total_events = c
+        for sc_pid, open_pos, close_pos, row in windows:
+            ppos = pos_by_pid.get(sc_pid)
+            if ppos is None:
+                continue
+            # Window (open_pos, close_pos]: the opening ENTER is excluded,
+            # the closing event included — the scalar generic step runs
+            # before the handler replaces/pops the open call.
+            lo = int(np.searchsorted(ppos, open_pos, side="right"))
+            hi = int(np.searchsorted(ppos, close_pos, side="right"))
+            row.events += hi - lo
 
     return out
 

@@ -10,8 +10,11 @@ trace-only equivalent of "current" in the kernel.
 
 from __future__ import annotations
 
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.core.columnar import EventBatch
 from repro.core.majors import Major, ProcMinor
 from repro.core.stream import Trace, TraceEvent
 
@@ -51,3 +54,79 @@ class ContextTracker:
     def pid_of(self, event: TraceEvent) -> Optional[int]:
         """Process id executing when ``event`` was logged."""
         return self._ctx.get(id(event), (0, None))[1]
+
+
+class ColumnarContext:
+    """Column-aligned context for an :class:`EventBatch`.
+
+    The columnar equivalent of :class:`ContextTracker`: instead of an
+    identity-keyed lookup table, it computes three columns aligned with
+    the batch's rows — ``thread`` (address, 0 unknown), ``pid``, and
+    ``known`` (whether a pid mapping exists; where False the scalar
+    tracker would have answered ``None``).
+
+    The replay is vectorized: context-switch targets are scattered into
+    a value column and forward-filled per CPU in stream (decode) order
+    with ``np.maximum.accumulate`` over setter positions, reproducing
+    the scalar per-CPU walk — including the rule that the switch event
+    itself already belongs to the *new* thread.
+    """
+
+    def __init__(self, batch: EventBatch) -> None:
+        n = len(batch)
+        self.thread = np.zeros(n, dtype=np.uint64)
+        self.pid = np.zeros(n, dtype=np.uint64)
+        self.known = np.zeros(n, dtype=bool)
+        #: thread addr -> pid, from TRC_PROC_THR_CREATE events.
+        self.thread_pid: Dict[int, int] = {}
+        if n == 0:
+            return
+
+        # Stream (decode) order: the order the scalar tracker replays.
+        order = batch.order_by_stream()
+
+        # Pass 1: thread->process mapping, last write wins in stream
+        # order (same as the scalar per-CPU iteration).
+        tc = batch.mask(major=int(Major.PROC),
+                        minor=int(ProcMinor.THREAD_CREATE), min_data=2)
+        tc_idx = order[tc[order]]
+        if len(tc_idx):
+            for t, p in zip(batch.data_column(0, tc_idx).tolist(),
+                            batch.data_column(1, tc_idx).tolist()):
+                self.thread_pid[t] = p
+
+        # Pass 2: per-CPU forward fill of switch targets.
+        sw_mask = batch.mask(major=int(Major.PROC),
+                             minor=int(ProcMinor.CONTEXT_SWITCH), min_data=2)
+        sw = sw_mask[order]
+        vals = np.zeros(n, dtype=np.uint64)
+        if sw.any():
+            vals[sw] = batch.data_column(1, order[sw])
+        cpu_sorted = batch.cpu[order]
+        is_start = np.ones(n, dtype=bool)
+        is_start[1:] = cpu_sorted[1:] != cpu_sorted[:-1]
+        # A CPU's first event resets "current" to 0 unless it is itself
+        # a switch; vals is already 0 at plain starts.
+        setter = sw | is_start
+        pos = np.arange(n, dtype=np.int64)
+        last_set = np.maximum.accumulate(np.where(setter, pos, 0))
+        current = vals[last_set]
+
+        # Map threads to pids once per distinct thread, not per event.
+        uniq, inv = np.unique(current, return_inverse=True)
+        pid_u = np.zeros(len(uniq), dtype=np.uint64)
+        known_u = np.zeros(len(uniq), dtype=bool)
+        for i, t in enumerate(uniq.tolist()):
+            p = self.thread_pid.get(t)
+            if p is not None:
+                pid_u[i] = p
+                known_u[i] = True
+
+        self.thread[order] = current
+        self.pid[order] = pid_u[inv]
+        self.known[order] = known_u[inv]
+
+    def pid_list(self) -> List[Optional[int]]:
+        """Per-row pids as Python values (``None`` where unknown)."""
+        return [p if k else None
+                for p, k in zip(self.pid.tolist(), self.known.tolist())]

@@ -19,6 +19,9 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+import numpy as np
+
+from repro.core.columnar import EventBatch, as_batch
 from repro.core.majors import Major, ProcMinor
 from repro.core.stream import Trace, TraceEvent
 from repro.tools.listing import CYCLES_PER_SECOND, event_listing, format_event
@@ -34,31 +37,153 @@ class _Lane:
 
 
 class Timeline:
-    """The Figure 4 timeline over a decoded trace."""
+    """The Figure 4 timeline over a decoded trace.
+
+    ``columnar`` (the default) derives lanes, intervals, and marker
+    counts from the trace's event columns with mask selection; the
+    rendered output is identical to the scalar event walk.
+    """
 
     def __init__(self, trace: Trace,
-                 window: Optional[Tuple[int, int]] = None) -> None:
+                 window: Optional[Tuple[int, int]] = None,
+                 columnar: bool = True) -> None:
         self.trace = trace
+        self.columnar = columnar
         self.marks: List[str] = []
         self.process_pids: List[int] = []
         self.process_names: Dict[int, str] = {}
         self._lanes: List[_Lane] = []
-        all_times: List[int] = []
-        for cpu in sorted(trace.events_by_cpu):
-            events = [e for e in trace.events(cpu) if e.time is not None]
-            times = [e.time for e in events]
-            all_times.extend(times)
-            self._lanes.append(
-                _Lane(cpu, self._busy_intervals(events), times)
-            )
-        if not all_times:
-            raise ValueError("trace has no timestamped events")
-        self.t0, self.t1 = min(all_times), max(all_times)
+        if columnar:
+            self._init_columnar()
+        else:
+            all_times: List[int] = []
+            for cpu in sorted(trace.events_by_cpu):
+                events = [e for e in trace.events(cpu) if e.time is not None]
+                times = [e.time for e in events]
+                all_times.extend(times)
+                self._lanes.append(
+                    _Lane(cpu, self._busy_intervals(events), times)
+                )
+            if not all_times:
+                raise ValueError("trace has no timestamped events")
+            self.t0, self.t1 = min(all_times), max(all_times)
+            self._pid_intervals = self._per_process_intervals(trace)
         if window is not None:
             self.t0, self.t1 = window
         if self.t1 <= self.t0:
             self.t1 = self.t0 + 1
-        self._pid_intervals = self._per_process_intervals(trace)
+
+    # ------------------------------------------------------------------
+    def _init_columnar(self) -> None:
+        """Build lanes and process intervals from event columns."""
+        b = as_batch(self.trace)
+        order = b.order_by_stream()
+        n = len(order)
+        timed = b.timed
+        if not bool(timed.any()):
+            raise ValueError("trace has no timestamped events")
+        t_all = b.time[timed]
+        if t_all.dtype == object:
+            tl = t_all.tolist()
+            self.t0, self.t1 = min(tl), max(tl)
+        else:
+            self.t0, self.t1 = int(t_all.min()), int(t_all.max())
+
+        idle_end = b.mask(major=int(Major.PROC),
+                          minor=int(ProcMinor.IDLE_END)) & timed
+        idle_start = b.mask(major=int(Major.PROC),
+                            minor=int(ProcMinor.IDLE_START)) & timed
+        sw = b.mask(major=int(Major.PROC),
+                    minor=int(ProcMinor.CONTEXT_SWITCH), min_data=2) & timed
+
+        # thread -> pid mapping, stream order, last write wins.
+        thread_pid: Dict[int, int] = {}
+        tc = b.mask(major=int(Major.PROC),
+                    minor=int(ProcMinor.THREAD_CREATE), min_data=2)
+        tc_idx = order[tc[order]]
+        if len(tc_idx):
+            for t, p in zip(b.data_column(0, tc_idx).tolist(),
+                            b.data_column(1, tc_idx).tolist()):
+                thread_pid[t] = p
+
+        intervals: Dict[int, List[Tuple[int, int]]] = {}
+        cpu_sorted = b.cpu[order]
+        bounds = np.flatnonzero(
+            np.concatenate(([True], cpu_sorted[1:] != cpu_sorted[:-1]))
+        ).tolist() + [n]
+        seg_by_cpu = {
+            int(cpu_sorted[s]): order[s:e_]         # decode order per CPU
+            for s, e_ in zip(bounds[:-1], bounds[1:])
+        }
+        # Event-less CPUs still get an (empty) lane, like the scalar path.
+        from repro.tools.schedstats import _trace_cpus
+
+        universe = sorted(set(_trace_cpus(self.trace)) | set(seg_by_cpu))
+        empty = np.zeros(0, dtype=np.int64)
+        for cpu in universe:
+            seg = seg_by_cpu.get(cpu, empty)
+            tseg = seg[timed[seg]]
+            times = b.time[tseg].tolist()
+            self._lanes.append(
+                _Lane(cpu, self._busy_intervals_columnar(b, tseg, times,
+                                                         idle_start,
+                                                         idle_end),
+                      times)
+            )
+            # Per-process run intervals from context switches.
+            sw_seg = seg[sw[seg]]
+            st = b.time[sw_seg].tolist()
+            thr = b.data_column(1, sw_seg).tolist()
+            current_pid: Optional[int] = None
+            since: Optional[int] = None
+            for i in range(len(sw_seg)):
+                if current_pid is not None and since is not None:
+                    intervals.setdefault(current_pid, []).append(
+                        (since, st[i])
+                    )
+                current_pid = thread_pid.get(thr[i])
+                since = st[i]
+            if current_pid is not None and since is not None and len(seg):
+                last_i = seg[-1]
+                if b.timed[last_i]:
+                    last = int(b.time[last_i])
+                    if last > since:
+                        intervals.setdefault(current_pid, []).append(
+                            (since, last)
+                        )
+        self._pid_intervals = intervals
+
+    @staticmethod
+    def _busy_intervals_columnar(
+        b: EventBatch,
+        tseg: np.ndarray,
+        times: List[int],
+        idle_start: np.ndarray,
+        idle_end: np.ndarray,
+    ) -> List[Tuple[int, int]]:
+        """Columnar :meth:`_busy_intervals`: replay only idle boundaries."""
+        intervals: List[Tuple[int, int]] = []
+        if len(tseg) == 0:
+            return intervals
+        ie = idle_end[tseg]
+        is_ = idle_start[tseg]
+        bnd = np.flatnonzero(ie | is_)
+        busy_from: Optional[int] = None
+        saw_idle_event = len(bnd) > 0
+        ends = ie[bnd].tolist()
+        for j, k in enumerate(bnd.tolist()):
+            if ends[j]:
+                if busy_from is None:
+                    busy_from = times[k]
+            else:
+                if busy_from is not None:
+                    intervals.append((busy_from, times[k]))
+                    busy_from = None
+        if busy_from is not None:
+            intervals.append((busy_from, times[-1]))
+        if not saw_idle_event:
+            intervals.append((times[0], times[-1]))
+        return intervals
 
     @staticmethod
     def _per_process_intervals(trace: Trace) -> Dict[int, List[Tuple[int, int]]]:
@@ -136,6 +261,7 @@ class Timeline:
                 int(start_seconds * CYCLES_PER_SECOND),
                 int(end_seconds * CYCLES_PER_SECOND),
             ),
+            columnar=self.columnar,
         )
         tl.marks = list(self.marks)
         tl.process_pids = list(self.process_pids)
@@ -173,11 +299,29 @@ class Timeline:
 
     def marked_counts(self) -> Dict[str, int]:
         counts = {name: 0 for name in self.marks}
+        if self.columnar:
+            for name in counts:
+                counts[name] = sum(
+                    1 for t in self._marker_times(name)
+                    if self.t0 <= t <= self.t1
+                )
+            return counts
         for e in self.trace.all_events():
             if e.name in counts and e.time is not None \
                     and self.t0 <= e.time <= self.t1:
                 counts[e.name] += 1
         return counts
+
+    def _marker_times(self, name: str) -> List[int]:
+        """All timestamps of events named ``name``, ascending."""
+        if self.columnar:
+            b = as_batch(self.trace)
+            sel = b.mask_names([name]) & b.timed
+            return sorted(b.time[sel].tolist())
+        return sorted(
+            e.time for e in self.trace.all_events()
+            if e.name == name and e.time is not None
+        )
 
     def events_near(self, at_seconds: float, window_seconds: float = 1e-4,
                     limit: int = 30) -> List[TraceEvent]:
@@ -187,6 +331,7 @@ class Timeline:
             start=at_seconds - window_seconds,
             end=at_seconds + window_seconds,
             limit=limit,
+            columnar=self.columnar,
         )
 
     # ------------------------------------------------------------------
@@ -243,10 +388,7 @@ class Timeline:
 
         # Marker rows for each marked event name.
         for name in self.marks:
-            times = sorted(
-                e.time for e in self.trace.all_events()
-                if e.name == name and e.time is not None
-            )
+            times = self._marker_times(name)
             row = []
             for lo, hi in cols:
                 n = bisect_right(times, hi) - bisect_left(times, lo)
@@ -307,12 +449,11 @@ class Timeline:
             y += lane_height
         for name in self.marks:
             parts.append(f'<text x="8" y="{y + lane_height - 8}">{name[:16]}</text>')
-            for e in self.trace.all_events():
-                if e.name == name and e.time is not None \
-                        and self.t0 <= e.time <= self.t1:
+            for t in self._marker_times(name):
+                if self.t0 <= t <= self.t1:
                     parts.append(
-                        f'<line x1="{x(e.time):.1f}" y1="{y}" '
-                        f'x2="{x(e.time):.1f}" y2="{y + lane_height - 6}" '
+                        f'<line x1="{x(t):.1f}" y1="{y}" '
+                        f'x2="{x(t):.1f}" y2="{y + lane_height - 6}" '
                         f'stroke="#c0392b" stroke-width="1.5"/>'
                     )
             y += lane_height

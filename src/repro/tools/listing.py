@@ -13,9 +13,17 @@ from __future__ import annotations
 
 from typing import Iterable, List, Optional
 
+import numpy as np
+
+from repro.core.columnar import as_batch
 from repro.core.stream import Trace, TraceEvent
 
 CYCLES_PER_SECOND = 1_000_000_000  # the paper's 1 GHz reference machine
+
+#: Above this magnitude int->float64 conversion starts rounding, so the
+#: vectorized float time filter could disagree with Python's exact
+#: int/int true division; such times fall back to the scalar compare.
+_EXACT_FLOAT_BOUND = 1 << 53
 
 
 def event_listing(
@@ -26,8 +34,17 @@ def event_listing(
     names: Optional[Iterable[str]] = None,
     include_control: bool = False,
     limit: Optional[int] = None,
+    columnar: bool = True,
 ) -> List[TraceEvent]:
-    """Select events for listing, by time window / cpu / event names."""
+    """Select events for listing, by time window / cpu / event names.
+
+    The columnar path (default) evaluates every criterion as a boolean
+    mask over the merged event columns and materializes only the
+    selected rows; selection is identical to the scalar walk.
+    """
+    if columnar:
+        return _event_listing_columnar(trace, start, end, cpu, names,
+                                       include_control, limit)
     wanted = set(names) if names is not None else None
     out: List[TraceEvent] = []
     for e in trace.all_events():
@@ -46,6 +63,55 @@ def event_listing(
         if limit is not None and len(out) >= limit:
             break
     return out
+
+
+def _event_listing_columnar(
+    trace: Trace,
+    start: Optional[float],
+    end: Optional[float],
+    cpu: Optional[int],
+    names: Optional[Iterable[str]],
+    include_control: bool,
+    limit: Optional[int],
+) -> List[TraceEvent]:
+    b = as_batch(trace)
+    m = np.ones(len(b), dtype=bool)
+    if not include_control:
+        m &= ~b.control_mask()
+    if cpu is not None:
+        m &= b.cpu == int(cpu)
+    if names is not None:
+        m &= b.mask_names(names)
+    if (start is not None or end is not None) and len(b):
+        tvals = np.where(b.timed, b.time, 0) if b.time.dtype != object \
+            else b.time
+        if (b.time.dtype != object
+                and int(np.abs(tvals).max(initial=0)) < _EXACT_FLOAT_BOUND):
+            t = tvals.astype(np.float64) / float(CYCLES_PER_SECOND)
+            if start is not None:
+                m &= t >= start
+            if end is not None:
+                m &= t <= end
+        else:
+            # Huge (corrupt-anchor) times: replay the exact int/float
+            # comparison on the already-masked candidates only.
+            idxs = np.flatnonzero(m)
+            tl = b.time[idxs].tolist()
+            fl = b.timed[idxs].tolist()
+            keep = []
+            for i in range(len(idxs)):
+                t_e = (tl[i] if fl[i] else 0) / CYCLES_PER_SECOND
+                if start is not None and t_e < start:
+                    continue
+                if end is not None and t_e > end:
+                    continue
+                keep.append(idxs[i])
+            sel = np.array(keep, dtype=np.int64)[:limit]
+            return b.events(sel)
+    sel = np.flatnonzero(m)
+    if limit is not None:
+        sel = sel[:limit]
+    return b.events(sel)
 
 
 def format_event(event: TraceEvent, name_width: int = 28) -> str:

@@ -13,6 +13,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
+import numpy as np
+
+from repro.core.columnar import ColumnarTrace, as_batch
 from repro.core.majors import ExcMinor, Major, ProcMinor
 from repro.core.stream import Trace
 
@@ -47,8 +50,15 @@ class SchedReport:
                       key=lambda kv: -kv[1])[:n]
 
 
-def sched_statistics(trace: Trace) -> SchedReport:
-    """Replay scheduling events into the report."""
+def sched_statistics(trace: Trace, columnar: bool = True) -> SchedReport:
+    """Replay scheduling events into the report.
+
+    The columnar path (default) counts switches/interrupts/migrations
+    with boolean masks per CPU and replays only the busy-interval
+    boundary events; the report is identical to the scalar walk.
+    """
+    if columnar:
+        return _sched_statistics_columnar(trace)
     report = SchedReport()
     t_min: Optional[int] = None
     t_max: Optional[int] = None
@@ -109,6 +119,110 @@ def sched_statistics(trace: Trace) -> SchedReport:
                     )
                 stats.busy_cycles += last - busy_from
     report.span_cycles = (t_max - t_min) if t_min is not None else 0
+    return report
+
+
+def _trace_cpus(trace) -> List[int]:
+    """The CPU universe of any trace form (including event-less CPUs)."""
+    if isinstance(trace, ColumnarTrace):
+        return trace.cpus
+    ebc = getattr(trace, "events_by_cpu", None)
+    if ebc is not None:
+        return list(ebc)
+    return np.unique(as_batch(trace).cpu).tolist()
+
+
+def _sched_statistics_columnar(trace: Trace) -> SchedReport:
+    b = as_batch(trace)
+    report = SchedReport()
+    for cpu in _trace_cpus(trace):
+        report.per_cpu.setdefault(cpu, CpuSched(cpu))
+    n = len(b)
+    if n == 0:
+        return report
+
+    order = b.order_by_stream()
+
+    # thread -> pid mapping, last write wins in stream order.
+    tc = b.mask(major=int(Major.PROC), minor=int(ProcMinor.THREAD_CREATE),
+                min_data=2)
+    tc_idx = order[tc[order]]
+    if len(tc_idx):
+        for t, p in zip(b.data_column(0, tc_idx).tolist(),
+                        b.data_column(1, tc_idx).tolist()):
+            report.thread_pid[t] = p
+
+    timed = b.timed
+    # Global trace span over timestamped events.
+    t_idx = np.flatnonzero(timed)
+    if len(t_idx):
+        tvals = b.time[t_idx]
+        if tvals.dtype == object:
+            tl = tvals.tolist()
+            t_min, t_max = min(tl), max(tl)
+        else:
+            t_min, t_max = int(tvals.min()), int(tvals.max())
+        report.span_cycles = t_max - t_min
+
+    sw = b.mask(major=int(Major.PROC), minor=int(ProcMinor.CONTEXT_SWITCH),
+                min_data=2) & timed
+    idle = b.mask(major=int(Major.PROC),
+                  minor=int(ProcMinor.IDLE_START)) & timed
+    migrate = b.mask(major=int(Major.PROC),
+                     minor=int(ProcMinor.MIGRATE)) & timed
+    timer = b.mask(major=int(Major.EXC),
+                   minor=int(ExcMinor.TIMER_INTERRUPT)) & timed
+
+    cpu_sorted = b.cpu[order]
+    bounds = np.flatnonzero(
+        np.concatenate(([True], cpu_sorted[1:] != cpu_sorted[:-1]))
+    ).tolist() + [n]
+    for s, e_ in zip(bounds[:-1], bounds[1:]):
+        seg = order[s:e_]                    # this CPU, decode order
+        cpu = int(cpu_sorted[s])
+        stats = report.per_cpu.setdefault(cpu, CpuSched(cpu))
+        stats.context_switches += int(sw[seg].sum())
+        stats.migrations_in += int(migrate[seg].sum())
+        stats.timer_interrupts += int(timer[seg].sum())
+
+        # Busy-interval replay over switch/idle boundaries only.
+        bnd = seg[sw[seg] | idle[seg]]
+        if len(bnd) == 0:
+            continue
+        is_sw = sw[bnd].tolist()
+        bt = b.time[bnd].tolist()
+        thr = b.data_column(1, bnd).tolist()  # valid only at switches
+        running: Optional[int] = None
+        busy_from: Optional[int] = None
+        for i in range(len(bnd)):
+            t = bt[i]
+            if running is not None and busy_from is not None:
+                self_time = t - busy_from
+                pid = report.thread_pid.get(running)
+                if pid is not None:
+                    report.process_time[pid] = (
+                        report.process_time.get(pid, 0) + self_time
+                    )
+                stats.busy_cycles += self_time
+            if is_sw[i]:
+                running = thr[i]
+                busy_from = t
+            else:
+                running = None
+                busy_from = None
+        # Close the final interval at the CPU's last event.
+        if running is not None and busy_from is not None:
+            last_i = seg[-1]
+            if b.timed[last_i]:
+                last = int(b.time[last_i])
+                if last > busy_from:
+                    pid = report.thread_pid.get(running)
+                    if pid is not None:
+                        report.process_time[pid] = (
+                            report.process_time.get(pid, 0)
+                            + (last - busy_from)
+                        )
+                    stats.busy_cycles += last - busy_from
     return report
 
 

@@ -1,0 +1,239 @@
+"""Structure-of-arrays event batches: the columnar analytics layer.
+
+Contract under test (the decode-equivalence contract of the columnar
+reader): every view the columnar layer offers — ``EventBatch`` columns,
+vectorized payload decoding via compiled layout plans, the merged
+``ColumnarTrace`` — must be bit-identical to what the scalar reference
+reader produces for the same input, on clean and on damaged streams.
+"""
+
+import random
+
+import numpy as np
+
+from repro.core.columnar import (
+    ColumnarTrace,
+    ColumnarTraceReader,
+    EventBatch,
+    as_batch,
+    decode_records_columnar,
+)
+from repro.core.packing import pack_values, parse_layout, unpack_values
+from repro.core.registry import default_registry
+from repro.core.stream import TraceEvent, TraceReader
+from repro.core.writer import load_records, save_records
+from tests.core.test_parallel import as_comparable, build_records
+
+
+def _decode_both(records, **kw):
+    reg = default_registry()
+    scalar = TraceReader(registry=reg, **kw).decode_records(records)
+    columnar = ColumnarTraceReader(registry=reg, **kw).decode_records(records)
+    return scalar, columnar
+
+
+def _event_tuple(e):
+    return (e.cpu, e.seq, e.offset, e.ts32, e.major, e.minor,
+            tuple(e.data), e.time, e.spec.name if e.spec else None)
+
+
+def _corrupt(records, seed=7, rate=0.4):
+    rng = random.Random(seed)
+    for rec in records:
+        if rng.random() < rate and rec.fill_words > 1:
+            rec.words[rng.randrange(1, rec.fill_words)] = \
+                np.uint64(rng.getrandbits(64))
+    return records
+
+
+class TestEventBatch:
+    def test_from_events_materializes_back_exactly(self):
+        trace = TraceReader(registry=default_registry()).decode_records(
+            build_records())
+        events = trace.all_events()
+        b = EventBatch.from_events(events, default_registry())
+        assert len(b) == len(events)
+        got = b.events()
+        assert list(map(_event_tuple, got)) == list(map(_event_tuple, events))
+
+    def test_concat_rebases_payload_offsets(self):
+        trace = TraceReader(registry=default_registry()).decode_records(
+            build_records())
+        events = trace.all_events()
+        reg = default_registry()
+        cut1, cut2 = len(events) // 3, 2 * len(events) // 3
+        parts = [EventBatch.from_events(chunk, reg)
+                 for chunk in (events[:cut1], events[cut1:cut2],
+                               events[cut2:], [])]
+        whole = EventBatch.concat(parts)
+        assert list(map(_event_tuple, whole.events())) == \
+            list(map(_event_tuple, events))
+
+    def test_select_shares_word_pool(self):
+        b = as_batch(TraceReader(registry=default_registry())
+                     .decode_records(build_records()))
+        m = b.dlen >= 1
+        sub = b.select(m)
+        assert sub.words is b.words
+        assert len(sub) == int(m.sum())
+        assert list(map(_event_tuple, sub.events())) == \
+            list(map(_event_tuple, b.events(np.flatnonzero(m))))
+
+    def test_mask_names_matches_scalar_name_check(self):
+        trace = TraceReader(registry=default_registry()).decode_records(
+            build_records())
+        b = as_batch(trace)
+        events = trace.all_events()
+        names = {events[0].name, events[-1].name}
+        m = b.mask_names(names)
+        assert m.tolist() == [e.name in names for e in events]
+        assert not b.mask_names({"TRC_NO_SUCH_EVENT"}).any()
+
+    def test_data_column_is_clipped_not_out_of_bounds(self):
+        b = as_batch(TraceReader(registry=default_registry())
+                     .decode_records(build_records()))
+        # Ask for a payload word far beyond any event's dlen: the gather
+        # must stay in-pool (garbage value, but no IndexError) exactly
+        # so callers can mask on dlen afterwards.
+        col = b.data_column(63)
+        assert len(col) == len(b)
+
+    def test_order_by_time_matches_all_events_order(self):
+        trace = TraceReader(registry=default_registry()).decode_records(
+            build_records())
+        b = EventBatch.from_events(trace.events_by_cpu[0]
+                                   + trace.events_by_cpu[1],
+                                   default_registry())
+        merged = b.select(b.order_by_time()).events()
+        expect = sorted(trace.events_by_cpu[0] + trace.events_by_cpu[1],
+                        key=lambda e: (e.time if e.time is not None else -1,
+                                       e.cpu, e.seq, e.offset))
+        assert list(map(_event_tuple, merged)) == \
+            list(map(_event_tuple, expect))
+
+    def test_empty_batch(self):
+        b = EventBatch.empty(default_registry())
+        assert len(b) == 0
+        assert b.events() == []
+        assert not b.mask(major=3).any()
+
+
+class TestFieldColumns:
+    def test_every_vectorizable_registry_layout(self):
+        """The compiled plan decodes exactly like ``unpack_values`` for
+        every fixed layout in the default registry."""
+        reg = default_registry()
+        rng = random.Random(0)
+        checked = 0
+        for spec in reg:
+            plan = spec.plan
+            if not plan.vectorizable or not plan.fields:
+                continue
+            tokens = parse_layout(spec.layout)
+            events = []
+            expected = []
+            for i in range(4):
+                values = [rng.randrange(1 << int(tok)) for tok in tokens]
+                data = pack_values(spec.layout, values)
+                events.append(TraceEvent(0, 0, i * 8, 0, spec.major,
+                                         spec.minor, data, time=i,
+                                         spec=spec))
+                expected.append(unpack_values(spec.layout, data))
+            b = EventBatch.from_events(events, reg)
+            cols = b.field_columns(spec)
+            assert cols is not None and len(cols) == len(tokens)
+            for row in range(len(events)):
+                got = [int(c[row]) for c in cols]
+                assert got == expected[row], spec.name
+            checked += 1
+        assert checked > 10  # the registry is full of fixed layouts
+
+    def test_str_layout_is_not_vectorizable(self):
+        reg = default_registry()
+        specs = [s for s in reg if "str" in parse_layout(s.layout)]
+        assert specs, "registry should contain str layouts"
+        b = EventBatch.empty(reg)
+        for spec in specs:
+            assert b.field_columns(spec) is None
+
+
+class TestColumnarTrace:
+    def test_clean_decode_identical_to_scalar(self):
+        records = build_records()
+        scalar, columnar = _decode_both(records)
+        assert isinstance(columnar, ColumnarTrace)
+        assert as_comparable(columnar) == as_comparable(scalar)
+        assert columnar.anomalies == scalar.anomalies == []
+
+    def test_corrupt_decode_identical_including_anomaly_order(self):
+        records = _corrupt(build_records())
+        for strict in (False, True):
+            scalar, columnar = _decode_both(records, strict=strict)
+            assert as_comparable(columnar) == as_comparable(scalar)
+            assert columnar.anomalies == scalar.anomalies
+            assert columnar.anomalies  # corruption must be visible
+
+    def test_include_fillers(self):
+        records = build_records()
+        scalar, columnar = _decode_both(records, include_fillers=True)
+        assert as_comparable(columnar) == as_comparable(scalar)
+
+    def test_all_events_returns_same_objects_each_call(self):
+        # Tools key state by event identity (e.g. ContextTracker uses
+        # id(e)); repeated traversals must hand out the same objects.
+        _, columnar = _decode_both(build_records())
+        a = columnar.all_events()
+        b = columnar.all_events()
+        assert all(x is y for x, y in zip(a, b))
+        ebc = columnar.events_by_cpu
+        assert all(e in {id(x) for x in a}
+                   for e in map(id, ebc[0]))
+
+    def test_filter_matches_scalar(self):
+        records = build_records()
+        scalar, columnar = _decode_both(records)
+        for kw in (dict(major=3), dict(major=3, minor=2),
+                   dict(include_control=True),
+                   dict(name=scalar.all_events()[0].name)):
+            assert list(map(_event_tuple, columnar.filter(**kw))) == \
+                list(map(_event_tuple, scalar.filter(**kw))), kw
+
+    def test_batch_is_time_ordered(self):
+        _, columnar = _decode_both(build_records())
+        b = columnar.batch()
+        assert list(map(_event_tuple, b.events())) == \
+            list(map(_event_tuple, columnar.all_events()))
+
+    def test_to_trace(self):
+        records = build_records()
+        scalar, columnar = _decode_both(records)
+        assert as_comparable(columnar.to_trace()) == as_comparable(scalar)
+
+    def test_decode_file(self, tmp_path):
+        records = build_records()
+        path = str(tmp_path / "t.k42")
+        save_records(path, records, buffer_words=len(records[0].words))
+        scalar = TraceReader(registry=default_registry()).decode_records(
+            load_records(path))
+        columnar = ColumnarTraceReader(
+            registry=default_registry()).decode_file(path)
+        assert as_comparable(columnar) == as_comparable(scalar)
+
+    def test_empty_records(self):
+        columnar = decode_records_columnar([], default_registry())
+        assert columnar.all_events() == []
+        assert len(columnar.batch()) == 0
+        assert columnar.anomalies == []
+
+
+class TestAsBatch:
+    def test_as_batch_caches_on_trace(self):
+        trace = TraceReader(registry=default_registry()).decode_records(
+            build_records())
+        assert as_batch(trace) is as_batch(trace)
+
+    def test_as_batch_identity_forms(self):
+        _, columnar = _decode_both(build_records())
+        b = columnar.batch()
+        assert as_batch(b) is b
+        assert as_batch(columnar) is b

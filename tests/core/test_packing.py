@@ -4,19 +4,47 @@ import pytest
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.core.packing import pack_values, packed_length, parse_layout, unpack_values
+from repro.core.packing import (
+    compile_layout,
+    pack_values,
+    packed_length,
+    parse_layout,
+    unpack_values,
+)
 
 
 class TestParseLayout:
     def test_valid_tokens(self):
-        assert parse_layout("8 16 32 64 str") == ["8", "16", "32", "64", "str"]
+        assert parse_layout("8 16 32 64 str") == ("8", "16", "32", "64", "str")
 
     def test_empty_layout(self):
-        assert parse_layout("") == []
+        assert parse_layout("") == ()
 
     def test_unknown_token_rejected(self):
         with pytest.raises(ValueError):
             parse_layout("64 24")
+
+    def test_memoized(self):
+        # Hot decode paths call parse_layout once per event; the result
+        # is cached per layout string (and must therefore be immutable).
+        parse_layout.cache_clear()
+        a = parse_layout("8 16 32")
+        before = parse_layout.cache_info()
+        b = parse_layout("8 16 32")
+        after = parse_layout.cache_info()
+        assert a is b
+        assert isinstance(a, tuple)
+        assert after.hits == before.hits + 1
+        assert after.misses == before.misses
+
+    def test_compiled_plan_cached(self):
+        compile_layout.cache_clear()
+        p1 = compile_layout("32 16 8")
+        p2 = compile_layout("32 16 8")
+        assert p1 is p2
+        assert p1.vectorizable
+        assert p1.data_words == 1
+        assert not compile_layout("str").vectorizable
 
 
 class TestPackUnpack:

@@ -1,11 +1,13 @@
 """Parallel/batched decode equivalence: every path must be bit-identical.
 
 The contract under test: ``TraceReader(batch=True)`` (vectorized scan),
-``decode_records_parallel`` (boundary-sharded worker pool), and the
-scalar reference reader produce event-for-event, anomaly-for-anomaly
-identical traces — on clean streams, on every garble class the format
-can exhibit, with and without fillers, and across shard cuts that
-separate a buffer from its timestamp anchor state.
+``decode_records_parallel`` (boundary-sharded worker pool), the
+columnar readers (``ColumnarTraceReader`` and
+``decode_records_columnar_parallel``), and the scalar reference reader
+produce event-for-event, anomaly-for-anomaly identical traces — on
+clean streams, on every garble class the format can exhibit, with and
+without fillers, and across shard cuts that separate a buffer from its
+timestamp anchor state.
 """
 
 import random
@@ -18,8 +20,10 @@ from repro.core.header import pack_header
 from repro.core.logger import TraceLogger
 from repro.core.majors import ControlMinor, Major
 from repro.core.mask import TraceMask
+from repro.core.columnar import ColumnarTraceReader
 from repro.core.parallel import (
     ParallelTraceReader,
+    decode_records_columnar_parallel,
     decode_records_parallel,
     shard_records,
 )
@@ -68,9 +72,16 @@ def assert_all_paths_identical(records, include_fillers=False, workers=3,
     par = decode_records_parallel(records, registry=reg,
                                   include_fillers=include_fillers,
                                   workers=workers, strict=strict)
+    col = ColumnarTraceReader(registry=reg, include_fillers=include_fillers,
+                              strict=strict).decode_records(records)
+    col_par = decode_records_columnar_parallel(
+        records, registry=reg, include_fillers=include_fillers,
+        workers=workers, strict=strict)
     ref = as_comparable(scalar)
     assert as_comparable(batched) == ref
     assert as_comparable(par) == ref
+    assert as_comparable(col) == ref
+    assert as_comparable(col_par) == ref
     return scalar
 
 

@@ -24,6 +24,7 @@ from hypothesis import HealthCheck, given, settings
 from hypothesis import strategies as st
 
 from repro.core.buffers import BufferRecord, TraceControl
+from repro.core.faults import RECORD_KINDS, FaultInjector
 from repro.core.logger import TraceLogger
 from repro.core.majors import Major
 from repro.core.mask import TraceMask
@@ -192,10 +193,12 @@ def test_serialization_roundtrip(events):
 # --- reader-path equivalence -------------------------------------------
 #
 # Invariant 8: the scalar reference reader, the batched (vectorized)
-# reader, and the boundary-sharded parallel reader are bit-identical on
-# the same input — event for event, anomaly for anomaly — in both
-# resynchronizing and strict (stop-at-first-garble) modes.  The helpers
-# come from the exhaustive equivalence suite in test_parallel.py.
+# reader, the boundary-sharded parallel reader, and the columnar
+# readers (sequential and parallel structure-of-arrays) are
+# bit-identical on the same input — event for event, anomaly for
+# anomaly — in both resynchronizing and strict (stop-at-first-garble)
+# modes.  The helpers come from the exhaustive equivalence suite in
+# test_parallel.py.
 
 from tests.core.test_parallel import (  # noqa: E402
     as_comparable,
@@ -264,6 +267,27 @@ def test_seeded_corruption_identical_across_readers(seed):
                 f"reader paths diverged on corrupted stream "
                 f"(seed {seed}, strict={strict}); "
                 + _rerun(seed, "seeded_corruption")) from exc
+
+
+@pytest.mark.parametrize("seed", _SEEDS)
+@pytest.mark.parametrize("kind", RECORD_KINDS)
+def test_seeded_fault_injection_identical_across_readers(seed, kind):
+    """Invariant 8 under the fault matrix: every damage class the
+    injector can produce yields the same events AND the same
+    garble/resync verdicts (anomaly for anomaly) on the columnar path
+    as on the scalar walk, in both anomaly-handling modes."""
+    records = _random_stream(seed)
+    if not any(r.fill_words > 0 for r in records):
+        return
+    damaged, _report = FaultInjector(seed).inject_records(records, kind)
+    for strict in (False, True):
+        try:
+            assert_all_paths_identical(damaged, workers=2, strict=strict)
+        except AssertionError as exc:
+            raise AssertionError(
+                f"reader paths diverged on injected {kind} "
+                f"(seed {seed}, strict={strict}); "
+                + _rerun(seed, "fault_injection")) from exc
 
 
 @given(st.integers(0, 2**32 - 1))

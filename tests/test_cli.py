@@ -290,3 +290,32 @@ def test_strict_flag_stops_at_first_garble(artifacts, capsys, tmp_path):
         return int(line.split()[1])
 
     assert events(loose) > events(strict)
+
+
+_COLUMNAR_COMMANDS = ("info", "list", "kmon", "locks", "profile",
+                      "breakdown", "sched")
+
+
+@pytest.mark.parametrize("command", _COLUMNAR_COMMANDS)
+def test_columnar_flag_in_help(command, capsys):
+    """Every ported subcommand advertises --columnar/--no-columnar."""
+    with pytest.raises(SystemExit) as exc:
+        main([command, "--help"])
+    assert exc.value.code == 0
+    out = capsys.readouterr().out
+    assert "--columnar" in out and "--no-columnar" in out
+
+
+@pytest.mark.parametrize("command", _COLUMNAR_COMMANDS)
+def test_columnar_output_identical(command, artifacts, capsys):
+    """--columnar (default) and --no-columnar print the same report."""
+    argv = [command, artifacts["trace"]]
+    if command == "breakdown":
+        argv += ["--symbols", artifacts["syms"]]
+    assert main(argv + ["--columnar"]) == 0
+    columnar = capsys.readouterr().out
+    assert main(argv + ["--no-columnar"]) == 0
+    scalar = capsys.readouterr().out
+    assert main(argv) == 0                      # columnar is the default
+    default = capsys.readouterr().out
+    assert columnar == scalar == default

@@ -21,7 +21,8 @@ def test_generated_event_reference_is_fresh():
 def test_markdown_docs_exist_and_nonempty():
     for name in ("README.md", "DESIGN.md", "EXPERIMENTS.md",
                  "docs/trace-format.md", "docs/architecture.md",
-                 "docs/fault-tolerance.md", "docs/testing.md"):
+                 "docs/fault-tolerance.md", "docs/testing.md",
+                 "docs/parallel-analysis.md", "docs/columnar.md"):
         path = REPO / name
         assert path.exists(), name
         assert len(path.read_text()) > 500, name
