@@ -80,6 +80,16 @@ class CheckConfig:
     reader: bool = False
     reader_steps: int = 3
     mutant: Optional[str] = None
+    #: Check the shared-memory seam: writers become independent attaches
+    #: of one real :class:`~repro.shm.region.ShmTraceRegion` (writer
+    #: ``w`` binds CPU ``w % shm_cpus``) and the drained trace of a
+    #: :class:`~repro.shm.collector.ShmCollector` is what the final
+    #: invariants judge.  See :mod:`repro.check.shm`.
+    shm: bool = False
+    shm_cpus: int = 1
+    #: In shm mode, >0 spawns a collector task that polls mid-schedule
+    #: this many times (each poll is a scheduling point).
+    collector_steps: int = 0
 
     def validate(self) -> None:
         if self.writers < 1:
@@ -91,6 +101,14 @@ class CheckConfig:
                 "data_words must be >= 1: payload identity is how the "
                 "checker recognizes its own events"
             )
+        if self.shm_cpus < 1:
+            raise ConfigError("shm_cpus must be >= 1")
+        if self.collector_steps < 0:
+            raise ConfigError("collector_steps must be >= 0")
+        if not self.shm and (self.shm_cpus > 1 or self.collector_steps):
+            raise ConfigError(
+                "shm_cpus/collector_steps are only meaningful with shm=True"
+            )
         event_words = self.data_words + 1
         overhead = 4 + self.data_words  # anchor + start + worst filler
         if self.buffer_words <= overhead:
@@ -98,7 +116,13 @@ class CheckConfig:
                 f"buffer_words={self.buffer_words} leaves no room past "
                 f"per-buffer overhead of {overhead}"
             )
-        payload = 4 + self.writers * self.events * event_words
+        # Wrap-free check per CPU: in shm mode writers are spread over
+        # shm_cpus rings round-robin, so each ring carries only its share.
+        ncpus = self.shm_cpus if self.shm else 1
+        per_cpu = max(
+            len(range(c, self.writers, ncpus)) for c in range(ncpus)
+        )
+        payload = 4 + per_cpu * self.events * event_words
         useful = self.buffer_words - overhead
         need = -(-payload // useful) + 1  # ceil, +1 slack buffer
         if need > self.num_buffers:
@@ -233,6 +257,9 @@ class CheckedSystem:
             self.runtime.spawn(f"w{w}", self._writer_fn(w))
         if config.reader:
             self.runtime.spawn("reader", self._reader_fn())
+
+    def close(self) -> None:
+        """Release external resources (the shm variant holds a segment)."""
 
     # -- tasks ---------------------------------------------------------
     def _writer_fn(self, w: int):
@@ -542,9 +569,30 @@ def run_schedule(
     the default policy — what shrinking and tolerant replay want —
     while ``"error"`` raises :class:`ReplayDivergence`.
     """
-    system = CheckedSystem(config)
+    if config.shm:
+        # Imported here: repro.check.shm depends on this module.
+        from repro.check.shm import ShmCheckedSystem
+        system: CheckedSystem = ShmCheckedSystem(config)
+    else:
+        system = CheckedSystem(config)
     runtime = system.runtime
     outcome = ScheduleOutcome(config=config)
+    try:
+        return _drive_schedule(system, runtime, outcome, config, prefix,
+                               strategy, on_infeasible)
+    finally:
+        system.close()
+
+
+def _drive_schedule(
+    system: CheckedSystem,
+    runtime: CoopRuntime,
+    outcome: ScheduleOutcome,
+    config: CheckConfig,
+    prefix: Sequence[Action],
+    strategy,
+    on_infeasible: str,
+) -> ScheduleOutcome:
     prev: Optional[int] = None
     try:
         while True:

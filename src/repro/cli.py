@@ -25,6 +25,9 @@ file, optionally save the symbol table as JSON, then analyze offline::
     repro-trace check --writers 2 --events 2 --preemption-bound 2
     repro-trace check --mutant reset-on-book --save counterexample.json
     repro-trace check --replay counterexample.json
+    repro-trace check --shm --shm-cpus 2 --collector-steps 2
+    repro-trace check --mutant stale-attach-offset
+    repro-trace shm-demo --writers 4 --events 2000 -o /tmp/shm.k42
 
 Every trace-analysis subcommand accepts ``--strict`` (stop at the first
 damage instead of resynchronizing past it) and ``--workers N``
@@ -481,10 +484,14 @@ def cmd_check(args) -> int:
     )
     from repro.check.harness import ConfigError, ReplayDivergence
     from repro.check.script import ScheduleScript
+    from repro.check.shm import SHM_MUTANTS
 
     if args.list_mutants:
         for name, spec in sorted(MUTANTS.items()):
             print(f"{name:<22} {spec.summary}")
+            print(f"{'':<22} expected: {', '.join(spec.expected)}")
+        for name, spec in sorted(SHM_MUTANTS.items()):
+            print(f"{name:<22} {spec.summary} [shm seam]")
             print(f"{'':<22} expected: {', '.join(spec.expected)}")
         return 0
 
@@ -516,15 +523,17 @@ def cmd_check(args) -> int:
     # recommended settings, which beat the built-in defaults.
     spec = None
     if args.mutant is not None:
-        spec = MUTANTS.get(args.mutant)
+        spec = MUTANTS.get(args.mutant) or SHM_MUTANTS.get(args.mutant)
         if spec is None:
+            known = sorted(MUTANTS) + sorted(SHM_MUTANTS)
             print(f"unknown mutant {args.mutant!r}; known: "
-                  f"{', '.join(sorted(MUTANTS))}", file=sys.stderr)
+                  f"{', '.join(known)}", file=sys.stderr)
             return 2
     defaults = {
         "writers": 2, "events": 2, "data_words": 1, "buffer_words": 8,
         "num_buffers": 8, "kills": 0, "reader": False, "reader_steps": 3,
         "preemption_bound": 2,
+        "shm": False, "shm_cpus": 1, "collector_steps": 0,
     }
     if spec is not None:
         defaults.update(spec.config)
@@ -544,6 +553,9 @@ def cmd_check(args) -> int:
         reader=bool(pick("reader")),
         reader_steps=pick("reader_steps"),
         mutant=args.mutant,
+        shm=bool(pick("shm")),
+        shm_cpus=pick("shm_cpus"),
+        collector_steps=pick("collector_steps"),
     )
     try:
         cfg.validate()
@@ -551,10 +563,12 @@ def cmd_check(args) -> int:
         print(f"bad configuration: {exc}", file=sys.stderr)
         return 2
 
+    shm_note = (f" shm=True shm-cpus={cfg.shm_cpus} "
+                f"collector-steps={cfg.collector_steps}" if cfg.shm else "")
     print(f"mode={args.mode} writers={cfg.writers} events={cfg.events} "
           f"data-words={cfg.data_words} buffer-words={cfg.buffer_words} "
           f"num-buffers={cfg.num_buffers} kills={cfg.kills} "
-          f"reader={cfg.reader} mutant={cfg.mutant or 'none'}")
+          f"reader={cfg.reader} mutant={cfg.mutant or 'none'}{shm_note}")
     if args.mode == "exhaustive":
         print(f"preemption bound {preemption_bound}"
               + (f", max {args.max_schedules} schedules"
@@ -600,6 +614,63 @@ def cmd_check(args) -> int:
         print(f"counterexample written to {args.save}")
         print(f"replay with: repro-trace check --replay {args.save}")
     return 1
+
+
+def cmd_shm_demo(args) -> int:
+    """Run the real cross-process scenario end to end."""
+    from repro.shm import run_shm_workload
+    from repro.shm.procs import expected_payloads
+
+    result = run_shm_workload(
+        args.output,
+        writers=args.writers,
+        events=args.events,
+        data_words=args.data_words,
+        buffer_words=args.buffer_words,
+        num_buffers=args.num_buffers,
+        start_method=args.start_method,
+        concurrent_collector=not args.post_drain,
+    )
+    stats = result.collector
+    print(f"{result.writers} writer processes x {result.events_per_writer} "
+          f"events ({result.start_method} start method, "
+          f"{'concurrent' if result.concurrent_collector else 'post-quiesce'}"
+          f" collector) in {result.elapsed_s:.3f}s")
+    print(f"collector: {stats.get('frames', 0)} frames "
+          f"({stats.get('partial_frames', 0)} partial), "
+          f"{stats.get('dropped', 0)} dropped, "
+          f"{stats.get('polls', 0)} polls, "
+          f"{stats.get('unstable_copies', 0)} unstable copies")
+    print(f"trace written to {result.trace_path}")
+
+    dropped = int(stats.get("dropped", 0))
+    trace = _decode(load_records(args.output), workers=1)
+    anomalies = [a for a in trace.anomalies if a.kind != "missing-anchor"]
+    got = {w: 0 for w in range(args.writers)}
+    for cpu in range(args.writers):
+        for ev in trace.events(cpu):
+            if ev.major == 1 and 1 <= ev.minor <= args.writers:  # Major.TEST
+                got[ev.minor - 1] += 1
+    total = sum(got.values())
+    print(f"decoded {total}/{result.events_total} TEST events, "
+          f"{len(anomalies)} anomalies")
+    if anomalies:
+        a = anomalies[0]
+        print(f"FAIL: anomaly {a.kind} in cpu {a.cpu} seq {a.seq}: "
+              f"{a.detail}", file=sys.stderr)
+        return 1
+    if dropped == 0 and total != result.events_total:
+        issued = expected_payloads(args.writers, args.events,
+                                   args.data_words)
+        missing = {w: args.events - got[w] for w in got if
+                   got[w] != len(issued[w])}
+        print(f"FAIL: no drops reported but events missing: {missing}",
+              file=sys.stderr)
+        return 1
+    if dropped:
+        print(f"note: ring lapped the collector {dropped} time(s); "
+              f"enlarge --num-buffers for a complete trace")
+    return 0
 
 
 def cmd_export_ltt(args) -> int:
@@ -835,10 +906,25 @@ def build_parser() -> argparse.ArgumentParser:
                     dest="max_schedules",
                     help="stop exhaustive search after N schedules "
                          "(reported as truncated, not as a proof)")
+    sp.add_argument("--shm", action="store_const", const=True,
+                    default=None,
+                    help="check across the shared-memory seam: writers "
+                         "become independent attaches of one real shm "
+                         "segment and a collector's drained output is "
+                         "what the final invariants judge")
+    sp.add_argument("--shm-cpus", type=int, default=None, metavar="N",
+                    dest="shm_cpus",
+                    help="per-CPU rings in the shm segment; writer w "
+                         "binds CPU w %% N (default 1)")
+    sp.add_argument("--collector-steps", type=int, default=None,
+                    metavar="N", dest="collector_steps",
+                    help="mid-schedule collector polls, each a "
+                         "scheduling point (default 0; shm mode only)")
     sp.add_argument("--mutant", default=None, metavar="NAME",
-                    help="check a deliberately broken logger instead "
-                         "(see --list-mutants); its recommended config "
-                         "fills in unspecified flags")
+                    help="check a deliberately broken logger or shm "
+                         "attach/drain path instead (see --list-mutants); "
+                         "its recommended config fills in unspecified "
+                         "flags")
     sp.add_argument("--list-mutants", action="store_true",
                     dest="list_mutants",
                     help="list known mutants and exit")
@@ -848,6 +934,35 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("--replay", metavar="PATH",
                     help="replay a saved schedule script and report "
                          "whether it still violates")
+
+    sp = sub.add_parser(
+        "shm-demo",
+        help="run the real cross-process scenario: N writer processes "
+             "log into one shared-memory segment while a collector "
+             "process drains it to a trace file")
+    sp.set_defaults(fn=cmd_shm_demo)
+    sp.add_argument("-o", "--output", required=True,
+                    help="trace file the collector writes")
+    sp.add_argument("--writers", type=int, default=2, metavar="N",
+                    help="writer processes, one CPU each (default 2)")
+    sp.add_argument("--events", type=int, default=2000, metavar="N",
+                    help="events each writer logs (default 2000)")
+    sp.add_argument("--data-words", type=int, default=2, metavar="N",
+                    dest="data_words",
+                    help="payload words per event (default 2)")
+    sp.add_argument("--buffer-words", type=int, default=256, metavar="N",
+                    dest="buffer_words",
+                    help="words per trace buffer (default 256)")
+    sp.add_argument("--num-buffers", type=int, default=8, metavar="N",
+                    dest="num_buffers",
+                    help="buffers per CPU ring (default 8)")
+    sp.add_argument("--start-method", choices=("fork", "spawn"),
+                    default=None, dest="start_method",
+                    help="multiprocessing start method (default: "
+                         "platform default)")
+    sp.add_argument("--post-drain", action="store_true", dest="post_drain",
+                    help="start the collector only after writers "
+                         "quiesce instead of racing them")
 
     return p
 

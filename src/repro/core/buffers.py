@@ -166,6 +166,48 @@ class TraceControl:
         self.stats_cas_retries = 0
         self.stats_exact_boundary = 0
 
+    def adopt_state(
+        self,
+        *,
+        index: Optional[AtomicWord] = None,
+        booked_seq: Optional[AtomicWord] = None,
+        committed: Optional[AtomicArray] = None,
+        array: Optional[List[int]] = None,
+        slot_seq: Optional[List[int]] = None,
+    ) -> "TraceControl":
+        """Swap in externally-owned control state after construction.
+
+        The factory parameters cover the common substitution (one
+        factory per kind of state), but shared-memory backing needs each
+        word placed at a *specific* offset of an existing segment — the
+        factories' ``(initial)``/``(length)`` signatures cannot express
+        that.  :class:`repro.shm.ShmTraceRegion` therefore constructs the
+        control structure normally and adopts the shm-backed words here.
+        Adopted state must present the same interface (and, for a
+        re-attach, already hold protocol-consistent values); the protocol
+        methods never cache references to the swapped attributes across
+        calls, so adoption immediately after construction is safe.
+        """
+        if index is not None:
+            self.index = index
+        if booked_seq is not None:
+            self.booked_seq = booked_seq
+        if committed is not None:
+            self.committed = committed
+        if array is not None:
+            if len(array) != self.total_words:
+                raise ValueError(
+                    f"adopted trace memory has {len(array)} words, "
+                    f"geometry needs {self.total_words}")
+            self.array = array
+        if slot_seq is not None:
+            if len(slot_seq) != self.num_buffers:
+                raise ValueError(
+                    f"adopted slot_seq has {len(slot_seq)} entries, "
+                    f"geometry needs {self.num_buffers}")
+            self.slot_seq = slot_seq
+        return self
+
     # -- geometry helpers --------------------------------------------------
     def slot_of(self, seq: int) -> int:
         return seq % self.num_buffers
@@ -359,6 +401,6 @@ class TraceControl:
         self.booked_seq.store(0)
         for slot in range(self.num_buffers):
             self.committed.store(slot, 0)
-        self.slot_seq = [0] * self.num_buffers
+        self.slot_seq[:] = [0] * self.num_buffers
         self.completed.clear()
         self._written.clear()

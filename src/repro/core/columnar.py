@@ -52,7 +52,7 @@ from repro.core.stream import (
     BufferScan,
     Trace,
     TraceEvent,
-    find_anchor,
+    find_anchors,
     scan_buffer,
     unwrap_times,
 )
@@ -552,10 +552,10 @@ class ColumnarAssembler:
             acc = self._acc[cpu] = _CpuAccumulator()
         last_full, last_ts32 = self._state.get(cpu, (None, None))
         if times is None:
-            anchor_i, anchor_time = find_anchor(scan)
-            times = unwrap_times(scan.event_ts32(), anchor_i, anchor_time,
-                                 last_full, last_ts32)
-            anchored = anchor_i is not None
+            anchors = find_anchors(scan)
+            times = unwrap_times(scan.event_ts32(), None, None,
+                                 last_full, last_ts32, anchors=anchors)
+            anchored = bool(anchors)
 
         cols = scan.cols
         n = len(scan.offsets)

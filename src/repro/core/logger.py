@@ -268,10 +268,23 @@ class TraceLogger:
         """Log the 64-bit timestamp anchor + buffer-sequence marker.
 
         These are infrastructure events: they bypass the mask so random
-        access works regardless of which majors the user enabled.  The
-        anchor's header timestamp and its full-width data word come from
-        one clock read (via ``_reserve``), so a reader can reconstruct
-        absolute times exactly.
+        access works regardless of which majors the user enabled.
+        """
+        self.log_timestamp_anchor()
+        self._log_unmasked(Major.CONTROL, ControlMinor.BUFFER_START, (seq,))
+
+    def log_timestamp_anchor(self) -> None:
+        """Log a standalone full-width timestamp anchor (§3.2).
+
+        The anchor's header timestamp and its full-width data word come
+        from one clock read (via ``_reserve``), so a reader can
+        reconstruct absolute times exactly.  Loggers that start on an
+        already-anchored buffer long after its anchor was written — a
+        writer process attaching to a shared-memory region seconds
+        after its creation — must call this before their first event:
+        a forward gap of 2^31 ticks or more is indistinguishable from
+        a backwards wrap in the 32-bit header timestamps, and only a
+        fresh full-width anchor lets the readers bridge it.
         """
         ctl = self.control
         index, ts = self._reserve(2)
@@ -284,7 +297,6 @@ class TraceLogger:
             ctl.commit(ctl.buffer_of(index), 2)
         ctl.stats_events_logged += 1
         ctl.stats_words_logged += 2
-        self._log_unmasked(Major.CONTROL, ControlMinor.BUFFER_START, (seq,))
 
     def start(self) -> None:
         """Log the anchor for the very first buffer (sequence 0)."""
@@ -320,4 +332,7 @@ class NullTraceLogger:
         return False
 
     def start(self) -> None:
+        pass
+
+    def log_timestamp_anchor(self) -> None:
         pass

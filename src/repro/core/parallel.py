@@ -62,7 +62,7 @@ from repro.core.stream import (
     Trace,
     TraceReader,
     buffer_columns,
-    find_anchor,
+    find_anchors,
     scan_buffer,
     unwrap_times,
 )
@@ -136,12 +136,13 @@ def _scan_shard(task: _ShardTask) -> Tuple[int, List[_ScanResult]]:
         else:
             words = np.frombuffer(raw, dtype="<u8")
         scan = scan_buffer(words, fill_words, recover=recover)
-        anchor_i, anchor_time = find_anchor(scan)
+        anchors = find_anchors(scan)
         ts32 = scan.event_ts32()
-        times = unwrap_times(ts32, anchor_i, anchor_time, last_full, last_ts32)
+        times = unwrap_times(ts32, None, None, last_full, last_ts32,
+                             anchors=anchors)
         if times:
             last_full, last_ts32 = times[-1], ts32[-1]
-        out.append((seq, scan.offsets, times, anchor_i is not None,
+        out.append((seq, scan.offsets, times, bool(anchors),
                     scan.garbles, scan.resumes))
     return cpu, out
 

@@ -87,8 +87,20 @@ def _plausible_header(fields, o: int, limit: int,
     if major == Major.CONTROL and minor not in _KNOWN_CONTROL_MINORS:
         return False
     if prev_ts32 is not None and ((ts - prev_ts32) & (_U32 - 1)) >= _HALF32:
-        return False
+        # A full-width timestamp anchor is a legitimate resync point:
+        # it exists precisely so the stream can span gaps the 32-bit
+        # delta cannot represent (§3.2) — a late-attaching writer's
+        # first words land seconds after the creator's buffer-0 anchor.
+        if not _is_anchor_header(major, minor, length):
+            return False
     return True
+
+
+def _is_anchor_header(major: int, minor: int, length: int) -> bool:
+    """Whether a header is a usable full-width timestamp anchor."""
+    return (major == Major.CONTROL
+            and minor == ControlMinor.TIMESTAMP_ANCHOR
+            and length >= 2)
 
 
 def find_resync(fields, start: int, limit: int,
@@ -255,9 +267,13 @@ def scan_buffer(words: Union[np.ndarray, Sequence[int]],
                 verdict = f"invalid header {wl[off]:#018x} (length {length})"
         if verdict is None:
             ts = ts_l[off]
-            if prev_ts32 is not None and ((ts - prev_ts32) & mask32) >= _HALF32:
+            if (prev_ts32 is not None
+                    and ((ts - prev_ts32) & mask32) >= _HALF32
+                    and not _is_anchor_header(maj_l[off], min_l[off], length)):
                 # A large backwards jump cannot come from a healthy stream:
                 # per-CPU timestamps are monotonic by construction (§3.1).
+                # Anchors are exempt — they carry the full value and exist
+                # to bridge exactly such gaps (§3.2).
                 verdict = f"timestamp regression {prev_ts32}->{ts}"
         if verdict is not None:
             garbles.append((off, verdict))
@@ -281,14 +297,16 @@ def scan_buffer(words: Union[np.ndarray, Sequence[int]],
     return BufferScan(cols, offsets, garbles, resumes)
 
 
-def find_anchor(scan: BufferScan) -> Tuple[Optional[int], Optional[int]]:
-    """Locate the buffer's timestamp anchor: ``(event index, full value)``.
+def find_anchors(scan: BufferScan) -> List[Tuple[int, int]]:
+    """All usable timestamp anchors: ``[(event index, full value), ...]``.
 
     An anchor must carry its full-width value as data (length >= 2) — a
     truncated anchor is useless, exactly the ``e.data`` guard of the
-    scalar path.  Returns ``(None, None)`` when the buffer has no usable
-    anchor.
+    scalar path.  A buffer can legitimately hold several: the creator
+    anchors sequence 0, and every late-attaching writer logs a fresh
+    anchor so its stream carries its own absolute base (§3.2).
     """
+    out: List[Tuple[int, int]] = []
     cols = scan.cols
     for i, off in enumerate(scan.offsets):
         if (
@@ -296,8 +314,15 @@ def find_anchor(scan: BufferScan) -> Tuple[Optional[int], Optional[int]]:
             and cols.minor[off] == ControlMinor.TIMESTAMP_ANCHOR
             and cols.length[off] >= 2
         ):
-            return i, cols.words[off + 1]
-    return None, None
+            out.append((i, cols.words[off + 1]))
+    return out
+
+
+def find_anchor(scan: BufferScan) -> Tuple[Optional[int], Optional[int]]:
+    """The buffer's first anchor, or ``(None, None)`` — see
+    :func:`find_anchors`."""
+    anchors = find_anchors(scan)
+    return anchors[0] if anchors else (None, None)
 
 
 def unwrap_times(
@@ -306,11 +331,12 @@ def unwrap_times(
     anchor_time: Optional[int],
     last_full: Optional[int],
     last_ts32: Optional[int],
+    anchors: Optional[Sequence[Tuple[int, int]]] = None,
 ) -> Optional[List[int]]:
     """Vectorized full-timestamp reconstruction for one buffer.
 
     Full times are sums of the per-event signed 32-bit deltas around a
-    base — the anchor's full value, or the previous buffer's last event.
+    base — an anchor's full value, or the previous buffer's last event.
     Integer addition is associative, so a cumulative sum of the deltas
     (exact in int64: each delta is in [-2^31, 2^31) and a buffer holds
     far fewer than 2^31 events) anchored at the base reproduces the
@@ -318,19 +344,30 @@ def unwrap_times(
     stays a Python int, so arbitrarily large anchor values cannot
     overflow.
 
+    ``anchors`` (from :func:`find_anchors`) supersedes the legacy
+    ``anchor_i``/``anchor_time`` pair and may list several anchors: the
+    reconstruction then re-bases at each one, because the 32-bit deltas
+    *between* two anchors are not trustworthy — the gap they bridge can
+    exceed what 32 bits can represent (a writer attaching seconds after
+    the segment was created).  Events before the first anchor chain
+    backward from it; events between anchor ``k`` and ``k+1`` chain
+    forward from anchor ``k``.
+
     Returns the full times, or ``None`` when there is no basis (no
     anchor and no prior state) — the caller keeps times unset, exactly
     like the scalar path.
     """
+    if anchors is None:
+        anchors = [] if anchor_i is None else [(anchor_i, anchor_time)]
     n = len(ts32)
     if n == 0:
         return None
-    if anchor_i is None and (last_full is None or last_ts32 is None):
+    if not anchors and (last_full is None or last_ts32 is None):
         return None
     if n == 1:
         base = (
-            anchor_time
-            if anchor_i is not None
+            anchors[0][1]
+            if anchors
             else last_full + sdelta32(ts32[0], last_ts32)
         )
         return [base]
@@ -341,11 +378,20 @@ def unwrap_times(
     cum[0] = 0
     np.cumsum(d, out=cum[1:])
     cl = cum.tolist()
-    if anchor_i is not None:
-        base = anchor_time - cl[anchor_i]
-    else:
+    if not anchors:
         base = last_full + sdelta32(ts32[0], last_ts32)
-    return [base + c for c in cl]
+        return [base + c for c in cl]
+    times: List[int] = [0] * n
+    first_i = anchors[0][0]
+    base = anchors[0][1] - cl[first_i]
+    for j in range(first_i):
+        times[j] = base + cl[j]
+    for k, (i_k, t_k) in enumerate(anchors):
+        end = anchors[k + 1][0] if k + 1 < len(anchors) else n
+        base = t_k - cl[i_k]
+        for j in range(i_k, end):
+            times[j] = base + cl[j]
+    return times
 
 
 _MISSING = object()   # sentinel for the per-buffer spec memo
@@ -641,11 +687,12 @@ class TraceReader:
         the updated timestamp state.
         """
         if times is None:
-            anchor_i, anchor_time = find_anchor(scan)
+            anchors = find_anchors(scan)
             times = unwrap_times(
-                scan.event_ts32(), anchor_i, anchor_time, last_full, last_ts32
+                scan.event_ts32(), None, None, last_full, last_ts32,
+                anchors=anchors,
             )
-            anchored = anchor_i is not None
+            anchored = bool(anchors)
         events = self.materialize_scan(
             rec, scan, anomalies,
             times=times, include_fillers=self.include_fillers,
@@ -705,9 +752,13 @@ class TraceReader:
             elif length == 0 or off + length > limit:
                 verdict = f"invalid header {word:#018x} (length {length})"
             if verdict is None and prev_ts32 is not None \
-                    and sdelta32(hdr.timestamp, prev_ts32) < 0:
+                    and sdelta32(hdr.timestamp, prev_ts32) < 0 \
+                    and not _is_anchor_header(hdr.major, hdr.minor,
+                                              hdr.length):
                 # A large backwards jump cannot come from a healthy stream:
                 # per-CPU timestamps are monotonic by construction (§3.1).
+                # Anchors are exempt — they carry the full value and exist
+                # to bridge exactly such gaps (§3.2).
                 verdict = f"timestamp regression {prev_ts32}->{hdr.timestamp}"
             if verdict is not None:
                 garbles.append((off, verdict))
@@ -824,24 +875,20 @@ class TraceReader:
         """Vectorized time reconstruction via :func:`unwrap_times`."""
         if not events:
             return (last_full, last_ts32)
-        anchor_i = next(
-            (
-                i
-                for i, e in enumerate(events)
-                if e.major == Major.CONTROL
-                and e.minor == ControlMinor.TIMESTAMP_ANCHOR
-                and e.data
-            ),
-            None,
-        )
-        anchor_time = events[anchor_i].data[0] if anchor_i is not None else None
+        anchors = [
+            (i, e.data[0])
+            for i, e in enumerate(events)
+            if e.major == Major.CONTROL
+            and e.minor == ControlMinor.TIMESTAMP_ANCHOR
+            and e.data
+        ]
         times = unwrap_times(
-            [e.ts32 for e in events], anchor_i, anchor_time,
-            last_full, last_ts32,
+            [e.ts32 for e in events], None, None,
+            last_full, last_ts32, anchors=anchors,
         )
         if times is None:
             return (last_full, last_ts32)
-        if anchor_i is None:
+        if not anchors:
             anomalies.append(
                 Anomaly(rec.cpu, rec.seq, 0, "missing-anchor",
                         "no timestamp anchor; times unwrapped from previous buffer")
@@ -861,24 +908,26 @@ class TraceReader:
         """The reference event-by-event accumulation (the seed path)."""
         if not events:
             return (last_full, last_ts32)
+        def is_anchor(e: TraceEvent) -> bool:
+            return (e.major == Major.CONTROL
+                    and e.minor == ControlMinor.TIMESTAMP_ANCHOR
+                    and bool(e.data))
+
         anchor_i = next(
-            (
-                i
-                for i, e in enumerate(events)
-                if e.major == Major.CONTROL
-                and e.minor == ControlMinor.TIMESTAMP_ANCHOR
-                and e.data
-            ),
-            None,
-        )
+            (i for i, e in enumerate(events) if is_anchor(e)), None)
         # Unwrapping is sequential: each consecutive 32-bit delta is small
         # (decode_buffer rejects regressions, and a healthy stream never
-        # goes 2**31 ticks between adjacent events), so full times follow
-        # by accumulation in both directions from the anchor.
+        # goes 2**31 ticks between adjacent events *except* across a
+        # later anchor, which restates the full value), so full times
+        # follow by accumulation in both directions from the anchor,
+        # re-basing whenever another anchor appears.
         if anchor_i is not None:
             anchor = events[anchor_i]
             anchor.time = anchor.data[0]
             for i in range(anchor_i + 1, len(events)):
+                if is_anchor(events[i]):
+                    events[i].time = events[i].data[0]
+                    continue
                 events[i].time = events[i - 1].time + sdelta32(
                     events[i].ts32, events[i - 1].ts32
                 )

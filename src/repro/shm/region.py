@@ -1,0 +1,447 @@
+"""Segment layout and lifecycle: the user-mapped trace memory, for real.
+
+In K42 the per-CPU trace control structures and trace memory are mapped
+into *every* address space (§2, "User-mapped per-processor buffers"); any
+process logs straight into them without a system call.  This module
+reproduces that with one POSIX shared-memory segment holding, for each
+CPU: the reservation index, the buffer-start bookkeeping word, the
+generation-tagged committed counts, the slot-occupancy words, and the
+trace memory itself.  Processes rendezvous on the segment *name* — the
+moral equivalent of the kernel mapping the region into a new address
+space — and run the unchanged reserve/log/commit protocol over it.
+
+Layout (64-bit little-endian words)::
+
+    header    : magic | version | ncpus | buffer_words | num_buffers
+              | tick_ns | clock_origin_ns | flags | reserved...   (16 words)
+    cpu ctrl  : index | booked_seq | reserved x2
+              | committed[num_buffers] | slot_seq[num_buffers]    (per CPU)
+    trace mem : buffer_words * num_buffers words                  (per CPU)
+
+All per-CPU state is contiguous and CPU blocks are disjoint, preserving
+the paper's no-shared-cache-lines property at segment granularity.
+
+Timestamps must agree across processes, so the creator stamps a
+``time.monotonic_ns`` origin into the header and every process derives
+ticks from the same system-wide clock (:class:`SharedShmClock`);
+per-process ``WallClock`` origins would skew each writer's stream.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass
+from multiprocessing import shared_memory
+from typing import List, Optional
+
+from repro.core.buffers import Mode, TraceControl
+from repro.core.logger import TraceLogger
+from repro.core.mask import TraceMask
+from repro.core.registry import EventRegistry
+from repro.shm.atomics import (
+    Observer,
+    SegmentLock,
+    ShmAtomicArray,
+    ShmAtomicWord,
+    ShmWordsView,
+    YieldFn,
+)
+
+#: ``b"K42SHM01"`` read as a little-endian 64-bit word.
+SEGMENT_MAGIC = int.from_bytes(b"K42SHM01", "little")
+SEGMENT_VERSION = 1
+HEADER_WORDS = 16
+
+# Header word indices.
+_H_MAGIC = 0
+_H_VERSION = 1
+_H_NCPUS = 2
+_H_BUFFER_WORDS = 3
+_H_NUM_BUFFERS = 4
+_H_TICK_NS = 5
+_H_CLOCK_ORIGIN = 6
+_H_FLAGS = 7
+
+#: Flag bits (word ``_H_FLAGS``).
+FLAG_DONE = 1
+
+# Per-CPU control block word indices (before the committed counts).
+_C_INDEX = 0
+_C_BOOKED = 1
+_C_FIXED_WORDS = 4  # index, booked_seq, 2 reserved
+
+
+class ShmFormatError(ValueError):
+    """The named segment is not a trace region this code understands."""
+
+
+@dataclass(frozen=True)
+class ShmLayout:
+    """Pure geometry: word offsets of everything in the segment."""
+
+    ncpus: int
+    buffer_words: int
+    num_buffers: int
+
+    def __post_init__(self) -> None:
+        if self.ncpus < 1:
+            raise ValueError("ncpus must be >= 1")
+
+    @property
+    def total_words_per_cpu(self) -> int:
+        return self.buffer_words * self.num_buffers
+
+    @property
+    def ctrl_words(self) -> int:
+        return _C_FIXED_WORDS + 2 * self.num_buffers
+
+    @property
+    def cpu_words(self) -> int:
+        return self.ctrl_words + self.total_words_per_cpu
+
+    @property
+    def segment_words(self) -> int:
+        return HEADER_WORDS + self.ncpus * self.cpu_words
+
+    @property
+    def segment_bytes(self) -> int:
+        return 8 * self.segment_words
+
+    # -- word offsets ----------------------------------------------------
+    def cpu_base(self, cpu: int) -> int:
+        if not 0 <= cpu < self.ncpus:
+            raise ValueError(f"cpu {cpu} out of range 0..{self.ncpus}")
+        return HEADER_WORDS + cpu * self.cpu_words
+
+    def index_word(self, cpu: int) -> int:
+        return self.cpu_base(cpu) + _C_INDEX
+
+    def booked_word(self, cpu: int) -> int:
+        return self.cpu_base(cpu) + _C_BOOKED
+
+    def committed_words(self, cpu: int) -> int:
+        return self.cpu_base(cpu) + _C_FIXED_WORDS
+
+    def slot_seq_words(self, cpu: int) -> int:
+        return self.committed_words(cpu) + self.num_buffers
+
+    def trace_words(self, cpu: int) -> int:
+        return self.cpu_base(cpu) + self.ctrl_words
+
+
+class SharedShmClock:
+    """System-wide monotonic ticks from the segment's shared origin.
+
+    ``CLOCK_MONOTONIC`` (``time.monotonic_ns``) has one epoch for the
+    whole machine on Linux and macOS, so every process attaching the
+    segment computes identical tick values — the PowerPC synchronized
+    timebase, cross-process edition.
+    """
+
+    cost_cycles = 10
+
+    def __init__(self, origin_ns: int, tick_ns: int = 1) -> None:
+        if tick_ns < 1:
+            raise ValueError("tick_ns must be >= 1")
+        self.origin_ns = origin_ns
+        self.tick_ns = tick_ns
+
+    def now(self, cpu: int = 0) -> int:
+        return (time.monotonic_ns() - self.origin_ns) // self.tick_ns
+
+
+def _attach_segment(name: str) -> shared_memory.SharedMemory:
+    """Attach to an existing segment without resource-tracker adoption.
+
+    Python <= 3.12 registers the segment with the ``resource_tracker``
+    on *every* attach, so each non-creating process would try to unlink
+    it at exit (and warn about "leaked" objects it never owned).  3.13
+    grew ``track=False`` for exactly this; on older versions the
+    ``register`` call is suppressed while attaching.  Suppressing is the
+    only safe emulation: the tracker's cache is one set shared by the
+    whole process tree, so the register-then-``unregister`` alternative
+    would erase the *creator's* registration and the eventual ``unlink``
+    would trip a tracker KeyError.  The creator stays registered — the
+    tracker is then the backstop that unlinks the segment if the owning
+    process dies before :meth:`ShmTraceRegion.unlink`.
+    """
+    try:
+        return shared_memory.SharedMemory(name=name, track=False)
+    except TypeError:  # Python <= 3.12: no track parameter
+        from multiprocessing import resource_tracker
+        orig_register = resource_tracker.register
+        resource_tracker.register = lambda *a, **kw: None  # type: ignore
+        try:
+            return shared_memory.SharedMemory(name=name)
+        finally:
+            resource_tracker.register = orig_register
+
+
+class ShmTraceRegion:
+    """One shared-memory segment of per-CPU trace buffers.
+
+    Create in one process, :meth:`attach` by name from any other; both
+    hand out :class:`~repro.core.buffers.TraceControl` /
+    :class:`~repro.core.logger.TraceLogger` objects whose control state
+    lives in the segment.  Exactly one process should bind each CPU as a
+    writer at a time (the per-process CPU binding of the writer API);
+    readers — the collector — may watch any CPU concurrently.
+    """
+
+    def __init__(self, shm: shared_memory.SharedMemory, layout: ShmLayout,
+                 tick_ns: int, clock_origin_ns: int, owner: bool) -> None:
+        self.shm = shm
+        self.layout = layout
+        self.tick_ns = tick_ns
+        self.clock_origin_ns = clock_origin_ns
+        self.owner = owner
+        self.seglock = SegmentLock(shm.name)
+        self._closed = False
+
+    @property
+    def name(self) -> str:
+        return self.shm.name
+
+    # -- lifecycle -------------------------------------------------------
+    @classmethod
+    def create(
+        cls,
+        name: Optional[str] = None,
+        *,
+        ncpus: int = 1,
+        buffer_words: int = 256,
+        num_buffers: int = 4,
+        tick_ns: int = 1,
+        start_anchors: bool = True,
+        clock=None,
+    ) -> "ShmTraceRegion":
+        """Create and initialize a fresh segment (zero-filled by the OS).
+
+        ``start_anchors`` logs the sequence-0 timestamp anchor into
+        every CPU's buffer — the job of :meth:`TraceLogger.start`, done
+        once here by the creator so attaching writers never race over
+        it.  ``clock`` overrides the shared clock (the model checker
+        passes its step clock); writers attaching later always derive
+        :class:`SharedShmClock` from the header, so an override only
+        makes sense when every participant is handed the same object.
+        """
+        layout = ShmLayout(ncpus=ncpus, buffer_words=buffer_words,
+                           num_buffers=num_buffers)
+        shm = shared_memory.SharedMemory(
+            create=True, size=layout.segment_bytes, name=name)
+        origin_ns = time.monotonic_ns()
+        region = cls(shm, layout, tick_ns, origin_ns, owner=True)
+        region._poke_header(_H_MAGIC, SEGMENT_MAGIC)
+        region._poke_header(_H_VERSION, SEGMENT_VERSION)
+        region._poke_header(_H_NCPUS, ncpus)
+        region._poke_header(_H_BUFFER_WORDS, buffer_words)
+        region._poke_header(_H_NUM_BUFFERS, num_buffers)
+        region._poke_header(_H_TICK_NS, tick_ns)
+        region._poke_header(_H_CLOCK_ORIGIN, origin_ns)
+        if start_anchors:
+            for cpu in range(ncpus):
+                region.logger(cpu, clock=clock).start()
+        return region
+
+    @classmethod
+    def attach(cls, name: str) -> "ShmTraceRegion":
+        """Attach to an existing segment by name and validate its header."""
+        shm = _attach_segment(name)
+        view = ShmWordsView(shm.buf, 0, HEADER_WORDS)
+        magic = view[_H_MAGIC]
+        if magic != SEGMENT_MAGIC:
+            shm.close()
+            raise ShmFormatError(
+                f"segment {name!r} is not a trace region "
+                f"(magic {magic:#x})")
+        if view[_H_VERSION] != SEGMENT_VERSION:
+            version = view[_H_VERSION]
+            shm.close()
+            raise ShmFormatError(
+                f"segment {name!r} has unsupported version {version}")
+        layout = ShmLayout(
+            ncpus=view[_H_NCPUS],
+            buffer_words=view[_H_BUFFER_WORDS],
+            num_buffers=view[_H_NUM_BUFFERS],
+        )
+        if shm.size < layout.segment_bytes:
+            shm.close()
+            raise ShmFormatError(
+                f"segment {name!r} holds {shm.size} bytes, geometry "
+                f"needs {layout.segment_bytes}")
+        return cls(shm, layout, view[_H_TICK_NS], view[_H_CLOCK_ORIGIN],
+                   owner=False)
+
+    def close(self) -> None:
+        """Detach from the segment (idempotent; keeps the segment alive)."""
+        if self._closed:
+            return
+        self._closed = True
+        self.seglock.close()
+        self.shm.close()
+
+    def unlink(self) -> None:
+        """Destroy the segment system-wide (idempotent)."""
+        try:
+            self.shm.unlink()
+        except FileNotFoundError:
+            pass
+        self.seglock.unlink_sidecar()
+
+    @staticmethod
+    def cleanup(name: str) -> bool:
+        """Best-effort destroy-by-name; True if a segment was removed.
+
+        The belt-and-braces path for tests and supervisors: reclaims a
+        segment whose owner was SIGKILLed before it could unlink.
+        """
+        try:
+            shm = _attach_segment(name)
+        except (FileNotFoundError, ShmFormatError):
+            return False
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            return False
+        finally:
+            shm.close()
+        SegmentLock(name).unlink_sidecar()
+        return True
+
+    def __enter__(self) -> "ShmTraceRegion":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close()
+        if self.owner:
+            self.unlink()
+
+    # -- raw header access ----------------------------------------------
+    def _poke_header(self, word: int, value: int) -> None:
+        ShmWordsView(self.shm.buf, 0, HEADER_WORDS)[word] = value
+
+    def _peek_header(self, word: int) -> int:
+        return ShmWordsView(self.shm.buf, 0, HEADER_WORDS)[word]
+
+    def _flags_word(self) -> ShmAtomicWord:
+        return ShmAtomicWord(self.shm.buf, 8 * _H_FLAGS, self.seglock,
+                             name="flags")
+
+    def set_done(self) -> None:
+        """Raise the done flag: writers have quiesced, collectors finish."""
+        flags = self._flags_word()
+        while True:
+            cur = flags.peek()
+            if cur & FLAG_DONE:
+                return
+            if flags.compare_and_store(cur, cur | FLAG_DONE):
+                return
+
+    def is_done(self) -> bool:
+        return bool(self._peek_header(_H_FLAGS) & FLAG_DONE)
+
+    # -- protocol views --------------------------------------------------
+    def clock(self) -> SharedShmClock:
+        return SharedShmClock(self.clock_origin_ns, self.tick_ns)
+
+    def trace_view(self, cpu: int) -> ShmWordsView:
+        """The raw trace-memory words of one CPU (collector's read side)."""
+        return ShmWordsView(self.shm.buf, 8 * self.layout.trace_words(cpu),
+                            self.layout.total_words_per_cpu)
+
+    def index_word(self, cpu: int, *, yield_fn: Optional[YieldFn] = None,
+                   observer: Optional[Observer] = None) -> ShmAtomicWord:
+        return ShmAtomicWord(self.shm.buf, 8 * self.layout.index_word(cpu),
+                             self.seglock, name=f"cpu{cpu}.index",
+                             yield_fn=yield_fn, observer=observer)
+
+    def slot_seq_view(self, cpu: int) -> ShmWordsView:
+        return ShmWordsView(self.shm.buf,
+                            8 * self.layout.slot_seq_words(cpu),
+                            self.layout.num_buffers)
+
+    def committed_array(self, cpu: int, *,
+                        yield_fn: Optional[YieldFn] = None,
+                        observer: Optional[Observer] = None
+                        ) -> ShmAtomicArray:
+        return ShmAtomicArray(self.shm.buf,
+                              8 * self.layout.committed_words(cpu),
+                              self.layout.num_buffers, self.seglock,
+                              name=f"cpu{cpu}.committed",
+                              yield_fn=yield_fn, observer=observer)
+
+    def control(
+        self,
+        cpu: int,
+        *,
+        mode: Mode = "flight",
+        array: Optional[List[int]] = None,
+        yield_fn: Optional[YieldFn] = None,
+        observer: Optional[Observer] = None,
+    ) -> TraceControl:
+        """A :class:`TraceControl` whose state lives in the segment.
+
+        Defaults to flight mode: a cross-process writer has no local
+        write-out queue — the collector process infers completed buffers
+        from the shared index instead, so nothing writer-side may depend
+        on in-process completion callbacks.  ``array`` substitutes the
+        trace-memory view (the checker's double-write instrumentation);
+        ``yield_fn``/``observer`` thread through to every shm atomic.
+        """
+        ctl = TraceControl(
+            cpu=cpu,
+            buffer_words=self.layout.buffer_words,
+            num_buffers=self.layout.num_buffers,
+            mode=mode,
+        )
+        lay = self.layout
+        buf = self.shm.buf
+        booked = ShmAtomicWord(buf, 8 * lay.booked_word(cpu), self.seglock,
+                               name=f"cpu{cpu}.booked_seq",
+                               yield_fn=yield_fn, observer=observer)
+        return ctl.adopt_state(
+            index=self.index_word(cpu, yield_fn=yield_fn, observer=observer),
+            booked_seq=booked,
+            committed=self.committed_array(cpu, yield_fn=yield_fn,
+                                           observer=observer),
+            array=array if array is not None else self.trace_view(cpu),
+            slot_seq=self.slot_seq_view(cpu),
+        )
+
+    def logger(
+        self,
+        cpu: int,
+        *,
+        mask: Optional[TraceMask] = None,
+        clock=None,
+        registry: Optional[EventRegistry] = None,
+        mode: Mode = "flight",
+        array: Optional[List[int]] = None,
+        yield_fn: Optional[YieldFn] = None,
+        observer: Optional[Observer] = None,
+        fresh_anchor: bool = True,
+    ) -> TraceLogger:
+        """A ready-to-log :class:`TraceLogger` bound to one CPU.
+
+        This *is* the writer-process API: attach by name, bind a CPU,
+        log.  Attaching processes must not call ``start()`` — the
+        creator already anchored buffer 0.  They do get a fresh
+        full-width timestamp anchor, though: a writer can attach
+        arbitrarily long after the creator's buffer-0 anchor, and a
+        forward gap of 2^31 clock ticks inside one buffer would
+        otherwise read as a backwards wrap (``fresh_anchor=False``
+        opts out for callers that manage anchoring themselves).
+        """
+        if mask is None:
+            mask = TraceMask()
+            mask.enable_all()
+        logger = TraceLogger(
+            self.control(cpu, mode=mode, array=array,
+                         yield_fn=yield_fn, observer=observer),
+            mask,
+            clock if clock is not None else self.clock(),
+            registry=registry,
+        )
+        if fresh_anchor:
+            logger.log_timestamp_anchor()
+        return logger

@@ -359,6 +359,62 @@ class TestUnwrapTimes:
     def test_single_event(self):
         assert unwrap_times([7], 0, 99, None, None) == [99]
 
+    def test_rebases_at_each_anchor(self):
+        """Two anchors bridging a gap > 2^31: the deltas between them
+        are meaningless, the second anchor's full value is the truth."""
+        gap = 3_000_000_000  # > 2^31, unrepresentable as a 32-bit delta
+        ts = [100, 110, (100 + gap) & 0xFFFFFFFF, (100 + gap + 5) & 0xFFFFFFFF]
+        anchors = [(0, 100), (2, 100 + gap)]
+        times = unwrap_times(ts, None, None, None, None, anchors=anchors)
+        assert times == [100, 110, 100 + gap, 100 + gap + 5]
+
+    def test_events_before_first_anchor_chain_backward(self):
+        ts = [10, 20, 30]
+        times = unwrap_times(ts, None, None, None, None,
+                             anchors=[(1, 1_000_020)])
+        assert times == [1_000_010, 1_000_020, 1_000_030]
+
+
+class TestLateAnchorGap:
+    """A writer that starts logging > 2^31 ticks after the buffer's
+    first anchor — the shared-memory attach scenario.  A fresh
+    full-width anchor must carry the stream across the gap on every
+    reader path, with exact absolute times and no garble verdicts."""
+
+    GAP = 3_000_000_000  # ~3 s in ns: greater than 2^31
+
+    def build(self, with_anchor):
+        clock = ManualClock(start=500)
+        fac = TraceFacility(ncpus=1, buffer_words=64, num_buffers=4,
+                            clock=clock)
+        fac.enable_all()
+        fac.log(0, Major.TEST, 1, [1])
+        clock.advance(self.GAP)
+        if with_anchor:
+            fac.logger(0).log_timestamp_anchor()
+        for i in range(5):
+            fac.log(0, Major.TEST, 2, [i])
+            clock.advance(7)
+        return fac.flush()
+
+    def test_fresh_anchor_bridges_gap(self):
+        records = self.build(with_anchor=True)
+        trace = assert_all_paths_identical(records)
+        assert trace.anomalies == []
+        late = [e for e in trace.events(0)
+                if e.major == Major.TEST and e.minor == 2]
+        assert len(late) == 5
+        assert late[0].time == 500 + self.GAP
+        assert [e.time for e in late] == \
+            [500 + self.GAP + 7 * i for i in range(5)]
+
+    def test_without_anchor_gap_is_flagged(self):
+        """Sanity check of the failure mode the anchor prevents: the
+        same stream minus the anchor reads as a timestamp regression."""
+        records = self.build(with_anchor=False)
+        trace = assert_all_paths_identical(records)
+        assert "garbled" in [a.kind for a in trace.anomalies]
+
 
 class TestCliWorkers:
     def test_cli_list_workers_matches_sequential(self, tmp_path, capsys):

@@ -1,0 +1,221 @@
+"""Unit tests for the shared-memory atomic primitives.
+
+The contract: :class:`ShmAtomicWord` / :class:`ShmAtomicArray` behave
+exactly like :mod:`repro.atomic.primitives` — same operations, same
+return values, same observer/yield seams as the stepped variants — with
+storage in a shared buffer and mutual exclusion that holds across both
+threads and processes.
+"""
+
+import struct
+import threading
+from multiprocessing import shared_memory
+
+import pytest
+
+from repro.shm.atomics import (
+    SegmentLock,
+    ShmAtomicArray,
+    ShmAtomicWord,
+    ShmWordsView,
+    lockfile_for_segment,
+)
+
+
+@pytest.fixture
+def segment():
+    shm = shared_memory.SharedMemory(create=True, size=1024)
+    lock = SegmentLock(shm.name)
+    try:
+        yield shm, lock
+    finally:
+        lock.close()
+        lock.unlink_sidecar()
+        shm.close()
+        shm.unlink()
+
+
+class TestShmAtomicWord:
+    def test_load_store_roundtrip(self, segment):
+        shm, lock = segment
+        word = ShmAtomicWord(shm.buf, 0, lock)
+        assert word.load() == 0
+        word.store(0xDEADBEEF)
+        assert word.load() == 0xDEADBEEF
+        assert word.peek() == 0xDEADBEEF
+
+    def test_storage_is_the_shared_buffer(self, segment):
+        shm, lock = segment
+        word = ShmAtomicWord(shm.buf, 16, lock)
+        word.store(42)
+        assert struct.unpack_from("<Q", shm.buf, 16)[0] == 42
+        # another "attach": a second word over the same bytes sees it
+        other = ShmAtomicWord(shm.buf, 16, SegmentLock(shm.name))
+        assert other.load() == 42
+
+    def test_compare_and_store(self, segment):
+        shm, lock = segment
+        word = ShmAtomicWord(shm.buf, 0, lock)
+        word.store(5)
+        assert word.compare_and_store(5, 6) is True
+        assert word.load() == 6
+        assert word.compare_and_store(5, 7) is False
+        assert word.load() == 6
+
+    def test_fetch_and_add_returns_old(self, segment):
+        shm, lock = segment
+        word = ShmAtomicWord(shm.buf, 0, lock)
+        assert word.fetch_and_add(10) == 0
+        assert word.fetch_and_add(5) == 10
+        assert word.load() == 15
+
+    def test_values_wrap_at_64_bits(self, segment):
+        shm, lock = segment
+        word = ShmAtomicWord(shm.buf, 0, lock)
+        word.store((1 << 64) + 3)
+        assert word.load() == 3
+        word.store((1 << 64) - 1)
+        assert word.fetch_and_add(1) == (1 << 64) - 1
+        assert word.load() == 0
+
+    def test_misaligned_offset_rejected(self, segment):
+        shm, lock = segment
+        with pytest.raises(ValueError):
+            ShmAtomicWord(shm.buf, 4, lock)
+
+    def test_observer_and_yield_seams(self, segment):
+        shm, lock = segment
+        seen = []
+        points = []
+        word = ShmAtomicWord(
+            shm.buf, 0, lock, name="idx",
+            yield_fn=points.append,
+            observer=lambda name, op, args, res: seen.append(
+                (name, op, args, res)),
+        )
+        word.store(1)
+        word.load()
+        word.compare_and_store(1, 2)
+        word.compare_and_store(1, 3)
+        word.fetch_and_add(4)
+        assert points == ["idx.store", "idx.load", "idx.cas", "idx.cas",
+                          "idx.faa"]
+        assert seen == [
+            ("idx", "store", (0, 1), None),
+            ("idx", "load", (), 1),
+            ("idx", "cas", (1, 2), True),
+            ("idx", "cas", (1, 3), False),
+            ("idx", "faa", (2, 6), 2),
+        ]
+
+    def test_cas_is_atomic_across_threads(self, segment):
+        """Counter bumped only via CAS retry loops from many threads:
+        no increment may be lost (the in-process half of the lock)."""
+        shm, lock = segment
+        per_thread = 200
+        nthreads = 8
+
+        def bump():
+            word = ShmAtomicWord(shm.buf, 0, SegmentLock(shm.name))
+            for _ in range(per_thread):
+                while True:
+                    cur = word.load()
+                    if word.compare_and_store(cur, cur + 1):
+                        break
+
+        threads = [threading.Thread(target=bump) for _ in range(nthreads)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert ShmAtomicWord(shm.buf, 0, lock).load() == \
+            per_thread * nthreads
+
+
+class TestShmAtomicArray:
+    def test_per_element_ops(self, segment):
+        shm, lock = segment
+        arr = ShmAtomicArray(shm.buf, 64, 4, lock)
+        assert len(arr) == 4
+        arr.store(2, 99)
+        assert arr.load(2) == 99
+        assert arr.peek(2) == 99
+        assert arr.peek_all() == [0, 0, 99, 0]
+        assert arr.compare_and_store(2, 99, 100) is True
+        assert arr.compare_and_store(2, 99, 101) is False
+        assert arr.fetch_and_add(0, 7) == 0
+        assert arr.snapshot() == [7, 0, 100, 0]
+
+    def test_bounds_checked(self, segment):
+        shm, lock = segment
+        arr = ShmAtomicArray(shm.buf, 0, 4, lock)
+        with pytest.raises(IndexError):
+            arr.load(4)
+        with pytest.raises(IndexError):
+            arr.store(-1, 0)
+
+    def test_observer_labels_name_the_element(self, segment):
+        shm, lock = segment
+        seen = []
+        arr = ShmAtomicArray(
+            shm.buf, 0, 4, lock, name="committed",
+            observer=lambda name, op, args, res: seen.append((name, op)),
+        )
+        arr.compare_and_store(3, 0, 1)
+        assert seen == [("committed[3]", "cas")]
+
+
+class TestShmWordsView:
+    def test_item_and_slice_access(self, segment):
+        shm, _ = segment
+        view = ShmWordsView(shm.buf, 0, 8)
+        assert len(view) == 8
+        view[0] = 11
+        view[7] = 77
+        assert view[0] == 11
+        assert view[0:8] == [11, 0, 0, 0, 0, 0, 0, 77]
+        view[2:5] = [1, 2, 3]
+        assert view.tolist() == [11, 0, 1, 2, 3, 0, 0, 77]
+        assert list(view) == view.tolist()
+
+    def test_slice_write_length_checked(self, segment):
+        shm, _ = segment
+        view = ShmWordsView(shm.buf, 0, 8)
+        with pytest.raises(ValueError):
+            view[0:3] = [1, 2]
+
+    def test_bounds_checked(self, segment):
+        shm, _ = segment
+        view = ShmWordsView(shm.buf, 0, 8)
+        with pytest.raises(IndexError):
+            view[8]
+        with pytest.raises(IndexError):
+            view[8] = 0
+
+    def test_views_alias_the_same_memory(self, segment):
+        shm, _ = segment
+        a = ShmWordsView(shm.buf, 0, 4)
+        b = ShmWordsView(shm.buf, 0, 4)
+        a[1] = 1234
+        assert b[1] == 1234
+
+
+class TestSegmentLock:
+    def test_lockfile_path_selection(self, segment):
+        shm, _ = segment
+        path = lockfile_for_segment(shm.name)
+        # On Linux the segment file itself; elsewhere a sidecar.
+        assert shm.name in path
+
+    def test_acquire_release_pairs(self, segment):
+        shm, lock = segment
+        lock.acquire(0)
+        lock.release(0)
+        lock.acquire(8)
+        lock.release(8)
+
+    def test_close_is_idempotent(self, segment):
+        shm, _ = segment
+        lock = SegmentLock(shm.name)
+        lock.close()
+        lock.close()

@@ -1,0 +1,93 @@
+"""The model checker must cover the shared-memory seam.
+
+Same contract as ``tests/check/test_mutants.py``, one layer down: the
+Stepped instrumentation wraps the *shm* primitives (``ShmAtomicWord``,
+``ShmAtomicArray``, the raw segment words), clean configurations pass
+exhaustive exploration, each shm-specific mutant is provably caught
+with a minimized, deterministically replayable counterexample, and a
+run leaves no shared-memory segment behind.
+"""
+
+import pytest
+
+from repro.check import CheckConfig, explore_exhaustive
+from repro.check.mutants import MUTANTS
+from repro.check.script import ScheduleScript
+from repro.check.shm import SHM_MUTANTS
+from tests.shm.test_multiproc import shm_segments
+
+
+def _explore_shm_mutant(name):
+    spec = SHM_MUTANTS[name]
+    overrides = dict(spec.config)
+    bound = overrides.pop("preemption_bound", 2)
+    cfg = CheckConfig(mutant=name, **overrides)
+    return spec, explore_exhaustive(cfg, preemption_bound=bound)
+
+
+class TestCleanConfigurations:
+    def test_two_writers_over_shm(self):
+        cfg = CheckConfig(shm=True, shm_cpus=2, writers=2, events=1)
+        result = explore_exhaustive(cfg, preemption_bound=1)
+        assert result.passed, result.violation
+        assert result.schedules > 1
+
+    def test_writer_races_collector(self):
+        cfg = CheckConfig(shm=True, shm_cpus=1, writers=1, events=2,
+                          collector_steps=2)
+        result = explore_exhaustive(cfg, preemption_bound=1)
+        assert result.passed, result.violation
+
+    def test_no_segment_leaks(self):
+        before = shm_segments()
+        cfg = CheckConfig(shm=True, shm_cpus=1, writers=2, events=1)
+        explore_exhaustive(cfg, preemption_bound=1)
+        assert shm_segments() == before
+
+
+class TestShmMutants:
+    @pytest.mark.parametrize("name", sorted(SHM_MUTANTS))
+    def test_mutant_is_caught(self, name):
+        spec, result = _explore_shm_mutant(name)
+        assert not result.passed, (
+            f"shm mutant {name!r} survived {result.schedules} schedules; "
+            f"re-run: PYTHONPATH=src python -m repro.cli check --mutant {name}"
+        )
+        assert result.violation.invariant in spec.expected, (
+            f"shm mutant {name!r} tripped {result.violation.invariant!r}, "
+            f"expected one of {spec.expected}: {result.violation.detail}"
+        )
+
+    @pytest.mark.parametrize("name", sorted(SHM_MUTANTS))
+    def test_counterexample_is_minimized_and_replays(self, name):
+        _, result = _explore_shm_mutant(name)
+        mini = result.counterexample
+        assert mini.steps <= result.original.steps
+        script = ScheduleScript.from_outcome(mini)
+        first = script.replay()
+        second = script.replay()
+        assert first.violation is not None
+        assert first.violation.invariant == result.violation.invariant
+        assert first.choices == second.choices
+        assert first.violation.detail == second.violation.detail
+
+    def test_registry_disjoint_from_logger_mutants(self):
+        assert set(SHM_MUTANTS) == {"stale-attach-offset",
+                                    "missed-flush-on-death"}
+        assert not set(SHM_MUTANTS) & set(MUTANTS)
+        for spec in SHM_MUTANTS.values():
+            assert spec.config.get("shm") is not False
+            assert spec.summary
+
+
+class TestComposition:
+    def test_logger_mutant_composes_over_shm(self):
+        """The PR-4 logger mutants run unchanged over the shm seam —
+        the protocol is the same object, only the memory moved."""
+        cfg = CheckConfig(mutant="non-atomic-reserve", shm=True,
+                          shm_cpus=1, writers=2, events=1)
+        result = explore_exhaustive(cfg, preemption_bound=2)
+        assert not result.passed
+        assert result.violation.invariant in (
+            "double-write", "lost-or-reordered-events",
+        ), result.violation

@@ -1,0 +1,265 @@
+"""True cross-process runs: independent OS processes over one segment.
+
+The acceptance leg: two or more OS processes reserve/commit into the
+same shared-memory buffers with no lock held across reserve/log/commit,
+a collector process drains them into the standard trace format, and the
+drained file decodes complete and bit-identically through every reader
+path.  Parametrized over both ``fork`` and ``spawn`` start methods —
+spawn is the macOS/Windows-style path where children re-import modules
+rather than inheriting state.
+
+Resource hygiene is part of the contract: every run — including one
+whose writer is SIGKILLed mid-protocol — must leave no shared-memory
+segment behind and no ``resource_tracker`` complaints on stderr (the
+subprocess tests assert on literal interpreter stderr, where the
+tracker prints at exit).
+"""
+
+import multiprocessing
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import textwrap
+import time
+
+import pytest
+
+from repro.core.majors import Major
+from repro.core.writer import load_records
+from repro.shm import ShmTraceRegion, run_shm_workload
+from repro.shm.procs import expected_payloads, writer_main
+from tests.core.test_parallel import assert_all_paths_identical
+
+# CI runs one start method per matrix leg via SHM_START_METHODS=fork
+# (or spawn); locally, unset, both parametrize in one run.
+_wanted = os.environ.get("SHM_START_METHODS")
+START_METHODS = [m for m in ("fork", "spawn")
+                 if m in multiprocessing.get_all_start_methods()
+                 and (not _wanted or m in _wanted.split(","))]
+
+pytestmark = pytest.mark.skipif(
+    not START_METHODS, reason="no multiprocessing start method available")
+
+
+def shm_segments():
+    """Names of live POSIX shm segments (Linux; empty set elsewhere)."""
+    try:
+        return {n for n in os.listdir("/dev/shm") if n.startswith("psm_")}
+    except FileNotFoundError:
+        return set()
+
+
+def drained_complete(path, writers, events, data_words):
+    """Decode ``path`` on every reader path and demand completeness."""
+    records = load_records(path)
+    trace = assert_all_paths_identical(records, workers=2)
+    bad = [a for a in trace.anomalies if a.kind != "missing-anchor"]
+    if bad:  # dump full context so a one-in-N failure documents itself
+        by_key = {(r.cpu, r.seq): r for r in records}
+        lines = []
+        for a in bad:
+            r = by_key.get((a.cpu, a.seq))
+            ctx = "record missing" if r is None else (
+                f"committed={r.committed} fill={r.fill_words} "
+                f"partial={r.partial} words[{max(0, a.offset - 2)}:"
+                f"{a.offset + 4}]="
+                f"{[hex(w) for w in r.words[max(0, a.offset - 2):a.offset + 4]]}")
+            lines.append(f"{a.kind} cpu={a.cpu} seq={a.seq} "
+                         f"off={a.offset}: {a.detail} | {ctx}")
+        raise AssertionError("drained trace has anomalies:\n" +
+                            "\n".join(lines))
+    issued = expected_payloads(writers, events, data_words)
+    for cpu in range(writers):
+        got = [list(e.data) for e in trace.events(cpu)
+               if e.major == Major.TEST]
+        assert got == issued[cpu], (
+            f"cpu {cpu}: drained {len(got)} events, "
+            f"issued {len(issued[cpu])}")
+    return trace
+
+
+@pytest.mark.parametrize("method", START_METHODS)
+class TestCrossProcess:
+    def test_concurrent_collector_complete_trace(self, method, tmp_path):
+        """Writers race a live collector; wrap-free geometry, so the
+        drained trace must hold every event of every writer."""
+        before = shm_segments()
+        out = str(tmp_path / f"shm-{method}.k42")
+        result = run_shm_workload(
+            out, writers=2, events=300, data_words=2,
+            buffer_words=64, num_buffers=32,  # 2048 words >= 300*3+slack
+            start_method=method)
+        assert result.collector["dropped"] == 0, result.collector
+        assert result.collector["frames"] > 0
+        drained_complete(out, 2, 300, 2)
+        assert shm_segments() == before  # segment unlinked
+
+    def test_post_quiesce_collector(self, method, tmp_path):
+        out = str(tmp_path / f"shm-post-{method}.k42")
+        result = run_shm_workload(
+            out, writers=2, events=200, data_words=1,
+            buffer_words=64, num_buffers=16,
+            start_method=method, concurrent_collector=False)
+        assert result.collector["dropped"] == 0
+        drained_complete(out, 2, 200, 1)
+
+    def test_many_writers(self, method, tmp_path):
+        if method == "spawn":
+            pytest.skip("4-process spawn startup dominates; fork covers it")
+        out = str(tmp_path / "shm-many.k42")
+        result = run_shm_workload(
+            out, writers=4, events=250, data_words=2,
+            buffer_words=128, num_buffers=16,
+            start_method=method)
+        assert result.collector["dropped"] == 0
+        drained_complete(out, 4, 250, 2)
+
+
+class TestContention:
+    def test_interleaved_attach_same_cpu_from_two_processes(self, tmp_path):
+        """Two processes hammering the SAME cpu's ring: the CAS must
+        serialize them so no event is lost or torn.  (The writer API
+        binds one process per CPU; this stresses the primitive anyway —
+        it is exactly the paper's many-threads-one-CPU-buffer case.)"""
+        method = START_METHODS[0]
+        ctx = multiprocessing.get_context(method)
+        region = ShmTraceRegion.create(ncpus=1, buffer_words=64,
+                                       num_buffers=64)
+        try:
+            barrier = ctx.Barrier(2)
+            # Both processes log writer-0's payload stream; minor 1 and 2
+            # distinguish them in the decode.
+            procs = [
+                ctx.Process(target=_contend_main,
+                            args=(region.name, minor, 200, barrier))
+                for minor in (1, 2)
+            ]
+            for p in procs:
+                p.start()
+            for p in procs:
+                p.join(60)
+                assert p.exitcode == 0
+            region.set_done()
+            from repro.shm import ShmCollector
+            records = ShmCollector(region).finalize()
+            from repro.core.stream import TraceReader
+            trace = TraceReader(check_committed=True).decode_records(records)
+            assert [a.kind for a in trace.anomalies
+                    if a.kind != "missing-anchor"] == []
+            per_minor = {1: [], 2: []}
+            for e in trace.events(0):
+                if e.major == Major.TEST:
+                    per_minor[e.minor].append(list(e.data))
+            for minor in (1, 2):
+                assert per_minor[minor] == [[i] for i in range(200)]
+        finally:
+            region.close()
+            region.unlink()
+
+
+def _contend_main(name, minor, events, barrier):
+    region = ShmTraceRegion.attach(name)
+    try:
+        logger = region.logger(0)
+        barrier.wait()
+        for i in range(events):
+            logger.log_words(Major.TEST, minor, [i])
+    finally:
+        region.close()
+
+
+class TestResourceHygiene:
+    """No leaks, no tracker noise — even when writers die badly."""
+
+    def test_workload_leaves_no_tracker_warnings(self, tmp_path):
+        """Run a full workload in a fresh interpreter: its stderr must
+        not mention the resource tracker (leak warnings print at exit)."""
+        out = str(tmp_path / "clean.k42")
+        code = textwrap.dedent(f"""
+            from repro.shm import run_shm_workload
+            r = run_shm_workload({out!r}, writers=2, events=100,
+                                 buffer_words=64, num_buffers=16)
+            assert r.collector["dropped"] == 0
+        """)
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": "src"}, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert "leaked" not in proc.stderr, proc.stderr
+
+    def test_sigkilled_writer_leaks_nothing(self, tmp_path):
+        """SIGKILL a writer mid-commit: the parent still drains, closes
+        and unlinks; a fresh interpreter's stderr stays silent."""
+        out = str(tmp_path / "killed.k42")
+        code = textwrap.dedent(f"""
+            import multiprocessing, os, signal, time
+            from repro.shm import ShmCollector, ShmTraceRegion
+            from repro.shm.procs import writer_main
+
+            ctx = multiprocessing.get_context()
+            region = ShmTraceRegion.create(ncpus=1, buffer_words=64,
+                                           num_buffers=8)
+            try:
+                p = ctx.Process(target=writer_main,
+                                args=(region.name, 0, 50, 1, None, True))
+                p.start()
+                # let it log until the ring shows real traffic
+                deadline = time.monotonic() + 30
+                while region.index_word(0).peek() < 256:
+                    assert time.monotonic() < deadline, "writer too slow"
+                    time.sleep(0.001)
+                os.kill(p.pid, signal.SIGKILL)
+                p.join(30)
+                assert p.exitcode == -signal.SIGKILL
+                region.set_done()
+                stats = ShmCollector(region).drain_to_file({out!r},
+                                                           timeout_s=10)
+                assert stats.frames > 0
+            finally:
+                region.close()
+                region.unlink()
+        """)
+        before = shm_segments()
+        proc = subprocess.run(
+            [sys.executable, "-c", code], capture_output=True, text=True,
+            env={**os.environ, "PYTHONPATH": "src"}, timeout=120)
+        assert proc.returncode == 0, proc.stderr
+        assert "resource_tracker" not in proc.stderr, proc.stderr
+        assert shm_segments() == before
+        # The torn trace still loads and decodes without raising; a
+        # half-committed final buffer may surface as anomalies, never
+        # as an exception.
+        records = load_records(out)
+        assert records
+        assert_all_paths_identical(records, workers=2)
+
+    def test_writer_killed_concurrent_with_collector(self, tmp_path):
+        """The full scenario in-process: writer killed while a live
+        collector drains; everything shuts down and unlinks."""
+        before = shm_segments()
+        method = START_METHODS[0]
+        ctx = multiprocessing.get_context(method)
+        out = str(tmp_path / "killed-live.k42")
+        region = ShmTraceRegion.create(ncpus=1, buffer_words=64,
+                                       num_buffers=8)
+        try:
+            p = ctx.Process(target=writer_main,
+                            args=(region.name, 0, 50, 1, None, True))
+            p.start()
+            deadline = time.monotonic() + 30
+            while region.index_word(0).peek() < 128:
+                assert time.monotonic() < deadline
+                time.sleep(0.001)
+            os.kill(p.pid, signal.SIGKILL)
+            p.join(30)
+            region.set_done()
+            from repro.shm import ShmCollector
+            stats = ShmCollector(region).drain_to_file(out, timeout_s=10)
+            assert stats.frames > 0
+        finally:
+            region.close()
+            region.unlink()
+        assert shm_segments() == before
