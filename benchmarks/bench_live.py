@@ -1,0 +1,116 @@
+"""Live-follow throughput: the streaming seam end to end.
+
+Two figures for the incremental pipeline (`repro.live`):
+
+* **follow_file** — tail a complete ``.k42`` file through
+  ``TraceFileFollower`` + ``LiveMonitor`` (frame cursor, per-buffer
+  scan, columnar assembly, window absorb).  The yardstick is the
+  one-shot post-mortem decode of the same file; the follower should
+  stay within a small constant factor of it.
+* **follow_shm** — the whole shared-memory round trip in one process:
+  create a region, log through an attached logger, follow it with
+  ``ShmFollower`` + ``LiveMonitor``.  Carries segment setup/teardown,
+  so its band is wider.
+
+Both are quick-tier: they gate in CI against the committed baseline.
+"""
+
+import io
+
+from repro.core.buffers import TraceControl
+from repro.core.logger import TraceLogger
+from repro.core.majors import Major
+from repro.core.mask import TraceMask
+from repro.core.registry import default_registry
+from repro.core.timestamps import ManualClock
+from repro.core.writer import save_records
+from repro.live.monitor import LiveMonitor
+from repro.live.source import ShmFollower, TraceFileFollower
+from repro.perf import benchmark as perf_bench
+from repro.shm import ShmTraceRegion
+
+
+def _trace_blob(n_events: int) -> bytes:
+    """A single-CPU trace of ``n_events`` 2-word TEST events."""
+    control = TraceControl(buffer_words=1024, num_buffers=256)
+    mask = TraceMask()
+    mask.enable_all()
+    clock = ManualClock()
+    logger = TraceLogger(control, mask, clock, registry=default_registry())
+    logger.start()
+    for i in range(n_events):
+        clock.advance(3)
+        logger.log1(Major.TEST, 1, i)
+    buf = io.BytesIO()
+    save_records(buf, control.flush())
+    return buf.getvalue()
+
+
+@perf_bench("live.follow_file", quick=True, tolerance=0.4)
+def hb_follow_file(b):
+    """Follow one complete trace file end to end: cursor over every
+    frame, scan, incremental assembly, window absorb."""
+    import tempfile
+
+    n_events = 20_000 if b.quick else 100_000
+    blob = _trace_blob(n_events)
+    with tempfile.NamedTemporaryFile(suffix=".k42") as fh:
+        fh.write(blob)
+        fh.flush()
+
+        def kernel():
+            follower = TraceFileFollower(fh.name)
+            try:
+                mon = LiveMonitor(registry=default_registry())
+                mon.drain(follower, idle_timeout_s=0)
+            finally:
+                follower.close()
+            assert follower.tail_state == "complete"
+            assert mon.total_events >= n_events
+            return mon
+
+        mon = b(kernel)
+    b.note("events", mon.total_events)
+    b.note("bytes", len(blob))
+
+
+@perf_bench("live.follow_shm", quick=True, tolerance=0.6)
+def hb_follow_shm(b):
+    """Log into a fresh shm region and follow it live, in one process.
+
+    Includes segment create/attach/unlink each iteration — the honest
+    cost of standing up the live seam — hence the wider band.
+    """
+    n_events = 5_000 if b.quick else 25_000
+
+    def kernel():
+        region = ShmTraceRegion.create(ncpus=1, buffer_words=1024,
+                                       num_buffers=64)
+        try:
+            attached = ShmTraceRegion.attach(region.name)
+            try:
+                logger = attached.logger(0)
+                for i in range(n_events):
+                    logger.log1(Major.TEST, 1, i)
+                region.set_done()
+                src = ShmFollower(region, lag=1)
+                mon = LiveMonitor(registry=default_registry())
+                mon.drain(src, idle_timeout_s=0)
+            finally:
+                attached.close()
+        finally:
+            region.close()
+            region.unlink()
+        assert mon.total_events >= n_events
+        return mon
+
+    mon = b(kernel)
+    b.note("events", mon.total_events)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.perf import module_main
+
+    sys.exit(module_main(__name__))

@@ -9,6 +9,9 @@ file, optionally save the symbol table as JSON, then analyze offline::
     repro-trace list trace.k42 --limit 40 --name TRC_SYSCALL_ENTER
     repro-trace kmon trace.k42 --mark TRC_USER_RETURNED_MAIN --svg out.svg
     repro-trace kmon trace.k42 --interactive      # zoom/mark/click REPL
+    repro-trace follow live.k42 --tool kmon --window-events 20000
+    repro-trace follow --shm k42-region --tool sched
+    repro-trace follow trace.k42 --replay 2x --tool locks
     repro-trace locks trace.k42 --symbols syms.json --sort time --top 10
     repro-trace holds trace.k42 --symbols syms.json
     repro-trace profile trace.k42 --symbols syms.json --pid 1
@@ -302,6 +305,87 @@ def cmd_sched(args) -> int:
     return 0
 
 
+def _render_live_tool(args, sym, monitor) -> str:
+    """Render ``--tool`` over the monitor's current window.
+
+    Defaults mirror the post-mortem subcommands exactly, so a replay at
+    instant speed prints byte-identical output to them.
+    """
+    trace = monitor.trace()
+    if args.tool == "kmon":
+        from repro.tools.kmon import live_render
+
+        return live_render(trace, width=args.width)
+    if args.tool == "locks":
+        from repro.tools.lockstats import live_render
+
+        return live_render(trace, sym.lock_names, sym.chains,
+                           sort_by=args.sort,
+                           top=args.top if args.top is not None else 10)
+    if args.tool == "profile":
+        from repro.tools.pcprofile import live_render
+
+        return live_render(trace, sym.pc_names, pid=args.pid,
+                           top=args.top if args.top is not None else 20)
+    from repro.tools.schedstats import live_render
+
+    return live_render(trace, sym.process_names,
+                       top=args.top if args.top is not None else 10)
+
+
+def cmd_follow(args) -> int:
+    """Follow a live trace — file tail, shm region, or paced replay."""
+    from repro.live.monitor import LiveMonitor
+    from repro.live.source import (
+        Replayer,
+        ShmFollower,
+        TraceFileFollower,
+        parse_speed,
+    )
+
+    sym = _load_symbols(args.symbols)
+    region = None
+    follower = None
+    if args.shm:
+        from repro.shm.region import ShmTraceRegion
+
+        region = ShmTraceRegion.attach(args.shm)
+        source = ShmFollower(region, lag=args.lag)
+    elif args.trace is None:
+        print("follow needs a trace file or --shm NAME", file=sys.stderr)
+        return 2
+    elif args.replay is not None:
+        source = Replayer(load_records(args.trace, strict=args.strict),
+                          speed=parse_speed(args.replay))
+    else:
+        source = follower = TraceFileFollower(args.trace)
+
+    monitor = LiveMonitor(registry=default_registry(),
+                          window_events=args.window_events,
+                          strict=args.strict)
+    on_update = None
+    if args.refresh:
+        def on_update(m):
+            print(_render_live_tool(args, sym, m), file=sys.stderr)
+            print(m.describe(), file=sys.stderr)
+    try:
+        monitor.drain(source,
+                      poll_interval_s=args.poll_interval,
+                      idle_timeout_s=args.idle_timeout,
+                      max_polls=args.max_polls,
+                      on_update=on_update)
+    finally:
+        if region is not None:
+            region.close()
+        if follower is not None:
+            follower.close()
+    print(_render_live_tool(args, sym, monitor))
+    print(monitor.describe(), file=sys.stderr)
+    for issue in getattr(source, "issues", []):
+        print(f"file issue: {issue}", file=sys.stderr)
+    return 0
+
+
 def cmd_compare(args) -> int:
     from repro.tools.compare import compare_traces, format_comparison
 
@@ -358,6 +442,10 @@ def cmd_doctor(args) -> int:
             print(f"  {issue}")
     else:
         print("file-level damage: none")
+    if reader.tail_state == "growing":
+        print(f"note: {reader.trailing_bytes}-byte partial frame at EOF "
+              f"looks like an in-progress write, not damage "
+              f"(follow it with `repro-trace follow`)")
 
     strict_trace = _decode(records, workers=args.workers, strict=True)
     trace = _decode(records, workers=args.workers, strict=args.strict)
@@ -785,6 +873,54 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("trace")
     sp.add_argument("--symbols")
     sp.add_argument("--top", type=int, default=10)
+
+    sp = sub.add_parser(
+        "follow",
+        help="follow a growing trace live (file tail, shm region, or "
+             "paced replay) and render a tool over a bounded window")
+    sp.set_defaults(fn=cmd_follow)
+    sp.add_argument("trace", nargs="?",
+                    help="trace file to tail (omit with --shm)")
+    sp.add_argument("--shm", metavar="NAME",
+                    help="follow a live shared-memory region instead of "
+                         "a file (attach by segment name)")
+    sp.add_argument("--tool", choices=("kmon", "locks", "profile", "sched"),
+                    default="kmon",
+                    help="which analysis to render over the live window")
+    sp.add_argument("--replay", metavar="SPEED",
+                    help="treat the (complete) trace as a live source "
+                         "replayed at SPEED: instant, realtime, or Nx")
+    sp.add_argument("--window-events", type=int, default=None, metavar="N",
+                    dest="window_events",
+                    help="flight-recorder bound: keep roughly the most "
+                         "recent N events (default: unbounded)")
+    sp.add_argument("--poll-interval", type=float, default=0.05,
+                    dest="poll_interval", metavar="S",
+                    help="seconds between polls when no data is arriving")
+    sp.add_argument("--idle-timeout", type=float, default=1.0,
+                    dest="idle_timeout", metavar="S",
+                    help="stop after S seconds with no new data "
+                         "(file following has no done marker)")
+    sp.add_argument("--max-polls", type=int, default=None,
+                    dest="max_polls", metavar="N",
+                    help="hard cap on polls (mostly for tests)")
+    sp.add_argument("--lag", type=int, default=1,
+                    help="shm: completed buffers held back from live "
+                         "polls (collector lag)")
+    sp.add_argument("--refresh", action="store_true",
+                    help="print a snapshot to stderr after every poll "
+                         "that brought data")
+    sp.add_argument("--symbols")
+    sp.add_argument("--sort", default="time",
+                    choices=["time", "count", "spin", "max"],
+                    help="locks: sort column")
+    sp.add_argument("--pid", type=int, help="profile: restrict to a pid")
+    sp.add_argument("--top", type=int, default=None,
+                    help="table rows (default: the tool's own default)")
+    sp.add_argument("--width", type=int, default=96, help="kmon: columns")
+    sp.add_argument("--strict", action="store_true",
+                    help="stop at the first damage instead of "
+                         "resynchronizing past it")
 
     sp = add("compare", cmd_compare,
              help="diff two traces of the same workload (the §4 tuning loop)")

@@ -32,7 +32,8 @@ working unchanged.
 from __future__ import annotations
 
 import heapq
-from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from collections import deque
+from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -629,6 +630,21 @@ class ColumnarAssembler:
             self._state[cpu] = (times[-1],
                                 cols.ts32[scan.offsets[-1]])
 
+    def take(self) -> "ColumnarTrace":
+        """Drain everything accumulated since the last take as a chunk.
+
+        The per-CPU timestamp-stitching state survives the drain, so
+        interleaving ``add_buffer`` calls with ``take`` decodes
+        bit-identically to one uninterrupted assemble-then-finish —
+        this is the incremental seam the live follower builds on.
+        Anomaly columns drain with their chunk; the next chunk starts
+        a fresh ledger.
+        """
+        chunk = self.finish()
+        self._acc = {}
+        self.anomaly_columns = AnomalyColumns()
+        return chunk
+
     def finish(self) -> "ColumnarTrace":
         """Concatenate the per-CPU chunks into final batches."""
         batches: Dict[int, EventBatch] = {}
@@ -766,6 +782,94 @@ class ColumnarTrace:
         """Materialize as a plain :class:`Trace` (bit-identical)."""
         return Trace(events_by_cpu=dict(self.events_by_cpu),
                      anomalies=list(self.anomalies))
+
+
+class WindowedBatches:
+    """A flight-recorder window over incremental :class:`EventBatch` chunks.
+
+    A live monitor cannot hold an unbounded trace: like the kernel's
+    flight-recorder mode, it keeps the most recent events and lets the
+    oldest fall off the back.  Chunks (the per-CPU batches of one
+    :meth:`ColumnarAssembler.take`) are appended in arrival order;
+    once the total event count exceeds ``max_events`` the oldest whole
+    chunks are evicted — granularity is the chunk, so peak residency is
+    ``O(max_events + largest chunk)``, never the full trace.
+
+    ``trace()`` exposes the live window as an ordinary
+    :class:`ColumnarTrace`: per-CPU concatenation preserves decode
+    order, and the merged batch's total order is identical to a
+    post-mortem decode of the same events, so every columnar tool runs
+    on a window unchanged.  The CPU universe is the union of all CPUs
+    ever seen — a CPU whose events were all evicted (or that has
+    logged nothing yet) still contributes an empty lane, exactly as in
+    a post-mortem decode.
+
+    Anomaly columns are cumulative, not windowed: they are the damage
+    ledger of the whole run (a few rows per incident), so eviction
+    never hides that something was once wrong.
+    """
+
+    def __init__(
+        self,
+        max_events: Optional[int] = None,
+        registry: Optional[EventRegistry] = None,
+    ) -> None:
+        if max_events is not None and max_events <= 0:
+            raise ValueError("max_events must be positive (or None)")
+        self.max_events = max_events
+        self.registry = registry
+        self.anomaly_columns = AnomalyColumns()
+        #: (cpu, batch) in arrival order — the eviction queue.
+        self._chunks: Deque[Tuple[int, EventBatch]] = deque()
+        self._cpus: set = set()
+        self.total_events = 0
+        self.evicted_events = 0
+        self.evicted_chunks = 0
+
+    def __len__(self) -> int:
+        return self.total_events
+
+    def absorb(self, chunk: "ColumnarTrace") -> None:
+        """Fold one incremental chunk (batches + anomalies) in."""
+        for cpu in sorted(chunk.batches_by_cpu):
+            self._cpus.add(cpu)
+            b = chunk.batches_by_cpu[cpu]
+            if len(b):
+                self._chunks.append((cpu, b))
+                self.total_events += len(b)
+        ac = chunk.anomaly_columns
+        for c, s, o, k, d in zip(ac.cpu, ac.seq, ac.offset,
+                                 ac.kind, ac.detail):
+            self.anomaly_columns.append(c, s, o, k, d)
+        self._evict()
+
+    def _evict(self) -> None:
+        if self.max_events is None:
+            return
+        # Always keep at least one chunk: a single chunk larger than
+        # the window is delivered whole rather than silently split.
+        while self.total_events > self.max_events and len(self._chunks) > 1:
+            _cpu, b = self._chunks.popleft()
+            self.total_events -= len(b)
+            self.evicted_events += len(b)
+            self.evicted_chunks += 1
+
+    def trace(self) -> "ColumnarTrace":
+        """The current window as a :class:`ColumnarTrace`."""
+        parts: Dict[int, List[EventBatch]] = {cpu: [] for cpu in self._cpus}
+        for cpu, b in self._chunks:
+            parts[cpu].append(b)
+        batches = {
+            cpu: (EventBatch.concat(bs) if bs
+                  else EventBatch.empty(self.registry))
+            for cpu, bs in parts.items()
+        }
+        anomalies = AnomalyColumns()
+        ac = self.anomaly_columns
+        for c, s, o, k, d in zip(ac.cpu, ac.seq, ac.offset,
+                                 ac.kind, ac.detail):
+            anomalies.append(c, s, o, k, d)
+        return ColumnarTrace(batches, anomalies, self.registry)
 
 
 # ----------------------------------------------------------------------

@@ -986,7 +986,16 @@ def flat_records(
 
 
 def seek_boundary(word_offset: int, buffer_words: int) -> int:
-    """Snap an arbitrary word offset back to its alignment boundary."""
+    """Snap an arbitrary word offset back to its alignment boundary.
+
+    ``word_offset`` must be non-negative and ``buffer_words`` positive —
+    floor division would silently keep a negative offset negative and
+    "snap" to a boundary that exists in no trace.
+    """
+    if buffer_words <= 0:
+        raise ValueError(f"buffer_words must be positive, got {buffer_words}")
+    if word_offset < 0:
+        raise ValueError(f"word offset must be non-negative, got {word_offset}")
     return (word_offset // buffer_words) * buffer_words
 
 
@@ -1002,8 +1011,18 @@ def decode_from_offset(
 
     This is the end-to-end demonstration of the paper's random-access
     property: pick any offset, snap to the preceding alignment boundary,
-    and parsing proceeds as if from the beginning.
+    and parsing proceeds as if from the beginning.  The offset must
+    land inside the array: a negative or past-the-end offset names no
+    boundary (the old behavior decoded from a wrong one — a negative
+    offset sliced from the array's tail, a past-EOF offset produced an
+    empty trace with an overshot start sequence — both silently).
     """
+    n_words = len(words)
+    if word_offset < 0 or (word_offset >= n_words and n_words > 0):
+        raise ValueError(
+            f"word offset {word_offset} outside the trace "
+            f"(0 .. {n_words - 1})"
+        )
     start = seek_boundary(word_offset, buffer_words)
     arr = np.asarray(words, dtype=np.uint64)[start:]
     records = flat_records(arr, buffer_words, cpu=cpu, start_seq=start // buffer_words)

@@ -68,6 +68,28 @@ def scan_for_magic(fh: BinaryIO, token: bytes, start: int,
         base += len(block)
 
 
+def classify_tail(raw: bytes, buffer_words: int) -> str:
+    """Judge a partial trailing frame from its visible bytes.
+
+    A frame is written header first, payload second, so visible bytes
+    that are a prefix of a well-formed frame — the magic matches as far
+    as it goes and, once the whole header is there, the geometry is
+    plausible — are exactly what a mid-write frame looks like
+    (``"growing"``).  Anything else can never grow into a valid frame,
+    so it is damage (``"truncated"``).
+    """
+    k = min(len(raw), len(_FRAME_MAGIC_BYTES))
+    if raw[:k] != _FRAME_MAGIC_BYTES[:k]:
+        return "truncated"
+    if len(raw) < _FRAME_HEADER.size:
+        return "growing"   # the header itself is still being written
+    _magic, _cpu, _seq, _committed, fill_words, partial = \
+        _FRAME_HEADER.unpack(raw[:_FRAME_HEADER.size])
+    if fill_words <= buffer_words and partial <= 1:
+        return "growing"
+    return "truncated"
+
+
 class TraceFileWriter:
     """Streams :class:`BufferRecord` frames into a binary trace file."""
 
@@ -106,6 +128,14 @@ class TraceFileReader:
     ``strict=True`` raises ``ValueError``/``EOFError`` at the first
     damage, as the original reader did.  The file *header* is always
     validated strictly — without it there is no geometry to resync with.
+
+    A trailing partial frame is not automatically damage: a trace that
+    is still being written ends mid-frame most of the time.  The tail
+    verdict (:attr:`tail_state`) distinguishes the two cases — a partial
+    trailing frame whose visible prefix is a well-formed frame header is
+    ``"growing"`` (an in-progress write; not reported on :attr:`issues`),
+    anything else is ``"truncated"`` (real damage).  ``doctor``/
+    ``anomaly`` report salvage only for the truncated verdict.
     """
 
     def __init__(self, fh: BinaryIO, strict: bool = False) -> None:
@@ -115,6 +145,10 @@ class TraceFileReader:
         self.issues: List[str] = []
         #: Bytes beyond the last whole frame (0 for a well-formed file).
         self.trailing_bytes = 0
+        #: Verdict on the trailing bytes: "complete" (none), "growing"
+        #: (a well-formed frame header prefix — an in-progress write),
+        #: or "truncated" (damage).
+        self.tail_state = "complete"
         header = fh.read(_FILE_HEADER.size)
         if len(header) != _FILE_HEADER.size:
             raise ValueError("truncated trace file header")
@@ -128,17 +162,30 @@ class TraceFileReader:
         self._data_start = _FILE_HEADER.size
 
     def frame_count(self) -> int:
-        """Number of whole frames; flags a truncated trailing frame."""
+        """Number of whole frames; judges any partial trailing frame.
+
+        A partial tail that is a well-formed frame prefix is flagged
+        ``"growing"`` (and kept off :attr:`issues` — the file is most
+        likely mid-write); anything else is ``"truncated"`` damage.
+        """
         self.fh.seek(0, io.SEEK_END)
         end = self.fh.tell()
         n, trailing = divmod(end - self._data_start, self.frame_size)
         if trailing and not self.trailing_bytes:
             self.trailing_bytes = trailing
-            self.issues.append(
-                f"truncated trailing frame: {trailing} bytes after the "
-                f"last whole frame"
-            )
+            self.tail_state = self._classify_tail(end - trailing, trailing)
+            if self.tail_state == "truncated":
+                self.issues.append(
+                    f"truncated trailing frame: {trailing} bytes after "
+                    f"the last whole frame"
+                )
         return n
+
+    def _classify_tail(self, start: int, trailing: int) -> str:
+        """Judge a partial trailing frame — see :func:`classify_tail`."""
+        self.fh.seek(start)
+        raw = self.fh.read(min(trailing, _FRAME_HEADER.size))
+        return classify_tail(raw, self.buffer_words)
 
     def read_frame(self, k: int) -> BufferRecord:
         """Random access to frame ``k`` — a seek, not a scan."""

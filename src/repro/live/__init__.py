@@ -1,0 +1,33 @@
+"""Live monitoring: incremental followers over growing traces.
+
+The paper's monitoring infrastructure is not post-mortem only — kmon
+watched a *running* system.  This package closes that gap for the
+reproduction: a follower tails an event source that is still producing
+(a growing ``.k42`` file, a live shared-memory region, or a recorded
+trace replayed at a chosen speed), decodes incrementally through the
+columnar assembler, and keeps a bounded flight-recorder window that any
+columnar tool can render at any moment.
+
+Sources (:mod:`repro.live.source`) share one tiny protocol —
+``poll() -> [BufferRecord]``, ``done``, ``finish()`` — and the pipeline
+(:mod:`repro.live.monitor`) is source-agnostic, so replaying a recorded
+trace exercises byte-for-byte the same code path as following a live
+one: replay at instant speed is the determinism proof the tests lean
+on.
+"""
+
+from repro.live.monitor import LiveMonitor
+from repro.live.source import (
+    Replayer,
+    ShmFollower,
+    TraceFileFollower,
+    parse_speed,
+)
+
+__all__ = [
+    "LiveMonitor",
+    "Replayer",
+    "ShmFollower",
+    "TraceFileFollower",
+    "parse_speed",
+]

@@ -1,0 +1,138 @@
+"""The live pipeline: source records → incremental decode → window.
+
+``LiveMonitor`` glues the three existing pieces together without
+duplicating any decode logic:
+
+* records come from any source speaking the protocol of
+  :mod:`repro.live.source`;
+* each poll's records are scanned and folded into a
+  :class:`~repro.core.columnar.ColumnarAssembler`, whose per-CPU
+  timestamp-stitching state makes incremental feeding bit-identical to
+  a one-shot post-mortem decode;
+* the drained chunks land in a
+  :class:`~repro.core.columnar.WindowedBatches` flight recorder, so
+  memory stays ``O(window)`` no matter how long the followed trace
+  grows.
+
+``trace()`` exposes the window as an ordinary ``ColumnarTrace``; every
+columnar tool (kmon, lockstats, pcprofile, schedstats, ...) renders it
+unchanged.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Iterable, Optional
+
+from repro.core.buffers import BufferRecord
+from repro.core.columnar import (
+    ColumnarAssembler,
+    ColumnarTrace,
+    WindowedBatches,
+)
+from repro.core.registry import EventRegistry
+from repro.core.stream import scan_buffer
+
+
+class LiveMonitor:
+    """Incremental decoder with a bounded flight-recorder window.
+
+    Buffers must arrive in per-CPU sequence order (what every source
+    in :mod:`repro.live.source` yields) — the same contract the
+    sequential reader imposes.  ``window_events=None`` keeps everything
+    (the post-mortem-equality configuration); a bound turns the monitor
+    into a flight recorder that evicts the oldest chunks.
+    """
+
+    def __init__(
+        self,
+        registry: Optional[EventRegistry] = None,
+        window_events: Optional[int] = None,
+        strict: bool = False,
+        check_committed: bool = True,
+        include_fillers: bool = False,
+    ) -> None:
+        self.strict = strict
+        self.assembler = ColumnarAssembler(
+            registry=registry,
+            include_fillers=include_fillers,
+            check_committed=check_committed,
+        )
+        self.window = WindowedBatches(max_events=window_events,
+                                      registry=registry)
+        self.buffers_seen = 0
+        self.polls = 0
+
+    # -- feeding ---------------------------------------------------------
+    def feed(self, records: Iterable[BufferRecord]) -> int:
+        """Scan and absorb one poll's worth of records; returns how many."""
+        n = 0
+        for rec in records:
+            scan = scan_buffer(rec.words, rec.fill_words,
+                               recover=not self.strict)
+            self.assembler.add_buffer(rec, scan)
+            n += 1
+        if n:
+            self.buffers_seen += n
+            self.window.absorb(self.assembler.take())
+        return n
+
+    def drain(
+        self,
+        source,
+        *,
+        poll_interval_s: float = 0.05,
+        idle_timeout_s: Optional[float] = None,
+        max_polls: Optional[int] = None,
+        sleep: Callable[[float], None] = time.sleep,
+        on_update: Optional[Callable[["LiveMonitor"], None]] = None,
+    ) -> "LiveMonitor":
+        """Poll ``source`` until it is done (or idle past the timeout).
+
+        ``on_update`` fires after every poll that brought new data —
+        the hook a periodic screen refresh hangs off.  The final
+        ``source.finish()`` sweep (tail judgement, forced shm finalize,
+        replay remainder) is always folded in before returning.
+        """
+        idle = 0.0
+        while True:
+            records = source.poll()
+            self.polls += 1
+            if records:
+                idle = 0.0
+                self.feed(records)
+                if on_update is not None:
+                    on_update(self)
+            if source.done:
+                break
+            if max_polls is not None and self.polls >= max_polls:
+                break
+            if not records:
+                if idle_timeout_s is not None and idle >= idle_timeout_s:
+                    break
+                sleep(poll_interval_s)
+                idle += poll_interval_s
+        self.feed(source.finish())
+        if on_update is not None:
+            on_update(self)
+        return self
+
+    # -- reading ---------------------------------------------------------
+    def trace(self) -> ColumnarTrace:
+        """The current window as a ``ColumnarTrace`` (tools-ready)."""
+        return self.window.trace()
+
+    @property
+    def total_events(self) -> int:
+        return self.window.total_events
+
+    @property
+    def evicted_events(self) -> int:
+        return self.window.evicted_events
+
+    def describe(self) -> str:
+        w = self.window
+        bound = w.max_events if w.max_events is not None else "unbounded"
+        return (f"live window: {w.total_events} events "
+                f"({bound} bound), {w.evicted_events} evicted, "
+                f"{self.buffers_seen} buffers over {self.polls} polls")

@@ -55,7 +55,10 @@ class DrainStats:
     dropped: int = 0           # buffers lost to ring lapping
     polls: int = 0             # sweeps over the CPUs
     unstable_copies: int = 0   # copies re-done under a racing commit
-    held: int = 0              # emissions deferred for an uncovered count
+    #: distinct buffers whose emission was deferred for an uncovered
+    #: committed count — each (cpu, seq) counts once, no matter how many
+    #: polls re-observed it, so the stat is comparable across poll rates
+    held: int = 0
     next_seq: Dict[int, int] = field(default_factory=dict)
 
     def merge_from(self, other: "DrainStats") -> None:
@@ -92,6 +95,10 @@ class ShmCollector:
                            for cpu in range(lay.ncpus)}
         self._trace = {cpu: region.trace_view(cpu)
                        for cpu in range(lay.ncpus)}
+        # (cpu, seq) pairs already counted on stats.held: a slow writer
+        # holds the same buffer across many polls, but it is one
+        # deferred emission, not one per poll.
+        self._held_seen: set = set()
 
     # -- copying one buffer ----------------------------------------------
     def _copy_buffer(self, cpu: int, seq: int) -> Optional[BufferRecord]:
@@ -158,7 +165,9 @@ class ShmCollector:
                         # committed yet: its writer is still (or was, when
                         # it died) filling in.  Hold; emission stays in
                         # sequence order, so later buffers wait too.
-                        self.stats.held += 1
+                        if (cpu, next_seq) not in self._held_seen:
+                            self._held_seen.add((cpu, next_seq))
+                            self.stats.held += 1
                         break
                 rec = self._copy_buffer(cpu, next_seq)
                 if rec is None:
@@ -166,6 +175,7 @@ class ShmCollector:
                 else:
                     records.append(rec)
                     self.stats.frames += 1
+                self._held_seen.discard((cpu, next_seq))
                 next_seq += 1
             self._next_seq[cpu] = next_seq
             self.stats.next_seq[cpu] = next_seq

@@ -466,6 +466,21 @@ class Timeline:
         return "\n".join(format_event(e) for e in events)
 
 
+def live_render(trace, width: int = 96) -> str:
+    """Render the timeline for a live window.
+
+    Identical to the post-mortem ``kmon`` rendering, except that an
+    empty window — no timestamped events have arrived yet — renders a
+    placeholder instead of raising, since for a live monitor that is a
+    normal transient state, not an error.
+    """
+    try:
+        tl = Timeline(trace, columnar=True)
+    except ValueError:
+        return "kmon: no timestamped events in the window yet"
+    return tl.render(width=width)
+
+
 def main(argv=None) -> int:
     """Run kmon standalone: ``python -m repro.tools.kmon trace.k42``.
 

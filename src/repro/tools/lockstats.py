@@ -230,6 +230,24 @@ def format_lockstats(
     return "\n".join(lines)
 
 
+def live_render(
+    trace,
+    lock_names: Optional[Dict[int, str]] = None,
+    chains: Optional[Dict[int, Tuple[str, ...]]] = None,
+    sort_by: str = "time",
+    top: int = 10,
+) -> str:
+    """Render the Figure 7 table for a live window.
+
+    Byte-identical to the post-mortem ``locks`` output for the same
+    events — a window with no contention events yet simply renders an
+    empty table.
+    """
+    stats = lock_statistics(trace, sort_by=sort_by, columnar=True)
+    return format_lockstats(stats, lock_names, chains,
+                            top=top, sort_label=sort_by)
+
+
 def main(argv=None) -> int:
     """Run lock analysis standalone: ``python -m repro.tools.lockstats``.
 

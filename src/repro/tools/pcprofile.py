@@ -116,6 +116,21 @@ def format_profile(
     return "\n".join(lines)
 
 
+def live_render(
+    trace,
+    pc_names: Optional[Dict[int, str]] = None,
+    pid: Optional[int] = None,
+    top: Optional[int] = 20,
+) -> str:
+    """Render the Figure 6 histogram for a live window.
+
+    Byte-identical to the post-mortem ``profile`` output for the same
+    events; a window with no PC samples yet renders an empty histogram.
+    """
+    hist = pc_profile(trace, pc_names, pid=pid, columnar=True)
+    return format_profile(hist, pid=pid, top=top)
+
+
 def main(argv=None) -> int:
     """Run the profiler standalone: ``python -m repro.tools.pcprofile``.
 

@@ -251,3 +251,18 @@ def format_sched_report(
             f"  pid {pid:>4} {name:<16} {cycles / CYCLES_PER_US:>12,.0f} us"
         )
     return "\n".join(lines)
+
+
+def live_render(
+    trace,
+    process_names: Optional[Dict[int, str]] = None,
+    top: int = 10,
+) -> str:
+    """Render the scheduler report for a live window.
+
+    Byte-identical to the post-mortem ``sched`` output for the same
+    events; a window with no scheduling events yet renders zero rates
+    over a zero span.
+    """
+    return format_sched_report(sched_statistics(trace, columnar=True),
+                               process_names, top=top)

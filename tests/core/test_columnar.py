@@ -237,3 +237,91 @@ class TestAsBatch:
         b = columnar.batch()
         assert as_batch(b) is b
         assert as_batch(columnar) is b
+
+
+class TestIncrementalAssembly:
+    """``take()`` + ``WindowedBatches``: the live follower's seam."""
+
+    def test_take_interleaved_matches_one_shot(self):
+        """Feeding buffers and draining chunks interleaved must decode
+        bit-identically to one uninterrupted assemble-then-finish —
+        the timestamp-stitching state survives each take()."""
+        from repro.core.columnar import ColumnarAssembler, WindowedBatches
+        from repro.core.stream import scan_buffer
+
+        records = build_records(n_events=400, ncpus=2)
+        reg = default_registry()
+
+        one_shot = decode_records_columnar(records, registry=reg)
+
+        asm = ColumnarAssembler(registry=reg)
+        window = WindowedBatches(registry=reg)
+        for i, rec in enumerate(records):
+            asm.add_buffer(rec, scan_buffer(rec.words, rec.fill_words))
+            if i % 3 == 2:          # drain mid-stream, repeatedly
+                window.absorb(asm.take())
+        window.absorb(asm.take())
+        live = window.trace()
+
+        a, b = one_shot.batch(), live.batch()
+        assert len(a) == len(b)
+        for col in ("cpu", "seq", "offset", "ts32", "major", "minor",
+                    "length", "dlen", "timed"):
+            assert np.array_equal(getattr(a, col), getattr(b, col)), col
+        assert a.time.tolist() == b.time.tolist()
+        assert [_event_tuple(e) for e in one_shot.all_events()] == \
+            [_event_tuple(e) for e in live.all_events()]
+        # Anomaly verdicts agree as a multiset (arrival order may
+        # interleave CPUs differently than the post-mortem sweep).
+        assert sorted((a2.cpu, a2.seq, a2.offset, a2.kind)
+                      for a2 in one_shot.anomalies) == \
+            sorted((a2.cpu, a2.seq, a2.offset, a2.kind)
+                   for a2 in live.anomalies)
+
+    def test_window_eviction_is_bounded_and_counted(self):
+        from repro.core.columnar import ColumnarAssembler, WindowedBatches
+        from repro.core.stream import scan_buffer
+
+        records = build_records(n_events=600, ncpus=2)
+        reg = default_registry()
+        window = WindowedBatches(max_events=40, registry=reg)
+        asm = ColumnarAssembler(registry=reg)
+        fed = 0
+        largest_chunk = 0
+        for rec in records:
+            asm.add_buffer(rec, scan_buffer(rec.words, rec.fill_words))
+            chunk = asm.take()
+            size = sum(len(b) for b in chunk.batches_by_cpu.values())
+            fed += size
+            largest_chunk = max(largest_chunk, size)
+            window.absorb(chunk)
+        assert window.evicted_events > 0
+        assert window.total_events <= 40 + largest_chunk
+        assert window.total_events + window.evicted_events == fed
+        assert len(window.trace().batch()) == window.total_events
+
+    def test_window_keeps_cpu_universe_after_eviction(self):
+        """A CPU whose events were all evicted still contributes an
+        empty lane — same as a post-mortem decode of an idle CPU."""
+        from repro.core.columnar import ColumnarAssembler, WindowedBatches
+        from repro.core.stream import scan_buffer
+
+        records = build_records(n_events=300, ncpus=2)
+        reg = default_registry()
+        window = WindowedBatches(max_events=10, registry=reg)
+        asm = ColumnarAssembler(registry=reg)
+        # All of CPU 0 first, then all of CPU 1: CPU 0 evicts entirely.
+        for rec in sorted(records, key=lambda r: (r.cpu, r.seq)):
+            asm.add_buffer(rec, scan_buffer(rec.words, rec.fill_words))
+            window.absorb(asm.take())
+        trace = window.trace()
+        assert trace.cpus == [0, 1]
+        assert len(trace.cpu_batch(0)) == 0
+
+    def test_window_rejects_nonsense_bound(self):
+        import pytest
+
+        from repro.core.columnar import WindowedBatches
+
+        with pytest.raises(ValueError):
+            WindowedBatches(max_events=0)

@@ -154,7 +154,14 @@ class TestFileFaults:
             trace_bytes(records), kind)
         reader = TraceFileReader(io.BytesIO(data))
         loaded = reader.read_all()   # must not raise
-        assert reader.issues, f"{report.describe()}\n{why}"
+        # The damage must be *noticed*.  A mid-frame truncation that
+        # leaves a well-formed header prefix is byte-identical to an
+        # in-progress write, so it surfaces as the "growing" tail
+        # verdict rather than an issue; every other shape is an issue.
+        assert reader.issues or reader.tail_state == "growing", \
+            f"{report.describe()}\n{why}"
+        if kind == "frame-magic":
+            assert reader.issues, f"{report.describe()}\n{why}"
         assert loaded, \
             f"damage must not take the whole file with it (seed {seed})\n{why}"
         with pytest.raises((ValueError, EOFError)):

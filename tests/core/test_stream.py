@@ -1,6 +1,7 @@
 """Stream decoding: garble detection/recovery, random access, merging."""
 
 import numpy as np
+import pytest
 
 from repro.core.buffers import BufferRecord, TraceControl
 from repro.core.header import pack_header
@@ -256,6 +257,39 @@ class TestRandomAccess:
         assert seek_boundary(31, 32) == 0
         assert seek_boundary(32, 32) == 32
         assert seek_boundary(100, 32) == 96
+
+    def test_seek_boundary_rejects_nonsense(self):
+        """A negative offset or non-positive geometry names no boundary;
+        floor division used to 'snap' them somewhere silently."""
+        with pytest.raises(ValueError):
+            seek_boundary(-1, 32)
+        with pytest.raises(ValueError):
+            seek_boundary(0, 0)
+        with pytest.raises(ValueError):
+            seek_boundary(17, -32)
+
+    def test_decode_from_offset_rejects_out_of_range(self):
+        """Pre-fix, a negative offset sliced from the array's *tail* and
+        a past-EOF offset decoded an empty trace with an overshot start
+        sequence — both silently wrong."""
+        control = build_trace(n_events=100, buffer_words=32)
+        records = [r for r in control.flush() if not r.partial]
+        flat = np.concatenate([r.words for r in records])
+        reg = default_registry()
+        with pytest.raises(ValueError):
+            decode_from_offset(flat, 32, -1, registry=reg)
+        with pytest.raises(ValueError):
+            decode_from_offset(flat, 32, len(flat), registry=reg)
+        with pytest.raises(ValueError):
+            decode_from_offset(flat, 32, len(flat) + 999, registry=reg)
+
+    def test_decode_from_offset_empty_trace_offset_zero(self):
+        """Offset 0 into an empty word pool stays legal: an empty trace
+        decodes to no events, not an error."""
+        empty = decode_from_offset(
+            np.zeros(0, dtype=np.uint64), 32, 0, registry=default_registry()
+        )
+        assert sum(len(v) for v in empty.events_by_cpu.values()) == 0
 
 
 class TestTraceContainer:

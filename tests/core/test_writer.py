@@ -87,17 +87,88 @@ def test_truncated_header_rejected():
         TraceFileReader(buf)
 
 
-def test_truncated_frame_detected():
+def test_partial_tail_with_valid_header_is_growing():
+    """A mid-payload cut leaves a well-formed frame header prefix at EOF —
+    exactly what an in-progress write looks like.  The tail is flagged
+    (``trailing_bytes``/``tail_state``) but is NOT damage: ``issues``
+    stays empty, so ``doctor`` stops prescribing salvage for a file that
+    is simply still being written."""
     records = make_records(n_events=100)
     buf = io.BytesIO()
     save_records(buf, records)
-    data = buf.getvalue()[:-10]  # chop the last frame
+    data = buf.getvalue()[:-10]  # chop the last frame mid-payload
     reader = TraceFileReader(io.BytesIO(data))
     n = reader.frame_count()
     assert reader.trailing_bytes > 0
-    assert any("truncated trailing frame" in s for s in reader.issues)
+    assert reader.tail_state == "growing"
+    assert reader.issues == []
     with pytest.raises(IndexError):
-        reader.read_frame(n)  # the chopped one is out of range
+        reader.read_frame(n)  # the partial one is out of range
+    # read_all still drops the partial tail without complaining.
+    reader2 = TraceFileReader(io.BytesIO(data))
+    assert len(reader2.read_all()) == n
+    assert reader2.tail_state == "growing"
+    assert reader2.issues == []
+
+
+def test_partial_tail_mid_header_is_growing():
+    """Even a cut inside the frame *header* reads as growing while the
+    visible bytes still match the frame magic."""
+    records = make_records(n_events=100)
+    buf = io.BytesIO()
+    save_records(buf, records)
+    data = buf.getvalue()
+    reader_full = TraceFileReader(io.BytesIO(data))
+    frame_size = reader_full.frame_size
+    for keep in (2, 7):   # inside the magic; inside the header
+        cut = data[:-(frame_size - keep)]
+        reader = TraceFileReader(io.BytesIO(cut))
+        reader.frame_count()
+        assert reader.tail_state == "growing", keep
+        assert reader.issues == []
+
+
+def test_partial_tail_with_garbage_is_truncated():
+    """A partial tail that can never become a valid frame is damage:
+    verdict ``truncated``, reported on ``issues`` (the pre-split
+    behavior for every partial tail)."""
+    records = make_records(n_events=100)
+    buf = io.BytesIO()
+    save_records(buf, records)
+    data = buf.getvalue() + b"\xde\xad\xbe\xef\xff\xff"  # junk tail
+    reader = TraceFileReader(io.BytesIO(data))
+    reader.frame_count()
+    assert reader.trailing_bytes == 6
+    assert reader.tail_state == "truncated"
+    assert any("truncated trailing frame" in s for s in reader.issues)
+
+
+def test_partial_tail_implausible_header_is_truncated():
+    """A full header in the tail whose geometry is implausible (magic
+    intact, fill_words impossible) cannot be an in-progress frame."""
+    import struct
+
+    records = make_records(n_events=100)
+    buf = io.BytesIO()
+    save_records(buf, records)
+    data = buf.getvalue()
+    bad_header = struct.pack("<IIQQIB3x", 0x4B42BEEF, 0, 99, 0,
+                             10 ** 6, 0)  # fill_words >> buffer_words
+    reader = TraceFileReader(io.BytesIO(data + bad_header + b"\x00" * 8))
+    reader.frame_count()
+    assert reader.tail_state == "truncated"
+    assert any("truncated trailing frame" in s for s in reader.issues)
+
+
+def test_complete_file_tail_state():
+    records = make_records(n_events=100)
+    buf = io.BytesIO()
+    save_records(buf, records)
+    buf.seek(0)
+    reader = TraceFileReader(buf)
+    reader.frame_count()
+    assert reader.tail_state == "complete"
+    assert reader.trailing_bytes == 0
 
 
 def test_read_frame_out_of_range():

@@ -1,0 +1,278 @@
+"""Live sources: the file follower's cursor and the paced replayer.
+
+The follower contract is the file-level trust gate: a frame is yielded
+only once every one of its bytes is on disk, no matter how adversarially
+the writer's appends are chopped — including cuts inside a frame header.
+The property test drives a real writer thread appending in randomized
+chunk sizes and demands the followed stream be bit-identical to a
+one-shot post-mortem read of the finished file.
+
+Seeds come from ``LIVE_FUZZ_SEEDS`` (comma-separated, default ``0,1,2``)
+so CI can sweep fresh seeds while local failures stay reproducible.
+"""
+
+import io
+import os
+import random
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.core.buffers import TraceControl
+from repro.core.logger import TraceLogger
+from repro.core.majors import Major
+from repro.core.mask import TraceMask
+from repro.core.registry import default_registry
+from repro.core.timestamps import ManualClock
+from repro.core.writer import TraceFileReader, save_records
+from repro.live.source import Replayer, TraceFileFollower, parse_speed
+
+SEEDS = [int(s) for s in
+         os.environ.get("LIVE_FUZZ_SEEDS", "0,1,2").split(",")]
+
+
+def make_records(n_events=300, buffer_words=32, ncpus=1):
+    control = TraceControl(buffer_words=buffer_words, num_buffers=8)
+    mask = TraceMask()
+    mask.enable_all()
+    clock = ManualClock()
+    logger = TraceLogger(control, mask, clock, registry=default_registry())
+    logger.start()
+    for i in range(n_events):
+        clock.advance(3)
+        logger.log1(Major.TEST, 1, i)
+    records = control.flush()
+    if ncpus > 1:   # interleave copies tagged to other CPUs, file-style
+        out = []
+        for r in records:
+            out.append(r)
+        for cpu in range(1, ncpus):
+            for r in records:
+                out.append(type(r)(cpu=cpu, seq=r.seq,
+                                   words=np.array(r.words, dtype=np.uint64),
+                                   committed=r.committed,
+                                   fill_words=r.fill_words,
+                                   partial=r.partial))
+        return out
+    return records
+
+
+def trace_bytes(records):
+    buf = io.BytesIO()
+    save_records(buf, records)
+    return buf.getvalue()
+
+
+def record_key(r):
+    return (r.cpu, r.seq, r.committed, r.fill_words, r.partial,
+            tuple(r.words.tolist()))
+
+
+class TestFileFollower:
+    @pytest.mark.parametrize("seed", SEEDS)
+    def test_randomized_writer_thread_chunks_bit_identical(
+            self, tmp_path, seed):
+        """Property: however the writer's appends are chopped — byte by
+        byte, mid-header, mid-payload — the followed records equal the
+        one-shot post-mortem read of the finished file."""
+        rng = random.Random(seed)
+        records = make_records(n_events=400)
+        data = trace_bytes(records)
+        path = str(tmp_path / f"grow-{seed}.k42")
+        open(path, "wb").close()
+
+        def writer():
+            pos = 0
+            with open(path, "ab") as fh:
+                while pos < len(data):
+                    # Chunks from 1 byte (cuts inside the file header,
+                    # frame headers, payload words) to a few frames.
+                    n = rng.randrange(1, 3 * (len(data) // len(records)))
+                    fh.write(data[pos:pos + n])
+                    fh.flush()
+                    pos += n
+                    time.sleep(0)   # force interleaving with the poller
+
+        t = threading.Thread(target=writer)
+        follower = TraceFileFollower(path)
+        got = []
+        t.start()
+        while t.is_alive():
+            got.extend(follower.poll())
+        t.join()
+        got.extend(follower.finish())
+        follower.close()
+
+        assert follower.tail_state == "complete"
+        assert follower.issues == []
+        with open(path, "rb") as fh:
+            expect = TraceFileReader(fh).read_all()
+        assert len(got) == len(expect)
+        assert [record_key(a) for a in got] == \
+            [record_key(b) for b in expect]
+
+    def test_poll_before_file_header_exists(self, tmp_path):
+        path = str(tmp_path / "late.k42")
+        open(path, "wb").close()
+        follower = TraceFileFollower(path)
+        assert follower.poll() == []        # not even a header yet
+        with open(path, "ab") as fh:
+            fh.write(b"K42")                # half a header
+        assert follower.poll() == []
+        records = make_records(n_events=50)
+        with open(path, "ab") as fh:
+            fh.write(trace_bytes(records)[3:])
+        got = follower.poll() + follower.finish()
+        assert len(got) == len(records)
+        follower.close()
+
+    def test_partial_tail_is_waited_out_not_parsed(self, tmp_path):
+        """The trailing partial frame is never yielded early; once its
+        remaining bytes land it comes out whole."""
+        records = make_records(n_events=100)
+        data = trace_bytes(records)
+        path = str(tmp_path / "tail.k42")
+        cut = len(data) - 11                # mid-payload of the last frame
+        with open(path, "wb") as fh:
+            fh.write(data[:cut])
+        follower = TraceFileFollower(path)
+        first = follower.poll()
+        assert len(first) == len(records) - 1
+        assert follower.poll() == []        # still waiting on the tail
+        with open(path, "ab") as fh:
+            fh.write(data[cut:])
+        rest = follower.poll()
+        assert len(rest) == 1
+        assert record_key(rest[0]) == record_key(records[-1])
+        follower.close()
+
+    def test_damage_resync_mid_stream(self, tmp_path):
+        """A stomped frame magic loses that frame, not the ones after
+        it — and the skip is described on issues."""
+        records = make_records(n_events=300)
+        data = bytearray(trace_bytes(records))
+        reader = TraceFileReader(io.BytesIO(bytes(data)))
+        frame_size = reader.frame_size
+        victim = len(records) // 2
+        off = 16 + victim * frame_size
+        data[off:off + 4] = b"\x00\x00\x00\x00"
+        path = str(tmp_path / "damaged.k42")
+        with open(path, "wb") as fh:
+            fh.write(bytes(data))
+        follower = TraceFileFollower(path)
+        got = follower.poll() + follower.finish()
+        assert len(got) == len(records) - 1
+        assert [r.seq for r in got] == [
+            r.seq for i, r in enumerate(records) if i != victim]
+        assert any("damaged frame" in s for s in follower.issues)
+        follower.close()
+
+    def test_finish_flags_garbage_tail_as_truncated(self, tmp_path):
+        records = make_records(n_events=50)
+        path = str(tmp_path / "junk.k42")
+        with open(path, "wb") as fh:
+            fh.write(trace_bytes(records) + b"\xde\xad\xbe\xef\xff")
+        follower = TraceFileFollower(path)
+        got = follower.poll() + follower.finish()
+        assert len(got) == len(records)
+        assert follower.tail_state == "truncated"
+        assert any("truncated trailing frame" in s for s in follower.issues)
+        follower.close()
+
+    def test_finish_keeps_growing_verdict_for_valid_prefix(self, tmp_path):
+        """Even at finish, a well-formed frame prefix is reported as
+        the growing verdict (the writer may simply have been killed
+        mid-append) and stays off issues."""
+        records = make_records(n_events=50)
+        data = trace_bytes(records)
+        path = str(tmp_path / "midwrite.k42")
+        with open(path, "wb") as fh:
+            fh.write(data[:-9])
+        follower = TraceFileFollower(path)
+        got = follower.poll() + follower.finish()
+        assert len(got) == len(records) - 1
+        assert follower.tail_state == "growing"
+        assert follower.issues == []
+        follower.close()
+
+
+class TestParseSpeed:
+    def test_names_and_factors(self):
+        assert parse_speed("instant") == 0.0
+        assert parse_speed("realtime") == 1.0
+        assert parse_speed("2x") == 2.0
+        assert parse_speed("0.5x") == 0.5
+        assert parse_speed("10") == 10.0
+
+    def test_rejects_nonsense(self):
+        with pytest.raises(ValueError):
+            parse_speed("warp")
+        with pytest.raises(ValueError):
+            parse_speed("-1x")
+        with pytest.raises(ValueError):
+            parse_speed("0x")
+
+
+class TestReplayer:
+    def test_instant_releases_everything(self):
+        records = make_records(n_events=200)
+        rep = Replayer(records, speed=0.0)
+        got = rep.poll()
+        assert rep.done
+        assert [record_key(r) for r in got] == \
+            [record_key(r) for r in records]
+
+    def test_chunked_instant_preserves_order(self):
+        records = make_records(n_events=200)
+        rep = Replayer(records, speed=0.0, max_per_poll=3)
+        got = []
+        while not rep.done:
+            chunk = rep.poll()
+            assert 0 < len(chunk) <= 3
+            got.extend(chunk)
+        assert [record_key(r) for r in got] == \
+            [record_key(r) for r in records]
+
+    def test_paced_replay_follows_the_trace_clock(self):
+        """With an injected clock, a 1x replay's wall-time spacing is
+        exactly the anchored trace-time spacing (cycles at 1 GHz)."""
+        records = make_records(n_events=400)
+        wall = [0.0]
+        releases = []
+
+        def clock():
+            return wall[0]
+
+        def sleep(s):
+            assert s >= 0
+            wall[0] += s
+
+        rep = Replayer(records, speed=1.0, clock=clock, sleep=sleep)
+        while not rep.done:
+            for r in rep.poll():
+                releases.append((wall[0], r.seq))
+        assert [s for _, s in releases] == [r.seq for r in records]
+        walls = [w for w, _ in releases]
+        assert walls == sorted(walls)
+        assert walls[-1] > walls[0]         # pacing actually elapsed time
+
+    def test_speed_scales_wall_time(self):
+        records = make_records(n_events=300)
+
+        def run(speed):
+            wall = [0.0]
+            rep = Replayer(records, speed=speed,
+                           clock=lambda: wall[0],
+                           sleep=lambda s: wall.__setitem__(0, wall[0] + s))
+            while not rep.done:
+                rep.poll()
+            return wall[0]
+
+        slow, fast = run(1.0), run(2.0)
+        assert slow == pytest.approx(2 * fast)
+
+    def test_rejects_negative_speed(self):
+        with pytest.raises(ValueError):
+            Replayer([], speed=-1.0)

@@ -148,6 +148,30 @@ class TestProtocolOverShm:
             region.close()
             region.unlink()
 
+    def test_collector_held_counts_distinct_buffers(self):
+        """``stats.held`` counts deferred *buffers*, not deferring
+        *polls*: a writer stalled mid-buffer that the collector
+        re-observes over N polls is one deferred emission, so the stat
+        stays comparable across poll rates.  (Pre-fix it incremented
+        once per poll.)"""
+        reg = ShmTraceRegion.create(ncpus=1, buffer_words=16, num_buffers=4)
+        try:
+            # Simulate a writer preempted mid-copy: the reservation
+            # index has moved past buffer 0, but not one of its words
+            # was ever committed.
+            reg.index_word(0).store(32)  # two buffers' worth reserved
+            collector = ShmCollector(reg)
+            for _ in range(5):
+                assert collector.poll(lag=0) == []
+            assert collector.stats.held == 1
+            # finalize force-emits past the gate; held stays settled.
+            records = collector.finalize()
+            assert {r.seq for r in records} == {0, 1}
+            assert collector.stats.held == 1
+        finally:
+            reg.close()
+            reg.unlink()
+
     def test_collector_reports_lap_drops(self):
         """A collector that never polls while the ring wraps must count
         the overwritten buffers as dropped, not emit stale data."""
