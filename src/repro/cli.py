@@ -24,6 +24,12 @@ file, optionally save the symbol table as JSON, then analyze offline::
     repro-trace doctor damaged.k42               # damage + salvage report
     repro-trace inject trace.k42 bad.k42 --kind header-bitflip --seed 7
     repro-trace export-ltt trace.k42 --cpu 0 -o cpu0.ltt
+    repro-trace pack trace.k42 trace.store --shard-events 16384
+    repro-trace query trace.store --cpu 1 --start 0.0 --end 0.5 --limit 20
+    repro-trace query trace.store --aggregate name --top 10
+    repro-trace query trace.store --name TRC_LOCK_CONTEND_START \
+        --project seconds,cpu,pid,data0
+    repro-trace locks trace.store --store      # any tool reads a store
     repro-trace bench --quick --baseline benchmarks/BENCH_baseline.json
     repro-trace check --writers 2 --events 2 --preemption-bound 2
     repro-trace check --mutant reset-on-book --save counterexample.json
@@ -37,7 +43,11 @@ damage instead of resynchronizing past it) and ``--workers N``
 (parallel decode).  The analysis subcommands (``info``, ``list``,
 ``kmon``, ``locks``, ``profile``, ``breakdown``, ``sched``) default to
 the columnar structure-of-arrays fast path; ``--no-columnar`` forces
-the scalar per-event walk — output is identical either way.  ``bench`` runs the unified benchmark harness
+the scalar per-event walk — output is identical either way.  They also
+all accept a packed store directory (``repro-trace pack``) in place of a
+raw trace — auto-detected, or forced with ``--store`` — and produce
+byte-identical output from it; ``query`` reads only the shards whose
+min/max statistics overlap the predicate.  ``bench`` runs the unified benchmark harness
 (``repro.perf``) over ``benchmarks/bench_*.py``, writes a consolidated
 ``BENCH_<timestamp>.json``, and — with ``--baseline`` — exits non-zero
 on a performance regression.
@@ -53,6 +63,8 @@ from repro.core.parallel import ParallelTraceReader
 from repro.core.registry import default_registry
 from repro.core.stream import TraceReader
 from repro.core.writer import load_records
+from repro.store.query import PROJECTABLE
+from repro.store.writer import DEFAULT_SHARD_EVENTS
 
 
 def _decode(records, include_fillers: bool = False, workers: int = 1,
@@ -101,7 +113,23 @@ def _decode(records, include_fillers: bool = False, workers: int = 1,
 
 def _load_trace(path: str, include_fillers: bool = False,
                 workers: int = 1, strict: bool = False,
-                columnar: bool = False):
+                columnar: bool = False, store: bool = False):
+    """Load a raw ``.k42`` trace — or a packed store directory.
+
+    With ``store=True`` (``--store``), or when ``path`` is a store
+    directory, the decoded columns come straight from the store's npz
+    shards: no word-stream decode happens, and the resulting trace is
+    bit-identical to one.  ``columnar=False`` materializes the scalar
+    ``Trace`` view on top, so even ``--no-columnar`` tool runs work
+    from a store.
+    """
+    from repro.store import is_store
+
+    if store or is_store(path):
+        from repro.store import TraceStore
+
+        trace = TraceStore(path, registry=default_registry()).trace()
+        return trace if columnar else trace.to_trace()
     return _decode(load_records(path, strict=strict), include_fillers,
                    workers, strict, columnar)
 
@@ -115,11 +143,23 @@ def _load_symbols(path: Optional[str]):
 
 
 def cmd_info(args) -> int:
-    records = load_records(args.trace)
-    trace = _decode(records, workers=args.workers, strict=args.strict,
-                    columnar=args.columnar)
+    from repro.store import is_store
+
+    if args.store or is_store(args.trace):
+        from repro.store import TraceStore
+
+        st = TraceStore(args.trace, registry=default_registry())
+        trace = st.trace() if args.columnar else st.trace().to_trace()
+        frames = st.source.get("frames", 0)
+        buffer_words = st.source.get("buffer_words", 0)
+    else:
+        records = load_records(args.trace)
+        trace = _decode(records, workers=args.workers, strict=args.strict,
+                        columnar=args.columnar)
+        frames = len(records)
+        buffer_words = len(records[0].words) if records else 0
     print(f"trace file: {args.trace}")
-    print(f"frames: {len(records)}  buffer words: {len(records[0].words) if records else 0}")
+    print(f"frames: {frames}  buffer words: {buffer_words}")
     if args.columnar:
         import numpy as np
 
@@ -177,7 +217,7 @@ def cmd_list(args) -> int:
 
     text = format_listing(
         _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                    columnar=args.columnar),
+                    columnar=args.columnar, store=args.store),
         names=args.name or None,
         cpu=args.cpu,
         start=args.start,
@@ -199,12 +239,14 @@ def cmd_kmon(args) -> int:
         sym = _load_symbols(args.symbols)
         session = KmonSession(
             _load_trace(args.trace, workers=args.workers,
-                        strict=args.strict, columnar=args.columnar),
+                        strict=args.strict, columnar=args.columnar,
+                        store=args.store),
             sym.process_names)
         session.run(sys.stdin, sys.stdout)
         return 0
     tl = Timeline(_load_trace(args.trace, workers=args.workers,
-                              strict=args.strict, columnar=args.columnar),
+                              strict=args.strict, columnar=args.columnar,
+                              store=args.store),
                   columnar=args.columnar)
     if args.mark:
         tl.mark(*args.mark)
@@ -223,7 +265,7 @@ def cmd_locks(args) -> int:
 
     sym = _load_symbols(args.symbols)
     trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                        columnar=args.columnar)
+                        columnar=args.columnar, store=args.store)
     stats = lock_statistics(trace, sort_by=args.sort,
                             columnar=args.columnar)
     print(format_lockstats(stats, sym.lock_names, sym.chains,
@@ -236,7 +278,7 @@ def cmd_profile(args) -> int:
 
     sym = _load_symbols(args.symbols)
     trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                        columnar=args.columnar)
+                        columnar=args.columnar, store=args.store)
     hist = pc_profile(trace, sym.pc_names, pid=args.pid,
                       columnar=args.columnar)
     print(format_profile(hist, pid=args.pid, top=args.top))
@@ -250,7 +292,7 @@ def cmd_breakdown(args) -> int:
     sym = _load_symbols(args.symbols)
     bds = process_breakdown(
         _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                    columnar=args.columnar),
+                    columnar=args.columnar, store=args.store),
         sym.syscall_names, sym.process_names,
         FS_FUNCTION_NAMES,
         columnar=args.columnar,
@@ -299,7 +341,7 @@ def cmd_sched(args) -> int:
     sym = _load_symbols(args.symbols)
     report = sched_statistics(
         _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                    columnar=args.columnar),
+                    columnar=args.columnar, store=args.store),
         columnar=args.columnar)
     print(format_sched_report(report, sym.process_names, top=args.top))
     return 0
@@ -491,6 +533,85 @@ def cmd_inject(args) -> int:
                      buffer_words=len(records[0].words) if records else None)
     print(report.describe())
     print(f"damaged copy written to {args.output}")
+    return 0
+
+
+def cmd_pack(args) -> int:
+    """Pack a trace into a persistent columnar store directory."""
+    import os
+
+    from repro.store.writer import pack_trace
+
+    records = load_records(args.trace, strict=args.strict)
+    trace = _decode(records, workers=args.workers, strict=args.strict,
+                    columnar=True)
+    try:
+        res = pack_trace(
+            trace, args.output,
+            shard_events=args.shard_events,
+            compress=not args.no_compress,
+            source={
+                "path": os.path.abspath(args.trace),
+                "frames": len(records),
+                "buffer_words": len(records[0].words) if records else 0,
+            },
+            force=args.force,
+        )
+    except FileExistsError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    raw = os.path.getsize(args.trace)
+    ratio = res.bytes_written / raw if raw else 0.0
+    print(f"packed {args.trace} -> {res.path}")
+    print(f"events: {res.events}  shards: {res.shards}  "
+          f"cpus: {res.cpus}  anomalies: {res.anomalies}")
+    print(f"bytes: {res.bytes_written:,} "
+          f"({ratio:.2f}x of the raw trace's {raw:,})")
+    return 0
+
+
+def cmd_query(args) -> int:
+    """Query a packed store with predicate pushdown."""
+    from repro.store import Predicate, TraceStore
+    from repro.store.query import aggregate, project
+    from repro.tools.listing import format_event
+
+    store = TraceStore(args.store, registry=default_registry())
+    pred = Predicate(
+        cpus=tuple(args.cpu) if args.cpu else None,
+        majors=tuple(args.major) if args.major else None,
+        minors=tuple(args.minor) if args.minor else None,
+        names=tuple(args.name) if args.name else None,
+        pid=args.pid,
+        start_s=args.start,
+        end_s=args.end,
+        min_data=args.min_data,
+        timed_only=args.timed_only,
+        include_control=args.control,
+    )
+    qr = store.query(pred)
+    order = qr.batch.order_by_time()
+    if args.aggregate:
+        for count, key in aggregate(qr.batch, by=args.aggregate,
+                                    pid=qr.pid,
+                                    pid_known=qr.pid_known)[: args.top]:
+            print(f"{count:>8} {key}")
+    elif args.project:
+        cols = [c.strip() for c in args.project.split(",") if c.strip()]
+        sel = order if args.limit is None else order[: args.limit]
+        data = project(qr.batch, cols, sel=sel,
+                       pid=qr.pid, pid_known=qr.pid_known)
+        print("\t".join(cols))
+        for row in zip(*(data[c] for c in cols)):
+            print("\t".join(str(v) for v in row))
+    else:
+        sel = order if args.limit is None else order[: args.limit]
+        for e in qr.batch.events(sel):
+            print(format_event(e))
+    print(f"store: read {qr.shards_read}/{qr.shards_total} shards "
+          f"({qr.shards_pruned} pruned by statistics), "
+          f"{qr.rows_scanned} rows scanned, {len(qr)} matched",
+          file=sys.stderr)
     return 0
 
 
@@ -799,6 +920,12 @@ def build_parser() -> argparse.ArgumentParser:
                      "(default); --no-columnar forces the scalar "
                      "per-event path — output is identical",
             )
+            sp.add_argument(
+                "--store", action="store_true",
+                help="treat TRACE as a packed store directory "
+                     "(see repro-trace pack); store directories are "
+                     "also auto-detected",
+            )
         return sp
 
     sp = add("info", cmd_info, columnar=True, help="trace file summary")
@@ -873,6 +1000,56 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("trace")
     sp.add_argument("--symbols")
     sp.add_argument("--top", type=int, default=10)
+
+    sp = add("pack", cmd_pack,
+             help="pack a trace into a compressed columnar store")
+    sp.add_argument("trace")
+    sp.add_argument("output", help="store directory to create")
+    sp.add_argument("--shard-events", type=int,
+                    default=DEFAULT_SHARD_EVENTS, metavar="N",
+                    help="target events per shard; shards are cut only "
+                         "at buffer boundaries (default %(default)s)")
+    sp.add_argument("--no-compress", action="store_true",
+                    help="write uncompressed npz shards")
+    sp.add_argument("--force", action="store_true",
+                    help="overwrite an existing store directory")
+
+    sp = sub.add_parser(
+        "query",
+        help="query a packed store with predicate pushdown")
+    sp.set_defaults(fn=cmd_query)
+    sp.add_argument("store", help="store directory (from repro-trace pack)")
+    sp.add_argument("--cpu", type=int, action="append",
+                    help="restrict to CPU N (repeatable)")
+    sp.add_argument("--major", type=int, action="append",
+                    help="restrict to major ID (repeatable)")
+    sp.add_argument("--minor", type=int, action="append",
+                    help="restrict to minor ID (repeatable)")
+    sp.add_argument("--name", action="append",
+                    help="restrict to event name (repeatable)")
+    sp.add_argument("--pid", type=int,
+                    help="restrict to events executed in pid context")
+    sp.add_argument("--start", type=float, metavar="S",
+                    help="window start in seconds")
+    sp.add_argument("--end", type=float, metavar="S",
+                    help="window end in seconds")
+    sp.add_argument("--min-data", type=int, default=0, metavar="N",
+                    help="require at least N payload words")
+    sp.add_argument("--timed-only", action="store_true",
+                    help="only events carrying a timestamp")
+    sp.add_argument("--control", action="store_true",
+                    help="include infrastructure events")
+    sp.add_argument("--limit", type=int,
+                    help="print at most N events/rows")
+    sp.add_argument("--project", metavar="COLS",
+                    help="comma-separated columns to emit as TSV "
+                         f"(from: {', '.join(PROJECTABLE)}, dataK)")
+    sp.add_argument("--aggregate",
+                    choices=("name", "major", "minor", "cpu", "pid"),
+                    help="count events grouped by a column instead of "
+                         "listing them")
+    sp.add_argument("--top", type=int, default=30,
+                    help="rows shown with --aggregate (default 30)")
 
     sp = sub.add_parser(
         "follow",

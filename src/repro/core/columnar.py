@@ -33,7 +33,9 @@ from __future__ import annotations
 
 import heapq
 from collections import deque
-from typing import Deque, Dict, Iterable, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Deque, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union,
+)
 
 import numpy as np
 
@@ -236,6 +238,94 @@ class EventBatch:
             timed=np.concatenate([b.timed for b in batches]),
             registry=registry,
             spec_cache=specs,
+        )
+
+    # -- serialization ---------------------------------------------------
+    def to_arrays(self) -> Dict[str, np.ndarray]:
+        """Serialize to plain fixed-dtype arrays (the store shard codec).
+
+        The shared word pool is compacted to just the payload words each
+        row references, with ``base`` rewritten to the
+        :meth:`from_events` convention (one word before each payload),
+        so a serialized batch carries no header/filler words and no
+        inter-row sharing.  Safe because the scanner only accepts events
+        that fit their buffer: every row's ``words[base+1 : base+1+dlen]``
+        slice is fully in-pool, so the compacted gather reproduces it
+        exactly.  Times that overflowed int64 (corrupt anchors) are
+        emitted as decimal strings under ``time_big``; everything else
+        stays numeric, so the dict round-trips through ``np.savez``
+        with ``allow_pickle=False``.
+        """
+        n = len(self)
+        dlen = self.dlen
+        starts = np.zeros(n, dtype=np.int64)
+        if n:
+            np.cumsum(dlen[:-1], out=starts[1:])
+        total = int(dlen.sum()) if n else 0
+        if total and len(self.words):
+            src = (np.repeat(self.base + 1, dlen)
+                   + np.arange(total, dtype=np.int64)
+                   - np.repeat(starts, dlen))
+            np.clip(src, 0, len(self.words) - 1, out=src)
+            pool = self.words[src]
+        else:
+            pool = np.zeros(total, dtype=np.uint64)
+        out: Dict[str, np.ndarray] = {
+            "words": pool,
+            "base": starts - 1,
+            "cpu": self.cpu,
+            "seq": self.seq,
+            "offset": self.offset,
+            "ts32": self.ts32,
+            "major": self.major,
+            "minor": self.minor,
+            "length": self.length,
+            "dlen": dlen,
+            "timed": self.timed,
+        }
+        if self.time.dtype == object:
+            out["time_big"] = np.array(
+                [str(t) for t in self.time.tolist()], dtype=np.str_)
+        else:
+            out["time"] = self.time
+        return out
+
+    @classmethod
+    def from_arrays(
+        cls,
+        arrays: Mapping[str, np.ndarray],
+        registry: Optional[EventRegistry] = None,
+    ) -> "EventBatch":
+        """Inverse of :meth:`to_arrays` (accepts a loaded npz mapping).
+
+        Bit-identical round trip: ``events()``, payload gathers, masks
+        and both orderings match the source batch row for row.
+        """
+        def col(name: str, dtype: type) -> np.ndarray:
+            return np.asarray(arrays[name]).astype(dtype, copy=False)
+
+        if "time_big" in arrays:
+            raw = np.asarray(arrays["time_big"])
+            if len(raw):
+                time = np.array([int(s) for s in raw.tolist()], dtype=object)
+            else:
+                time = np.zeros(0, dtype=np.int64)
+        else:
+            time = col("time", np.int64)
+        return cls(
+            words=col("words", np.uint64),
+            base=col("base", np.int64),
+            cpu=col("cpu", np.int64),
+            seq=col("seq", np.int64),
+            offset=col("offset", np.int64),
+            ts32=col("ts32", np.int64),
+            major=col("major", np.int64),
+            minor=col("minor", np.int64),
+            length=col("length", np.int64),
+            dlen=col("dlen", np.int64),
+            time=time,
+            timed=col("timed", bool),
+            registry=registry,
         )
 
     # -- shape ----------------------------------------------------------

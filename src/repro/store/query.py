@@ -1,0 +1,334 @@
+"""The shared query layer: one predicate semantics for tools and store.
+
+Every analysis tool used to build its own boolean-mask cocktail over
+:class:`~repro.core.columnar.EventBatch` columns.  This module is that
+selection code, factored once: a :class:`Predicate` names the criteria
+(majors/minors, event names, CPUs, a float-seconds time window, the
+executing pid, minimum payload length) and :func:`select` evaluates
+them as masks — including the listing tool's exact-comparison fallback
+for corrupt-anchor times past float64's integer range.  The six tools
+call :func:`select`; :class:`~repro.store.reader.TraceStore` applies
+the *same* predicate twice — once against shard statistics
+(:func:`shard_may_match`, which may only ever say "maybe", never drop a
+matching row) and once row-level — so pushed-down answers are
+bit-identical to a full scan.
+
+:func:`project` and :func:`aggregate` are the other two query verbs:
+column extraction (including payload words and derived ``name``/
+``seconds``/``pid`` columns) and count-by grouping.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.columnar import EventBatch
+from repro.core.majors import Major
+from repro.core.registry import EventRegistry
+from repro.store.stats import ShardStats
+
+_CTRL_MAJOR = int(Major.CONTROL)
+
+CYCLES_PER_SECOND = 1_000_000_000  # the paper's 1 GHz reference machine
+
+#: Above this magnitude int->float64 conversion starts rounding, so the
+#: vectorized float time filter could disagree with Python's exact
+#: int/int true division; such times fall back to the scalar compare.
+_EXACT_FLOAT_BOUND = 1 << 53
+
+_UNKNOWN_PREFIX = "TRC_UNKNOWN_"
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A declarative row filter over event columns.
+
+    ``None`` fields don't constrain.  Semantics match the tools' masks
+    exactly: ``start_s``/``end_s`` compare ``(time or 0) /
+    CYCLES_PER_SECOND`` inclusively; ``pid`` matches rows whose
+    *executing* (context) pid is known and equal; control events are
+    dropped unless ``include_control``.
+    """
+
+    cpus: Optional[Tuple[int, ...]] = None
+    majors: Optional[Tuple[int, ...]] = None
+    minors: Optional[Tuple[int, ...]] = None
+    names: Optional[Tuple[str, ...]] = None
+    pid: Optional[int] = None
+    start_s: Optional[float] = None
+    end_s: Optional[float] = None
+    min_data: Optional[int] = None
+    timed_only: bool = False
+    include_control: bool = True
+
+    def __post_init__(self) -> None:
+        # Normalize iterables so predicates hash and compare cleanly.
+        for name in ("cpus", "majors", "minors", "names"):
+            v = getattr(self, name)
+            if v is not None and not isinstance(v, tuple):
+                object.__setattr__(self, name, tuple(v))
+
+    @property
+    def trivial(self) -> bool:
+        """Whether this predicate keeps every row."""
+        return self == Predicate()
+
+
+def select(
+    batch: EventBatch,
+    pred: Predicate,
+    pid: Optional[np.ndarray] = None,
+    pid_known: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Boolean row mask for ``pred``, identical to the tools' bespoke masks.
+
+    ``pid``/``pid_known`` are the context columns aligned with
+    ``batch`` rows; when omitted and the predicate filters on pid, they
+    are computed here via :class:`~repro.tools.context.ColumnarContext`
+    (whole-batch replay — pass precomputed columns when you have them,
+    e.g. from a store shard).
+    """
+    n = len(batch)
+    m = np.ones(n, dtype=bool)
+    if not pred.include_control:
+        m &= ~batch.control_mask()
+    if pred.cpus is not None:
+        if len(pred.cpus) == 1:
+            m &= batch.cpu == int(pred.cpus[0])
+        else:
+            m &= np.isin(batch.cpu, np.array(pred.cpus, dtype=np.int64))
+    if pred.majors is not None:
+        if len(pred.majors) == 1:
+            m &= batch.major == int(pred.majors[0])
+        else:
+            m &= np.isin(batch.major, np.array(pred.majors, dtype=np.int64))
+    if pred.minors is not None:
+        if len(pred.minors) == 1:
+            m &= batch.minor == int(pred.minors[0])
+        else:
+            m &= np.isin(batch.minor, np.array(pred.minors, dtype=np.int64))
+    if pred.names is not None:
+        m &= batch.mask_names(pred.names)
+    if pred.min_data is not None:
+        m &= batch.dlen >= int(pred.min_data)
+    if pred.timed_only:
+        m &= batch.timed
+    if pred.pid is not None:
+        if pred.pid < 0:
+            m[:] = False  # context pids are unsigned data words
+        else:
+            if pid is None or pid_known is None:
+                from repro.tools.context import ColumnarContext
+
+                ctx = ColumnarContext(batch)
+                pid, pid_known = ctx.pid, ctx.known
+            m &= pid_known & (pid == np.uint64(pred.pid))
+    if (pred.start_s is not None or pred.end_s is not None) and n:
+        m &= time_window_mask(batch, pred.start_s, pred.end_s, candidates=m)
+    return m
+
+
+def time_window_mask(
+    batch: EventBatch,
+    start_s: Optional[float],
+    end_s: Optional[float],
+    candidates: Optional[np.ndarray] = None,
+) -> np.ndarray:
+    """Rows whose ``(time or 0) / CYCLES_PER_SECOND`` is in the window.
+
+    The vectorized float64 path is used while every time fits below
+    :data:`_EXACT_FLOAT_BOUND`; huge (corrupt-anchor) times replay the
+    exact Python int/float comparison, restricted to ``candidates``
+    rows (an already-ANDed mask) so the slow path touches as few rows
+    as possible.  Both paths agree wherever both apply.
+    """
+    n = len(batch)
+    out = np.ones(n, dtype=bool)
+    if n == 0 or (start_s is None and end_s is None):
+        return out
+    if batch.time.dtype != object:
+        tvals = np.where(batch.timed, batch.time, 0)
+        if int(np.abs(tvals).max(initial=0)) < _EXACT_FLOAT_BOUND:
+            t = tvals.astype(np.float64) / float(CYCLES_PER_SECOND)
+            if start_s is not None:
+                out &= t >= start_s
+            if end_s is not None:
+                out &= t <= end_s
+            return out
+    idxs = (np.flatnonzero(candidates) if candidates is not None
+            else np.arange(n, dtype=np.int64))
+    tl = batch.time[idxs].tolist()
+    fl = batch.timed[idxs].tolist()
+    out = np.zeros(n, dtype=bool)
+    for i in range(len(idxs)):
+        t_e = (tl[i] if fl[i] else 0) / CYCLES_PER_SECOND
+        if start_s is not None and t_e < start_s:
+            continue
+        if end_s is not None and t_e > end_s:
+            continue
+        out[idxs[i]] = True
+    return out
+
+
+# -- predicate pushdown -------------------------------------------------
+
+def _major_masks(pred: Predicate,
+                 registry: Optional[EventRegistry]) -> List[int]:
+    """Independent major-ID bitmasks a matching shard must intersect.
+
+    One mask per criterion (explicit majors; names resolved through the
+    registry).  An unresolvable name disables name-based pruning — the
+    row-level mask still decides — so pushdown can only over-read,
+    never drop.
+    """
+    masks: List[int] = []
+    if pred.majors is not None:
+        mask = 0
+        for mj in pred.majors:
+            if 0 <= mj < 64:
+                mask |= 1 << mj
+        masks.append(mask)
+    if pred.names is not None:
+        mask = 0
+        for name in pred.names:
+            spec = registry.by_name(name) if registry is not None else None
+            if spec is not None:
+                if spec.major < 64:
+                    mask |= 1 << spec.major
+                continue
+            if name.startswith(_UNKNOWN_PREFIX):
+                # Unregistered events render as TRC_UNKNOWN_<maj>_<min>.
+                parts = name[len(_UNKNOWN_PREFIX):].split("_")
+                try:
+                    mj = int(parts[0])
+                except (ValueError, IndexError):
+                    mj = -1
+                if 0 <= mj < 64:
+                    mask |= 1 << mj
+                    continue
+            return masks  # unresolvable: no name-based pruning
+        masks.append(mask)
+    return masks
+
+
+def shard_may_match(
+    stats: ShardStats,
+    pred: Predicate,
+    registry: Optional[EventRegistry] = None,
+) -> bool:
+    """Conservative overlap test: False only when *no* row can match."""
+    if pred.cpus is not None and stats.cpu not in pred.cpus:
+        return False
+    for mask in _major_masks(pred, registry):
+        if not (stats.major_mask & mask):
+            return False
+    if not pred.include_control:
+        if stats.major_mask == (1 << _CTRL_MAJOR):
+            return False
+    if pred.min_data is not None and stats.dlen_max < pred.min_data:
+        return False
+    if pred.timed_only and not stats.has_timed:
+        return False
+    if pred.pid is not None:
+        if pred.pid < 0 or stats.pid_min is None or stats.pid_max is None:
+            return False
+        if not (stats.pid_min <= pred.pid <= stats.pid_max):
+            return False
+    if pred.start_s is not None or pred.end_s is not None:
+        # Row tests compare time/CYCLES_PER_SECOND after correctly-
+        # rounded int->float conversion, which is monotone: every row's
+        # seconds value lies within the shard bounds computed the same
+        # way, so interval non-overlap here is exact, not heuristic.
+        t_lo = stats.time_min / CYCLES_PER_SECOND
+        t_hi = stats.time_max / CYCLES_PER_SECOND
+        if pred.start_s is not None and t_hi < pred.start_s:
+            return False
+        if pred.end_s is not None and t_lo > pred.end_s:
+            return False
+    return True
+
+
+# -- projection and aggregation -----------------------------------------
+
+#: Directly projectable columns (plus ``dataK`` for payload word K).
+PROJECTABLE = ("time", "seconds", "cpu", "seq", "offset", "ts32",
+               "major", "minor", "length", "dlen", "name", "pid")
+
+
+def project(
+    batch: EventBatch,
+    columns: Sequence[str],
+    sel: Optional[np.ndarray] = None,
+    pid: Optional[np.ndarray] = None,
+    pid_known: Optional[np.ndarray] = None,
+) -> Dict[str, List[Any]]:
+    """Extract named columns for the (selected) rows, in request order.
+
+    ``seconds`` is the listing tool's time rendering; ``name`` resolves
+    through the registry; ``pid`` is the executing-context pid (``None``
+    where unknown); ``dataK`` is payload word K (``None`` where the row
+    has fewer than K+1 payload words).
+    """
+    if sel is None:
+        idx = np.arange(len(batch), dtype=np.int64)
+    else:
+        idx = np.asarray(sel)
+        if idx.dtype == np.bool_:
+            idx = np.flatnonzero(idx)
+    out: Dict[str, List[Any]] = {}
+    for col in columns:
+        if col == "time":
+            out[col] = [t if f else None for t, f in
+                        zip(batch.time[idx].tolist(),
+                            batch.timed[idx].tolist())]
+        elif col == "seconds":
+            out[col] = [(t if f else 0) / CYCLES_PER_SECOND for t, f in
+                        zip(batch.time[idx].tolist(),
+                            batch.timed[idx].tolist())]
+        elif col == "name":
+            out[col] = [batch.name_of(mj, mn) for mj, mn in
+                        zip(batch.major[idx].tolist(),
+                            batch.minor[idx].tolist())]
+        elif col == "pid":
+            if pid is None or pid_known is None:
+                from repro.tools.context import ColumnarContext
+
+                ctx = ColumnarContext(batch)
+                pid, pid_known = ctx.pid, ctx.known
+            out[col] = [p if k else None for p, k in
+                        zip(pid[idx].tolist(), pid_known[idx].tolist())]
+        elif col.startswith("data") and col[4:].isdigit():
+            k = int(col[4:])
+            vals = batch.data_column(k, idx).tolist()
+            dl = batch.dlen[idx].tolist()
+            out[col] = [v if d > k else None for v, d in zip(vals, dl)]
+        elif col in PROJECTABLE:
+            out[col] = getattr(batch, col)[idx].tolist()
+        else:
+            raise ValueError(
+                f"unknown column {col!r}; columns are {PROJECTABLE} "
+                f"and dataK")
+    return out
+
+
+def aggregate(
+    batch: EventBatch,
+    by: str = "name",
+    sel: Optional[np.ndarray] = None,
+    pid: Optional[np.ndarray] = None,
+    pid_known: Optional[np.ndarray] = None,
+) -> List[Tuple[int, str]]:
+    """Count rows grouped by a projected column, most frequent first.
+
+    Ties break on the rendered key, like the histogram tool's output.
+    """
+    col = project(batch, [by], sel=sel, pid=pid, pid_known=pid_known)[by]
+    counts: Dict[str, int] = {}
+    for v in col:
+        key = str(v)
+        counts[key] = counts.get(key, 0) + 1
+    return sorted(((c, k) for k, c in counts.items()),
+                  key=lambda x: (-x[0], x[1]))

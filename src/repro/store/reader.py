@@ -1,0 +1,162 @@
+"""Reading a packed store: full reconstitution and pushed-down queries.
+
+:meth:`TraceStore.trace` rebuilds the complete
+:class:`~repro.core.columnar.ColumnarTrace` — per-CPU batches in decode
+order, anomaly ledger, CPU universe including event-less CPUs — so any
+tool runs on a store exactly as it would on a fresh decode, without
+touching the raw word stream.
+
+:meth:`TraceStore.query` is the fast path: the predicate is first
+tested against each shard's manifest statistics
+(:func:`~repro.store.query.shard_may_match`) and only surviving shards
+are decompressed and row-filtered, making a selective query O(shards
+touched) instead of O(trace).
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.columnar import AnomalyColumns, ColumnarTrace, EventBatch
+from repro.core.registry import EventRegistry, default_registry
+from repro.store.format import load_shard, read_manifest
+from repro.store.query import Predicate, select, shard_may_match
+from repro.store.stats import ShardStats
+
+
+@dataclass
+class ShardInfo:
+    """One shard's manifest entry."""
+
+    index: int
+    file: str
+    stats: ShardStats
+
+
+@dataclass
+class QueryResult:
+    """Matching rows plus the pushdown accounting.
+
+    ``batch`` rows arrive in shard (per-CPU decode) order; sort with
+    ``batch.order_by_time()`` for the listing order.  ``pid``/
+    ``pid_known`` are the context columns for exactly those rows.
+    """
+
+    batch: EventBatch
+    pid: np.ndarray
+    pid_known: np.ndarray
+    shards_total: int
+    shards_read: int
+    rows_scanned: int
+
+    @property
+    def shards_pruned(self) -> int:
+        return self.shards_total - self.shards_read
+
+    def __len__(self) -> int:
+        return len(self.batch)
+
+
+class TraceStore:
+    """A packed store directory, opened for reading.
+
+    Shard payloads load lazily (and optionally cache); the manifest —
+    statistics, anomaly ledger, source info — loads once up front.
+    """
+
+    def __init__(self, path: str,
+                 registry: Optional[EventRegistry] = None,
+                 cache_shards: bool = False) -> None:
+        self.path = path
+        self.registry = (registry if registry is not None
+                         else default_registry())
+        manifest = read_manifest(path)
+        self.version: int = manifest["version"]
+        self.compression: str = manifest.get("compression", "zlib")
+        self.cpus: List[int] = list(manifest.get("cpus", []))
+        self.events: int = int(manifest.get("events", 0))
+        self.source: Dict[str, Any] = manifest.get("source", {})
+        self.shards: List[ShardInfo] = [
+            ShardInfo(index=i, file=doc["file"],
+                      stats=ShardStats.from_json(doc))
+            for i, doc in enumerate(manifest.get("shards", []))
+        ]
+        self._anomalies: Dict[str, List[Any]] = manifest.get("anomalies", {})
+        self._cache: Optional[Dict[int, Tuple[EventBatch, np.ndarray,
+                                              np.ndarray]]] = (
+            {} if cache_shards else None)
+
+    def __len__(self) -> int:
+        return self.events
+
+    def anomaly_columns(self) -> AnomalyColumns:
+        an = AnomalyColumns()
+        a = self._anomalies
+        for cpu, seq, off, kind, detail in zip(
+                a.get("cpu", []), a.get("seq", []), a.get("offset", []),
+                a.get("kind", []), a.get("detail", [])):
+            an.append(cpu, seq, off, kind, detail)
+        return an
+
+    def load_shard(
+        self, info: ShardInfo,
+    ) -> Tuple[EventBatch, np.ndarray, np.ndarray]:
+        """One shard's batch plus its context (pid, pid_known) columns."""
+        if self._cache is not None and info.index in self._cache:
+            return self._cache[info.index]
+        arrays = load_shard(os.path.join(self.path, info.file))
+        batch = EventBatch.from_arrays(arrays, registry=self.registry)
+        pid = np.asarray(arrays["pid"]).astype(np.uint64, copy=False)
+        known = np.asarray(arrays["pid_known"]).astype(bool, copy=False)
+        out = (batch, pid, known)
+        if self._cache is not None:
+            self._cache[info.index] = out
+        return out
+
+    def trace(self) -> ColumnarTrace:
+        """The full trace, bit-identical to a fresh columnar decode."""
+        by_cpu: Dict[int, List[EventBatch]] = {}
+        for info in self.shards:
+            batch, _, _ = self.load_shard(info)
+            by_cpu.setdefault(info.stats.cpu, []).append(batch)
+        batches: Dict[int, EventBatch] = {}
+        for cpu in self.cpus:
+            parts = by_cpu.get(cpu)
+            batches[cpu] = (EventBatch.concat(parts) if parts
+                            else EventBatch.empty(self.registry))
+        return ColumnarTrace(batches, self.anomaly_columns(), self.registry)
+
+    def query(self, pred: Predicate) -> QueryResult:
+        """Rows matching ``pred``, reading only stat-overlapping shards."""
+        picked = [info for info in self.shards
+                  if shard_may_match(info.stats, pred, self.registry)]
+        batches: List[EventBatch] = []
+        pids: List[np.ndarray] = []
+        knowns: List[np.ndarray] = []
+        rows_scanned = 0
+        for info in picked:
+            batch, pid, known = self.load_shard(info)
+            rows_scanned += len(batch)
+            m = select(batch, pred, pid=pid, pid_known=known)
+            if m.any():
+                idx = np.flatnonzero(m)
+                batches.append(batch.select(idx))
+                pids.append(pid[idx])
+                knowns.append(known[idx])
+        if batches:
+            out = EventBatch.concat(batches)
+            pid_col = np.concatenate(pids)
+            known_col = np.concatenate(knowns)
+        else:
+            out = EventBatch.empty(self.registry)
+            pid_col = np.zeros(0, dtype=np.uint64)
+            known_col = np.zeros(0, dtype=bool)
+        return QueryResult(
+            batch=out, pid=pid_col, pid_known=known_col,
+            shards_total=len(self.shards), shards_read=len(picked),
+            rows_scanned=rows_scanned,
+        )

@@ -1,0 +1,102 @@
+"""Per-shard min/max statistics — the predicate-pushdown index.
+
+Each shard records just enough about its rows for a query to prove
+non-overlap without opening the shard: the CPU, the buffer-sequence
+range, the *effective* time window (``time`` where timed, else 0 —
+exactly the value the listing-tool window test compares), a bitmask of
+the major IDs present (majors are 6 bits, so one uint64 covers them
+all), the payload-length maximum, and the known-pid range from the
+precomputed context columns.  The matching side lives in
+:func:`repro.store.query.shard_may_match`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Optional
+
+import numpy as np
+
+from repro.core.columnar import EventBatch
+
+
+@dataclass
+class ShardStats:
+    """Summary statistics for one shard's rows (always >= 1 row)."""
+
+    cpu: int
+    events: int
+    seq_min: int
+    seq_max: int
+    #: effective-time bounds in cycles, over ``time if timed else 0``.
+    time_min: int
+    time_max: int
+    has_timed: bool
+    #: OR of ``1 << major`` for every row.
+    major_mask: int
+    dlen_max: int
+    #: bounds over rows whose executing pid is known; None when none are.
+    pid_min: Optional[int]
+    pid_max: Optional[int]
+
+    @classmethod
+    def compute(cls, batch: EventBatch, pid: np.ndarray,
+                pid_known: np.ndarray) -> "ShardStats":
+        n = len(batch)
+        if n == 0:
+            raise ValueError("shards are never empty")
+        if batch.time.dtype == object:
+            eff = [t if f else 0 for t, f in
+                   zip(batch.time.tolist(), batch.timed.tolist())]
+            time_min, time_max = min(eff), max(eff)
+        else:
+            eff_arr = np.where(batch.timed, batch.time, 0)
+            time_min, time_max = int(eff_arr.min()), int(eff_arr.max())
+        major_mask = 0
+        for m in np.unique(batch.major).tolist():
+            major_mask |= 1 << int(m)
+        known = pid[pid_known]
+        return cls(
+            cpu=int(batch.cpu[0]),
+            events=n,
+            seq_min=int(batch.seq.min()),
+            seq_max=int(batch.seq.max()),
+            time_min=time_min,
+            time_max=time_max,
+            has_timed=bool(batch.timed.any()),
+            major_mask=major_mask,
+            dlen_max=int(batch.dlen.max()),
+            pid_min=int(known.min()) if len(known) else None,
+            pid_max=int(known.max()) if len(known) else None,
+        )
+
+    def to_json(self) -> Dict[str, Any]:
+        return {
+            "cpu": self.cpu,
+            "events": self.events,
+            "seq_min": self.seq_min,
+            "seq_max": self.seq_max,
+            "time_min": self.time_min,
+            "time_max": self.time_max,
+            "has_timed": self.has_timed,
+            "major_mask": self.major_mask,
+            "dlen_max": self.dlen_max,
+            "pid_min": self.pid_min,
+            "pid_max": self.pid_max,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Dict[str, Any]) -> "ShardStats":
+        return cls(
+            cpu=doc["cpu"],
+            events=doc["events"],
+            seq_min=doc["seq_min"],
+            seq_max=doc["seq_max"],
+            time_min=doc["time_min"],
+            time_max=doc["time_max"],
+            has_timed=doc["has_timed"],
+            major_mask=doc["major_mask"],
+            dlen_max=doc["dlen_max"],
+            pid_min=doc.get("pid_min"),
+            pid_max=doc.get("pid_max"),
+        )

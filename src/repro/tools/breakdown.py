@@ -23,6 +23,7 @@ import numpy as np
 from repro.core.columnar import as_batch
 from repro.core.majors import ExcMinor, Major, SyscallMinor
 from repro.core.stream import Trace
+from repro.store.query import Predicate, select
 from repro.tools.context import ColumnarContext, ContextTracker
 
 CYCLES_PER_US = 1_000  # 1 GHz reference machine
@@ -204,16 +205,15 @@ def _process_breakdown_columnar(
     g_pid = ctx.pid[g_idx]
 
     # The state machine only ever reacts to these boundary events.
-    sm = b.mask(major=int(Major.SYSCALL), min_data=2) & (
-        (b.minor == int(SyscallMinor.ENTER))
-        | (b.minor == int(SyscallMinor.EXIT))
-    )
-    sm |= b.mask(major=int(Major.EXC), min_data=1) & (
-        (b.minor == int(ExcMinor.PPC_CALL))
-        | (b.minor == int(ExcMinor.PPC_RETURN))
-        | (b.minor == int(ExcMinor.PGFLT))
-        | (b.minor == int(ExcMinor.PGFLT_DONE))
-    )
+    sm = select(b, Predicate(
+        majors=(int(Major.SYSCALL),),
+        minors=(int(SyscallMinor.ENTER), int(SyscallMinor.EXIT)),
+        min_data=2))
+    sm |= select(b, Predicate(
+        majors=(int(Major.EXC),),
+        minors=(int(ExcMinor.PPC_CALL), int(ExcMinor.PPC_RETURN),
+                int(ExcMinor.PGFLT), int(ExcMinor.PGFLT_DONE)),
+        min_data=1))
     sel = np.flatnonzero(sm)
     majors = b.major[sel].tolist()
     minors = b.minor[sel].tolist()

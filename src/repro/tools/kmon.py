@@ -24,6 +24,7 @@ import numpy as np
 from repro.core.columnar import EventBatch, as_batch
 from repro.core.majors import Major, ProcMinor
 from repro.core.stream import Trace, TraceEvent
+from repro.store.query import Predicate, select
 from repro.tools.listing import CYCLES_PER_SECOND, event_listing, format_event
 
 _DENSITY = " .:-=+*#%@"
@@ -89,17 +90,21 @@ class Timeline:
         else:
             self.t0, self.t1 = int(t_all.min()), int(t_all.max())
 
-        idle_end = b.mask(major=int(Major.PROC),
-                          minor=int(ProcMinor.IDLE_END)) & timed
-        idle_start = b.mask(major=int(Major.PROC),
-                            minor=int(ProcMinor.IDLE_START)) & timed
-        sw = b.mask(major=int(Major.PROC),
-                    minor=int(ProcMinor.CONTEXT_SWITCH), min_data=2) & timed
+        idle_end = select(b, Predicate(majors=(int(Major.PROC),),
+                                       minors=(int(ProcMinor.IDLE_END),),
+                                       timed_only=True))
+        idle_start = select(b, Predicate(majors=(int(Major.PROC),),
+                                         minors=(int(ProcMinor.IDLE_START),),
+                                         timed_only=True))
+        sw = select(b, Predicate(majors=(int(Major.PROC),),
+                                 minors=(int(ProcMinor.CONTEXT_SWITCH),),
+                                 min_data=2, timed_only=True))
 
         # thread -> pid mapping, stream order, last write wins.
         thread_pid: Dict[int, int] = {}
-        tc = b.mask(major=int(Major.PROC),
-                    minor=int(ProcMinor.THREAD_CREATE), min_data=2)
+        tc = select(b, Predicate(majors=(int(Major.PROC),),
+                                 minors=(int(ProcMinor.THREAD_CREATE),),
+                                 min_data=2))
         tc_idx = order[tc[order]]
         if len(tc_idx):
             for t, p in zip(b.data_column(0, tc_idx).tolist(),

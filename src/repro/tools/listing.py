@@ -17,13 +17,10 @@ import numpy as np
 
 from repro.core.columnar import as_batch
 from repro.core.stream import Trace, TraceEvent
+from repro.store.query import CYCLES_PER_SECOND, Predicate, select
 
-CYCLES_PER_SECOND = 1_000_000_000  # the paper's 1 GHz reference machine
-
-#: Above this magnitude int->float64 conversion starts rounding, so the
-#: vectorized float time filter could disagree with Python's exact
-#: int/int true division; such times fall back to the scalar compare.
-_EXACT_FLOAT_BOUND = 1 << 53
+__all__ = ["CYCLES_PER_SECOND", "event_listing", "format_event",
+           "format_listing", "main"]
 
 
 def event_listing(
@@ -75,40 +72,14 @@ def _event_listing_columnar(
     limit: Optional[int],
 ) -> List[TraceEvent]:
     b = as_batch(trace)
-    m = np.ones(len(b), dtype=bool)
-    if not include_control:
-        m &= ~b.control_mask()
-    if cpu is not None:
-        m &= b.cpu == int(cpu)
-    if names is not None:
-        m &= b.mask_names(names)
-    if (start is not None or end is not None) and len(b):
-        tvals = np.where(b.timed, b.time, 0) if b.time.dtype != object \
-            else b.time
-        if (b.time.dtype != object
-                and int(np.abs(tvals).max(initial=0)) < _EXACT_FLOAT_BOUND):
-            t = tvals.astype(np.float64) / float(CYCLES_PER_SECOND)
-            if start is not None:
-                m &= t >= start
-            if end is not None:
-                m &= t <= end
-        else:
-            # Huge (corrupt-anchor) times: replay the exact int/float
-            # comparison on the already-masked candidates only.
-            idxs = np.flatnonzero(m)
-            tl = b.time[idxs].tolist()
-            fl = b.timed[idxs].tolist()
-            keep = []
-            for i in range(len(idxs)):
-                t_e = (tl[i] if fl[i] else 0) / CYCLES_PER_SECOND
-                if start is not None and t_e < start:
-                    continue
-                if end is not None and t_e > end:
-                    continue
-                keep.append(idxs[i])
-            sel = np.array(keep, dtype=np.int64)[:limit]
-            return b.events(sel)
-    sel = np.flatnonzero(m)
+    pred = Predicate(
+        cpus=(int(cpu),) if cpu is not None else None,
+        names=tuple(names) if names is not None else None,
+        start_s=start,
+        end_s=end,
+        include_control=include_control,
+    )
+    sel = np.flatnonzero(select(b, pred))
     if limit is not None:
         sel = sel[:limit]
     return b.events(sel)

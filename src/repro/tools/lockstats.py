@@ -24,9 +24,8 @@ import numpy as np
 from repro.core.columnar import as_batch
 from repro.core.majors import LockMinor, Major
 from repro.core.stream import Trace
+from repro.store.query import CYCLES_PER_SECOND, Predicate, select
 from repro.tools.context import ColumnarContext, ContextTracker
-
-CYCLES_PER_SECOND = 1_000_000_000
 
 
 @dataclass
@@ -151,9 +150,9 @@ def _lock_statistics_columnar(
     ctx = ColumnarContext(b)
     start_minor = int(LockMinor.CONTEND_START)
     end_minor = int(LockMinor.CONTEND_END)
-    m = b.mask(major=int(Major.LOCK), min_data=2)
-    m &= (b.minor == start_minor) | (b.minor == end_minor)
-    sel = np.flatnonzero(m)
+    sel = np.flatnonzero(select(b, Predicate(
+        majors=(int(Major.LOCK),), minors=(start_minor, end_minor),
+        min_data=2)))
 
     minors = b.minor[sel].tolist()
     d0 = b.data_column(0, sel).tolist()

@@ -19,6 +19,7 @@ import numpy as np
 from repro.core.columnar import as_batch
 from repro.core.majors import Major, PcSampleMinor
 from repro.core.stream import Trace
+from repro.store.query import Predicate, select
 
 
 def pc_profile(
@@ -62,13 +63,15 @@ def _pc_profile_columnar(
     b = as_batch(trace)
     if pid is not None and pid < 0:
         return []  # data words are unsigned; no sample can match
-    sel = np.flatnonzero(
-        b.mask(major=int(Major.PCSAMPLE), minor=int(PcSampleMinor.SAMPLE),
-               min_data=2)
-    )
+    sel = np.flatnonzero(select(b, Predicate(
+        majors=(int(Major.PCSAMPLE),), minors=(int(PcSampleMinor.SAMPLE),),
+        min_data=2)))
     if len(sel) == 0:
         return []
     if pid is not None:
+        # The paper's sample event carries the sampled pid as payload
+        # word 0 — a *payload* filter, distinct from the predicate
+        # layer's executing-context pid.
         sel = sel[b.data_column(0, sel) == np.uint64(pid)]
         if len(sel) == 0:
             return []
@@ -88,7 +91,8 @@ def profile_pids(trace: Trace, columnar: bool = True) -> List[int]:
     """The processes that have at least one PC sample."""
     if columnar:
         b = as_batch(trace)
-        sel = np.flatnonzero(b.mask(major=int(Major.PCSAMPLE), min_data=2))
+        sel = np.flatnonzero(select(b, Predicate(
+            majors=(int(Major.PCSAMPLE),), min_data=2)))
         return np.unique(b.data_column(0, sel)).tolist()
     pids = set()
     for e in trace.all_events():

@@ -18,6 +18,7 @@ import numpy as np
 from repro.core.columnar import ColumnarTrace, as_batch
 from repro.core.majors import ExcMinor, Major, ProcMinor
 from repro.core.stream import Trace
+from repro.store.query import Predicate, select
 
 CYCLES_PER_US = 1_000
 
@@ -144,8 +145,9 @@ def _sched_statistics_columnar(trace: Trace) -> SchedReport:
     order = b.order_by_stream()
 
     # thread -> pid mapping, last write wins in stream order.
-    tc = b.mask(major=int(Major.PROC), minor=int(ProcMinor.THREAD_CREATE),
-                min_data=2)
+    tc = select(b, Predicate(majors=(int(Major.PROC),),
+                             minors=(int(ProcMinor.THREAD_CREATE),),
+                             min_data=2))
     tc_idx = order[tc[order]]
     if len(tc_idx):
         for t, p in zip(b.data_column(0, tc_idx).tolist(),
@@ -164,14 +166,18 @@ def _sched_statistics_columnar(trace: Trace) -> SchedReport:
             t_min, t_max = int(tvals.min()), int(tvals.max())
         report.span_cycles = t_max - t_min
 
-    sw = b.mask(major=int(Major.PROC), minor=int(ProcMinor.CONTEXT_SWITCH),
-                min_data=2) & timed
-    idle = b.mask(major=int(Major.PROC),
-                  minor=int(ProcMinor.IDLE_START)) & timed
-    migrate = b.mask(major=int(Major.PROC),
-                     minor=int(ProcMinor.MIGRATE)) & timed
-    timer = b.mask(major=int(Major.EXC),
-                   minor=int(ExcMinor.TIMER_INTERRUPT)) & timed
+    sw = select(b, Predicate(majors=(int(Major.PROC),),
+                             minors=(int(ProcMinor.CONTEXT_SWITCH),),
+                             min_data=2, timed_only=True))
+    idle = select(b, Predicate(majors=(int(Major.PROC),),
+                               minors=(int(ProcMinor.IDLE_START),),
+                               timed_only=True))
+    migrate = select(b, Predicate(majors=(int(Major.PROC),),
+                                  minors=(int(ProcMinor.MIGRATE),),
+                                  timed_only=True))
+    timer = select(b, Predicate(majors=(int(Major.EXC),),
+                                minors=(int(ExcMinor.TIMER_INTERRUPT),),
+                                timed_only=True))
 
     cpu_sorted = b.cpu[order]
     bounds = np.flatnonzero(

@@ -1,0 +1,173 @@
+"""Predicate pushdown: pruned queries match brute-force selection.
+
+The sweep seeds from ``REPRO_STORE_SEED`` so CI can run it with fresh
+random predicates on every push; locally it defaults to a fixed seed.
+"""
+
+import os
+import random
+
+import numpy as np
+import pytest
+
+from repro.core.columnar import as_batch
+from repro.store import Predicate, TraceStore, pack_records, select
+from repro.tools.context import ColumnarContext
+from repro.workloads import run_contention
+from tests.core.test_columnar import _corrupt, _event_tuple
+from tests.core.test_parallel import build_records
+
+SEED = int(os.environ.get("REPRO_STORE_SEED", "1729"))
+
+
+@pytest.fixture(scope="module")
+def packed(tmp_path_factory):
+    """A multi-shard store plus its brute-force reference columns."""
+    _k, facility, _ = run_contention(
+        ncpus=4, workers_per_cpu=2, iterations=60, buffer_words=1024)
+    records = facility.snapshot()
+    d = str(tmp_path_factory.mktemp("store") / "s")
+    pack_records(records, d, shard_events=512)
+    store = TraceStore(d)
+    full = as_batch(store.trace())
+    ctx = ColumnarContext(full)
+    return store, full, ctx
+
+
+def _query_tuples(qr):
+    # Query rows arrive in shard order; the reference batch is the
+    # time-ordered merge, so sort the same way before comparing.
+    order = qr.batch.order_by_time()
+    pid = qr.pid[order].tolist()
+    known = qr.pid_known[order].tolist()
+    return [t + (int(p) if k else None,)
+            for t, p, k in zip(map(_event_tuple, qr.batch.events(order)),
+                               pid, known)]
+
+
+def _brute_tuples(full, ctx, pred):
+    idx = np.flatnonzero(select(full, pred, pid=ctx.pid, pid_known=ctx.known))
+    return [t + (int(p) if k else None,)
+            for t, p, k in zip(map(_event_tuple, full.events(idx)),
+                               ctx.pid[idx].tolist(),
+                               ctx.known[idx].tolist())]
+
+
+def _assert_parity(store, full, ctx, pred):
+    qr = store.query(pred)
+    assert _query_tuples(qr) == _brute_tuples(full, ctx, pred)
+    assert qr.shards_read <= qr.shards_total
+    assert qr.shards_pruned == qr.shards_total - qr.shards_read
+    return qr
+
+
+class TestPushdownParity:
+    def test_trivial_predicate_returns_everything(self, packed):
+        store, full, ctx = packed
+        pred = Predicate()
+        assert pred.trivial
+        qr = _assert_parity(store, full, ctx, pred)
+        assert len(qr) == len(full)
+        assert qr.shards_read == qr.shards_total
+
+    def test_cpu_predicate_prunes_other_cpus_shards(self, packed):
+        store, full, ctx = packed
+        qr = _assert_parity(store, full, ctx, Predicate(cpus=(1,)))
+        per_cpu = len([i for i in store.shards if i.stats.cpu == 1])
+        assert qr.shards_read == per_cpu
+        assert qr.shards_pruned == qr.shards_total - per_cpu
+
+    def test_time_window_reads_only_overlapping_shards(self, packed):
+        store, full, ctx = packed
+        t = full.time[full.timed]
+        span = int(t.max()) / 1e9
+        pred = Predicate(start_s=span * 0.4, end_s=span * 0.45)
+        qr = _assert_parity(store, full, ctx, pred)
+        assert 0 < len(qr) < len(full)
+        assert qr.shards_read < qr.shards_total
+
+    def test_name_predicate(self, packed):
+        store, full, ctx = packed
+        qr = _assert_parity(
+            store, full, ctx,
+            Predicate(names=("TRC_LOCK_CONTEND_START",)))
+        assert len(qr) > 0
+        assert qr.shards_read < qr.shards_total or \
+            all(i.stats.major_mask for i in store.shards)
+
+    def test_unresolvable_name_matches_nothing_but_stays_correct(
+            self, packed):
+        store, full, ctx = packed
+        qr = _assert_parity(store, full, ctx,
+                            Predicate(names=("TRC_NO_SUCH_EVENT",)))
+        assert len(qr) == 0
+
+    def test_pid_predicate(self, packed):
+        store, full, ctx = packed
+        pids = sorted(set(ctx.pid[ctx.known].tolist()))
+        assert pids
+        for pid in [int(pids[0]), int(pids[-1]), 10 ** 9, -1]:
+            _assert_parity(store, full, ctx, Predicate(pid=pid))
+
+    def test_control_exclusion(self, packed):
+        store, full, ctx = packed
+        qr_in = _assert_parity(store, full, ctx,
+                               Predicate(include_control=True))
+        qr_out = _assert_parity(store, full, ctx,
+                                Predicate(include_control=False))
+        assert len(qr_out) < len(qr_in)
+
+
+class TestRandomSweep:
+    def test_random_predicates_match_brute_force(self, packed):
+        store, full, ctx = packed
+        rng = random.Random(SEED)
+        t = full.time[full.timed]
+        span = int(t.max()) / 1e9
+        names = ["TRC_LOCK_CONTEND_START", "TRC_PCSAMPLE",
+                 "TRC_SYSCALL_ENTER", "TRC_PROC_CTX_SWITCH"]
+        pids = sorted(set(ctx.pid[ctx.known].tolist())) or [0]
+        pruned_once = False
+        for _ in range(40):
+            kw = {}
+            if rng.random() < 0.5:
+                kw["cpus"] = tuple(rng.sample(range(4),
+                                              rng.randint(1, 2)))
+            if rng.random() < 0.4:
+                kw["majors"] = tuple(rng.sample(range(11),
+                                                rng.randint(1, 3)))
+            if rng.random() < 0.3:
+                kw["names"] = tuple(rng.sample(names, rng.randint(1, 2)))
+            if rng.random() < 0.5:
+                a, b = sorted((rng.uniform(0, span), rng.uniform(0, span)))
+                kw["start_s"], kw["end_s"] = a, b
+            if rng.random() < 0.3:
+                kw["pid"] = int(rng.choice(pids))
+            if rng.random() < 0.3:
+                kw["min_data"] = rng.randint(0, 3)
+            if rng.random() < 0.3:
+                kw["timed_only"] = True
+            kw["include_control"] = rng.random() < 0.5
+            qr = _assert_parity(store, full, ctx, Predicate(**kw))
+            pruned_once = pruned_once or qr.shards_pruned > 0
+        assert pruned_once, "sweep never exercised statistics pruning"
+
+    def test_sweep_on_corrupt_store(self, tmp_path):
+        records = _corrupt(build_records(n_events=1200, ncpus=3,
+                                         buffer_words=64))
+        d = str(tmp_path / "s")
+        pack_records(records, d, shard_events=64)
+        store = TraceStore(d)
+        full = as_batch(store.trace())
+        ctx = ColumnarContext(full)
+        rng = random.Random(SEED + 1)
+        for _ in range(15):
+            kw = {}
+            if rng.random() < 0.6:
+                kw["cpus"] = (rng.randrange(3),)
+            if rng.random() < 0.6:
+                kw["majors"] = tuple(rng.sample(range(8), 2))
+            if rng.random() < 0.4:
+                kw["min_data"] = rng.randint(0, 2)
+            kw["include_control"] = rng.random() < 0.5
+            _assert_parity(store, full, ctx, Predicate(**kw))

@@ -1,0 +1,121 @@
+"""CLI surface of the store: pack, query, and --store tool identity."""
+
+import os
+
+import pytest
+
+from repro.cli import main
+from repro.core.writer import save_records
+from repro.workloads import run_contention
+
+
+@pytest.fixture(scope="module")
+def packed(tmp_path_factory):
+    d = tmp_path_factory.mktemp("storecli")
+    kernel, facility, _ = run_contention(
+        ncpus=4, workers_per_cpu=2, iterations=40, buffer_words=1024)
+    trace_path = str(d / "trace.k42")
+    save_records(trace_path, facility.snapshot())
+    syms_path = str(d / "syms.json")
+    kernel.symbols().save(syms_path)
+    store_path = str(d / "trace.store")
+    assert main(["pack", trace_path, store_path,
+                 "--shard-events", "512"]) == 0
+    return dict(trace=trace_path, store=store_path, syms=syms_path)
+
+
+class TestPack:
+    def test_pack_summary(self, packed, capsys, tmp_path):
+        out2 = str(tmp_path / "s2")
+        assert main(["pack", packed["trace"], out2]) == 0
+        out = capsys.readouterr().out
+        assert "events:" in out and "shards:" in out and "bytes:" in out
+
+    def test_pack_refuses_overwrite_without_force(
+            self, packed, capsys, tmp_path):
+        out2 = str(tmp_path / "s2")
+        assert main(["pack", packed["trace"], out2]) == 0
+        capsys.readouterr()
+        assert main(["pack", packed["trace"], out2]) == 2
+        assert "--force" in capsys.readouterr().err
+        assert main(["pack", packed["trace"], out2, "--force"]) == 0
+
+    def test_pack_compresses(self, packed):
+        npz = sum(os.path.getsize(os.path.join(packed["store"], f))
+                  for f in os.listdir(packed["store"]))
+        assert npz < os.path.getsize(packed["trace"])
+
+
+class TestQuery:
+    def test_listing_with_accounting(self, packed, capsys):
+        assert main(["query", packed["store"], "--cpu", "1",
+                     "--limit", "5"]) == 0
+        cap = capsys.readouterr()
+        lines = cap.out.strip().splitlines()
+        assert 0 < len(lines) <= 5
+        assert "shards" in cap.err and "pruned by statistics" in cap.err
+
+    def test_pruning_reported(self, packed, capsys):
+        assert main(["query", packed["store"], "--cpu", "2"]) == 0
+        err = capsys.readouterr().err
+        words = err.split()
+        read, total = words[words.index("read") + 1].split("/")
+        assert int(read) < int(total)
+
+    def test_aggregate(self, packed, capsys):
+        assert main(["query", packed["store"], "--aggregate", "name",
+                     "--top", "4"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 4
+        counts = [int(l.split()[0]) for l in lines]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_project_tsv(self, packed, capsys):
+        assert main(["query", packed["store"],
+                     "--name", "TRC_LOCK_CONTEND_START",
+                     "--project", "seconds,cpu,pid,data0",
+                     "--limit", "3"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0] == "seconds\tcpu\tpid\tdata0"
+        assert all(len(l.split("\t")) == 4 for l in lines[1:])
+
+    def test_query_matches_list(self, packed, capsys):
+        """query with listing-equivalent flags prints the same events."""
+        assert main(["list", packed["trace"], "--cpu", "1",
+                     "--limit", "25"]) == 0
+        listed = capsys.readouterr().out
+        assert main(["query", packed["store"], "--cpu", "1",
+                     "--limit", "25"]) == 0
+        queried = capsys.readouterr().out
+        assert queried == listed
+
+
+_TOOL_ARGS = {
+    "list": ["--limit", "40"],
+    "kmon": ["--width", "60"],
+    "locks": ["--top", "5"],
+    "profile": [],
+    "breakdown": ["--pid", "1"],
+    "sched": [],
+}
+
+
+@pytest.mark.parametrize("command", sorted(_TOOL_ARGS))
+def test_store_output_identical(command, packed, capsys):
+    """Every tool gives byte-identical output from store vs raw trace."""
+    extra = _TOOL_ARGS[command]
+    if command in ("locks", "profile", "breakdown", "sched"):
+        extra = extra + ["--symbols", packed["syms"]]
+    assert main([command, packed["trace"], *extra]) == 0
+    raw = capsys.readouterr().out
+    assert main([command, packed["store"], "--store", *extra]) == 0
+    flagged = capsys.readouterr().out
+    assert main([command, packed["store"], *extra]) == 0  # auto-detect
+    detected = capsys.readouterr().out
+    assert raw == flagged == detected
+
+
+def test_info_on_store(packed, capsys):
+    assert main(["info", packed["store"]]) == 0
+    out = capsys.readouterr().out
+    assert "events:" in out and "cpus: [0, 1, 2, 3]" in out
