@@ -1,0 +1,101 @@
+"""Fleet aggregation: merge throughput and node-pruned store queries.
+
+Two figures for the PR 9 merge layer (``repro.fleet``):
+
+* **merge_throughput** — re-base N per-node traces onto the fleet
+  clock and build the unified, node-aware-ordered batch.  The work is
+  one vectorized affine map per (node, cpu) stream plus one global
+  lexsort, so it should scale like the columnar decode paths.
+* **query_node_pruning** — a ``Predicate(nodes=...)`` against a packed
+  fleet store: the manifest's per-shard node statistic must let the
+  reader skip excluded nodes' shards without opening them.
+
+Both are quick-tier: they gate in CI against the committed baseline.
+"""
+
+import tempfile
+
+from repro.core.columnar import ColumnarTraceReader
+from repro.core.facility import TraceFacility
+from repro.core.registry import default_registry
+from repro.core.timestamps import ManualClock
+from repro.fleet import (
+    NodeAnchors,
+    NodeSource,
+    merge_traces,
+    pack_fleet_view,
+)
+from repro.perf import benchmark as perf_bench
+from repro.store import Predicate, TraceStore
+
+
+def _node_source(node, n_events, reg):
+    """One synthetic node: local clock offset + mild rate skew."""
+    offset = 10**9 * (node + 1)
+    tick = 5
+    clock = ManualClock(start=offset)
+    fac = TraceFacility(ncpus=2, buffer_words=1024, num_buffers=64,
+                        clock=clock)
+    fac.enable_all()
+    for i in range(n_events):
+        fac.log(i % 2, 2 + (i % 6), i % 16, [i, i * 3][: i % 3])
+        clock.advance(tick)
+    trace = ColumnarTraceReader(registry=reg).decode_records(fac.flush())
+    span = n_events * tick + 100
+    return NodeSource(
+        node=node, trace=trace,
+        anchors=NodeAnchors(
+            local_start=offset, wall_start=1000 * node,
+            local_end=offset + span,
+            wall_end=1000 * node + round(span * (1.0 + 0.003 * node)),
+        ))
+
+
+@perf_bench("fleet.merge_throughput", quick=True, tolerance=0.4)
+def hb_merge_throughput(b):
+    """Merge 4 node traces: per-stream rebase + node-aware global sort."""
+    n_events = 4_000 if b.quick else 25_000
+    reg = default_registry()
+    sources = [_node_source(n, n_events, reg) for n in range(4)]
+
+    def kernel():
+        view = merge_traces(sources, registry=reg)
+        batch = view.batch()
+        assert batch.node is not None
+        return batch
+
+    batch = b(kernel)
+    b.note("nodes", 4)
+    b.note("events", len(batch))
+
+
+@perf_bench("fleet.query_node_pruning", quick=True, tolerance=0.4)
+def hb_query_node_pruning(b):
+    """Cold node-restricted query: open manifest, read one node's
+    shards, skip every other node's without opening them."""
+    n_events = 4_000 if b.quick else 25_000
+    reg = default_registry()
+    sources = [_node_source(n, n_events, reg) for n in range(4)]
+    view = merge_traces(sources, registry=reg)
+    with tempfile.TemporaryDirectory() as d:
+        store_dir = d + "/fleet.store"
+        pack_fleet_view(view, store_dir, shard_events=1024)
+
+        def kernel():
+            store = TraceStore(store_dir, registry=reg)
+            qr = store.query(Predicate(nodes=(2,)))
+            assert qr.shards_pruned > 0
+            return qr
+
+        qr = b(kernel)
+    b.note("matched", len(qr))
+    b.note("shards_read", qr.shards_read)
+    b.note("shards_total", qr.shards_total)
+
+
+if __name__ == "__main__":
+    import sys
+
+    from repro.perf import module_main
+
+    sys.exit(module_main(__name__))

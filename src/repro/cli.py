@@ -30,6 +30,9 @@ file, optionally save the symbol table as JSON, then analyze offline::
     repro-trace query trace.store --name TRC_LOCK_CONTEND_START \
         --project seconds,cpu,pid,data0
     repro-trace locks trace.store --store      # any tool reads a store
+    repro-trace merge node-*.k42 -o fleet.store --tool locks
+    repro-trace fleet-run -o /tmp/fleet --nodes 3 --tool sched
+    repro-trace query fleet.store --node 1 --name TRC_LOCK_CONTEND_START
     repro-trace bench --quick --baseline benchmarks/BENCH_baseline.json
     repro-trace check --writers 2 --events 2 --preemption-bound 2
     repro-trace check --mutant reset-on-book --save counterexample.json
@@ -579,6 +582,7 @@ def cmd_query(args) -> int:
     store = TraceStore(args.store, registry=default_registry())
     pred = Predicate(
         cpus=tuple(args.cpu) if args.cpu else None,
+        nodes=tuple(args.node) if args.node else None,
         majors=tuple(args.major) if args.major else None,
         minors=tuple(args.minor) if args.minor else None,
         names=tuple(args.name) if args.name else None,
@@ -612,6 +616,106 @@ def cmd_query(args) -> int:
           f"({qr.shards_pruned} pruned by statistics), "
           f"{qr.rows_scanned} rows scanned, {len(qr)} matched",
           file=sys.stderr)
+    # Per-node accounting exists only for fleet stores, so single-node
+    # stores keep byte-identical stdout *and* stderr.
+    for node in sorted(qr.node_shards):
+        read, total = qr.node_shards[node]
+        print(f"  node {node}: read {read}/{total} shards",
+              file=sys.stderr)
+    return 0
+
+
+def _render_fleet_tool(args, sym, view) -> str:
+    """Render ``--tool`` as per-node sections plus a fleet rollup."""
+    if args.tool == "kmon":
+        from repro.tools.kmon import fleet_render
+
+        return fleet_render(view, width=args.width)
+    if args.tool == "locks":
+        from repro.tools.lockstats import fleet_render
+
+        return fleet_render(view, sym.lock_names, sym.chains,
+                            sort_by=args.sort,
+                            top=args.top if args.top is not None else 10)
+    if args.tool == "profile":
+        from repro.tools.pcprofile import fleet_render
+
+        return fleet_render(view, sym.pc_names, pid=args.pid,
+                            top=args.top if args.top is not None else 20)
+    from repro.tools.schedstats import fleet_render
+
+    return fleet_render(view, sym.process_names,
+                        top=args.top if args.top is not None else 10)
+
+
+def _print_fleet_summary(view) -> None:
+    s = view.summary()
+    print(f"fleet: {len(s['nodes'])} nodes, {s['events']} events, "
+          f"residual skew bound <= {s['skew_bound']} cycles")
+    for node in view.nodes:
+        info = s["per_node"][str(node)]
+        basis = "anchored" if info["aligned"] else "identity"
+        cpus = ",".join(str(c) for c in info["cpus"])
+        print(f"  node {node}: {info['events']} events, cpus [{cpus}], "
+              f"{info['anomalies']} anomalies, {basis} clock")
+
+
+def cmd_merge(args) -> int:
+    """Merge N per-node traces into one clock-aligned fleet view."""
+    import os
+
+    from repro.fleet.merge import merge_paths, pack_fleet_view
+
+    view = merge_paths(args.traces, registry=default_registry(),
+                       strict=args.strict)
+    if args.tool:
+        print(_render_fleet_tool(args, _load_symbols(args.symbols), view))
+    else:
+        _print_fleet_summary(view)
+    if args.output:
+        try:
+            res = pack_fleet_view(
+                view, args.output,
+                shard_events=args.shard_events,
+                compress=not args.no_compress,
+                source={"paths": [p if p.startswith("shm:")
+                                  else os.path.abspath(p)
+                                  for p in args.traces]},
+                force=args.force,
+            )
+        except FileExistsError as exc:
+            print(str(exc), file=sys.stderr)
+            return 2
+        print(f"packed fleet store: {res.path} "
+              f"({res.events} events, {res.shards} shards, "
+              f"nodes {view.nodes})")
+    return 0
+
+
+def cmd_fleet_run(args) -> int:
+    """Launch K node workloads end to end and merge their traces."""
+    from repro.fleet.launch import fleet_run
+
+    try:
+        result = fleet_run(
+            args.out_dir,
+            nodes=args.nodes,
+            backend=args.backend,
+            start_method=args.start_method,
+            seed=args.seed,
+            ncpus=args.ncpus,
+            workers_per_cpu=args.workers_per_cpu,
+            iterations=args.iterations,
+        )
+    except NotImplementedError as exc:
+        print(str(exc), file=sys.stderr)
+        return 2
+    for nr in result.node_results:
+        print(f"node {nr.node}: {nr.trace_path}")
+    _print_fleet_summary(result.view)
+    if args.tool:
+        print(_render_fleet_tool(args, _load_symbols(args.symbols),
+                                 result.view))
     return 0
 
 
@@ -1021,6 +1125,9 @@ def build_parser() -> argparse.ArgumentParser:
     sp.add_argument("store", help="store directory (from repro-trace pack)")
     sp.add_argument("--cpu", type=int, action="append",
                     help="restrict to CPU N (repeatable)")
+    sp.add_argument("--node", type=int, action="append",
+                    help="fleet store: restrict to node N (repeatable); "
+                         "other nodes' shards are pruned unopened")
     sp.add_argument("--major", type=int, action="append",
                     help="restrict to major ID (repeatable)")
     sp.add_argument("--minor", type=int, action="append",
@@ -1050,6 +1157,81 @@ def build_parser() -> argparse.ArgumentParser:
                          "listing them")
     sp.add_argument("--top", type=int, default=30,
                     help="rows shown with --aggregate (default 30)")
+
+    sp = sub.add_parser(
+        "merge",
+        help="merge N per-node traces into one clock-aligned fleet "
+             "view (each a .k42 file, a store directory, or shm:NAME)")
+    sp.set_defaults(fn=cmd_merge)
+    sp.add_argument("traces", nargs="+",
+                    help="per-node traces; a .anchors.json sidecar "
+                         "supplies node id + clock anchors, otherwise "
+                         "the path's position is its node id with the "
+                         "identity clock")
+    sp.add_argument("-o", "--output", metavar="DIR",
+                    help="also pack the unified view into a store "
+                         "directory (queryable with query --node)")
+    sp.add_argument("--shard-events", type=int,
+                    default=DEFAULT_SHARD_EVENTS, metavar="N",
+                    help="target events per shard in the packed store "
+                         "(default %(default)s)")
+    sp.add_argument("--no-compress", action="store_true",
+                    help="write uncompressed npz shards")
+    sp.add_argument("--force", action="store_true",
+                    help="overwrite an existing store directory")
+    sp.add_argument("--tool", choices=("kmon", "locks", "profile", "sched"),
+                    help="render this tool's per-node + fleet-rollup "
+                         "report instead of the merge summary")
+    sp.add_argument("--symbols")
+    sp.add_argument("--sort", default="time",
+                    choices=["time", "count", "spin", "max"],
+                    help="locks: sort column")
+    sp.add_argument("--pid", type=int, help="profile: restrict to a pid")
+    sp.add_argument("--top", type=int, default=None,
+                    help="table rows (default: the tool's own default)")
+    sp.add_argument("--width", type=int, default=96, help="kmon: columns")
+    sp.add_argument("--strict", action="store_true",
+                    help="stop at the first damage instead of "
+                         "resynchronizing past it")
+
+    sp = sub.add_parser(
+        "fleet-run",
+        help="launch K node workloads (pluggable backend), then merge "
+             "their per-node traces into one fleet view")
+    sp.set_defaults(fn=cmd_fleet_run)
+    sp.add_argument("-o", "--out-dir", required=True, dest="out_dir",
+                    help="directory for per-node traces + anchor "
+                         "sidecars")
+    sp.add_argument("--nodes", type=int, default=2, metavar="K",
+                    help="node count (default 2)")
+    sp.add_argument("--backend", default="local",
+                    choices=("local", "docker", "mpi"),
+                    help="launch substrate; docker/mpi are declared "
+                         "slots, only local is implemented")
+    sp.add_argument("--start-method", choices=("fork", "spawn"),
+                    default=None, dest="start_method",
+                    help="local backend: multiprocessing start method "
+                         "(default: platform default)")
+    sp.add_argument("--seed", type=int, default=2003,
+                    help="master seed; per-node workload seeds and "
+                         "clock offsets/rates derive from it")
+    sp.add_argument("--ncpus", type=int, default=2,
+                    help="simulated CPUs per node (default 2)")
+    sp.add_argument("--workers-per-cpu", type=int, default=2,
+                    dest="workers_per_cpu",
+                    help="workload threads per CPU (default 2)")
+    sp.add_argument("--iterations", type=int, default=30,
+                    help="workload iterations per thread (default 30)")
+    sp.add_argument("--tool", choices=("kmon", "locks", "profile", "sched"),
+                    help="also render this tool over the merged view")
+    sp.add_argument("--symbols")
+    sp.add_argument("--sort", default="time",
+                    choices=["time", "count", "spin", "max"],
+                    help="locks: sort column")
+    sp.add_argument("--pid", type=int, help="profile: restrict to a pid")
+    sp.add_argument("--top", type=int, default=None,
+                    help="table rows (default: the tool's own default)")
+    sp.add_argument("--width", type=int, default=96, help="kmon: columns")
 
     sp = sub.add_parser(
         "follow",

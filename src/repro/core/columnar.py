@@ -100,12 +100,17 @@ class EventBatch:
 
     ``words`` is the shared raw uint64 word pool the payloads are
     gathered from (events reference it, slices share it).
+
+    ``node`` is an optional per-event origin-node column for fleet
+    (multi-machine) traces.  ``None`` — the single-node case — means
+    "implicitly node 0" and keeps every pre-fleet code path and
+    serialized byte untouched; a merged fleet view materializes it.
     """
 
     __slots__ = (
         "words", "base", "cpu", "seq", "offset", "ts32", "major",
         "minor", "length", "dlen", "time", "timed", "registry",
-        "_spec_cache", "_keys",
+        "_spec_cache", "_keys", "node",
     )
 
     def __init__(
@@ -124,6 +129,7 @@ class EventBatch:
         timed: np.ndarray,
         registry: Optional[EventRegistry] = None,
         spec_cache: Optional[Dict[int, Optional[EventSpec]]] = None,
+        node: Optional[np.ndarray] = None,
     ) -> None:
         self.words = words
         self.base = base
@@ -142,6 +148,7 @@ class EventBatch:
             spec_cache if spec_cache is not None else {}
         )
         self._keys: Optional[np.ndarray] = None
+        self.node = node
 
     # -- construction ---------------------------------------------------
     @classmethod
@@ -223,6 +230,13 @@ class EventBatch:
         for b in batches:
             for k, v in b._spec_cache.items():
                 specs.setdefault(k, v)
+        if any(b.node is not None for b in batches):
+            # Node-less inputs are implicitly node 0.
+            node: Optional[np.ndarray] = np.concatenate(
+                [b.node if b.node is not None
+                 else np.zeros(len(b), dtype=np.int64) for b in batches])
+        else:
+            node = None
         return cls(
             words=np.concatenate([b.words for b in batches]),
             base=np.concatenate(bases),
@@ -238,6 +252,7 @@ class EventBatch:
             timed=np.concatenate([b.timed for b in batches]),
             registry=registry,
             spec_cache=specs,
+            node=node,
         )
 
     # -- serialization ---------------------------------------------------
@@ -288,6 +303,10 @@ class EventBatch:
                 [str(t) for t in self.time.tolist()], dtype=np.str_)
         else:
             out["time"] = self.time
+        if self.node is not None:
+            # Only fleet batches carry the key: single-node serialized
+            # bytes stay identical to the pre-fleet format.
+            out["node"] = self.node
         return out
 
     @classmethod
@@ -326,6 +345,7 @@ class EventBatch:
             time=time,
             timed=col("timed", bool),
             registry=registry,
+            node=col("node", np.int64) if "node" in arrays else None,
         )
 
     # -- shape ----------------------------------------------------------
@@ -355,6 +375,37 @@ class EventBatch:
             timed=self.timed[sel],
             registry=self.registry,
             spec_cache=self._spec_cache,
+            node=self.node[sel] if self.node is not None else None,
+        )
+
+    # -- fleet ----------------------------------------------------------
+    def node_column(self) -> np.ndarray:
+        """Node id per row; a node-less batch is implicitly node 0."""
+        if self.node is not None:
+            return self.node
+        return np.zeros(len(self), dtype=np.int64)
+
+    def with_node(self, node_id: int) -> "EventBatch":
+        """This batch tagged as originating from ``node_id``.
+
+        All other columns (and the word pool) are shared, not copied.
+        """
+        return EventBatch(
+            words=self.words,
+            base=self.base,
+            cpu=self.cpu,
+            seq=self.seq,
+            offset=self.offset,
+            ts32=self.ts32,
+            major=self.major,
+            minor=self.minor,
+            length=self.length,
+            dlen=self.dlen,
+            time=self.time,
+            timed=self.timed,
+            registry=self.registry,
+            spec_cache=self._spec_cache,
+            node=np.full(len(self), int(node_id), dtype=np.int64),
         )
 
     # -- masks ----------------------------------------------------------
@@ -476,20 +527,39 @@ class EventBatch:
 
     def order_by_time(self) -> np.ndarray:
         """Indices sorting by the ``Trace.all_events`` total order:
-        ``(time | -1, cpu, seq, offset)``."""
+        ``(time | -1, cpu, seq, offset)``.
+
+        A batch carrying a ``node`` column sorts by ``(time | -1, node,
+        cpu, seq, offset)`` — the node component makes the merged fleet
+        order a total order, so the unified view is invariant under the
+        ingest order of the per-node traces.
+        """
         tk = self.time_key()
         if tk.dtype == object:
             tkl = tk.tolist()
             cl = self.cpu.tolist()
             sl = self.seq.tolist()
             ol = self.offset.tolist()
-            idx = sorted(range(len(self)),
-                         key=lambda i: (tkl[i], cl[i], sl[i], ol[i]))
+            if self.node is not None:
+                nl = self.node.tolist()
+                idx = sorted(range(len(self)),
+                             key=lambda i: (tkl[i], nl[i], cl[i],
+                                            sl[i], ol[i]))
+            else:
+                idx = sorted(range(len(self)),
+                             key=lambda i: (tkl[i], cl[i], sl[i], ol[i]))
             return np.array(idx, dtype=np.int64)
+        if self.node is not None:
+            return np.lexsort(
+                (self.offset, self.seq, self.cpu, self.node, tk))
         return np.lexsort((self.offset, self.seq, self.cpu, tk))
 
     def order_by_stream(self) -> np.ndarray:
-        """Indices sorting by decode order: ``(cpu, seq, offset)``."""
+        """Indices sorting by decode order: ``(cpu, seq, offset)``
+        (``(node, cpu, seq, offset)`` for fleet batches)."""
+        if self.node is not None:
+            return np.lexsort(
+                (self.offset, self.seq, self.cpu, self.node))
         return np.lexsort((self.offset, self.seq, self.cpu))
 
     # -- materialization (compatibility) --------------------------------

@@ -1,0 +1,77 @@
+"""Fleet-scale trace aggregation: N nodes, one clock-aligned view.
+
+The paper targets one multiprocessor; a production fleet is many.  Each
+node logs events on its own cheap local timebase — exactly the §4.1
+x86-tsc situation, one level up: what drifting per-CPU counters are to
+one machine, drifting per-node clocks are to a cluster.  So the same
+LTT cure applies, generalized from CPUs to nodes: every node carries
+two ``(local_ts, wall)`` anchor pairs, a per-node linear map re-bases
+its events onto the common fleet clock, and the re-based per-node
+traces merge into one unified columnar view whose
+:class:`~repro.core.columnar.EventBatch` carries a ``node`` column.
+
+Pieces:
+
+* :mod:`repro.fleet.align` — :class:`NodeAnchors` /
+  :class:`FleetAligner`, the per-node generalization of
+  :mod:`repro.ltt.tscsync`, with a provable residual-skew bound.
+* :mod:`repro.fleet.merge` — ingest per-node traces (``.k42`` files,
+  store directories, drained shm regions), build a :class:`FleetView`
+  (per-node originals + unified merged batch), pack it into a
+  node-aware store.
+* :mod:`repro.fleet.launch` — pluggable launcher backends (local
+  subprocesses now; docker/mpi slots) that run K node workloads end to
+  end and produce the per-node traces plus anchor sidecars.
+"""
+
+from repro.fleet.align import (
+    FleetAligner,
+    NodeAnchors,
+    measured_fleet_skew,
+)
+from repro.fleet.merge import (
+    ANCHORS_SUFFIX,
+    FleetView,
+    NodeSource,
+    ingest_path,
+    merge_paths,
+    merge_traces,
+    pack_fleet_view,
+    read_anchor_sidecar,
+    write_anchor_sidecar,
+)
+from repro.fleet.launch import (
+    BACKENDS,
+    FleetRunResult,
+    LaunchBackend,
+    LocalProcessBackend,
+    NodeLocalClock,
+    NodeRunResult,
+    NodeSpec,
+    fleet_run,
+    get_backend,
+)
+
+__all__ = [
+    "NodeAnchors",
+    "FleetAligner",
+    "measured_fleet_skew",
+    "ANCHORS_SUFFIX",
+    "NodeSource",
+    "FleetView",
+    "merge_traces",
+    "merge_paths",
+    "ingest_path",
+    "pack_fleet_view",
+    "read_anchor_sidecar",
+    "write_anchor_sidecar",
+    "NodeSpec",
+    "NodeRunResult",
+    "NodeLocalClock",
+    "LaunchBackend",
+    "LocalProcessBackend",
+    "BACKENDS",
+    "get_backend",
+    "FleetRunResult",
+    "fleet_run",
+]

@@ -1,0 +1,244 @@
+"""Cross-node clock alignment: §4.1's LTT technique, per node.
+
+"x86 architectures do not provide such a clock" — and neither does a
+fleet: every machine's cheap monotonic counter has its own offset and
+frequency error relative to every other's.  :mod:`repro.ltt.tscsync`
+models the single-machine cure (per-CPU tsc interpolated between two
+wall-clock anchors); this module is the same linear interpolation with
+the stream key generalized from *cpu* to *node*.
+
+Each node samples its local clock against the shared wall clock twice —
+once before its workload, once after — producing a
+:class:`NodeAnchors` pair.  :class:`FleetAligner` turns the pairs into
+per-node affine maps ``local -> wall`` and re-bases whole event-time
+columns vectorized.  The residual cross-node disagreement after
+re-basing is *bounded*, not just hoped-for: see
+:meth:`FleetAligner.skew_bound` for the derivation the property suite
+asserts against.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Sequence, Tuple, Union
+
+import numpy as np
+
+#: Above this magnitude int->float64 conversion rounds, so the
+#: vectorized re-basing could diverge from the exact scalar map; such
+#: columns fall back to the scalar path (same guard as the store's
+#: time filter).
+_EXACT_FLOAT_BOUND = 1 << 53
+
+
+@dataclass(frozen=True)
+class NodeAnchors:
+    """The two ``(local_ts, wall)`` pairs taken for one node.
+
+    The per-node twin of :class:`repro.ltt.tscsync.TscAnchors` — and
+    validated the same way on *both* spans: a zero/negative local span
+    has no slope, and a zero/negative wall span would silently collapse
+    or reverse time.
+    """
+
+    local_start: int
+    wall_start: int
+    local_end: int
+    wall_end: int
+
+    def __post_init__(self) -> None:
+        if self.local_end <= self.local_start:
+            raise ValueError("end anchor must come after start anchor")
+        if self.wall_end <= self.wall_start:
+            raise ValueError("wall anchors must span a positive interval")
+
+    @property
+    def rate(self) -> float:
+        """Wall units per local tick."""
+        return ((self.wall_end - self.wall_start)
+                / (self.local_end - self.local_start))
+
+    def to_json(self) -> Dict[str, int]:
+        return {
+            "local_start": self.local_start,
+            "wall_start": self.wall_start,
+            "local_end": self.local_end,
+            "wall_end": self.wall_end,
+        }
+
+    @classmethod
+    def from_json(cls, doc: Mapping[str, Any]) -> "NodeAnchors":
+        return cls(
+            local_start=int(doc["local_start"]),
+            wall_start=int(doc["wall_start"]),
+            local_end=int(doc["local_end"]),
+            wall_end=int(doc["wall_end"]),
+        )
+
+
+class FleetAligner:
+    """Linear per-node maps from local timestamps to the fleet clock.
+
+    A node without anchors gets the identity map — its timestamps are
+    taken to already be on the fleet axis (the single-node degenerate
+    case, and the honest default for traces that carry no sidecar).
+    """
+
+    def __init__(self, anchors: Dict[int, NodeAnchors]) -> None:
+        if not anchors:
+            raise ValueError("need anchors for at least one node")
+        self.anchors: Dict[int, NodeAnchors] = dict(anchors)
+        self._maps: Dict[int, Tuple[int, int, float]] = {}
+        for node, a in anchors.items():
+            self._maps[node] = (a.local_start, a.wall_start, a.rate)
+
+    @classmethod
+    def identity(cls, nodes: Sequence[int]) -> "FleetAligner":
+        """Aligner mapping every node's local time to itself."""
+        if not nodes:
+            raise ValueError("need at least one node")
+        out = cls.__new__(cls)
+        out.anchors = {}
+        out._maps = {int(n): (0, 0, 1.0) for n in nodes}
+        return out
+
+    @classmethod
+    def for_nodes(
+        cls,
+        nodes: Sequence[int],
+        anchors: Mapping[int, NodeAnchors],
+    ) -> "FleetAligner":
+        """Anchored maps where sampled, identity for the rest."""
+        out = cls.identity(nodes)
+        for node, a in anchors.items():
+            if node not in out._maps:
+                raise ValueError(f"anchors for unknown node {node}")
+            out.anchors[node] = a
+            out._maps[node] = (a.local_start, a.wall_start, a.rate)
+        return out
+
+    @property
+    def nodes(self) -> List[int]:
+        return sorted(self._maps)
+
+    def rate(self, node: int) -> float:
+        return self._maps[node][2]
+
+    def to_fleet(self, node: int, local: int) -> int:
+        """Map one local reading onto the fleet clock (exact scalar)."""
+        local0, wall0, rate = self._maps[node]
+        if rate == 1.0:
+            # Exact integer path: identity maps (and perfectly-paced
+            # clocks) must not round-trip through float64.
+            return wall0 + (local - local0)
+        return wall0 + round((local - local0) * rate)
+
+    def rebase(
+        self,
+        node: int,
+        time: np.ndarray,
+        timed: np.ndarray,
+    ) -> np.ndarray:
+        """Re-base a whole ``time`` column onto the fleet clock.
+
+        Only rows with a reconstructed timestamp (``timed``) are
+        mapped; untimed rows keep their 0 placeholder, preserving the
+        ``time == 0 where not timed`` batch invariant.  The vectorized
+        float64 path is bit-identical to the scalar :meth:`to_fleet`
+        while magnitudes stay below 2**53 (conversion is exact, and
+        ``np.rint`` rounds half-to-even like Python's ``round``);
+        larger or object-dtype columns take the exact scalar loop.
+        """
+        local0, wall0, rate = self._maps[node]
+        if rate == 1.0 and local0 == wall0:
+            return time
+        n = len(time)
+        if time.dtype != object:
+            rel = time.astype(np.int64) - np.int64(local0)
+            lim = int(np.abs(rel).max(initial=0))
+            est = abs(wall0) + lim * max(rate, 1.0) + 1
+            if lim < _EXACT_FLOAT_BOUND and est < float(1 << 62):
+                mapped = (np.rint(rel.astype(np.float64) * rate)
+                          .astype(np.int64) + np.int64(wall0))
+                return np.where(timed, mapped, time)
+        tl = time.tolist()
+        fl = timed.tolist()
+        vals = [self.to_fleet(node, t) if f else t
+                for t, f in zip(tl, fl)]
+        try:
+            return np.array(vals, dtype=np.int64)
+        except OverflowError:
+            return np.array(vals, dtype=object)
+
+    def skew_bound(
+        self,
+        jitter: Union[int, Mapping[int, int]] = 0,
+    ) -> int:
+        """Worst-case cross-node disagreement after re-basing, in fleet
+        units, for events inside the anchor wall span.
+
+        Model: node ``n``'s integer clock reads ``floor(a_n + b_n * t)
+        + e`` at true time ``t``, with ``|e| <= jitter_n``, and its
+        anchors are two such readings.  Writing ``E = jitter_n + 1``
+        (jitter plus integer truncation) and ``r = rate(n)``, the
+        recovered wall time of an event at ``t`` within the anchor span
+        deviates from ``t`` by at most
+
+        * ``2 * E * r`` from the rate error the anchor-reading errors
+          induce (``|b*r - 1| <= 2E / local_span`` exactly, times
+          ``|t - wall_start| <= wall_span = r * local_span``),
+        * ``2 * E * r`` from the event's own reading error relative to
+          the start anchor's, and
+        * ``0.5`` from the final round —
+
+        so ``dev_n = 4 * (jitter_n + 1) * rate_n + 0.5``, and the
+        pairwise skew between any two nodes is at most the sum of the
+        two largest per-node deviations.  The property suite generates
+        clocks matching exactly this model and asserts measured skew
+        never exceeds this bound.  Identity-mapped nodes (no anchors)
+        contribute zero deviation: their times are passed through
+        unchanged.
+        """
+        devs: List[float] = []
+        for node, (_l0, _w0, rate) in self._maps.items():
+            if node not in self.anchors:
+                devs.append(0.0)
+                continue
+            j = (jitter.get(node, 0) if isinstance(jitter, Mapping)
+                 else int(jitter))
+            devs.append(4.0 * (j + 1) * rate + 0.5)
+        if len(devs) < 2:
+            return 0
+        devs.sort()
+        return int(math.ceil(devs[-1] + devs[-2]))
+
+    def to_json(self) -> Dict[str, Any]:
+        """Anchor table for manifests/sidecars (identity nodes omitted)."""
+        return {str(n): a.to_json() for n, a in sorted(self.anchors.items())}
+
+
+def measured_fleet_skew(
+    aligner: FleetAligner,
+    readings: Mapping[int, Sequence[int]],
+) -> int:
+    """Worst observed cross-node disagreement, measured.
+
+    ``readings[node][i]`` is node ``node``'s local clock read at the
+    *same true instant* as every other node's reading ``i`` — the fleet
+    generalization of :func:`repro.ltt.tscsync.max_pairwise_skew`,
+    which walks a :class:`~repro.core.timestamps.DriftingTscClock` the
+    same way per CPU.  Returns 0 for fewer than two nodes (a stream
+    cannot disagree with itself).
+    """
+    nodes = sorted(readings)
+    if len(nodes) < 2:
+        return 0
+    counts = {len(readings[n]) for n in nodes}
+    if len(counts) != 1:
+        raise ValueError("readings must be index-aligned across nodes")
+    worst = 0
+    for i in range(counts.pop()):
+        recovered = [aligner.to_fleet(n, readings[n][i]) for n in nodes]
+        worst = max(worst, max(recovered) - min(recovered))
+    return worst

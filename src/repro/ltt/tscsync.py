@@ -33,6 +33,11 @@ class TscAnchors:
     def __post_init__(self) -> None:
         if self.tsc_end <= self.tsc_start:
             raise ValueError("end anchor must come after start anchor")
+        if self.wall_end <= self.wall_start:
+            # A zero wall span would silently collapse the map to a
+            # constant, and a negative one would reverse time — both
+            # are anchor-taking bugs, so fail loudly like the tsc span.
+            raise ValueError("wall anchors must span a positive interval")
 
 
 class TscInterpolator:
@@ -114,7 +119,6 @@ def max_pairwise_skew(
     quantifying how well the §4.1 scheme synchronizes streams.
     """
     worst = 0
-    base = clock._base
     for t in sample_points:
         recovered = []
         for cpu in range(clock.ncpus):

@@ -63,10 +63,12 @@ class Predicate:
     min_data: Optional[int] = None
     timed_only: bool = False
     include_control: bool = True
+    #: origin nodes (fleet traces); a node-less batch is node 0.
+    nodes: Optional[Tuple[int, ...]] = None
 
     def __post_init__(self) -> None:
         # Normalize iterables so predicates hash and compare cleanly.
-        for name in ("cpus", "majors", "minors", "names"):
+        for name in ("cpus", "majors", "minors", "names", "nodes"):
             v = getattr(self, name)
             if v is not None and not isinstance(v, tuple):
                 object.__setattr__(self, name, tuple(v))
@@ -100,6 +102,12 @@ def select(
             m &= batch.cpu == int(pred.cpus[0])
         else:
             m &= np.isin(batch.cpu, np.array(pred.cpus, dtype=np.int64))
+    if pred.nodes is not None:
+        node_col = batch.node_column()
+        if len(pred.nodes) == 1:
+            m &= node_col == int(pred.nodes[0])
+        else:
+            m &= np.isin(node_col, np.array(pred.nodes, dtype=np.int64))
     if pred.majors is not None:
         if len(pred.majors) == 1:
             m &= batch.major == int(pred.majors[0])
@@ -222,6 +230,11 @@ def shard_may_match(
     """Conservative overlap test: False only when *no* row can match."""
     if pred.cpus is not None and stats.cpu not in pred.cpus:
         return False
+    if pred.nodes is not None:
+        # A shard without node statistics is implicitly node 0 — the
+        # exact value its rows' node_column() yields at row level.
+        if (stats.node if stats.node is not None else 0) not in pred.nodes:
+            return False
     for mask in _major_masks(pred, registry):
         if not (stats.major_mask & mask):
             return False
@@ -255,7 +268,7 @@ def shard_may_match(
 
 #: Directly projectable columns (plus ``dataK`` for payload word K).
 PROJECTABLE = ("time", "seconds", "cpu", "seq", "offset", "ts32",
-               "major", "minor", "length", "dlen", "name", "pid")
+               "major", "minor", "length", "dlen", "name", "pid", "node")
 
 
 def project(
@@ -300,6 +313,10 @@ def project(
                 pid, pid_known = ctx.pid, ctx.known
             out[col] = [p if k else None for p, k in
                         zip(pid[idx].tolist(), pid_known[idx].tolist())]
+        elif col == "node":
+            # Not a plain getattr: a node-less batch stores None and
+            # projects as the implicit node 0.
+            out[col] = batch.node_column()[idx].tolist()
         elif col.startswith("data") and col[4:].isdigit():
             k = int(col[4:])
             vals = batch.data_column(k, idx).tolist()

@@ -16,7 +16,7 @@ touched) instead of O(trace).
 from __future__ import annotations
 
 import os
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
@@ -52,6 +52,9 @@ class QueryResult:
     shards_total: int
     shards_read: int
     rows_scanned: int
+    #: per-node ``(read, total)`` shard counts — populated only for
+    #: fleet stores (manifests that declare ``nodes``), else empty.
+    node_shards: Dict[int, Tuple[int, int]] = field(default_factory=dict)
 
     @property
     def shards_pruned(self) -> int:
@@ -80,6 +83,11 @@ class TraceStore:
         self.cpus: List[int] = list(manifest.get("cpus", []))
         self.events: int = int(manifest.get("events", 0))
         self.source: Dict[str, Any] = manifest.get("source", {})
+        #: node universe of a fleet store; [] for single-node stores.
+        self.nodes: List[int] = list(manifest.get("nodes", []))
+        #: fleet metadata (anchors, skew bound, per-node cpus); {} when
+        #: the store was packed from a single trace.
+        self.fleet_info: Dict[str, Any] = manifest.get("fleet", {})
         self.shards: List[ShardInfo] = [
             ShardInfo(index=i, file=doc["file"],
                       stats=ShardStats.from_json(doc))
@@ -118,7 +126,14 @@ class TraceStore:
         return out
 
     def trace(self) -> ColumnarTrace:
-        """The full trace, bit-identical to a fresh columnar decode."""
+        """The full trace, bit-identical to a fresh columnar decode.
+
+        On a fleet store each lane concatenates that cpu's shards from
+        every node (node-major, the pack order); the batches carry the
+        ``node`` column, so the merged total order — which sorts on it —
+        is still the unified fleet order.  Use :meth:`node_trace` for
+        one node's stream alone.
+        """
         by_cpu: Dict[int, List[EventBatch]] = {}
         for info in self.shards:
             batch, _, _ = self.load_shard(info)
@@ -130,10 +145,48 @@ class TraceStore:
                             else EventBatch.empty(self.registry))
         return ColumnarTrace(batches, self.anomaly_columns(), self.registry)
 
+    def node_trace(self, node: int) -> ColumnarTrace:
+        """One node's stream of a fleet store as a per-cpu trace.
+
+        Times stay on the fleet clock (as packed); the node column is
+        preserved.  Raises for unknown nodes so a typo'd ``--node``
+        fails loudly instead of returning an empty trace.
+        """
+        if node not in self.nodes:
+            raise ValueError(
+                f"store has no node {node}; nodes are {self.nodes}")
+        by_cpu: Dict[int, List[EventBatch]] = {}
+        for info in self.shards:
+            if (info.stats.node if info.stats.node is not None else 0) \
+                    != node:
+                continue
+            batch, _, _ = self.load_shard(info)
+            by_cpu.setdefault(info.stats.cpu, []).append(batch)
+        cpus_by_node = self.fleet_info.get("cpus_by_node", {})
+        cpus = [int(c) for c in cpus_by_node.get(str(node),
+                                                 sorted(by_cpu))]
+        batches: Dict[int, EventBatch] = {}
+        for cpu in cpus:
+            parts = by_cpu.get(cpu)
+            batches[cpu] = (EventBatch.concat(parts) if parts
+                            else EventBatch.empty(self.registry))
+        return ColumnarTrace(batches, self.anomaly_columns(), self.registry)
+
     def query(self, pred: Predicate) -> QueryResult:
         """Rows matching ``pred``, reading only stat-overlapping shards."""
         picked = [info for info in self.shards
                   if shard_may_match(info.stats, pred, self.registry)]
+        node_shards: Dict[int, Tuple[int, int]] = {}
+        if self.nodes:
+            read_ids = {info.index for info in picked}
+            for n in self.nodes:
+                mine = [info for info in self.shards
+                        if (info.stats.node if info.stats.node is not None
+                            else 0) == n]
+                node_shards[n] = (
+                    sum(1 for info in mine if info.index in read_ids),
+                    len(mine),
+                )
         batches: List[EventBatch] = []
         pids: List[np.ndarray] = []
         knowns: List[np.ndarray] = []
@@ -158,5 +211,5 @@ class TraceStore:
         return QueryResult(
             batch=out, pid=pid_col, pid_known=known_col,
             shards_total=len(self.shards), shards_read=len(picked),
-            rows_scanned=rows_scanned,
+            rows_scanned=rows_scanned, node_shards=node_shards,
         )

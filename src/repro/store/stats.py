@@ -38,6 +38,8 @@ class ShardStats:
     #: bounds over rows whose executing pid is known; None when none are.
     pid_min: Optional[int]
     pid_max: Optional[int]
+    #: origin node for fleet shards; None (implicitly node 0) otherwise.
+    node: Optional[int] = None
 
     @classmethod
     def compute(cls, batch: EventBatch, pid: np.ndarray,
@@ -68,10 +70,13 @@ class ShardStats:
             dlen_max=int(batch.dlen.max()),
             pid_min=int(known.min()) if len(known) else None,
             pid_max=int(known.max()) if len(known) else None,
+            # Shards are cut within one (node, cpu) stream, so the node
+            # column — when present — is constant across the shard.
+            node=int(batch.node[0]) if batch.node is not None else None,
         )
 
     def to_json(self) -> Dict[str, Any]:
-        return {
+        out = {
             "cpu": self.cpu,
             "events": self.events,
             "seq_min": self.seq_min,
@@ -84,6 +89,11 @@ class ShardStats:
             "pid_min": self.pid_min,
             "pid_max": self.pid_max,
         }
+        if self.node is not None:
+            # Key emitted only for fleet shards: single-node manifests
+            # stay byte-identical to the pre-fleet format.
+            out["node"] = self.node
+        return out
 
     @classmethod
     def from_json(cls, doc: Dict[str, Any]) -> "ShardStats":
@@ -99,4 +109,5 @@ class ShardStats:
             dlen_max=doc["dlen_max"],
             pid_min=doc.get("pid_min"),
             pid_max=doc.get("pid_max"),
+            node=doc.get("node"),
         )

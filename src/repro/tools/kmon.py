@@ -486,6 +486,24 @@ def live_render(trace, width: int = 96) -> str:
     return tl.render(width=width)
 
 
+def fleet_render(view, width: int = 96) -> str:
+    """Timelines for a merged fleet view: per node, then fleet-wide.
+
+    The per-node sections render each node's original trace (identical
+    to running kmon on that node alone); the rollup timeline gives
+    every (node, cpu) stream its own lane on the common fleet clock,
+    with a legend decoding the lane ids.
+    """
+    from repro.fleet.merge import fleet_sections, lane_legend_line
+
+    def rollup() -> str:
+        return (lane_legend_line(view) + "\n"
+                + live_render(view.rollup_trace(), width=width))
+
+    return fleet_sections(view, lambda t: live_render(t, width=width),
+                          rollup)
+
+
 def main(argv=None) -> int:
     """Run kmon standalone: ``python -m repro.tools.kmon trace.k42``.
 

@@ -247,6 +247,52 @@ def live_render(
                             top=top, sort_label=sort_by)
 
 
+def fleet_render(
+    view,
+    lock_names: Optional[Dict[int, str]] = None,
+    chains: Optional[Dict[int, Tuple[str, ...]]] = None,
+    sort_by: str = "time",
+    top: int = 10,
+) -> str:
+    """Figure 7 tables for a merged fleet view.
+
+    Per-node sections are identical to analyzing each node alone.  The
+    rollup ranks (node, lock) groups fleet-wide *without* merging lock
+    ids across nodes — lock id 3 on node 0 and lock id 3 on node 1 are
+    different locks, so cross-node FIFO pairing would be wrong; rows
+    keep their node id instead.
+    """
+    from repro.fleet.merge import fleet_sections
+
+    def rollup() -> str:
+        rows = []
+        for node in view.nodes:
+            stats = lock_statistics(view.node_trace(node),
+                                    sort_by=sort_by, columnar=True)
+            rows.extend((node, st) for st in stats)
+        rows.sort(key=lambda p: SORT_KEYS[sort_by](p[1]), reverse=True)
+        lines = [
+            f"top {top} contended locks fleet-wide by {sort_by} "
+            "(per-node lock namespaces)",
+            f"{'node':>4} {'time':>12} {'count':>7} {'spin':>11} "
+            f"{'max time':>12}  pid",
+        ]
+        for node, st in rows[:top]:
+            pid = f"{st.pid:#x}" if st.pid is not None else "?"
+            lines.append(
+                f"{node:>4} {st.total_wait_seconds:12.9f} {st.count:>7} "
+                f"{st.spins:>11} {st.max_wait_seconds:12.9f}  {pid}")
+            name = (lock_names or {}).get(st.lock_id)
+            if name:
+                lines.append(f"  lock: {name}")
+        return "\n".join(lines)
+
+    return fleet_sections(
+        view,
+        lambda t: live_render(t, lock_names, chains, sort_by, top=top),
+        rollup)
+
+
 def main(argv=None) -> int:
     """Run lock analysis standalone: ``python -m repro.tools.lockstats``.
 

@@ -135,6 +135,31 @@ def live_render(
     return format_profile(hist, pid=pid, top=top)
 
 
+def fleet_render(
+    trace_view,
+    pc_names: Optional[Dict[int, str]] = None,
+    pid: Optional[int] = None,
+    top: Optional[int] = 20,
+) -> str:
+    """Figure 6 histograms for a merged fleet view.
+
+    Per-node sections are identical to profiling each node alone; the
+    rollup sums sample counts across the whole fleet (symbol names
+    resolve through the shared ``pc_names`` map).
+    """
+    from repro.fleet.merge import fleet_sections
+
+    def rollup() -> str:
+        hist = pc_profile(trace_view.rollup_trace(), pc_names, pid=pid,
+                          columnar=True)
+        return format_profile(hist, pid=pid, top=top)
+
+    return fleet_sections(
+        trace_view,
+        lambda t: live_render(t, pc_names, pid=pid, top=top),
+        rollup)
+
+
 def main(argv=None) -> int:
     """Run the profiler standalone: ``python -m repro.tools.pcprofile``.
 

@@ -272,3 +272,30 @@ def live_render(
     """
     return format_sched_report(sched_statistics(trace, columnar=True),
                                process_names, top=top)
+
+
+def fleet_render(
+    view,
+    process_names: Optional[Dict[int, str]] = None,
+    top: int = 10,
+) -> str:
+    """Scheduler reports for a merged fleet view.
+
+    Per-node sections are identical to analyzing each node alone.  The
+    rollup runs the same replay over the fleet lanes — each (node, cpu)
+    pair keeps its own lane, so busy-interval replay never mixes
+    streams — and prefixes the lane legend so lane numbers map back to
+    nodes.
+    """
+    from repro.fleet.merge import fleet_sections, lane_legend_line
+
+    def rollup() -> str:
+        return (lane_legend_line(view) + "\n"
+                + format_sched_report(
+                    sched_statistics(view.rollup_trace(), columnar=True),
+                    process_names, top=top))
+
+    return fleet_sections(
+        view,
+        lambda t: live_render(t, process_names, top=top),
+        rollup)

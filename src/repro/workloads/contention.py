@@ -10,9 +10,10 @@ Figure 6 does.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Tuple
+from typing import Callable, List, Optional, Tuple
 
 from repro.core.facility import TraceFacility
+from repro.core.timestamps import ClockSource
 from repro.ksim.kernel import Kernel, KernelConfig
 
 
@@ -55,7 +56,15 @@ def run_contention(
     seed: int = 13,
     buffer_words: int = 4096,
     num_buffers: int = 16,
+    clock_transform: Optional[Callable[[ClockSource], ClockSource]] = None,
 ) -> Tuple[Kernel, TraceFacility, ContentionResult]:
+    """Run the lock storm; see module docstring.
+
+    ``clock_transform`` wraps the clock the *trace facility* reads (the
+    kernel still schedules on true simulator time) — this is how a
+    fleet node logs timestamps on its own skewed local clock while the
+    workload itself stays deterministic.
+    """
     cfg = KernelConfig(
         ncpus=ncpus, seed=seed,
         global_alloc_fraction=global_alloc_fraction,
@@ -63,7 +72,9 @@ def run_contention(
     )
     kernel = Kernel(cfg)
     facility = TraceFacility(
-        ncpus=ncpus, clock=kernel.clock,
+        ncpus=ncpus,
+        clock=(clock_transform(kernel.clock) if clock_transform is not None
+               else kernel.clock),
         buffer_words=buffer_words, num_buffers=num_buffers,
     )
     facility.enable_all()

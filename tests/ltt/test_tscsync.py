@@ -59,6 +59,62 @@ def test_cross_cpu_skew_small_after_interpolation():
     assert skew <= 4  # rounding only
 
 
+class TestAnchorEdgeCases:
+    """The degenerate anchor shapes the fleet merge layer leans on."""
+
+    def test_single_cpu_anchors(self):
+        """One CPU is a valid (if pointless) interpolation universe."""
+        interp = TscInterpolator({0: TscAnchors(100, 0, 1100, 1000)})
+        assert interp.cpus == [0]
+        assert interp.to_wall(0, 600) == 500
+
+    def test_skew_of_single_stream_is_zero(self):
+        """A stream cannot disagree with itself."""
+        clock = DriftingTscClock(offsets=[5_000], rates=[1.0007],
+                                 base=lambda: 0)
+        interp = TscInterpolator(take_anchors(clock, 0, 10**6))
+        assert max_pairwise_skew(interp, clock,
+                                 sample_points=range(0, 10**6, 997)) == 0
+
+    def test_zero_tsc_span_raises(self):
+        with pytest.raises(ValueError, match="end anchor"):
+            TscAnchors(tsc_start=100, wall_start=0,
+                       tsc_end=100, wall_end=10)
+
+    def test_negative_tsc_span_raises(self):
+        with pytest.raises(ValueError, match="end anchor"):
+            TscAnchors(tsc_start=100, wall_start=0,
+                       tsc_end=50, wall_end=10)
+
+    def test_zero_wall_span_raises(self):
+        # Used to build a silently-constant map; now fails loudly like
+        # the tsc-span check.
+        with pytest.raises(ValueError, match="wall anchors"):
+            TscAnchors(tsc_start=0, wall_start=10,
+                       tsc_end=100, wall_end=10)
+
+    def test_negative_wall_span_raises(self):
+        with pytest.raises(ValueError, match="wall anchors"):
+            TscAnchors(tsc_start=0, wall_start=10,
+                       tsc_end=100, wall_end=5)
+
+    def test_extrapolation_outside_anchor_range(self):
+        """Events before the first / after the last anchor still map
+        linearly — a trace can hold events outside the gettimeofday
+        bracket."""
+        a = TscAnchors(tsc_start=1000, wall_start=0,
+                       tsc_end=3000, wall_end=1000)  # rate 0.5
+        interp = TscInterpolator({0: a})
+        assert interp.to_wall(0, 0) == -500       # before the bracket
+        assert interp.to_wall(0, 5000) == 2000    # after it
+        clock = DriftingTscClock(offsets=[123], rates=[1.01],
+                                 base=lambda: 0)
+        interp = TscInterpolator(take_anchors(clock, 10**6, 2 * 10**6))
+        for t in (0, 5 * 10**5, 3 * 10**6):
+            tsc = int(clock.offsets[0] + clock.rates[0] * t)
+            assert abs(interp.to_wall(0, tsc) - t) <= 2
+
+
 def test_uncorrected_skew_is_large():
     """Without interpolation, raw tsc values disagree wildly — the
     problem §4.1's scheme exists to solve."""

@@ -171,3 +171,60 @@ class TestRandomSweep:
                 kw["min_data"] = rng.randint(0, 2)
             kw["include_control"] = rng.random() < 0.5
             _assert_parity(store, full, ctx, Predicate(**kw))
+
+
+class TestFleetSweep:
+    """The random sweep generalized to a multi-node fleet store.
+
+    Same parity contract, plus the fleet-specific guarantee: a
+    ``nodes`` criterion prunes *every* shard of an excluded node
+    without opening it.
+    """
+
+    @pytest.fixture(scope="class")
+    def fleet_packed(self, tmp_path_factory):
+        from repro.fleet.launch import fleet_run
+        from repro.fleet.merge import pack_fleet_view
+
+        base = tmp_path_factory.mktemp("fleet")
+        result = fleet_run(str(base / "run"), nodes=3, iterations=15)
+        d = str(base / "fleet.store")
+        pack_fleet_view(result.view, d, shard_events=256)
+        store = TraceStore(d)
+        full = as_batch(store.trace())
+        ctx = ColumnarContext(full)
+        return store, full, ctx
+
+    def test_random_predicates_with_node_criterion(self, fleet_packed):
+        store, full, ctx = fleet_packed
+        rng = random.Random(SEED + 9)
+        t = full.time[full.timed]
+        span = int(t.max()) / 1e9
+        node_pruned = False
+        for _ in range(30):
+            kw = {}
+            if rng.random() < 0.6:
+                kw["nodes"] = tuple(rng.sample(store.nodes,
+                                               rng.randint(1, 2)))
+            if rng.random() < 0.4:
+                kw["cpus"] = tuple(rng.sample(range(2),
+                                              rng.randint(1, 2)))
+            if rng.random() < 0.4:
+                kw["majors"] = tuple(rng.sample(range(11),
+                                                rng.randint(1, 3)))
+            if rng.random() < 0.4:
+                a, b = sorted((rng.uniform(0, span), rng.uniform(0, span)))
+                kw["start_s"], kw["end_s"] = a, b
+            if rng.random() < 0.3:
+                kw["timed_only"] = True
+            kw["include_control"] = rng.random() < 0.5
+            qr = _assert_parity(store, full, ctx, Predicate(**kw))
+            picked = kw.get("nodes")
+            if picked is not None:
+                for node, (read, total) in qr.node_shards.items():
+                    if node not in picked:
+                        assert read == 0, (
+                            f"node {node} excluded by {picked} but "
+                            f"{read}/{total} of its shards were opened")
+                        node_pruned = node_pruned or total > 0
+        assert node_pruned, "sweep never exercised node pruning"

@@ -119,3 +119,15 @@ def test_info_on_store(packed, capsys):
     assert main(["info", packed["store"]]) == 0
     out = capsys.readouterr().out
     assert "events:" in out and "cpus: [0, 1, 2, 3]" in out
+
+
+def test_single_node_stderr_regression(packed, capsys):
+    """A store without a node universe gets NO per-node accounting
+    lines — stdout and stderr stay byte-stable for existing users."""
+    assert main(["query", packed["store"], "--cpu", "1",
+                 "--limit", "2"]) == 0
+    err = capsys.readouterr().err
+    lines = err.strip().splitlines()
+    assert len(lines) == 1
+    assert lines[0].startswith("store: read ")
+    assert "node" not in err

@@ -319,3 +319,42 @@ def test_columnar_output_identical(command, artifacts, capsys):
     assert main(argv) == 0                      # columnar is the default
     default = capsys.readouterr().out
     assert columnar == scalar == default
+
+
+class TestFleetCli:
+    def test_help_smoke(self, capsys):
+        """merge / fleet-run are registered subcommands with help."""
+        for command in ("merge", "fleet-run"):
+            assert command in _subcommands()
+            with pytest.raises(SystemExit) as exc:
+                main([command, "--help"])
+            assert exc.value.code == 0
+            assert "usage:" in capsys.readouterr().out
+
+    def test_fleet_run_merge_and_node_query(self, tmp_path, capsys):
+        run_dir = tmp_path / "run"
+        assert main(["fleet-run", "-o", str(run_dir), "--nodes", "2",
+                     "--iterations", "6"]) == 0
+        out = capsys.readouterr().out
+        assert "fleet: 2 nodes" in out and "residual skew bound" in out
+
+        paths = sorted(str(p) for p in run_dir.glob("*.k42"))
+        assert len(paths) == 2
+        store = str(tmp_path / "fleet.store")
+        assert main(["merge", *paths, "-o", store,
+                     "--tool", "locks"]) == 0
+        out = capsys.readouterr().out
+        assert "=== node 0:" in out and "=== node 1:" in out
+        assert "=== fleet rollup ===" in out
+        assert "packed fleet store:" in out
+
+        assert main(["query", store, "--node", "1", "--limit", "3"]) == 0
+        cap = capsys.readouterr()
+        assert "pruned by statistics" in cap.err
+        assert "node 0: read 0/" in cap.err
+        assert "node 1: read" in cap.err
+
+    def test_fleet_run_unimplemented_backend(self, tmp_path, capsys):
+        assert main(["fleet-run", "-o", str(tmp_path / "x"),
+                     "--backend", "docker"]) == 2
+        assert "declared slot" in capsys.readouterr().err
