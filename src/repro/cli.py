@@ -116,7 +116,8 @@ def _decode(records, include_fillers: bool = False, workers: int = 1,
 
 def _load_trace(path: str, include_fillers: bool = False,
                 workers: int = 1, strict: bool = False,
-                columnar: bool = False, store: bool = False):
+                columnar: bool = False, store: bool = False,
+                use_mmap: bool = True):
     """Load a raw ``.k42`` trace — or a packed store directory.
 
     With ``store=True`` (``--store``), or when ``path`` is a store
@@ -131,10 +132,11 @@ def _load_trace(path: str, include_fillers: bool = False,
     if store or is_store(path):
         from repro.store import TraceStore
 
-        trace = TraceStore(path, registry=default_registry()).trace()
+        trace = TraceStore(path, registry=default_registry(),
+                           workers=None if workers == 0 else workers).trace()
         return trace if columnar else trace.to_trace()
-    return _decode(load_records(path, strict=strict), include_fillers,
-                   workers, strict, columnar)
+    return _decode(load_records(path, strict=strict, use_mmap=use_mmap),
+                   include_fillers, workers, strict, columnar)
 
 
 def _load_symbols(path: Optional[str]):
@@ -156,7 +158,7 @@ def cmd_info(args) -> int:
         frames = st.source.get("frames", 0)
         buffer_words = st.source.get("buffer_words", 0)
     else:
-        records = load_records(args.trace)
+        records = load_records(args.trace, use_mmap=args.mmap)
         trace = _decode(records, workers=args.workers, strict=args.strict,
                         columnar=args.columnar)
         frames = len(records)
@@ -210,7 +212,8 @@ def cmd_info(args) -> int:
 def cmd_verify(args) -> int:
     from repro.tools.anomaly import verify_trace
 
-    report = verify_trace(_load_trace(args.trace, workers=args.workers, strict=args.strict))
+    report = verify_trace(_load_trace(args.trace, workers=args.workers, strict=args.strict,
+                        use_mmap=args.mmap))
     print(report.describe())
     return 0 if report.ok else 1
 
@@ -220,7 +223,8 @@ def cmd_list(args) -> int:
 
     text = format_listing(
         _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                    columnar=args.columnar, store=args.store),
+                    columnar=args.columnar, store=args.store,
+                    use_mmap=args.mmap),
         names=args.name or None,
         cpu=args.cpu,
         start=args.start,
@@ -243,13 +247,13 @@ def cmd_kmon(args) -> int:
         session = KmonSession(
             _load_trace(args.trace, workers=args.workers,
                         strict=args.strict, columnar=args.columnar,
-                        store=args.store),
+                        store=args.store, use_mmap=args.mmap),
             sym.process_names)
         session.run(sys.stdin, sys.stdout)
         return 0
     tl = Timeline(_load_trace(args.trace, workers=args.workers,
                               strict=args.strict, columnar=args.columnar,
-                              store=args.store),
+                              store=args.store, use_mmap=args.mmap),
                   columnar=args.columnar)
     if args.mark:
         tl.mark(*args.mark)
@@ -268,7 +272,8 @@ def cmd_locks(args) -> int:
 
     sym = _load_symbols(args.symbols)
     trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                        columnar=args.columnar, store=args.store)
+                        columnar=args.columnar, store=args.store,
+                        use_mmap=args.mmap)
     stats = lock_statistics(trace, sort_by=args.sort,
                             columnar=args.columnar)
     print(format_lockstats(stats, sym.lock_names, sym.chains,
@@ -281,7 +286,8 @@ def cmd_profile(args) -> int:
 
     sym = _load_symbols(args.symbols)
     trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                        columnar=args.columnar, store=args.store)
+                        columnar=args.columnar, store=args.store,
+                        use_mmap=args.mmap)
     hist = pc_profile(trace, sym.pc_names, pid=args.pid,
                       columnar=args.columnar)
     print(format_profile(hist, pid=args.pid, top=args.top))
@@ -295,7 +301,8 @@ def cmd_breakdown(args) -> int:
     sym = _load_symbols(args.symbols)
     bds = process_breakdown(
         _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                    columnar=args.columnar, store=args.store),
+                    columnar=args.columnar, store=args.store,
+                    use_mmap=args.mmap),
         sym.syscall_names, sym.process_names,
         FS_FUNCTION_NAMES,
         columnar=args.columnar,
@@ -313,7 +320,8 @@ def cmd_breakdown(args) -> int:
 def cmd_histogram(args) -> int:
     from repro.tools.pathstats import event_histogram
 
-    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
+                        use_mmap=args.mmap)
     for count, name in event_histogram(trace)[: args.top]:
         print(f"{count:>8} {name}")
     return 0
@@ -323,7 +331,8 @@ def cmd_memprofile(args) -> int:
     from repro.tools.memprofile import format_memory_report, memory_profile
 
     sym = _load_symbols(args.symbols)
-    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
+                        use_mmap=args.mmap)
     report = memory_profile(trace, sym.process_names)
     print(format_memory_report(report, top=args.top))
     return 0
@@ -333,7 +342,8 @@ def cmd_holds(args) -> int:
     from repro.tools.holdtimes import format_hold_report, hold_times
 
     sym = _load_symbols(args.symbols)
-    report = hold_times(_load_trace(args.trace, workers=args.workers, strict=args.strict))
+    report = hold_times(_load_trace(args.trace, workers=args.workers, strict=args.strict,
+                        use_mmap=args.mmap))
     print(format_hold_report(report, sym.lock_names, top=args.top))
     return 0
 
@@ -344,7 +354,8 @@ def cmd_sched(args) -> int:
     sym = _load_symbols(args.symbols)
     report = sched_statistics(
         _load_trace(args.trace, workers=args.workers, strict=args.strict,
-                    columnar=args.columnar, store=args.store),
+                    columnar=args.columnar, store=args.store,
+                    use_mmap=args.mmap),
         columnar=args.columnar)
     print(format_sched_report(report, sym.process_names, top=args.top))
     return 0
@@ -436,8 +447,10 @@ def cmd_compare(args) -> int:
 
     sym = _load_symbols(args.symbols)
     comparison = compare_traces(
-        _load_trace(args.before, workers=args.workers, strict=args.strict),
-        _load_trace(args.after, workers=args.workers, strict=args.strict),
+        _load_trace(args.before, workers=args.workers, strict=args.strict,
+                    use_mmap=args.mmap),
+        _load_trace(args.after, workers=args.workers, strict=args.strict,
+                    use_mmap=args.mmap),
         sym.pc_names,
     )
     print(format_comparison(comparison, sym.lock_names, top=args.top))
@@ -447,7 +460,8 @@ def cmd_compare(args) -> int:
 def cmd_iostats(args) -> int:
     from repro.tools.iostats import format_io_report, io_statistics
 
-    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
+                        use_mmap=args.mmap)
     print(format_io_report(io_statistics(trace), top=args.top))
     return 0
 
@@ -477,9 +491,12 @@ def cmd_doctor(args) -> int:
     from repro.tools.anomaly import verify_trace
 
     with open(args.trace, "rb") as fh:
-        reader = TraceFileReader(fh, strict=args.strict)
+        reader = TraceFileReader(fh, strict=args.strict,
+                                 use_mmap=args.mmap)
         records = reader.read_all()
     print(f"trace file: {args.trace}")
+    print("read path: " + ("mmap (zero-copy)" if reader.read_path == "mmap"
+                           else "read() (buffered)"))
     print(f"frames read: {len(records)}")
     if reader.issues:
         print(f"file-level damage ({len(reader.issues)} issues):")
@@ -545,7 +562,8 @@ def cmd_pack(args) -> int:
 
     from repro.store.writer import pack_trace
 
-    records = load_records(args.trace, strict=args.strict)
+    records = load_records(args.trace, strict=args.strict,
+                           use_mmap=args.mmap)
     trace = _decode(records, workers=args.workers, strict=args.strict,
                     columnar=True)
     try:
@@ -559,6 +577,7 @@ def cmd_pack(args) -> int:
                 "buffer_words": len(records[0].words) if records else 0,
             },
             force=args.force,
+            workers=None if args.workers == 0 else args.workers,
         )
     except FileExistsError as exc:
         print(str(exc), file=sys.stderr)
@@ -579,7 +598,8 @@ def cmd_query(args) -> int:
     from repro.store.query import aggregate, project
     from repro.tools.listing import format_event
 
-    store = TraceStore(args.store, registry=default_registry())
+    store = TraceStore(args.store, registry=default_registry(),
+                       workers=None if args.workers == 0 else args.workers)
     pred = Predicate(
         cpus=tuple(args.cpu) if args.cpu else None,
         nodes=tuple(args.node) if args.node else None,
@@ -989,7 +1009,8 @@ def cmd_shm_demo(args) -> int:
 def cmd_export_ltt(args) -> int:
     from repro.ltt.export import export_ltt
 
-    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict)
+    trace = _load_trace(args.trace, workers=args.workers, strict=args.strict,
+                        use_mmap=args.mmap)
     with open(args.output, "wb") as fh:
         written = export_ltt(trace, cpu=args.cpu, fh=fh)
     print(f"{written} events exported to {args.output} (cpu {args.cpu})")
@@ -1015,6 +1036,12 @@ def build_parser() -> argparse.ArgumentParser:
             "--strict", action="store_true",
             help="stop at the first damage (garbled event, bad frame) "
                  "instead of resynchronizing past it",
+        )
+        sp.add_argument(
+            "--mmap", action=argparse.BooleanOptionalAction, default=True,
+            help="read the trace via mmap page-cache views (zero-copy; "
+                 "default); --no-mmap forces buffered reads — output is "
+                 "identical",
         )
         if columnar:
             sp.add_argument(
@@ -1123,6 +1150,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="query a packed store with predicate pushdown")
     sp.set_defaults(fn=cmd_query)
     sp.add_argument("store", help="store directory (from repro-trace pack)")
+    sp.add_argument("--workers", type=int, default=1, metavar="N",
+                    help="read + decompress shards on N worker "
+                         "processes (0 = one per CPU core); results "
+                         "are identical")
     sp.add_argument("--cpu", type=int, action="append",
                     help="restrict to CPU N (repeatable)")
     sp.add_argument("--node", type=int, action="append",

@@ -24,8 +24,8 @@ Two modes:
 from __future__ import annotations
 
 from collections import deque
-from dataclasses import dataclass
-from typing import Callable, Deque, List, Literal, Optional
+from dataclasses import dataclass, field
+from typing import Callable, Deque, List, Literal, Optional, Tuple
 
 import numpy as np
 
@@ -64,10 +64,17 @@ class BufferRecord:
 
     cpu: int
     seq: int                 # monotonically increasing buffer sequence number
-    words: np.ndarray        # uint64 copy, length == buffer_words
+    words: np.ndarray        # uint64 words (a read-only view for mmap reads)
     committed: int           # per-buffer committed word count at completion
     fill_words: int          # words actually reserved (== len(words) unless partial)
     partial: bool = False    # True for the in-progress buffer emitted by flush()
+    #: On-disk provenance of an mmap-backed payload — ``(path,
+    #: payload_byte_offset, file_size, file_mtime_ns)``, stamped by the
+    #: trace-file reader.  Lets the parallel decoder hand pool workers a
+    #: descriptor to re-map instead of the payload bytes.  Not part of
+    #: the record's value (excluded from repr/eq).
+    _file_ref: Optional[Tuple[str, int, int, int]] = \
+        field(default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         self.words = np.asarray(self.words, dtype=np.uint64)

@@ -32,7 +32,7 @@ from typing import BinaryIO, List, Union
 import numpy as np
 
 from repro.core.buffers import BufferRecord, TraceControl, decode_commit_word
-from repro.core.writer import scan_for_magic
+from repro.core.writer import scan_for_magic, words_from_bytes
 
 DUMP_MAGIC = b"K42CRASH"
 DUMP_VERSION = 1
@@ -143,9 +143,10 @@ def read_dump(source: Union[bytes, BinaryIO]) -> CrashDump:
                 _read_exact(fh, num_buffers * 8, "committed"), dtype="<u8"
             )
             total = buffer_words * num_buffers
-            memory = np.frombuffer(
-                _read_exact(fh, total * 8, "trace memory"), dtype="<u8"
-            ).astype(np.uint64)
+            # A zero-copy view on little-endian hosts; the per-record
+            # slices below then alias this one buffer, copy-free.
+            memory = words_from_bytes(
+                _read_exact(fh, total * 8, "trace memory"))
         except (ValueError, EOFError) as exc:
             dump.issues.append(DumpIssue(parsed, str(exc)))
             # Framing is lost at this point, but sections carry their
@@ -180,7 +181,7 @@ def read_dump(source: Union[bytes, BinaryIO]) -> CrashDump:
                 BufferRecord(
                     cpu=cpu,
                     seq=seq,
-                    words=memory[start : start + buffer_words].copy(),
+                    words=memory[start : start + buffer_words],
                     committed=decode_commit_word(seq, int(committed[slot])),
                     fill_words=fill if partial else buffer_words,
                     partial=partial,

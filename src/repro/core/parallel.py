@@ -39,22 +39,26 @@ streams into one time-ordered stream lazily via ``Trace.all_events``
 
 Worker processes are a real cost on small traces; ``workers<=1`` (or a
 trace with fewer buffers than workers) falls back to the in-process
-batched reader.  The pool uses the ``fork`` start method so workers see
-the parent's records copy-on-write; on spawn-only platforms
-(macOS/Windows) decoding falls back to the sequential batched reader
-with a warning.  If a process pool cannot be created at all (restricted
-environments), decoding degrades gracefully to in-process shard scans.
+batched reader.  Shard scans run on the shared persistent pool
+(:mod:`repro.core.pool` — fork-preferred, spawn where fork is
+unavailable), so repeated decodes pay pool startup once.  Payloads of
+records loaded from an mmap'd trace file never cross the pipe at all:
+the worker receives a ``(path, byte_offset, nwords)`` descriptor and
+maps the same file itself — both sides then share the page cache.
+In-memory records ship as raw little-endian bytes.  If a process pool
+cannot be created at all (restricted environments), decoding degrades
+gracefully to in-process shard scans.
 """
 
 from __future__ import annotations
 
+import mmap
 import os
-import warnings
-from concurrent.futures import ProcessPoolExecutor
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
+from repro.core import pool
 from repro.core.buffers import BufferRecord
 from repro.core.registry import EventRegistry
 from repro.core.stream import (
@@ -67,11 +71,14 @@ from repro.core.stream import (
     unwrap_times,
 )
 
+#: A worker-side pointer into an mmap-able trace file:
+#: (path, payload_byte_offset, nwords).
+_FileRef = Tuple[str, int, int]
 #: One buffer handed to a worker: (seq, payload, fill_words).  The
-#: payload is the raw little-endian words as ``bytes`` — or, with the
-#: ``fork`` start method, an int index into :data:`_FORK_RECORDS`, which
-#: the worker inherits copy-on-write instead of over a pipe.
-_ShardEntry = Tuple[int, Union[bytes, int], int]
+#: payload is either the raw little-endian words as ``bytes`` or a
+#: :data:`_FileRef` descriptor the worker resolves against its own
+#: read-only mapping of the same trace file (zero bytes over the pipe).
+_ShardEntry = Tuple[int, Union[bytes, _FileRef], int]
 #: One worker task: (cpu, entries, recover-after-garble flag).
 _ShardTask = Tuple[int, List[_ShardEntry], bool]
 #: One scanned buffer coming back:
@@ -81,9 +88,23 @@ _ScanResult = Tuple[
     List[Tuple[int, str]], List[Optional[int]],
 ]
 
-#: Records staged for fork-inherited workers.  Set by the parent
-#: immediately before the pool forks; workers never mutate it.
-_FORK_RECORDS: List[BufferRecord] = []
+#: Per-worker cache of mapped trace files (path -> mmap).  Bounded;
+#: evicted entries are dropped without ``close()`` so any outstanding
+#: views stay valid — the mapping dies with its last reference.
+_WORKER_MAPS: Dict[str, mmap.mmap] = {}
+_WORKER_MAPS_MAX = 8
+
+
+def _mapped_words(path: str, offset: int, nwords: int) -> np.ndarray:
+    """Resolve a :data:`_FileRef` against this worker's own mapping."""
+    mm = _WORKER_MAPS.get(path)
+    if mm is None:
+        while len(_WORKER_MAPS) >= _WORKER_MAPS_MAX:
+            _WORKER_MAPS.pop(next(iter(_WORKER_MAPS)))
+        with open(path, "rb") as fh:
+            mm = mmap.mmap(fh.fileno(), 0, access=mmap.ACCESS_READ)
+        _WORKER_MAPS[path] = mm
+    return np.frombuffer(mm, dtype="<u8", count=nwords, offset=offset)
 
 
 def shard_records(
@@ -131,10 +152,10 @@ def _scan_shard(task: _ShardTask) -> Tuple[int, List[_ScanResult]]:
     last_full: Optional[int] = None
     last_ts32: Optional[int] = None
     for seq, raw, fill_words in entries:
-        if isinstance(raw, int):
-            words = _FORK_RECORDS[raw].words
-        else:
+        if isinstance(raw, bytes):
             words = np.frombuffer(raw, dtype="<u8")
+        else:
+            words = _mapped_words(*raw)
         scan = scan_buffer(words, fill_words, recover=recover)
         anchors = find_anchors(scan)
         ts32 = scan.event_ts32()
@@ -147,37 +168,13 @@ def _scan_shard(task: _ShardTask) -> Tuple[int, List[_ScanResult]]:
     return cpu, out
 
 
-def _fork_available() -> bool:
-    """Whether the ``fork`` start method (and its COW inheritance) works."""
-    try:
-        import multiprocessing
-
-        return "fork" in multiprocessing.get_all_start_methods()
-    except ImportError:  # pragma: no cover
-        return False
-
-
 def _run_tasks(
     tasks: List[_ShardTask], workers: int
 ) -> List[Tuple[int, List[_ScanResult]]]:
-    """Scan shards on a process pool, in-process if no pool is possible."""
-    try:
-        import multiprocessing
-
-        ctx = None
-        if "fork" in multiprocessing.get_all_start_methods():
-            ctx = multiprocessing.get_context("fork")
-        with ProcessPoolExecutor(
-            max_workers=min(workers, len(tasks)), mp_context=ctx
-        ) as pool:
-            return list(pool.map(_scan_shard, tasks))
-    except (OSError, PermissionError, ImportError) as exc:  # pragma: no cover
-        warnings.warn(
-            f"process pool unavailable ({exc}); scanning shards in-process",
-            RuntimeWarning,
-            stacklevel=3,
-        )
-        return [_scan_shard(t) for t in tasks]
+    """Scan shards on the shared pool, in-process if no pool is possible."""
+    if not tasks:
+        return []
+    return pool.run_tasks(_scan_shard, tasks, workers)
 
 
 def _sharded_scan(
@@ -189,30 +186,44 @@ def _sharded_scan(
     List[Tuple[int, List[BufferRecord]]],
     List[Tuple[int, List[_ScanResult]]],
 ]:
-    """Shard ``records`` and scan the shards on a worker pool.
+    """Shard ``records`` and scan the shards on the worker pool.
 
     The shared fan-out stage of both parallel decoders (event-object and
-    columnar): shards are built in (cpu, seq) order, records are staged
-    for copy-on-write fork inheritance, and the per-buffer scan results
-    come back aligned with the shard list for stitching.
+    columnar): shards are built in (cpu, seq) order and the per-buffer
+    scan results come back aligned with the shard list for stitching.
+    Records loaded from an mmap'd trace file travel as ``(path, offset,
+    nwords)`` descriptors — validated against the file's current
+    size/mtime so a rewritten file degrades to byte shipping instead of
+    silently decoding different data.
     """
     shards = shard_records(records, workers * shards_per_worker)
-    # Children of fork() see the parent's records copy-on-write;
-    # ship an index instead of pushing megabytes through a pipe.
-    _FORK_RECORDS.clear()
-    _FORK_RECORDS.extend(records)
-    index = {id(rec): i for i, rec in enumerate(records)}
+
+    ref_ok: Dict[str, bool] = {}
+
+    def _entry(rec: BufferRecord) -> _ShardEntry:
+        ref = rec._file_ref
+        if ref is not None:
+            path, off, size, mtime_ns = ref
+            ok = ref_ok.get(path)
+            if ok is None:
+                try:
+                    st = os.stat(path)
+                    ok = (st.st_size == size
+                          and st.st_mtime_ns == mtime_ns)
+                except OSError:
+                    ok = False
+                ref_ok[path] = ok
+            if ok:
+                return (rec.seq, (path, off, len(rec.words)),
+                        rec.fill_words)
+        return (rec.seq, np.asarray(rec.words, dtype="<u8").tobytes(),
+                rec.fill_words)
 
     tasks: List[_ShardTask] = [
-        (cpu, [(rec.seq, index[id(rec)], rec.fill_words) for rec in recs],
-         not strict)
+        (cpu, [_entry(rec) for rec in recs], not strict)
         for cpu, recs in shards
     ]
-    try:
-        results = _run_tasks(tasks, workers)
-    finally:
-        _FORK_RECORDS.clear()
-    return shards, results
+    return shards, _run_tasks(tasks, workers)
 
 
 def decode_records_parallel(
@@ -236,7 +247,7 @@ def decode_records_parallel(
     """
     records = list(records)
     if workers is None:
-        workers = os.cpu_count() or 1
+        workers = pool.pool_workers()
     reader = TraceReader(
         registry=registry,
         include_fillers=include_fillers,
@@ -244,19 +255,6 @@ def decode_records_parallel(
         strict=strict,
     )
     if workers <= 1 or len(records) <= workers:
-        return reader.decode_records(records)
-    if not _fork_available():
-        # Spawn-only platform (macOS/Windows): the copy-on-write record
-        # sharing the pool depends on does not exist, and a spawned
-        # child re-imports the world per worker — costlier than the
-        # decode itself for typical traces.  Degrade to the sequential
-        # batched reader, loudly.
-        warnings.warn(
-            "the 'fork' start method is unavailable on this platform; "
-            "decoding sequentially instead of on a worker pool",
-            RuntimeWarning,
-            stacklevel=2,
-        )
         return reader.decode_records(records)
 
     shards, results = _sharded_scan(records, workers, strict,
@@ -354,7 +352,7 @@ def decode_records_columnar_parallel(
 
     records = list(records)
     if workers is None:
-        workers = os.cpu_count() or 1
+        workers = pool.pool_workers()
     sequential = ColumnarTraceReader(
         registry=registry,
         include_fillers=include_fillers,
@@ -362,14 +360,6 @@ def decode_records_columnar_parallel(
         strict=strict,
     )
     if workers <= 1 or len(records) <= workers:
-        return sequential.decode_records(records)
-    if not _fork_available():
-        warnings.warn(
-            "the 'fork' start method is unavailable on this platform; "
-            "decoding sequentially instead of on a worker pool",
-            RuntimeWarning,
-            stacklevel=2,
-        )
         return sequential.decode_records(records)
 
     shards, results = _sharded_scan(records, workers, strict,

@@ -1,0 +1,226 @@
+"""A lazily-created, process-wide worker pool shared by every fan-out.
+
+Each ``ProcessPoolExecutor`` costs real startup time (forking workers,
+or — under spawn — re-importing the world per worker).  The parallel
+decoders, store packing, and store queries used to pay that price on
+every call; this module makes them share one persistent pool instead,
+so a multi-tool CLI invocation or a stream of repeated queries pays
+pool startup once.
+
+Properties
+----------
+
+* **Lazy** — nothing is created until the first :func:`get_pool` /
+  :func:`run_tasks` call, and worker processes themselves only start
+  when work is first submitted.
+* **Fork-preferred** — the ``fork`` start method is used when the
+  platform offers it, ``spawn`` otherwise; ``REPRO_POOL_START_METHOD``
+  (``fork``/``spawn``/``none``) overrides, where ``none`` disables
+  process pools entirely and every fan-out runs in-process.
+* **Fork-safe** — a child created by ``os.fork`` (including the pool's
+  own workers) *forgets* the inherited pool rather than shutting it
+  down: the queues belong to the parent, and poking them from a child
+  would corrupt the parent's pool.
+* **Sized by demand** — ``REPRO_POOL_WORKERS`` (or ``os.cpu_count()``)
+  sets the default width; a caller requesting more workers than the
+  current pool holds gets the pool transparently rebuilt wider.
+* **Explicitly stoppable** — :func:`shutdown` tears the pool down for
+  tests and for the pool-hygiene CI leg; it is also registered with
+  ``atexit`` so no worker outlives the interpreter.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import warnings
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
+from concurrent.futures.process import BrokenProcessPool
+from typing import Any, Callable, List, Optional, Sequence, TypeVar
+
+T = TypeVar("T")
+R = TypeVar("R")
+
+_pool: Optional[ProcessPoolExecutor] = None
+_pool_kind: Optional[str] = None
+_pool_size: int = 0
+_pool_pid: Optional[int] = None
+_hooks_installed = False
+
+
+def pool_workers(workers: Optional[int] = None) -> int:
+    """Resolve a worker count: explicit > ``REPRO_POOL_WORKERS`` > cores."""
+    if workers is not None and workers > 0:
+        return workers
+    env = os.environ.get("REPRO_POOL_WORKERS", "").strip()
+    if env:
+        try:
+            n = int(env)
+        except ValueError:
+            n = 0
+        if n > 0:
+            return n
+    return os.cpu_count() or 1
+
+
+def _start_method() -> Optional[str]:
+    """The start method the pool should use, or ``None`` for no pool."""
+    choice = os.environ.get("REPRO_POOL_START_METHOD", "").strip().lower()
+    if choice in ("none", "off", "0"):
+        return None
+    try:
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+    except ImportError:  # pragma: no cover - multiprocessing always ships
+        return None
+    if choice in methods:
+        return choice
+    return "fork" if "fork" in methods else "spawn"
+
+
+def _forget() -> None:
+    """Drop the pool reference without touching its machinery.
+
+    Runs in every forked child (``os.register_at_fork``): the inherited
+    executor's queues and threads belong to the parent, so the child
+    must neither use nor shut down the pool — only forget it.
+    """
+    global _pool, _pool_kind, _pool_size, _pool_pid
+    _pool = None
+    _pool_kind = None
+    _pool_size = 0
+    _pool_pid = None
+
+
+def shutdown(wait: bool = True) -> None:
+    """Tear down the shared pool (no-op when none exists)."""
+    global _pool
+    pool = _pool
+    _forget()
+    if pool is not None:
+        pool.shutdown(wait=wait)
+
+
+def pool_kind() -> Optional[str]:
+    """Start method of the live pool (``None`` when no pool exists)."""
+    return _pool_kind
+
+
+def pool_size() -> int:
+    """Width of the live pool (0 when no pool exists)."""
+    return _pool_size
+
+
+def get_pool(workers: Optional[int] = None) -> Optional[ProcessPoolExecutor]:
+    """The shared executor, at least ``workers`` wide — or ``None``.
+
+    ``None`` means process pools are unavailable (disabled via
+    ``REPRO_POOL_START_METHOD=none``, or creation failed); callers fall
+    back to running their tasks in-process.
+    """
+    global _pool, _pool_kind, _pool_size, _pool_pid, _hooks_installed
+    kind = _start_method()
+    if kind is None:
+        return None
+    if _pool is not None and _pool_pid != os.getpid():
+        # A fork that predates the at-fork hook: forget, never shut down.
+        _forget()
+    n = pool_workers(workers)
+    if _pool is not None and (_pool_kind != kind or _pool_size < n):
+        shutdown()
+    if _pool is None:
+        try:
+            import multiprocessing
+
+            ctx = multiprocessing.get_context(kind)
+            pool = ProcessPoolExecutor(max_workers=n, mp_context=ctx)
+        except (OSError, PermissionError, ImportError,
+                ValueError) as exc:  # pragma: no cover - restricted envs
+            warnings.warn(
+                f"process pool unavailable ({exc}); running in-process",
+                RuntimeWarning,
+                stacklevel=3,
+            )
+            return None
+        _pool = pool
+        _pool_kind = kind
+        _pool_size = n
+        _pool_pid = os.getpid()
+        if not _hooks_installed:
+            if hasattr(os, "register_at_fork"):
+                os.register_at_fork(after_in_child=_forget)
+            atexit.register(shutdown)
+            _hooks_installed = True
+    return _pool
+
+
+def _ping(x: T) -> T:
+    """Identity task for pool warm-up checks and hygiene probes."""
+    return x
+
+
+def _map_bounded(pool: ProcessPoolExecutor, fn: Callable[[T], R],
+                 items: Sequence[T], limit: int) -> List[R]:
+    """``pool.map`` with at most ``limit`` tasks in flight, in order.
+
+    The shared pool may be wider than one caller's ``--workers`` ask;
+    bounding in-flight submissions keeps that ask meaningful.
+    """
+    results: List[Any] = [None] * len(items)
+    pending: dict = {}
+    it = iter(enumerate(items))
+
+    def _fill() -> None:
+        while len(pending) < limit:
+            try:
+                i, item = next(it)
+            except StopIteration:
+                return
+            pending[pool.submit(fn, item)] = i
+
+    _fill()
+    try:
+        while pending:
+            done, _ = _futures_wait(set(pending),
+                                    return_when=FIRST_COMPLETED)
+            for fut in done:
+                results[pending.pop(fut)] = fut.result()
+            _fill()
+    except BaseException:
+        for fut in pending:
+            fut.cancel()
+        raise
+    return results
+
+
+def run_tasks(fn: Callable[[T], R], items: Sequence[T],
+              workers: Optional[int] = None) -> List[R]:
+    """Run ``fn`` over ``items`` on the shared pool, preserving order.
+
+    ``workers`` bounds in-flight parallelism (``None``/``0`` resolves
+    via :func:`pool_workers`); ``workers=1``, a single item, or an
+    unavailable pool all run in-process.  A pool that dies mid-run is
+    torn down and the batch retried in-process, so callers always get
+    a full result list.
+    """
+    items = list(items)
+    if not items:
+        return []
+    limit = min(pool_workers(workers), len(items))
+    if limit <= 1:
+        return [fn(it) for it in items]
+    pool = get_pool(limit)
+    if pool is None:
+        return [fn(it) for it in items]
+    try:
+        return _map_bounded(pool, fn, items, limit)
+    except BrokenProcessPool:
+        shutdown(wait=False)
+        warnings.warn(
+            "worker pool died mid-run; retrying the batch in-process",
+            RuntimeWarning,
+            stacklevel=2,
+        )
+        return [fn(it) for it in items]

@@ -20,13 +20,24 @@ for the next frame magic — the file-level counterpart of the decoder's
 in-buffer resynchronization — and the skip is reported on
 :attr:`TraceFileReader.issues`.  ``strict=True`` restores the
 raise-on-first-damage behavior.
+
+Reading is also zero-copy by default: a seekable file is mmap'd and
+record words are read-only ``np.frombuffer`` views of the page cache
+(payloads are 8-byte aligned by construction), with identical output —
+frames, issue reports, tail verdicts — to the buffered read() path,
+which remains for pipes/streams and as the ``use_mmap=False`` escape
+hatch.  On little-endian hosts the historical per-frame
+``.astype(np.uint64)`` copy is gone from both paths.
 """
 
 from __future__ import annotations
 
 import io
+import mmap
+import os
 import struct
-from typing import BinaryIO, Iterable, List, Optional, Union
+import sys
+from typing import BinaryIO, Iterable, List, Optional, Tuple, Union
 
 import numpy as np
 
@@ -40,7 +51,20 @@ _FILE_HEADER = struct.Struct("<8sII")
 _FRAME_HEADER = struct.Struct("<IIQQIB3x")
 _FRAME_MAGIC_BYTES = struct.pack("<I", FRAME_MAGIC)
 
+_LITTLE_ENDIAN = sys.byteorder == "little"
+
 PathOrFile = Union[str, BinaryIO]
+
+
+def words_from_bytes(payload) -> np.ndarray:
+    """The 64-bit words of a little-endian payload buffer.
+
+    On little-endian hosts (``<u8`` *is* the native uint64) this is a
+    zero-copy, read-only view of ``payload``; big-endian hosts pay the
+    byte-swapping copy they always did.
+    """
+    words = np.frombuffer(payload, dtype="<u8")
+    return words if _LITTLE_ENDIAN else words.astype(np.uint64)
 
 
 def scan_for_magic(fh: BinaryIO, token: bytes, start: int,
@@ -138,7 +162,8 @@ class TraceFileReader:
     ``anomaly`` report salvage only for the truncated verdict.
     """
 
-    def __init__(self, fh: BinaryIO, strict: bool = False) -> None:
+    def __init__(self, fh: BinaryIO, strict: bool = False,
+                 use_mmap: bool = True) -> None:
         self.fh = fh
         self.strict = strict
         #: Human-readable descriptions of damage seen (and survived).
@@ -160,6 +185,48 @@ class TraceFileReader:
         self.buffer_words = buffer_words
         self.frame_size = _FRAME_HEADER.size + buffer_words * 8
         self._data_start = _FILE_HEADER.size
+        self._mm: Optional[mmap.mmap] = None
+        self._file_sig: Optional[Tuple[str, int, int]] = None
+        #: Which ingest path backs this reader: ``"mmap"`` (zero-copy
+        #: page-cache views) or ``"read"`` (buffered reads).
+        self.read_path = "read"
+        if use_mmap:
+            self._try_mmap()
+
+    def _try_mmap(self) -> None:
+        """Map the file read-only; silently keep the read() path if not.
+
+        Pipes, sockets and in-memory streams have no ``fileno``; an
+        empty or unmappable file raises — all of those simply stay on
+        the buffered path.  Frame payloads start at byte ``16 + 32 +
+        k*frame_size``, always 8-byte aligned, so word views over the
+        mapping are alignment-safe.
+        """
+        try:
+            fileno = self.fh.fileno()
+            mm = mmap.mmap(fileno, 0, access=mmap.ACCESS_READ)
+        except (OSError, ValueError, AttributeError):
+            return
+        self._mm = mm
+        self.read_path = "mmap"
+        name = getattr(self.fh, "name", None)
+        if isinstance(name, str) and os.path.exists(name):
+            st = os.fstat(fileno)
+            self._file_sig = (os.path.abspath(name), st.st_size,
+                              st.st_mtime_ns)
+
+    def _tag_provenance(self, rec: BufferRecord, payload_off: int) -> None:
+        """Stamp a view-backed record with its on-disk location.
+
+        ``(path, byte_offset, file_size, file_mtime_ns)`` lets the
+        parallel decoder ship a tiny descriptor to pool workers — which
+        map the same file themselves — instead of pushing the payload
+        through a pipe.  The size/mtime pair lets the consumer detect a
+        rewritten file and fall back to shipping bytes.
+        """
+        if self._file_sig is not None and _LITTLE_ENDIAN:
+            path, size, mtime_ns = self._file_sig
+            rec._file_ref = (path, payload_off, size, mtime_ns)
 
     def frame_count(self) -> int:
         """Number of whole frames; judges any partial trailing frame.
@@ -192,8 +259,40 @@ class TraceFileReader:
         n = self.frame_count()
         if not 0 <= k < n:
             raise IndexError(f"frame {k} out of range: file holds {n} frames")
-        self.fh.seek(self._data_start + k * self.frame_size)
+        pos = self._data_start + k * self.frame_size
+        # A mapping snapshots the file at open time; frames appended
+        # since (a growing trace) fall back to buffered reads.
+        if self._mm is not None and pos + self.frame_size <= len(self._mm):
+            return self._read_frame_mmap(pos)
+        self.fh.seek(pos)
         return self._read_one()
+
+    def _frame_words(self, payload_off: int) -> np.ndarray:
+        """Zero-copy word view of the payload at ``payload_off``."""
+        mm = self._mm
+        assert mm is not None
+        if _LITTLE_ENDIAN:
+            return np.frombuffer(mm, dtype="<u8", count=self.buffer_words,
+                                 offset=payload_off)
+        return np.frombuffer(  # pragma: no cover - big-endian fallback
+            mm[payload_off:payload_off + self.buffer_words * 8], dtype="<u8"
+        ).astype(np.uint64)
+
+    def _read_frame_mmap(self, pos: int) -> BufferRecord:
+        mm = self._mm
+        assert mm is not None
+        magic, cpu, seq, committed, fill_words, partial = \
+            _FRAME_HEADER.unpack_from(mm, pos)
+        if magic != FRAME_MAGIC:
+            raise ValueError(f"bad frame magic {magic:#x}")
+        off = pos + _FRAME_HEADER.size
+        rec = BufferRecord(
+            cpu=cpu, seq=seq, words=self._frame_words(off),
+            committed=committed, fill_words=fill_words,
+            partial=bool(partial),
+        )
+        self._tag_provenance(rec, off)
+        return rec
 
     def _read_one(self) -> BufferRecord:
         raw = self.fh.read(_FRAME_HEADER.size)
@@ -205,15 +304,82 @@ class TraceFileReader:
         payload = self.fh.read(self.buffer_words * 8)
         if len(payload) != self.buffer_words * 8:
             raise EOFError("truncated frame payload")
-        words = np.frombuffer(payload, dtype="<u8").astype(np.uint64)
+        words = words_from_bytes(payload)
         return BufferRecord(
             cpu=cpu, seq=seq, words=words, committed=committed,
             fill_words=fill_words, partial=bool(partial),
         )
 
+    def _read_all_mmap(self) -> List[BufferRecord]:
+        """The :meth:`read_all` walk over the mapping — same damage
+        handling, same issue reports, zero payload copies."""
+        mm = self._mm
+        assert mm is not None
+        end = len(mm)
+        payload_len = self.buffer_words * 8
+        records: List[BufferRecord] = []
+        pos = self._data_start
+        while pos < end:
+            if end - pos < _FRAME_HEADER.size:
+                if self.strict:
+                    raise EOFError("truncated frame header")
+                if not self.trailing_bytes:
+                    self.issues.append(
+                        f"truncated frame header at byte {pos}; dropped"
+                    )
+                break
+            (magic, cpu, seq, committed,
+             fill_words, partial) = _FRAME_HEADER.unpack_from(mm, pos)
+            plausible = (magic == FRAME_MAGIC
+                         and fill_words <= self.buffer_words
+                         and partial <= 1)
+            if not plausible:
+                if self.strict:
+                    if magic != FRAME_MAGIC:
+                        raise ValueError(f"bad frame magic {magic:#x}")
+                    raise ValueError(
+                        f"implausible frame header at byte {pos} "
+                        f"(fill_words {fill_words}, partial {partial})"
+                    )
+                nxt = mm.find(_FRAME_MAGIC_BYTES, pos + 1)
+                if nxt < 0:
+                    self.issues.append(
+                        f"damaged frame at byte {pos}; no later frame "
+                        f"magic — {end - pos} bytes dropped"
+                    )
+                    break
+                self.issues.append(
+                    f"damaged frame at byte {pos}; skipped {nxt - pos} "
+                    f"bytes to the next frame magic"
+                )
+                pos = nxt
+                continue
+            if end - pos - _FRAME_HEADER.size < payload_len:
+                if self.strict:
+                    raise EOFError("truncated frame payload")
+                if not self.trailing_bytes:
+                    self.issues.append(
+                        f"truncated frame payload at byte {pos}; dropped"
+                    )
+                break
+            off = pos + _FRAME_HEADER.size
+            rec = BufferRecord(
+                cpu=cpu, seq=seq, words=self._frame_words(off),
+                committed=committed, fill_words=fill_words,
+                partial=bool(partial),
+            )
+            self._tag_provenance(rec, off)
+            records.append(rec)
+            pos += self.frame_size
+        return records
+
     def read_all(self) -> List[BufferRecord]:
         """Read every readable frame, resynchronizing past damage."""
         self.frame_count()   # flag a truncated tail up front
+        if self._mm is not None:
+            self.fh.seek(0, io.SEEK_END)
+            if self.fh.tell() <= len(self._mm):
+                return self._read_all_mmap()
         self.fh.seek(self._data_start)
         records: List[BufferRecord] = []
         while True:
@@ -265,7 +431,7 @@ class TraceFileReader:
                         f"truncated frame payload at byte {pos}; dropped"
                     )
                 break
-            words = np.frombuffer(payload, dtype="<u8").astype(np.uint64)
+            words = words_from_bytes(payload)
             records.append(
                 BufferRecord(
                     cpu=cpu, seq=seq, words=words, committed=committed,
@@ -301,14 +467,19 @@ def save_records(path: PathOrFile, records: List[BufferRecord],
     return _write(path)
 
 
-def load_records(path: PathOrFile, strict: bool = False) -> List[BufferRecord]:
+def load_records(path: PathOrFile, strict: bool = False,
+                 use_mmap: bool = True) -> List[BufferRecord]:
     """Read every readable frame of a trace file.
 
     With the default ``strict=False``, damaged frames are skipped (see
     :class:`TraceFileReader`); use :class:`TraceFileReader` directly
-    when the skip reports are needed.
+    when the skip reports are needed.  ``use_mmap=True`` (the default)
+    returns zero-copy views of the page cache on little-endian hosts —
+    record words are then read-only; pass ``use_mmap=False`` for the
+    buffered read() path (output is bit-identical either way).
     """
     if isinstance(path, str):
         with open(path, "rb") as fh:
-            return TraceFileReader(fh, strict=strict).read_all()
-    return TraceFileReader(path, strict=strict).read_all()
+            return TraceFileReader(fh, strict=strict,
+                                   use_mmap=use_mmap).read_all()
+    return TraceFileReader(path, strict=strict, use_mmap=use_mmap).read_all()

@@ -18,6 +18,7 @@ use against freshly decoded batches drive shard pruning in
 a full scan.
 """
 
+from repro.store.cache import ShardCache, shard_cache
 from repro.store.format import (
     MANIFEST_NAME,
     STORE_FORMAT,
@@ -46,8 +47,10 @@ __all__ = [
     "QueryResult",
     "STORE_FORMAT",
     "STORE_VERSION",
+    "ShardCache",
     "ShardStats",
     "StoreFormatError",
+    "shard_cache",
     "TraceStore",
     "aggregate",
     "is_store",

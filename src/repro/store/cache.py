@@ -1,0 +1,105 @@
+"""A bounded, process-wide LRU cache of decoded store shards.
+
+Repeated queries against the same store — the interactive-analysis
+loop, a dashboard polling a window, the fleet aggregator fanning one
+question over many stores — used to decompress every surviving shard
+from scratch each time.  This cache keeps recently-touched shards
+decoded, keyed by ``(absolute path, file size, mtime_ns)`` so a
+repacked store can never serve stale rows: rewriting a shard changes
+its key, and the dead entry simply ages out.
+
+The budget is bytes of decoded column data (``REPRO_SHARD_CACHE_MB``,
+default 256; ``0`` disables caching).  Entries are shared between
+:class:`~repro.store.reader.TraceStore` instances and across queries;
+cached batches are read-shared — consumers slice/select them (which
+copies) rather than mutating columns in place.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+from collections import OrderedDict
+from typing import Any, Hashable, Optional, Tuple
+
+#: Default cache budget when ``REPRO_SHARD_CACHE_MB`` is unset.
+DEFAULT_CACHE_MB = 256
+
+
+def cache_budget_bytes() -> int:
+    """The configured cache budget in bytes (0 = caching disabled)."""
+    env = os.environ.get("REPRO_SHARD_CACHE_MB", "").strip()
+    if env:
+        try:
+            return max(0, int(float(env) * (1 << 20)))
+        except ValueError:
+            pass
+    return DEFAULT_CACHE_MB << 20
+
+
+class ShardCache:
+    """Byte-bounded LRU of decoded shard payloads.
+
+    Thread-safe; values are opaque to the cache (the store reader keeps
+    ``(EventBatch, pid, pid_known)`` triples here).  An entry larger
+    than the whole budget is simply not admitted.
+    """
+
+    def __init__(self, max_bytes: Optional[int] = None) -> None:
+        self.max_bytes = (cache_budget_bytes() if max_bytes is None
+                          else max_bytes)
+        self._lock = threading.Lock()
+        self._entries: "OrderedDict[Hashable, Tuple[Any, int]]" = \
+            OrderedDict()
+        self.bytes = 0
+        self.hits = 0
+        self.misses = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Hashable) -> Optional[Any]:
+        with self._lock:
+            ent = self._entries.get(key)
+            if ent is None:
+                self.misses += 1
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            return ent[0]
+
+    def put(self, key: Hashable, value: Any, nbytes: int) -> None:
+        if self.max_bytes <= 0 or nbytes > self.max_bytes:
+            return
+        with self._lock:
+            old = self._entries.pop(key, None)
+            if old is not None:
+                self.bytes -= old[1]
+            self._entries[key] = (value, nbytes)
+            self.bytes += nbytes
+            while self.bytes > self.max_bytes and self._entries:
+                _, (_, size) = self._entries.popitem(last=False)
+                self.bytes -= size
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+            self.bytes = 0
+            self.hits = 0
+            self.misses = 0
+
+
+_GLOBAL: Optional[ShardCache] = None
+
+
+def shard_cache() -> ShardCache:
+    """The process-wide shard cache (created on first use).
+
+    A changed ``REPRO_SHARD_CACHE_MB`` takes effect on the next call —
+    the cache is rebuilt with the new budget (tests flip it per-case).
+    """
+    global _GLOBAL
+    budget = cache_budget_bytes()
+    if _GLOBAL is None or _GLOBAL.max_bytes != budget:
+        _GLOBAL = ShardCache(budget)
+    return _GLOBAL

@@ -21,8 +21,10 @@ from typing import Any, Dict, List, Optional, Tuple
 
 import numpy as np
 
+from repro.core import pool
 from repro.core.columnar import AnomalyColumns, ColumnarTrace, EventBatch
 from repro.core.registry import EventRegistry, default_registry
+from repro.store.cache import shard_cache
 from repro.store.format import load_shard, read_manifest
 from repro.store.query import Predicate, select, shard_may_match
 from repro.store.stats import ShardStats
@@ -73,8 +75,12 @@ class TraceStore:
 
     def __init__(self, path: str,
                  registry: Optional[EventRegistry] = None,
-                 cache_shards: bool = False) -> None:
+                 cache_shards: bool = False,
+                 workers: Optional[int] = 1) -> None:
         self.path = path
+        #: Shard reads/decompressions fan out over the shared worker
+        #: pool when > 1 (``None``/``0`` = pool default, 1 = inline).
+        self.workers = workers
         self.registry = (registry if registry is not None
                          else default_registry())
         manifest = read_manifest(path)
@@ -110,20 +116,66 @@ class TraceStore:
             an.append(cpu, seq, off, kind, detail)
         return an
 
-    def load_shard(
-        self, info: ShardInfo,
+    def _shard_key(self, info: ShardInfo):
+        """Process-wide cache key: identity + freshness of the file."""
+        fpath = os.path.join(self.path, info.file)
+        try:
+            st = os.stat(fpath)
+        except OSError:
+            return None
+        return (os.path.abspath(fpath), st.st_size, st.st_mtime_ns)
+
+    def _build_shard(
+        self, info: ShardInfo, arrays: Dict[str, np.ndarray],
     ) -> Tuple[EventBatch, np.ndarray, np.ndarray]:
-        """One shard's batch plus its context (pid, pid_known) columns."""
-        if self._cache is not None and info.index in self._cache:
-            return self._cache[info.index]
-        arrays = load_shard(os.path.join(self.path, info.file))
         batch = EventBatch.from_arrays(arrays, registry=self.registry)
         pid = np.asarray(arrays["pid"]).astype(np.uint64, copy=False)
         known = np.asarray(arrays["pid_known"]).astype(bool, copy=False)
         out = (batch, pid, known)
-        if self._cache is not None:
-            self._cache[info.index] = out
+        key = self._shard_key(info)
+        if key is not None:
+            nbytes = int(sum(np.asarray(a).nbytes for a in arrays.values()))
+            shard_cache().put(key, out, nbytes)
         return out
+
+    def load_shard(
+        self, info: ShardInfo,
+    ) -> Tuple[EventBatch, np.ndarray, np.ndarray]:
+        """One shard's batch plus its context (pid, pid_known) columns."""
+        return self._load_many([info])[0]
+
+    def _load_many(
+        self, infos: List[ShardInfo],
+    ) -> List[Tuple[EventBatch, np.ndarray, np.ndarray]]:
+        """Decoded shards in ``infos`` order, cache-first.
+
+        Misses are read + decompressed concurrently on the shared
+        worker pool when :attr:`workers` allows; the parent then builds
+        batches (and populates both caches) in shard order, so results
+        — and therefore query/trace output — are identical to the
+        sequential loads.
+        """
+        out: Dict[int, Tuple[EventBatch, np.ndarray, np.ndarray]] = {}
+        misses: List[ShardInfo] = []
+        for info in infos:
+            if self._cache is not None and info.index in self._cache:
+                out[info.index] = self._cache[info.index]
+                continue
+            key = self._shard_key(info)
+            hit = shard_cache().get(key) if key is not None else None
+            if hit is not None:
+                out[info.index] = hit
+            else:
+                misses.append(info)
+        if misses:
+            paths = [os.path.join(self.path, i.file) for i in misses]
+            arrays_list = pool.run_tasks(load_shard, paths, self.workers)
+            for info, arrays in zip(misses, arrays_list):
+                out[info.index] = self._build_shard(info, arrays)
+        if self._cache is not None:
+            for info in infos:
+                self._cache.setdefault(info.index, out[info.index])
+        return [out[info.index] for info in infos]
 
     def trace(self) -> ColumnarTrace:
         """The full trace, bit-identical to a fresh columnar decode.
@@ -135,8 +187,8 @@ class TraceStore:
         one node's stream alone.
         """
         by_cpu: Dict[int, List[EventBatch]] = {}
-        for info in self.shards:
-            batch, _, _ = self.load_shard(info)
+        for info, (batch, _, _) in zip(self.shards,
+                                       self._load_many(self.shards)):
             by_cpu.setdefault(info.stats.cpu, []).append(batch)
         batches: Dict[int, EventBatch] = {}
         for cpu in self.cpus:
@@ -155,12 +207,11 @@ class TraceStore:
         if node not in self.nodes:
             raise ValueError(
                 f"store has no node {node}; nodes are {self.nodes}")
+        mine = [info for info in self.shards
+                if (info.stats.node if info.stats.node is not None
+                    else 0) == node]
         by_cpu: Dict[int, List[EventBatch]] = {}
-        for info in self.shards:
-            if (info.stats.node if info.stats.node is not None else 0) \
-                    != node:
-                continue
-            batch, _, _ = self.load_shard(info)
+        for info, (batch, _, _) in zip(mine, self._load_many(mine)):
             by_cpu.setdefault(info.stats.cpu, []).append(batch)
         cpus_by_node = self.fleet_info.get("cpus_by_node", {})
         cpus = [int(c) for c in cpus_by_node.get(str(node),
@@ -191,8 +242,7 @@ class TraceStore:
         pids: List[np.ndarray] = []
         knowns: List[np.ndarray] = []
         rows_scanned = 0
-        for info in picked:
-            batch, pid, known = self.load_shard(info)
+        for batch, pid, known in self._load_many(picked):
             rows_scanned += len(batch)
             m = select(batch, pred, pid=pid, pid_known=known)
             if m.any():

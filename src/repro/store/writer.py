@@ -20,10 +20,11 @@ from __future__ import annotations
 
 import os
 from dataclasses import dataclass
-from typing import Any, Dict, List, Optional, Sequence
+from typing import Any, Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
+from repro.core import pool
 from repro.core.buffers import BufferRecord
 from repro.core.columnar import (
     ColumnarTrace,
@@ -80,6 +81,13 @@ def _shard_cuts(seq: np.ndarray, shard_events: int) -> List[int]:
     return cuts
 
 
+def _write_shard_job(job: Tuple[str, Dict[str, np.ndarray], bool]) -> int:
+    """Pool worker: compress + write one shard; returns its file size."""
+    fpath, arrays, compress = job
+    save_shard(fpath, arrays, compress=compress)
+    return os.path.getsize(fpath)
+
+
 def pack_trace(
     trace: ColumnarTrace,
     out_dir: str,
@@ -87,8 +95,16 @@ def pack_trace(
     compress: bool = True,
     source: Optional[Dict[str, Any]] = None,
     force: bool = False,
+    workers: Optional[int] = 1,
 ) -> PackResult:
-    """Write ``trace`` as a store directory of npz shards + manifest."""
+    """Write ``trace`` as a store directory of npz shards + manifest.
+
+    ``workers`` fans the per-shard compress/write work over the shared
+    worker pool (:mod:`repro.core.pool`; ``None``/``0`` = the pool
+    default, ``1`` = sequential).  The manifest is assembled in submit
+    order and ``np.savez`` archives carry no timestamps, so parallel
+    output is byte-identical to a sequential pack.
+    """
     if shard_events < 1:
         raise ValueError("shard_events must be >= 1")
     if os.path.exists(out_dir):
@@ -114,6 +130,19 @@ def pack_trace(
     total = 0
     index = 0
     row0 = 0
+    # Shard writes flush through the worker pool in bounded waves so the
+    # arrays of at most one wave are held in memory at a time; with
+    # workers=1 each wave runs inline, which is exactly the historical
+    # sequential pack.
+    jobs: List[Tuple[str, Dict[str, np.ndarray], bool]] = []
+    wave = max(8, 4 * pool.pool_workers(workers))
+
+    def _flush() -> None:
+        nonlocal bytes_written
+        for size in pool.run_tasks(_write_shard_job, jobs, workers):
+            bytes_written += size
+        jobs.clear()
+
     for cpu, b in zip(cpus, parts):
         n = len(b)
         pid = ctx.pid[row0:row0 + n]
@@ -130,8 +159,9 @@ def pack_trace(
             arrays["pid_known"] = known[lo:hi]
             fname = shard_filename(index)
             fpath = os.path.join(out_dir, fname)
-            save_shard(fpath, arrays, compress=compress)
-            bytes_written += os.path.getsize(fpath)
+            jobs.append((fpath, arrays, compress))
+            if len(jobs) >= wave:
+                _flush()
             stats = ShardStats.compute(sub, pid[lo:hi], known[lo:hi])
             doc = stats.to_json()
             doc["file"] = fname
@@ -140,6 +170,7 @@ def pack_trace(
             shard_docs.append(doc)
             total += len(sub)
             index += 1
+    _flush()
 
     an = trace.anomaly_columns
     manifest: Dict[str, Any] = {
@@ -173,6 +204,7 @@ def pack_records(
     compress: bool = True,
     source: Optional[Dict[str, Any]] = None,
     force: bool = False,
+    workers: Optional[int] = 1,
 ) -> PackResult:
     """Decode buffer records columnar and pack them."""
     trace = ColumnarTraceReader(
@@ -184,7 +216,8 @@ def pack_records(
     src.setdefault("buffer_words",
                    len(records[0].words) if len(records) else 0)
     return pack_trace(trace, out_dir, shard_events=shard_events,
-                      compress=compress, source=src, force=force)
+                      compress=compress, source=src, force=force,
+                      workers=workers)
 
 
 def pack_file(
@@ -195,9 +228,11 @@ def pack_file(
     shard_events: int = DEFAULT_SHARD_EVENTS,
     compress: bool = True,
     force: bool = False,
+    workers: Optional[int] = 1,
 ) -> PackResult:
     """Pack a ``.k42`` trace file into a store directory."""
     records = load_records(path, strict=strict)
     return pack_records(records, out_dir, registry=registry, strict=strict,
                         shard_events=shard_events, compress=compress,
-                        source={"path": os.path.abspath(path)}, force=force)
+                        source={"path": os.path.abspath(path)}, force=force,
+                        workers=workers)

@@ -276,35 +276,65 @@ class TestShardStitching:
         assert as_comparable(par) == as_comparable(seq)
 
 
-class TestSpawnFallback:
-    """Spawn-only platforms (macOS/Windows) must degrade, not crash."""
+class TestStartMethods:
+    """Spawn-only platforms now decode on a persistent spawn pool; a
+    disabled pool (``REPRO_POOL_START_METHOD=none``) runs the shard
+    scans in-process — every mode stays bit-identical to sequential."""
 
-    def test_forced_spawn_falls_back_sequential(self, monkeypatch):
-        import pytest
+    def test_forced_spawn_pool_identical(self, monkeypatch):
+        from repro.core import pool
 
-        import repro.core.parallel as parallel
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "spawn")
+        pool.shutdown()
+        try:
+            records = build_records()
+            reg = default_registry()
+            seq = TraceReader(registry=reg).decode_records(records)
+            par = decode_records_parallel(records, registry=reg, workers=2)
+            assert pool.pool_kind() == "spawn"
+            assert as_comparable(par) == as_comparable(seq)
+        finally:
+            pool.shutdown()
 
-        records = build_records()
-        reg = default_registry()
-        seq = TraceReader(registry=reg).decode_records(records)
-        monkeypatch.setattr(parallel, "_fork_available", lambda: False)
-        with pytest.warns(RuntimeWarning, match="fork.*unavailable"):
-            par = decode_records_parallel(records, registry=reg, workers=3)
-        assert as_comparable(par) == as_comparable(seq)
+    def test_pool_disabled_runs_in_process(self, monkeypatch):
+        from repro.core import pool
 
-    def test_forced_spawn_strict_mode(self, monkeypatch):
-        import pytest
-
-        import repro.core.parallel as parallel
-
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "none")
+        pool.shutdown()
         records = build_records()
         reg = default_registry()
         seq = TraceReader(registry=reg, strict=True).decode_records(records)
-        monkeypatch.setattr(parallel, "_fork_available", lambda: False)
-        with pytest.warns(RuntimeWarning):
-            par = decode_records_parallel(records, registry=reg, workers=3,
-                                          strict=True)
+        par = decode_records_parallel(records, registry=reg, workers=3,
+                                      strict=True)
+        assert pool.pool_kind() is None
         assert as_comparable(par) == as_comparable(seq)
+
+
+class TestEmptyTrace:
+    """An empty/header-only trace must decode with --workers (the old
+    per-call executor raised ``ValueError: max_workers`` on 0 shards)."""
+
+    def test_empty_records_parallel(self):
+        trace = decode_records_parallel([], workers=4)
+        assert trace.events_by_cpu == {}
+        cols = decode_records_columnar_parallel([], workers=4)
+        assert cols.cpus == []
+
+    def test_run_tasks_empty_guard(self):
+        from repro.core.parallel import _run_tasks
+
+        assert _run_tasks([], 4) == []
+
+    def test_header_only_file_with_workers(self, tmp_path, capsys):
+        from repro.cli import main
+        from repro.core.writer import save_records
+
+        path = str(tmp_path / "empty.k42")
+        save_records(path, [], buffer_words=64)
+        assert main(["list", path, "--workers", "4"]) == 0
+        assert main(["info", path, "--workers", "4"]) == 0
+        out = capsys.readouterr().out
+        assert "frames: 0" in out
 
 
 class TestShardRecords:

@@ -1,0 +1,137 @@
+"""Unit tests for the shared persistent worker pool.
+
+The pool is process-wide state, so every test that creates one tears
+it down again — both to isolate the cases from each other and because
+leaked workers are exactly what the pool-hygiene CI leg hunts for.
+"""
+
+import os
+import warnings
+
+import pytest
+
+from repro.core import pool
+
+
+@pytest.fixture(autouse=True)
+def _fresh_pool():
+    pool.shutdown()
+    yield
+    pool.shutdown()
+
+
+class TestPoolWorkers:
+    def test_explicit_wins(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_WORKERS", "3")
+        assert pool.pool_workers(7) == 7
+
+    def test_env_fallback(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_WORKERS", "3")
+        assert pool.pool_workers(None) == 3
+        assert pool.pool_workers(0) == 3
+
+    def test_cpu_default(self, monkeypatch):
+        monkeypatch.delenv("REPRO_POOL_WORKERS", raising=False)
+        assert pool.pool_workers(None) == (os.cpu_count() or 1)
+
+    def test_garbage_env_ignored(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_WORKERS", "banana")
+        assert pool.pool_workers(None) == (os.cpu_count() or 1)
+        monkeypatch.setenv("REPRO_POOL_WORKERS", "-2")
+        assert pool.pool_workers(None) == (os.cpu_count() or 1)
+
+
+class TestGetPool:
+    def test_lazy_and_reused(self):
+        assert pool.pool_kind() is None and pool.pool_size() == 0
+        p1 = pool.get_pool(2)
+        assert p1 is not None
+        assert pool.pool_size() >= 2
+        assert pool.get_pool(2) is p1, "same ask must reuse the pool"
+        assert pool.get_pool(1) is p1, "smaller ask must reuse the pool"
+
+    def test_grows_on_wider_ask(self):
+        p1 = pool.get_pool(1)
+        assert p1 is not None and pool.pool_size() == 1
+        p2 = pool.get_pool(3)
+        assert p2 is not None and pool.pool_size() == 3
+        assert p2 is not p1, "wider ask rebuilds the pool"
+
+    def test_disabled_via_env(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "none")
+        assert pool.get_pool(2) is None
+        assert pool.pool_kind() is None
+
+    def test_kind_switch_rebuilds(self, monkeypatch):
+        import multiprocessing
+
+        methods = multiprocessing.get_all_start_methods()
+        if "fork" not in methods or "spawn" not in methods:
+            pytest.skip("needs both fork and spawn")
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "fork")
+        p1 = pool.get_pool(1)
+        assert pool.pool_kind() == "fork"
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "spawn")
+        p2 = pool.get_pool(1)
+        assert pool.pool_kind() == "spawn"
+        assert p2 is not p1
+
+    def test_shutdown_idempotent(self):
+        pool.get_pool(1)
+        pool.shutdown()
+        assert pool.pool_kind() is None and pool.pool_size() == 0
+        pool.shutdown()  # second call is a no-op
+        assert pool.get_pool(1) is not None, "usable again after shutdown"
+
+
+class TestRunTasks:
+    def test_empty(self):
+        assert pool.run_tasks(pool._ping, [], workers=4) == []
+        assert pool.pool_kind() is None, "empty batch must not build a pool"
+
+    def test_single_item_inline(self):
+        assert pool.run_tasks(pool._ping, [41], workers=4) == [41]
+        assert pool.pool_kind() is None, \
+            "a single task must run inline, not build a pool"
+
+    def test_workers_one_inline(self):
+        got = pool.run_tasks(pool._ping, list(range(5)), workers=1)
+        assert got == list(range(5))
+        assert pool.pool_kind() is None
+
+    def test_order_preserved_on_pool(self):
+        items = list(range(23))
+        assert pool.run_tasks(pool._ping, items, workers=3) == items
+        assert pool.pool_kind() is not None
+
+    def test_disabled_pool_runs_inline(self, monkeypatch):
+        monkeypatch.setenv("REPRO_POOL_START_METHOD", "none")
+        items = list(range(7))
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            assert pool.run_tasks(pool._ping, items, workers=4) == items
+
+    def test_broken_pool_retries_inline(self):
+        p = pool.get_pool(2)
+        assert p is not None
+        p.submit(pool._ping, 0).result()  # force workers to start
+        # Kill the workers behind the executor's back, then submit.
+        for proc in list(p._processes.values()):
+            proc.terminate()
+            proc.join()
+        with pytest.warns(RuntimeWarning, match="retrying the batch"):
+            got = pool.run_tasks(pool._ping, list(range(6)), workers=2)
+        assert got == list(range(6))
+        assert pool.get_pool(2) is not None, "pool rebuilds after a death"
+
+
+class TestForget:
+    def test_forget_drops_reference_only(self):
+        p = pool.get_pool(2)
+        assert p is not None
+        pool._forget()
+        assert pool.pool_kind() is None and pool.pool_size() == 0
+        # The old executor still works — _forget must not shut it down
+        # (in a real fork it belongs to the parent).
+        assert p.submit(pool._ping, 5).result() == 5
+        p.shutdown()
